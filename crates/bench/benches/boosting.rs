@@ -1,0 +1,39 @@
+//! Criterion timings for the Theorem 4.2 boosting pipeline (T6/F3 hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use locality_core::boost::{boosted_decomposition, BoostConfig};
+use locality_core::decomposition::ElkinNeimanConfig;
+use locality_graph::generators::Family;
+use locality_graph::ids::IdAssignment;
+use locality_rand::prng::SplitMix64;
+use locality_rand::source::PrngSource;
+
+fn bench_boost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boosted_decomposition");
+    group.sample_size(10);
+    for phases in [1u32, 4] {
+        let mut p = SplitMix64::new(5);
+        let g = Family::GnpSparse.generate(128, &mut p);
+        let ids = IdAssignment::sequential(g.node_count());
+        let cfg = BoostConfig {
+            en: ElkinNeimanConfig { phases, cap: 16 },
+            t_override: Some(8),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("en_phases", phases),
+            &phases,
+            |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut src = PrngSource::seeded(seed);
+                    boosted_decomposition(&g, &ids, &cfg, &mut src)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_boost);
+criterion_main!(benches);

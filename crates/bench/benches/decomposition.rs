@@ -1,0 +1,89 @@
+//! Criterion timings for the decomposition constructions (T1/T4/T9 hot
+//! paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use locality_core::decomposition::{
+    ball_carving_decomposition, derandomized_decomposition, elkin_neiman, ElkinNeimanConfig,
+};
+use locality_core::shared::{shared_randomness_decomposition, SharedDecompConfig};
+use locality_graph::generators::Family;
+use locality_graph::Graph;
+use locality_rand::prng::SplitMix64;
+use locality_rand::shared::SharedSeed;
+use locality_rand::source::PrngSource;
+
+fn graph(n: usize) -> Graph {
+    let mut p = SplitMix64::new(n as u64);
+    Family::GnpSparse.generate(n, &mut p)
+}
+
+fn bench_elkin_neiman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elkin_neiman");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let g = graph(n);
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut src = PrngSource::seeded(seed);
+                elkin_neiman(g, &cfg, &mut src)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ball_carving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ball_carving");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let g = graph(n);
+        let order: Vec<usize> = (0..g.node_count()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| ball_carving_decomposition(g, &order));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_congest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_randomness_decomposition");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let g = graph(n);
+        let cfg = SharedDecompConfig::for_graph(&g);
+        let mut sm = SplitMix64::new(9);
+        let seed = SharedSeed::from_prng(cfg.seed_bits_needed(), &mut sm);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| shared_randomness_decomposition(g, &cfg, &seed).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_derandomized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cond_expectation_decomposition");
+    group.sample_size(10);
+    for side in [5usize, 7] {
+        let g = Graph::grid(side, side);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side * side),
+            &g,
+            |b, g| {
+                b.iter(|| derandomized_decomposition(g, 8));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_elkin_neiman,
+    bench_ball_carving,
+    bench_shared_congest,
+    bench_derandomized
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion timings for the randomness substrate (generator throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locality_rand::epsbias::EpsBiasedBits;
+use locality_rand::kwise::KWiseBits;
+use locality_rand::source::{BitSource, PrngSource};
+
+fn bench_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomness");
+
+    group.bench_function("prng_source_1k_bits", |b| {
+        let mut src = PrngSource::seeded(1);
+        b.iter(|| {
+            let mut acc = false;
+            for _ in 0..1000 {
+                acc ^= src.next_bit();
+            }
+            acc
+        });
+    });
+
+    let kw = KWiseBits::from_source(16, &mut PrngSource::seeded(2)).unwrap();
+    group.bench_function("kwise16_1k_words", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc ^= kw.word(i);
+            }
+            acc
+        });
+    });
+
+    let eb = EpsBiasedBits::from_source(&mut PrngSource::seeded(3)).unwrap();
+    group.bench_function("epsbias_1k_bits_sequential", |b| {
+        b.iter(|| eb.iter().take(1000).filter(|&x| x).count());
+    });
+
+    group.bench_function("geometric_1k_draws", |b| {
+        let mut src = PrngSource::seeded(4);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(src.geometric(40));
+            }
+            acc
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sources);
+criterion_main!(benches);

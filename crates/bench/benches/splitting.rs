@@ -1,0 +1,33 @@
+//! Criterion timings for zero-round splitting under each randomness regime
+//! (T5 hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locality_core::splitting::{
+    solve_eps_biased, solve_full, solve_kwise, SplittingInstance,
+};
+use locality_rand::epsbias::EpsBiasedBits;
+use locality_rand::kwise::KWiseBits;
+use locality_rand::prng::SplitMix64;
+use locality_rand::source::PrngSource;
+
+fn bench_splitting(c: &mut Criterion) {
+    let mut p = SplitMix64::new(1);
+    let h = SplittingInstance::random(500, 1000, 32, &mut p);
+    let mut group = c.benchmark_group("splitting");
+
+    group.bench_function("full_randomness", |b| {
+        let mut src = PrngSource::seeded(2);
+        b.iter(|| solve_full(&h, &mut src));
+    });
+
+    let kw = KWiseBits::from_source(10, &mut PrngSource::seeded(3)).unwrap();
+    group.bench_function("kwise_10", |b| b.iter(|| solve_kwise(&h, &kw)));
+
+    let eb = EpsBiasedBits::from_source(&mut PrngSource::seeded(4)).unwrap();
+    group.bench_function("eps_biased", |b| b.iter(|| solve_eps_biased(&h, &eb)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_splitting);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerate the theorem-derived tables (T1–T9) and figures (F1–F4).
+//!
+//! ```sh
+//! cargo run -p locality-bench --release --bin experiments -- all
+//! cargo run -p locality-bench --release --bin experiments -- t1 t5 f3
+//! ```
+
+use locality_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <all | t1..t9 f1..f4>...");
+        std::process::exit(2);
+    }
+    for arg in &args {
+        let id = arg.to_lowercase();
+        if id == "all" {
+            for e in experiments::ALL {
+                experiments::run(e);
+            }
+        } else {
+            experiments::run(&id);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal fixed-width table printer for experiment output.
+
+/// A simple left-aligned text table.
+///
+/// # Example
+/// ```
+/// use locality_bench::table::Table;
+/// let mut t = Table::new(&["n", "rounds"]);
+/// t.row(&["64", "121"]);
+/// let s = t.render();
+/// assert!(s.contains("rounds"));
+/// assert!(s.contains("121"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Append a row of owned strings.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxxx", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a    "));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["x", "y"]);
+    }
+}

@@ -1,0 +1,426 @@
+//! Conflict-free hypergraph multicoloring under limited independence
+//! (Theorem 3.5).
+//!
+//! [GKM17] showed that network decomposition reduces to *conflict-free
+//! hypergraph multicoloring*: given a hypergraph with `poly(n)` hyperedges
+//! grouped in `log n` size classes (class `i` holds edges of size
+//! `(2^{i-1}, 2^i]`), assign every vertex a *set* of colors so that each
+//! hyperedge has some color worn by exactly one of its vertices. The paper's
+//! Theorem 3.5 handles the large classes with randomness: mark vertices with
+//! probability `Θ(log n)/2^i` using `Θ(log² n)`-wise independent bits; the
+//! k-wise Chernoff bound [SSS95] leaves each big hyperedge with `Θ(log n)`
+//! marked vertices w.h.p., reducing to the small-hyperedge case, which is
+//! solved deterministically.
+//!
+//! Our deterministic small-hyperedge solver is the *last-writer greedy*
+//! (DESIGN.md §4, substitution 2): process vertices in a fixed order; when a
+//! vertex completes a hyperedge it adds one fresh color chosen to avoid
+//! (i) all colors worn by the edge's other vertices and (ii) the witness
+//! colors of already-satisfied hyperedges through it. Both constraint sets
+//! are `poly(edge size · degree)`, so the palette stays polylogarithmic for
+//! polylog-size hyperedges, matching [GKM17]'s interface.
+
+use locality_rand::kwise::{flat_index, KWiseBits};
+use std::collections::BTreeSet;
+
+/// A hypergraph on vertices `0..n`.
+///
+/// # Example
+/// ```
+/// use locality_core::cfc::Hypergraph;
+/// let hg = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2, 3]]).unwrap();
+/// assert_eq!(hg.edge_count(), 2);
+/// assert_eq!(hg.size_class(0), 1);
+/// assert_eq!(hg.size_class(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Build from explicit edges (each nonempty, members deduplicated).
+    ///
+    /// Returns `None` if an edge is empty or references a vertex `≥ n`.
+    pub fn new(n: usize, edges: Vec<Vec<usize>>) -> Option<Self> {
+        let mut normalized = Vec::with_capacity(edges.len());
+        for e in edges {
+            let mut e: Vec<usize> = e;
+            e.sort_unstable();
+            e.dedup();
+            if e.is_empty() || e.iter().any(|&v| v >= n) {
+                return None;
+            }
+            normalized.push(e);
+        }
+        Some(Self { n, edges: normalized })
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The members of edge `e`, sorted.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: usize) -> &[usize] {
+        &self.edges[e]
+    }
+
+    /// Size class of edge `e`: the `i ≥ 0` with `|e| ∈ (2^{i-1}, 2^i]`
+    /// (sizes 1 → 0, 2 → 1, 3..4 → 2, 5..8 → 3, …).
+    pub fn size_class(&self, e: usize) -> u32 {
+        let s = self.edges[e].len() as u64;
+        64 - (s - 1).leading_zeros() as u32
+    }
+}
+
+/// A multicoloring: each vertex wears a set of `(class, color)` pairs —
+/// classes use disjoint palettes, as in the paper.
+pub type Multicoloring = Vec<BTreeSet<(u32, usize)>>;
+
+/// Check the conflict-free property: every edge must have some
+/// `(class, color)` worn by *exactly one* of its members. Returns the
+/// violating edges.
+///
+/// # Panics
+/// Panics if `coloring.len()` differs from the vertex count.
+pub fn violations(hg: &Hypergraph, coloring: &Multicoloring) -> Vec<usize> {
+    assert_eq!(coloring.len(), hg.vertex_count(), "one color set per vertex");
+    (0..hg.edge_count())
+        .filter(|&e| {
+            let mut counts: std::collections::BTreeMap<(u32, usize), usize> =
+                std::collections::BTreeMap::new();
+            for &v in hg.edge(e) {
+                for &c in &coloring[v] {
+                    *counts.entry(c).or_insert(0) += 1;
+                }
+            }
+            !counts.values().any(|&k| k == 1)
+        })
+        .collect()
+}
+
+/// Deterministic conflict-free multicoloring by the last-writer greedy.
+/// All colors are tagged with `class`. Returns the coloring and the palette
+/// size used.
+pub fn deterministic_small_solver(
+    n: usize,
+    edges: &[Vec<usize>],
+    class: u32,
+) -> (Multicoloring, usize) {
+    let mut coloring: Multicoloring = vec![BTreeSet::new(); n];
+    let mut witness: Vec<Option<(usize, usize)>> = vec![None; edges.len()];
+    let mut edges_through: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (e, members) in edges.iter().enumerate() {
+        for &v in members {
+            edges_through[v].push(e);
+        }
+    }
+    let mut palette = 0usize;
+
+    // Process vertices in index order ("by identifier"); a vertex acts for
+    // every edge whose maximum member it is (i.e. it is processed last).
+    for v in 0..n {
+        for &e in &edges_through[v] {
+            if *edges[e].last().expect("nonempty") != v {
+                continue;
+            }
+            // Forbidden: colors worn inside e by others, witness colors of
+            // satisfied edges through v held by a different vertex, and
+            // colors v already wears (each new color is a clean witness).
+            let mut forbidden: BTreeSet<usize> = BTreeSet::new();
+            for &u in &edges[e] {
+                if u != v {
+                    forbidden.extend(coloring[u].iter().map(|&(_, c)| c));
+                }
+            }
+            for &f in &edges_through[v] {
+                if let Some((w, c)) = witness[f] {
+                    if w != v {
+                        forbidden.insert(c);
+                    }
+                }
+            }
+            forbidden.extend(coloring[v].iter().map(|&(_, c)| c));
+            let c = (0..).find(|c| !forbidden.contains(c)).expect("free color");
+            palette = palette.max(c + 1);
+            coloring[v].insert((class, c));
+            witness[e] = Some((v, c));
+        }
+    }
+    (coloring, palette)
+}
+
+/// Per-size-class diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStats {
+    /// The size class index.
+    pub class: u32,
+    /// Edges in the class.
+    pub edges: usize,
+    /// Whether the class went through k-wise marking.
+    pub marked: bool,
+    /// Minimum marked-set size over the class's edges (post-marking).
+    pub min_marked: usize,
+    /// Maximum marked-set size.
+    pub max_marked: usize,
+    /// Palette size used by the deterministic solver.
+    pub palette: usize,
+}
+
+/// Outcome of a Theorem 3.5 run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfcOutcome {
+    /// The multicoloring.
+    pub coloring: Multicoloring,
+    /// Edges violating conflict-freeness (empty = success).
+    pub violations: Vec<usize>,
+    /// Per-class diagnostics.
+    pub class_stats: Vec<ClassStats>,
+    /// Seed bits of the k-wise family (the only randomness used).
+    pub random_bits: u64,
+}
+
+/// Theorem 3.5: conflict-free multicoloring with `poly(log n)`-wise
+/// independent bits. Classes with edges of size `≤ small_threshold` go
+/// straight to the deterministic solver; larger classes are first reduced by
+/// k-wise marking with probability `min(1, mark_factor·log n / 2^i)`.
+///
+/// # Panics
+/// Panics if `mark_factor == 0`.
+pub fn conflict_free_multicolor(
+    hg: &Hypergraph,
+    kw: &KWiseBits,
+    small_threshold: usize,
+    mark_factor: u64,
+) -> CfcOutcome {
+    assert!(mark_factor >= 1, "mark_factor must be positive");
+    let n = hg.vertex_count();
+    let log = locality_graph::Graph::empty(n.max(2)).log2_n() as u64;
+    let mut coloring: Multicoloring = vec![BTreeSet::new(); n];
+    let mut class_stats = Vec::new();
+
+    let max_class = (0..hg.edge_count()).map(|e| hg.size_class(e)).max();
+    let Some(max_class) = max_class else {
+        return CfcOutcome {
+            coloring,
+            violations: Vec::new(),
+            class_stats,
+            random_bits: kw.seed_bits(),
+        };
+    };
+
+    for class in 0..=max_class {
+        let class_edges: Vec<usize> = (0..hg.edge_count())
+            .filter(|&e| hg.size_class(e) == class)
+            .collect();
+        if class_edges.is_empty() {
+            continue;
+        }
+        let size_bound = 1usize << class;
+        let (restricted, marked) = if size_bound <= small_threshold {
+            let r: Vec<Vec<usize>> = class_edges.iter().map(|&e| hg.edge(e).to_vec()).collect();
+            (r, false)
+        } else {
+            let num = (mark_factor * log).min(1u64 << class.min(62));
+            let den = 1u64 << class.min(62);
+            let is_marked =
+                |v: usize| kw.bernoulli(flat_index(&[class as u64, v as u64]), num, den);
+            let r: Vec<Vec<usize>> = class_edges
+                .iter()
+                .map(|&e| hg.edge(e).iter().copied().filter(|&v| is_marked(v)).collect())
+                .collect();
+            (r, true)
+        };
+        let min_marked = restricted.iter().map(Vec::len).min().unwrap_or(0);
+        let max_marked = restricted.iter().map(Vec::len).max().unwrap_or(0);
+
+        // Edges whose marked set is empty can never be satisfied within this
+        // class; drop them from the solver (the final violation report will
+        // surface them).
+        let solvable: Vec<Vec<usize>> = restricted
+            .iter()
+            .filter(|e| !e.is_empty())
+            .cloned()
+            .collect();
+        let (class_coloring, palette) = deterministic_small_solver(n, &solvable, class);
+        for v in 0..n {
+            coloring[v].extend(class_coloring[v].iter().copied());
+        }
+        class_stats.push(ClassStats {
+            class,
+            edges: class_edges.len(),
+            marked,
+            min_marked,
+            max_marked,
+            palette,
+        });
+    }
+
+    let violations = violations(hg, &coloring);
+    CfcOutcome {
+        coloring,
+        violations,
+        class_stats,
+        random_bits: kw.seed_bits(),
+    }
+}
+
+/// A random hypergraph for the experiments: `m` edges, each of a size drawn
+/// uniformly from `sizes`, members uniform without replacement.
+///
+/// # Panics
+/// Panics if `sizes` is empty or contains a size outside `1..=n`.
+pub fn random_hypergraph(
+    n: usize,
+    m: usize,
+    sizes: &[usize],
+    prng: &mut impl locality_rand::prng::Prng,
+) -> Hypergraph {
+    assert!(
+        !sizes.is_empty() && sizes.iter().all(|&s| s >= 1 && s <= n),
+        "invalid size list"
+    );
+    let edges = (0..m)
+        .map(|_| {
+            let s = sizes[prng.uniform_below(sizes.len() as u64) as usize];
+            let mut members = BTreeSet::new();
+            while members.len() < s {
+                members.insert(prng.uniform_below(n as u64) as usize);
+            }
+            members.into_iter().collect()
+        })
+        .collect();
+    Hypergraph::new(n, edges).expect("generated edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_rand::prelude::*;
+
+    #[test]
+    fn hypergraph_construction() {
+        assert!(Hypergraph::new(3, vec![vec![0, 1, 1]]).is_some()); // dedup
+        assert!(Hypergraph::new(3, vec![vec![]]).is_none());
+        assert!(Hypergraph::new(3, vec![vec![4]]).is_none());
+    }
+
+    #[test]
+    fn size_classes() {
+        let hg = Hypergraph::new(
+            20,
+            vec![
+                vec![0],
+                vec![0, 1],
+                vec![0, 1, 2],
+                (0..8).collect(),
+                (0..9).collect(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(hg.size_class(0), 0);
+        assert_eq!(hg.size_class(1), 1);
+        assert_eq!(hg.size_class(2), 2);
+        assert_eq!(hg.size_class(3), 3);
+        assert_eq!(hg.size_class(4), 4);
+    }
+
+    #[test]
+    fn deterministic_solver_is_conflict_free() {
+        let mut p = SplitMix64::new(81);
+        let hg = random_hypergraph(60, 80, &[2, 3, 4, 5], &mut p);
+        let edges: Vec<Vec<usize>> = (0..hg.edge_count()).map(|e| hg.edge(e).to_vec()).collect();
+        let (coloring, palette) = deterministic_small_solver(60, &edges, 0);
+        assert!(violations(&hg, &coloring).is_empty());
+        assert!(palette >= 1);
+    }
+
+    #[test]
+    fn deterministic_solver_palette_stays_modest() {
+        let mut p = SplitMix64::new(83);
+        let hg = random_hypergraph(100, 150, &[3, 4], &mut p);
+        let edges: Vec<Vec<usize>> = (0..hg.edge_count()).map(|e| hg.edge(e).to_vec()).collect();
+        let (_, palette) = deterministic_small_solver(100, &edges, 0);
+        // O(s · Δ_H): with ~6 edges per vertex and s ≤ 4, far below 60.
+        assert!(palette <= 60, "palette {palette}");
+    }
+
+    #[test]
+    fn full_theorem_pipeline_succeeds() {
+        let mut p = SplitMix64::new(85);
+        // Big edges force the marking path.
+        let hg = random_hypergraph(300, 60, &[2, 3, 40, 64], &mut p);
+        let mut src = PrngSource::seeded(5);
+        let kw = KWiseBits::from_source(32, &mut src).unwrap();
+        let out = conflict_free_multicolor(&hg, &kw, 8, 2);
+        assert!(out.violations.is_empty(), "violations: {:?}", out.violations);
+        assert_eq!(out.random_bits, 32 * 61);
+        let marked_classes: Vec<_> = out.class_stats.iter().filter(|c| c.marked).collect();
+        assert!(!marked_classes.is_empty());
+        for c in marked_classes {
+            assert!(c.min_marked >= 1, "class {}: empty marked edge", c.class);
+            assert!(
+                c.max_marked < 64,
+                "class {}: marking failed to shrink ({})",
+                c.class,
+                c.max_marked
+            );
+        }
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let hg = Hypergraph::new(5, vec![]).unwrap();
+        let mut src = PrngSource::seeded(1);
+        let kw = KWiseBits::from_source(4, &mut src).unwrap();
+        let out = conflict_free_multicolor(&hg, &kw, 4, 2);
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn singleton_edges_are_trivially_witnessed() {
+        let hg = Hypergraph::new(3, vec![vec![0], vec![1], vec![2], vec![0, 2]]).unwrap();
+        let edges: Vec<Vec<usize>> = (0..4).map(|e| hg.edge(e).to_vec()).collect();
+        let (coloring, _) = deterministic_small_solver(3, &edges, 0);
+        assert!(violations(&hg, &coloring).is_empty());
+    }
+
+    #[test]
+    fn violations_detected() {
+        let hg = Hypergraph::new(2, vec![vec![0, 1]]).unwrap();
+        let mut coloring: Multicoloring = vec![BTreeSet::new(); 2];
+        coloring[0].insert((0, 1));
+        coloring[1].insert((0, 1));
+        assert_eq!(violations(&hg, &coloring), vec![0]);
+        let empty: Multicoloring = vec![BTreeSet::new(); 2];
+        assert_eq!(violations(&hg, &empty), vec![0]);
+    }
+
+    #[test]
+    fn marking_concentration_shape() {
+        // The k-wise Chernoff working surface (experiment F4): edges of size
+        // 128 keep Θ(log n) marked vertices.
+        let mut p = SplitMix64::new(87);
+        let hg = random_hypergraph(600, 40, &[128], &mut p);
+        let mut src = PrngSource::seeded(9);
+        let kw = KWiseBits::from_source(64, &mut src).unwrap();
+        let out = conflict_free_multicolor(&hg, &kw, 8, 4);
+        let stats = out
+            .class_stats
+            .iter()
+            .find(|c| c.marked)
+            .expect("size-128 class is marked");
+        assert!(stats.min_marked >= 5, "min {}", stats.min_marked);
+        assert!(stats.max_marked <= 100, "max {}", stats.max_marked);
+    }
+}

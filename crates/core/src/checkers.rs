@@ -1,0 +1,238 @@
+//! Local checkability (Definition 2.2).
+//!
+//! A problem is `d(n)`-locally checkable if a deterministic `d(n)`-round
+//! LOCAL algorithm lets every node output yes/no such that *all* nodes say
+//! yes iff the solution is globally correct. Every checker here returns the
+//! per-node verdict vector together with the radius it used, making the
+//! definition mechanical: tests mutate valid solutions and assert that some
+//! node within the prescribed radius notices.
+
+use crate::decomposition::types::Decomposition;
+use crate::splitting::SplittingInstance;
+use locality_graph::metrics::induced_diameter;
+use locality_graph::traversal::bounded_bfs_distances;
+use locality_graph::Graph;
+
+/// A local check: per-node verdicts plus the radius the checker needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Per-node yes/no.
+    pub verdicts: Vec<bool>,
+    /// The checking radius `d` (rounds of the checking algorithm).
+    pub radius: u32,
+}
+
+impl CheckOutcome {
+    /// Definition 2.2's acceptance: all nodes say yes.
+    pub fn accepted(&self) -> bool {
+        self.verdicts.iter().all(|&v| v)
+    }
+
+    /// Nodes that said no.
+    pub fn rejecting_nodes(&self) -> Vec<usize> {
+        (0..self.verdicts.len())
+            .filter(|&v| !self.verdicts[v])
+            .collect()
+    }
+}
+
+/// Radius-1 checker for proper coloring: node `v` says yes iff no neighbor
+/// shares its color and its color is inside the palette.
+pub fn check_proper_coloring(g: &Graph, colors: &[usize], palette: usize) -> CheckOutcome {
+    assert_eq!(colors.len(), g.node_count(), "one color per node");
+    let verdicts = g
+        .nodes()
+        .map(|v| {
+            colors[v] < palette && g.neighbors(v).iter().all(|&u| colors[u] != colors[v])
+        })
+        .collect();
+    CheckOutcome {
+        verdicts,
+        radius: 1,
+    }
+}
+
+/// Radius-1 checker for MIS: `v` says yes iff (in ⇒ no neighbor in) and
+/// (out ⇒ some neighbor in).
+pub fn check_mis(g: &Graph, in_mis: &[bool]) -> CheckOutcome {
+    assert_eq!(in_mis.len(), g.node_count(), "one flag per node");
+    let verdicts = g
+        .nodes()
+        .map(|v| {
+            if in_mis[v] {
+                g.neighbors(v).iter().all(|&u| !in_mis[u])
+            } else {
+                g.neighbors(v).iter().any(|&u| in_mis[u])
+            }
+        })
+        .collect();
+    CheckOutcome {
+        verdicts,
+        radius: 1,
+    }
+}
+
+/// Radius-1 checker for splitting: `U`-node `u` says yes iff it sees both
+/// colors (`V`-nodes always say yes). Verdicts are indexed `U` first, then
+/// `V`.
+pub fn check_splitting(h: &SplittingInstance, colors: &[bool]) -> CheckOutcome {
+    let failures = h.failures(colors);
+    let verdicts = (0..h.u_count())
+        .map(|u| !failures.contains(&u))
+        .chain(std::iter::repeat(true).take(h.v_count()))
+        .collect();
+    CheckOutcome {
+        verdicts,
+        radius: 1,
+    }
+}
+
+/// Checker for a `(d_bound, c_bound)`-decomposition with radius
+/// `d_bound + 1`: node `v` gathers its `(d_bound+1)`-ball and verifies that
+/// (i) it is clustered, (ii) its whole cluster lies inside the ball and is
+/// connected with induced diameter ≤ `d_bound`, (iii) its cluster's color is
+/// `< c_bound` and differs from every adjacent cluster's.
+pub fn check_decomposition(
+    g: &Graph,
+    d: &Decomposition,
+    d_bound: u32,
+    c_bound: usize,
+) -> CheckOutcome {
+    let radius = d_bound + 1;
+    let clustering = d.clustering();
+    let verdicts = g
+        .nodes()
+        .map(|v| {
+            let Some(c) = clustering.cluster_of(v) else {
+                return false;
+            };
+            if d.color_of_cluster(c) >= c_bound {
+                return false;
+            }
+            // The cluster must fit in the ball.
+            let ball = bounded_bfs_distances(g, v, radius);
+            let members = clustering.members(c);
+            if members.iter().any(|&u| ball[u].is_none()) {
+                return false;
+            }
+            match induced_diameter(g, members) {
+                Some(diam) if diam <= d_bound => {}
+                _ => return false,
+            }
+            // Adjacent clusters differ in color.
+            g.neighbors(v).iter().all(|&u| {
+                match clustering.cluster_of(u) {
+                    Some(cu) if cu != c => d.color_of_cluster(cu) != d.color_of_cluster(c),
+                    Some(_) => true,
+                    None => false,
+                }
+            })
+        })
+        .collect();
+    CheckOutcome { verdicts, radius }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::carving::ball_carving_decomposition;
+    use crate::mis::luby;
+    use locality_rand::prelude::*;
+
+    #[test]
+    fn coloring_checker_soundness_and_completeness() {
+        let g = Graph::cycle(8);
+        let good = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(check_proper_coloring(&g, &good, 2).accepted());
+        // Mutate: some node within radius 1 must notice.
+        let mut bad = good.clone();
+        bad[3] = 0;
+        let out = check_proper_coloring(&g, &bad, 2);
+        assert!(!out.accepted());
+        let rejecting = out.rejecting_nodes();
+        assert!(rejecting.iter().all(|&v| [2, 3, 4].contains(&v)));
+        // Out-of-palette.
+        let mut oop = good;
+        oop[0] = 7;
+        assert!(!check_proper_coloring(&g, &oop, 2).accepted());
+    }
+
+    #[test]
+    fn mis_checker_soundness() {
+        let mut p = SplitMix64::new(131);
+        let g = Graph::gnp_connected(60, 0.06, &mut p);
+        let out = luby(&g, &mut PrngSource::seeded(1));
+        assert!(check_mis(&g, &out.in_mis).accepted());
+        // Remove an MIS node: it or a neighbor must reject.
+        let mut bad = out.in_mis.clone();
+        let v = bad.iter().position(|&x| x).expect("nonempty MIS");
+        bad[v] = false;
+        assert!(!check_mis(&g, &bad).accepted());
+        // Add an adjacent node: both endpoints reject.
+        let mut bad2 = out.in_mis.clone();
+        let w = g
+            .nodes()
+            .find(|&w| !bad2[w] && g.neighbors(w).iter().any(|&u| bad2[u]))
+            .expect("some dominated node");
+        bad2[w] = true;
+        assert!(!check_mis(&g, &bad2).accepted());
+    }
+
+    #[test]
+    fn splitting_checker() {
+        let h = SplittingInstance::new(3, vec![vec![0, 1], vec![1, 2]]).unwrap();
+        assert!(check_splitting(&h, &[true, false, true]).accepted());
+        let out = check_splitting(&h, &[true, true, true]);
+        assert!(!out.accepted());
+        assert_eq!(out.rejecting_nodes(), vec![0, 1]);
+        assert_eq!(out.verdicts.len(), 5); // 2 U-nodes + 3 V-nodes
+    }
+
+    #[test]
+    fn decomposition_checker_accepts_valid() {
+        let mut p = SplitMix64::new(133);
+        let g = Graph::gnp_connected(80, 0.04, &mut p);
+        let order: Vec<usize> = (0..80).collect();
+        let r = ball_carving_decomposition(&g, &order);
+        let q = r.decomposition.validate(&g).unwrap();
+        let out = check_decomposition(&g, &r.decomposition, q.max_diameter, q.colors);
+        assert!(out.accepted());
+        assert_eq!(out.radius, q.max_diameter + 1);
+    }
+
+    #[test]
+    fn decomposition_checker_rejects_violations() {
+        let g = Graph::path(6);
+        // Two clusters, adjacent, same color.
+        let clustering = locality_graph::cluster::Clustering::from_assignment(vec![
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(1),
+        ])
+        .unwrap();
+        let d = Decomposition::new(clustering, vec![0, 0]).unwrap();
+        let out = check_decomposition(&g, &d, 2, 4);
+        assert!(!out.accepted());
+        // The violation is visible at the boundary nodes 2 and 3.
+        assert!(out.rejecting_nodes().contains(&2));
+        assert!(out.rejecting_nodes().contains(&3));
+        // A diameter bound that is too tight also rejects.
+        let clustering2 = locality_graph::cluster::Clustering::from_assignment(vec![
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(1),
+        ])
+        .unwrap();
+        let d2 = Decomposition::new(clustering2, vec![0, 1]).unwrap();
+        assert!(check_decomposition(&g, &d2, 2, 4).accepted());
+        assert!(!check_decomposition(&g, &d2, 1, 4).accepted());
+        // A color bound that is too tight rejects.
+        assert!(!check_decomposition(&g, &d2, 2, 1).accepted());
+    }
+}

@@ -1,0 +1,212 @@
+//! (∆+1)-vertex-coloring, randomized and decomposition-derandomized.
+//!
+//! The second canonical consumer of the paper's machinery (with
+//! [`crate::mis`]). The randomized algorithm is the classic trial coloring:
+//! every uncolored node proposes a uniformly random color from its current
+//! palette (`{0..∆}` minus the neighbors' final colors) and keeps it if no
+//! neighbor proposed the same color this round — `O(log n)` rounds w.h.p.
+//! The deterministic route consumes a network decomposition exactly as MIS
+//! does.
+
+use crate::decomposition::types::Decomposition;
+use locality_graph::Graph;
+use locality_rand::source::BitSource;
+use locality_sim::cost::CostMeter;
+
+/// Verify a proper coloring with at most `palette` colors.
+pub fn verify_coloring(g: &Graph, colors: &[usize], palette: usize) -> Result<(), String> {
+    if colors.len() != g.node_count() {
+        return Err("wrong vector length".into());
+    }
+    if let Some(&c) = colors.iter().find(|&&c| c >= palette) {
+        return Err(format!("color {c} outside palette of {palette}"));
+    }
+    for (u, v) in g.edges() {
+        if colors[u] == colors[v] {
+            return Err(format!("edge ({u},{v}) is monochromatic ({})", colors[u]));
+        }
+    }
+    Ok(())
+}
+
+/// Result of a coloring computation.
+#[derive(Debug, Clone)]
+pub struct ColoringOutcome {
+    /// The per-node colors, all `< ∆ + 1`.
+    pub colors: Vec<usize>,
+    /// Round/randomness accounting.
+    pub meter: CostMeter,
+}
+
+/// Randomized (∆+1)-coloring by trial colors.
+///
+/// # Example
+/// ```
+/// use locality_core::coloring::{random_coloring, verify_coloring};
+/// use locality_graph::prelude::*;
+/// use locality_rand::prelude::*;
+///
+/// let g = Graph::cycle(9);
+/// let out = random_coloring(&g, &mut PrngSource::seeded(2));
+/// verify_coloring(&g, &out.colors, g.max_degree() + 1).unwrap();
+/// ```
+pub fn random_coloring(g: &Graph, src: &mut impl BitSource) -> ColoringOutcome {
+    let n = g.node_count();
+    let palette = g.max_degree() + 1;
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    let mut meter = CostMeter::default();
+    let mut remaining = n;
+
+    while remaining > 0 {
+        meter.rounds += 2;
+        let before = src.bits_drawn();
+        // Proposals.
+        let proposals: Vec<Option<usize>> = (0..n)
+            .map(|v| {
+                if colors[v].is_some() {
+                    return None;
+                }
+                let taken: Vec<usize> =
+                    g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
+                let free: Vec<usize> =
+                    (0..palette).filter(|c| !taken.contains(c)).collect();
+                debug_assert!(!free.is_empty(), "palette ∆+1 can never empty");
+                Some(free[src.uniform_below(free.len() as u64) as usize])
+            })
+            .collect();
+        meter.random_bits += src.bits_drawn() - before;
+
+        // Keep conflict-free proposals.
+        for v in 0..n {
+            let Some(p) = proposals[v] else { continue };
+            let conflict = g
+                .neighbors(v)
+                .iter()
+                .any(|&u| proposals[u] == Some(p) || colors[u] == Some(p));
+            if !conflict {
+                colors[v] = Some(p);
+                remaining -= 1;
+            }
+        }
+    }
+
+    ColoringOutcome {
+        colors: colors.into_iter().map(|c| c.expect("all colored")).collect(),
+        meter,
+    }
+}
+
+/// Deterministic (∆+1)-coloring from a network decomposition (greedy within
+/// clusters, color classes in order — same cost shape as
+/// [`crate::mis::via_decomposition`]).
+///
+/// # Panics
+/// Panics if `d` is not a valid decomposition of `g`.
+pub fn via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutcome {
+    d.validate(g).expect("decomposition must be valid");
+    let clustering = d.clustering();
+    let mut class_colors: Vec<usize> = (0..clustering.cluster_count())
+        .map(|c| d.color_of_cluster(c))
+        .collect();
+    class_colors.sort_unstable();
+    class_colors.dedup();
+
+    let n = g.node_count();
+    let palette = g.max_degree() + 1;
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    let mut meter = CostMeter::default();
+
+    for &class in &class_colors {
+        let mut class_diam = 0u64;
+        for c in 0..clustering.cluster_count() {
+            if d.color_of_cluster(c) != class {
+                continue;
+            }
+            let members = clustering.members(c);
+            class_diam = class_diam.max(
+                locality_graph::metrics::induced_diameter(g, members)
+                    .expect("clusters are connected") as u64,
+            );
+            for &v in members {
+                let taken: Vec<usize> =
+                    g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
+                let free = (0..palette)
+                    .find(|cand| !taken.contains(cand))
+                    .expect("palette ∆+1 suffices for greedy");
+                colors[v] = Some(free);
+            }
+        }
+        meter.rounds += 2 * class_diam + 2;
+    }
+
+    ColoringOutcome {
+        colors: colors.into_iter().map(|c| c.expect("all colored")).collect(),
+        meter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::carving::ball_carving_decomposition;
+    use locality_graph::generators::Family;
+    use locality_rand::prelude::*;
+
+    #[test]
+    fn randomized_valid_on_families() {
+        let mut p = SplitMix64::new(111);
+        for fam in Family::ALL {
+            let g = fam.generate(120, &mut p);
+            let out = random_coloring(&g, &mut PrngSource::seeded(fam as u64));
+            verify_coloring(&g, &out.colors, g.max_degree() + 1)
+                .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+        }
+    }
+
+    #[test]
+    fn randomized_rounds_logarithmic() {
+        let mut p = SplitMix64::new(113);
+        let g = Graph::gnp_connected(400, 0.015, &mut p);
+        let out = random_coloring(&g, &mut PrngSource::seeded(9));
+        assert!(
+            out.meter.rounds <= 10 * g.log2_n() as u64,
+            "rounds {}",
+            out.meter.rounds
+        );
+    }
+
+    #[test]
+    fn deterministic_valid_and_reproducible() {
+        let mut p = SplitMix64::new(115);
+        for fam in Family::ALL {
+            let g = fam.generate(90, &mut p);
+            let order: Vec<usize> = (0..g.node_count()).collect();
+            let d = ball_carving_decomposition(&g, &order).decomposition;
+            let a = via_decomposition(&g, &d);
+            verify_coloring(&g, &a.colors, g.max_degree() + 1)
+                .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+            let b = via_decomposition(&g, &d);
+            assert_eq!(a.colors, b.colors);
+            assert_eq!(a.meter.random_bits, 0);
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        let g = Graph::empty(3);
+        let out = random_coloring(&g, &mut PrngSource::seeded(1));
+        assert_eq!(out.colors, vec![0, 0, 0]);
+        let g0 = Graph::empty(0);
+        let out0 = random_coloring(&g0, &mut PrngSource::seeded(1));
+        assert!(out0.colors.is_empty());
+    }
+
+    #[test]
+    fn verifier_rejects_bad_colorings() {
+        let g = Graph::path(3);
+        assert!(verify_coloring(&g, &[0, 0, 1], 2).is_err()); // monochromatic
+        assert!(verify_coloring(&g, &[0, 5, 0], 2).is_err()); // outside palette
+        assert!(verify_coloring(&g, &[0, 1], 2).is_err()); // length
+        assert!(verify_coloring(&g, &[0, 1, 0], 2).is_ok());
+    }
+}

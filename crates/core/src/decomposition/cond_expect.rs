@@ -1,0 +1,332 @@
+//! Derandomized Elkin–Neiman clustering via the method of conditional
+//! expectations.
+//!
+//! The paper leans on the equivalence `P-RLOCAL = P-SLOCAL` [GHK18]: any
+//! efficient randomized LOCAL algorithm can be derandomized into a sequential
+//! local one. This module makes that concrete for the decomposition itself.
+//! In one EN phase, node `u` is clustered iff the maximum of the shifted
+//! measures `X_z = r_z − d(z, u)` beats the runner-up (floored at 0) by more
+//! than 1. With truncated-geometric radii this probability — and hence the
+//! expected number of clustered nodes — is *exactly computable* (the radii
+//! are independent and discrete), so we can fix the radii one center at a
+//! time, each time choosing the value that maximizes the conditional
+//! expectation. The expectation never decreases, so each phase clusters at
+//! least as many nodes as the randomized phase does in expectation
+//! (a constant fraction), giving a deterministic `(O(log n), O(log n))`
+//! decomposition with no randomness at all.
+//!
+//! The computation is centralized/SLOCAL (it reads balls of radius `cap`);
+//! complexity `O(n² · cap²)` per phase — intended for the polylog-size
+//! cluster graphs where the paper needs a deterministic finisher
+//! (Theorem 4.2), and for derandomization experiments (T7).
+
+use crate::decomposition::types::Decomposition;
+use locality_graph::cluster::Clustering;
+use locality_graph::traversal::bfs_distances_within;
+use locality_graph::Graph;
+use locality_rand::geometric::TruncatedGeometric;
+
+/// Result of the derandomized construction.
+#[derive(Debug, Clone)]
+pub struct DerandResult {
+    /// The decomposition (deterministic — always succeeds).
+    pub decomposition: Decomposition,
+    /// Phases (= colors) used.
+    pub phases: u32,
+    /// Per-phase fraction of then-alive nodes clustered.
+    pub per_phase_fraction: Vec<f64>,
+}
+
+/// `Pr[X_z ≤ s]` where `X_z = r_z − d` with `r_z ~ TruncatedGeometric(cap)`,
+/// or the indicator when `r_z` is already fixed.
+fn cdf(dist: &TruncatedGeometric, fixed: Option<u32>, d: u32, s: i64) -> f64 {
+    match fixed {
+        Some(r) => {
+            if (r as i64 - d as i64) <= s {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        None => {
+            let k = s + d as i64; // Pr[r ≤ k]
+            if k <= 0 {
+                0.0
+            } else if k as u32 >= dist.cap() {
+                1.0
+            } else {
+                dist.cdf(k as u32)
+            }
+        }
+    }
+}
+
+/// `Pr[X_z = t]`.
+fn pmf(dist: &TruncatedGeometric, fixed: Option<u32>, d: u32, t: i64) -> f64 {
+    match fixed {
+        Some(r) => {
+            if r as i64 - d as i64 == t {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        None => {
+            let k = t + d as i64;
+            if k < 1 || k as u32 > dist.cap() {
+                0.0
+            } else {
+                dist.pmf(k as u32)
+            }
+        }
+    }
+}
+
+/// `Pr[u clustered]` for one node given its reach list `(z, d)` and the
+/// current partial fixing of radii.
+///
+/// Uses the zero-aware product trick: for each candidate winning value `t`,
+/// `Pr = Σ_z pmf_z(t) · Π_{w≠z} cdf_w(t−2)`.
+fn p_clustered(
+    reach: &[(usize, u32)],
+    fixed: &[Option<u32>],
+    dist: &TruncatedGeometric,
+    cap: u32,
+) -> f64 {
+    let mut total = 0.0;
+    for t in 2..=(cap as i64) {
+        // Product of cdf_w(t-2) over all w, tracking zeros separately.
+        let mut zeros = 0usize;
+        let mut zero_idx = usize::MAX;
+        let mut prod_nonzero = 1.0f64;
+        for (i, &(z, d)) in reach.iter().enumerate() {
+            let c = cdf(dist, fixed[z], d, t - 2);
+            if c == 0.0 {
+                zeros += 1;
+                zero_idx = i;
+                if zeros > 1 {
+                    break;
+                }
+            } else {
+                prod_nonzero *= c;
+            }
+        }
+        if zeros > 1 {
+            continue;
+        }
+        if zeros == 1 {
+            // Only the zero entry can be the winner.
+            let (z, d) = reach[zero_idx];
+            total += pmf(dist, fixed[z], d, t) * prod_nonzero;
+        } else {
+            for &(z, d) in reach {
+                let p = pmf(dist, fixed[z], d, t);
+                if p > 0.0 {
+                    let c = cdf(dist, fixed[z], d, t - 2);
+                    total += p * prod_nonzero / c;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Deterministic `(O(log n), O(log n))` decomposition by derandomizing EN
+/// phases with conditional expectations.
+///
+/// # Example
+/// ```
+/// use locality_core::decomposition::derandomized_decomposition;
+/// use locality_graph::prelude::*;
+///
+/// let g = Graph::grid(5, 5);
+/// let r = derandomized_decomposition(&g, 8);
+/// let q = r.decomposition.validate(&g).unwrap();
+/// assert!(q.max_diameter <= 16);
+/// ```
+///
+/// # Panics
+/// Panics if `cap < 2` (the gap rule needs measures ≥ 2), or if progress
+/// stalls (which would contradict the expectation argument — a bug).
+pub fn derandomized_decomposition(g: &Graph, cap: u32) -> DerandResult {
+    assert!(cap >= 2, "cap must be at least 2");
+    let n = g.node_count();
+    let dist = TruncatedGeometric::new(cap);
+    let mut alive = vec![true; n];
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut phase_of: Vec<Option<u32>> = vec![None; n];
+    let mut remaining = n;
+    let mut per_phase_fraction = Vec::new();
+    let mut phase = 0u32;
+    let phase_limit = 20 * (g.log2_n() + 1);
+
+    while remaining > 0 {
+        assert!(phase < phase_limit, "phase limit exceeded — progress bug");
+        let alive_before = remaining;
+
+        // Reach lists within the alive subgraph, truncated at cap.
+        let alive_nodes: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+        let mut reach_of: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        for &z in &alive_nodes {
+            let d = bfs_distances_within(g, z, &alive, cap);
+            for &u in &alive_nodes {
+                if let Some(duz) = d[u] {
+                    reach_of[u].push((z, duz));
+                }
+            }
+        }
+
+        // Greedily fix each center's radius to maximize the conditional
+        // expectation of the number of clustered nodes.
+        let mut fixed: Vec<Option<u32>> = vec![None; n];
+        for &z in &alive_nodes {
+            // Nodes whose probability depends on r_z.
+            let affected: Vec<usize> = alive_nodes
+                .iter()
+                .copied()
+                .filter(|&u| reach_of[u].iter().any(|&(w, _)| w == z))
+                .collect();
+            let mut best = (f64::NEG_INFINITY, 1u32);
+            for r in 1..=cap {
+                fixed[z] = Some(r);
+                let e: f64 = affected
+                    .iter()
+                    .map(|&u| p_clustered(&reach_of[u], &fixed, &dist, cap))
+                    .sum();
+                if e > best.0 {
+                    best = (e, r);
+                }
+            }
+            fixed[z] = Some(best.1);
+        }
+
+        // Apply the (now fully deterministic) phase.
+        let mut clustered_now = 0usize;
+        for &u in &alive_nodes {
+            let mut measures: Vec<(i64, usize)> = reach_of[u]
+                .iter()
+                .map(|&(z, d)| (fixed[z].expect("all fixed") as i64 - d as i64, z))
+                .filter(|&(m, _)| m >= 0)
+                .collect();
+            measures.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            if let Some(&(m1, center)) = measures.first() {
+                let m2 = measures.get(1).map_or(0, |&(m, _)| m.max(0));
+                if m1 - m2 > 1 {
+                    labels[u] = Some(((phase as usize) << 32) | center);
+                    phase_of[u] = Some(phase);
+                    clustered_now += 1;
+                }
+            }
+        }
+        assert!(clustered_now > 0, "no progress in phase {phase} — bug");
+        for v in 0..n {
+            if alive[v] && labels[v].is_some() {
+                alive[v] = false;
+                remaining -= 1;
+            }
+        }
+        per_phase_fraction.push(clustered_now as f64 / alive_before as f64);
+        phase += 1;
+    }
+
+    let clustering = Clustering::from_labels(labels);
+    let cluster_colors: Vec<usize> = (0..clustering.cluster_count())
+        .map(|c| {
+            let v = clustering.members(c)[0];
+            phase_of[v].expect("clustered member has a phase") as usize
+        })
+        .collect();
+    let decomposition =
+        Decomposition::new(clustering, cluster_colors).expect("one color per cluster");
+    DerandResult {
+        decomposition,
+        phases: phase,
+        per_phase_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_graph::generators::Family;
+    use locality_rand::prng::SplitMix64;
+
+    #[test]
+    fn valid_on_small_families() {
+        let mut seed = SplitMix64::new(41);
+        for fam in Family::ALL {
+            let g = fam.generate(36, &mut seed);
+            let r = derandomized_decomposition(&g, 8);
+            let q = r
+                .decomposition
+                .validate(&g)
+                .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+            assert!(q.colors as u32 <= r.phases);
+            assert!(q.max_diameter <= 2 * 8, "{}: {}", fam.name(), q.max_diameter);
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let mut seed = SplitMix64::new(43);
+        let g = Graph::gnp_connected(30, 0.1, &mut seed);
+        let a = derandomized_decomposition(&g, 6);
+        let b = derandomized_decomposition(&g, 6);
+        assert_eq!(a.decomposition, b.decomposition);
+        assert_eq!(a.phases, b.phases);
+    }
+
+    #[test]
+    fn phases_are_logarithmic() {
+        // The conditional-expectation argument forces at least the
+        // randomized phase's expected progress: O(log n) phases.
+        let g = Graph::grid(6, 6);
+        let r = derandomized_decomposition(&g, 8);
+        assert!(r.phases <= 14, "used {} phases", r.phases);
+        // Early phases make substantial progress.
+        assert!(r.per_phase_fraction[0] >= 0.25, "{:?}", r.per_phase_fraction);
+    }
+
+    #[test]
+    fn singleton_and_disconnected() {
+        let g = Graph::empty(4);
+        let r = derandomized_decomposition(&g, 4);
+        let q = r.decomposition.validate(&g).unwrap();
+        assert_eq!(q.clusters, 4);
+        assert_eq!(q.max_diameter, 0);
+    }
+
+    #[test]
+    fn path_clusters_cover_everything() {
+        let g = Graph::path(20);
+        let r = derandomized_decomposition(&g, 6);
+        let q = r.decomposition.validate(&g).unwrap();
+        assert!(q.clusters >= 1);
+        assert!(q.colors >= 1);
+    }
+
+    #[test]
+    fn probability_helper_sane() {
+        // Single center at distance 0: clustered iff r >= 2:
+        // P = 1 - P(r = 1) = 1/2.
+        let dist = TruncatedGeometric::new(10);
+        let reach = vec![(0usize, 0u32)];
+        let fixed = vec![None];
+        let p = p_clustered(&reach, &fixed, &dist, 10);
+        assert!((p - 0.5).abs() < 1e-9, "p = {p}");
+        // Fixing r = 5 makes it certain.
+        let fixed = vec![Some(5)];
+        let p = p_clustered(&reach, &fixed, &dist, 10);
+        assert!((p - 1.0).abs() < 1e-9, "p = {p}");
+        // Fixing r = 1 makes it impossible.
+        let fixed = vec![Some(1)];
+        let p = p_clustered(&reach, &fixed, &dist, 10);
+        assert!(p.abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_cap_rejected() {
+        let _ = derandomized_decomposition(&Graph::path(3), 1);
+    }
+}

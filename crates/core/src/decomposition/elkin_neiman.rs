@@ -1,0 +1,490 @@
+//! The randomized Elkin–Neiman decomposition [EN16], in the phase-based form
+//! the paper uses (Lemma 3.3 and Theorem 4.2).
+//!
+//! Per phase, every still-unclustered node draws a radius `r_v` from a capped
+//! geometric(1/2) distribution (sampled by explicit coin flips, footnote 8 of
+//! the paper). Every node `u` then finds the top two values of the measure
+//! `r_v − d(v, u)` over centers `v` that reach it (`r_v ≥ d(v, u)`, distances
+//! within the still-alive subgraph). If the gap between the best and the
+//! second best (floored at 0) exceeds 1, `u` joins the best center's cluster
+//! and is colored with the phase index; otherwise it stays for the next
+//! phase. Clusters carved in one phase are pairwise non-adjacent and induce
+//! connected subgraphs of radius `≤ cap` ([EN16, Lemma 4]); each node is
+//! clustered per phase with constant probability ([EN16, Claim 6]), so
+//! `O(log n)` phases suffice w.h.p.
+//!
+//! The per-phase computation is executed as a genuine CONGEST
+//! message-passing protocol on the [`locality_sim`] engine: nodes gossip
+//! their current top-two `(center, value)` pairs, values decaying by one per
+//! hop; `O(cap)` rounds stabilize. Messages carry two compact
+//! `(id, value)` pairs — `O(log n)` bits.
+
+use crate::decomposition::types::Decomposition;
+use locality_graph::cluster::Clustering;
+use locality_graph::ids::IdAssignment;
+use locality_graph::Graph;
+use locality_rand::kwise::{flat_index, KWiseBits};
+use locality_rand::source::BitSource;
+use locality_sim::cost::CostMeter;
+use locality_sim::engine::Engine;
+use locality_sim::node::{NodeContext, Outbox, Protocol, Step};
+use locality_sim::wire::WireSize;
+
+/// Tuning parameters for the construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElkinNeimanConfig {
+    /// Maximum number of phases (the paper's `10 log n`).
+    pub phases: u32,
+    /// Geometric truncation: max coin flips per radius draw (the paper's
+    /// `10 log n`; capped at 60 so a radius fits one k-wise word).
+    pub cap: u32,
+}
+
+impl ElkinNeimanConfig {
+    /// The paper's parameters for an `n`-node graph: `10·⌈log2 n⌉` phases and
+    /// cap `min(60, 10·⌈log2 n⌉)`.
+    pub fn for_graph(g: &Graph) -> Self {
+        Self::for_n(g.node_count())
+    }
+
+    /// As [`ElkinNeimanConfig::for_graph`] for a given `n`.
+    pub fn for_n(n: usize) -> Self {
+        let log = Graph::empty(n.max(2)).log2_n();
+        Self {
+            phases: 10 * log,
+            cap: (10 * log).min(60),
+        }
+    }
+
+    /// Rounds each phase needs to stabilize (values decay 1 per hop).
+    pub fn rounds_per_phase(&self) -> u32 {
+        self.cap + 2
+    }
+}
+
+/// A `(center id, value)` ranking entry.
+type Entry = (u64, i64);
+
+/// Gossip message: current top-two entries, with compact wire accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EnMessage {
+    entries: Vec<Entry>,
+    id_bits: u16,
+    val_bits: u16,
+}
+
+impl WireSize for EnMessage {
+    fn wire_bits(&self) -> u64 {
+        2 + self.entries.len() as u64 * (self.id_bits as u64 + self.val_bits as u64)
+    }
+}
+
+/// Keep the best two entries for *distinct* centers, ordered by
+/// (value desc, id asc). Returns whether anything changed.
+fn merge_entry(top: &mut Vec<Entry>, cand: Entry) -> bool {
+    if cand.1 < 0 {
+        return false;
+    }
+    if let Some(existing) = top.iter_mut().find(|e| e.0 == cand.0) {
+        if existing.1 >= cand.1 {
+            return false;
+        }
+        existing.1 = cand.1;
+    } else {
+        top.push(cand);
+    }
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    if top.len() > 2 {
+        top.truncate(2);
+    }
+    true
+}
+
+/// Per-node protocol for one EN phase.
+struct EnPhase {
+    alive: bool,
+    radius: u32,
+    top: Vec<Entry>,
+    deadline: u32,
+    changed: bool,
+    id_bits: u16,
+    val_bits: u16,
+}
+
+impl EnPhase {
+    fn message(&self) -> EnMessage {
+        EnMessage {
+            entries: self.top.clone(),
+            id_bits: self.id_bits,
+            val_bits: self.val_bits,
+        }
+    }
+
+    fn decide(&self) -> Option<u64> {
+        let m1 = self.top.first()?;
+        let m2 = self.top.get(1).map_or(0, |e| e.1.max(0));
+        if m1.1 - m2 > 1 {
+            Some(m1.0)
+        } else {
+            None
+        }
+    }
+}
+
+impl Protocol for EnPhase {
+    type Message = EnMessage;
+    type Output = Option<u64>;
+
+    fn start(&mut self, ctx: &NodeContext) -> Outbox<EnMessage> {
+        if !self.alive {
+            return Outbox::silent();
+        }
+        merge_entry(&mut self.top, (ctx.id, self.radius as i64));
+        Outbox::broadcast(self.message())
+    }
+
+    fn round(
+        &mut self,
+        _ctx: &NodeContext,
+        round: u32,
+        inbox: &[(usize, EnMessage)],
+    ) -> Step<EnMessage, Option<u64>> {
+        if !self.alive {
+            return Step::Halt(None);
+        }
+        self.changed = false;
+        for (_, msg) in inbox {
+            for &(center, value) in &msg.entries {
+                // One hop of decay.
+                if merge_entry(&mut self.top, (center, value - 1)) {
+                    self.changed = true;
+                }
+            }
+        }
+        if round >= self.deadline {
+            return Step::Halt(self.decide());
+        }
+        if self.changed {
+            Step::Continue(Outbox::broadcast(self.message()))
+        } else {
+            Step::Continue(Outbox::silent())
+        }
+    }
+}
+
+/// Outcome of a (possibly partial) Elkin–Neiman run.
+#[derive(Debug, Clone)]
+pub struct EnOutcome {
+    /// The decomposition, if every node was clustered within the phase
+    /// budget.
+    pub decomposition: Option<Decomposition>,
+    /// Per-node cluster label `(phase, center)` — partial if nodes survived.
+    pub labels: Vec<Option<(u32, u64)>>,
+    /// Nodes never clustered (the `V̄` of Theorem 4.2).
+    pub survivors: Vec<usize>,
+    /// Per phase: `(alive before, clustered in this phase)`.
+    pub per_phase: Vec<(usize, usize)>,
+    /// Cost accounting over all phases (rounds, messages, random bits).
+    pub meter: CostMeter,
+}
+
+impl EnOutcome {
+    /// Fraction of initially-alive nodes clustered in each phase — the
+    /// empirical form of [EN16, Claim 6] (experiment F1).
+    pub fn per_phase_fractions(&self) -> Vec<f64> {
+        self.per_phase
+            .iter()
+            .map(|&(alive, clustered)| {
+                if alive == 0 {
+                    1.0
+                } else {
+                    clustered as f64 / alive as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Run the construction with an arbitrary radius sampler (the hook through
+/// which all three randomness regimes of §3 are plugged in).
+///
+/// `sample_radius(phase, node)` must return a value in `1..=cfg.cap` and
+/// report the number of *fresh* random bits it consumed.
+pub fn elkin_neiman_with_sampler(
+    g: &Graph,
+    ids: &IdAssignment,
+    cfg: &ElkinNeimanConfig,
+    mut sample_radius: impl FnMut(u32, usize) -> (u32, u64),
+) -> EnOutcome {
+    let n = g.node_count();
+    let id_bits = ids.bit_len().max(1) as u16;
+    let val_bits = (64 - u64::from(cfg.cap + 1).leading_zeros() + 1) as u16;
+    let mut alive = vec![true; n];
+    let mut labels: Vec<Option<(u32, u64)>> = vec![None; n];
+    let mut per_phase = Vec::new();
+    let mut meter = CostMeter::default();
+
+    for phase in 0..cfg.phases {
+        let alive_before = alive.iter().filter(|&&a| a).count();
+        if alive_before == 0 {
+            break;
+        }
+        let mut random_bits = 0u64;
+        let protocols: Vec<EnPhase> = (0..n)
+            .map(|v| {
+                let radius = if alive[v] {
+                    let (r, bits) = sample_radius(phase, v);
+                    assert!(
+                        r >= 1 && r <= cfg.cap,
+                        "sampled radius {r} outside 1..={}",
+                        cfg.cap
+                    );
+                    random_bits += bits;
+                    r
+                } else {
+                    0
+                };
+                EnPhase {
+                    alive: alive[v],
+                    radius,
+                    top: Vec::new(),
+                    deadline: cfg.rounds_per_phase(),
+                    changed: false,
+                    id_bits,
+                    val_bits,
+                }
+            })
+            .collect();
+
+        let mut engine = Engine::congest(g, ids);
+        let run = engine
+            .run(protocols, cfg.rounds_per_phase() + 1)
+            .expect("phase protocol halts by its deadline");
+        meter += run.meter;
+        meter.random_bits += random_bits;
+
+        let mut clustered = 0;
+        for v in 0..n {
+            if alive[v] {
+                if let Some(center) = run.outputs[v] {
+                    labels[v] = Some((phase, center));
+                    alive[v] = false;
+                    clustered += 1;
+                }
+            }
+        }
+        per_phase.push((alive_before, clustered));
+    }
+
+    let survivors: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+    let decomposition = if survivors.is_empty() {
+        let clustering = Clustering::from_labels(
+            labels
+                .iter()
+                .map(|l| l.map(|(p, c)| (p as usize) << 48 | c as usize))
+                .collect(),
+        );
+        // Color = phase of the cluster (all members share it by construction).
+        let colors: Vec<usize> = (0..clustering.cluster_count())
+            .map(|c| {
+                let v = clustering.members(c)[0];
+                labels[v].expect("clustered").0 as usize
+            })
+            .collect();
+        Some(Decomposition::new(clustering, colors).expect("arity matches"))
+    } else {
+        None
+    };
+
+    EnOutcome {
+        decomposition,
+        labels,
+        survivors,
+        per_phase,
+        meter,
+    }
+}
+
+/// The standard regime: unbounded private randomness, radii sampled by coin
+/// flips from `src` (bits metered).
+pub fn elkin_neiman(g: &Graph, cfg: &ElkinNeimanConfig, src: &mut impl BitSource) -> EnOutcome {
+    let ids = IdAssignment::sequential(g.node_count());
+    elkin_neiman_partial(g, &ids, cfg, src)
+}
+
+/// As [`elkin_neiman`] with explicit identifiers (Theorem 4.2 uses this with
+/// a tightened phase budget to obtain survivors).
+pub fn elkin_neiman_partial(
+    g: &Graph,
+    ids: &IdAssignment,
+    cfg: &ElkinNeimanConfig,
+    src: &mut impl BitSource,
+) -> EnOutcome {
+    elkin_neiman_with_sampler(g, ids, cfg, |_phase, _v| {
+        let before = src.bits_drawn();
+        let r = src.geometric(cfg.cap);
+        (r, src.bits_drawn() - before)
+    })
+}
+
+/// The limited-independence regime of Theorem 3.5: radii come from a k-wise
+/// independent family indexed by `(phase, node)`; no fresh randomness is
+/// consumed beyond the family's seed.
+///
+/// # Panics
+/// Panics if `cfg.cap > 60` (a radius must fit in one k-wise word).
+pub fn elkin_neiman_kwise(g: &Graph, cfg: &ElkinNeimanConfig, kw: &KWiseBits) -> EnOutcome {
+    assert!(cfg.cap <= 60, "k-wise radii require cap <= 60");
+    let ids = IdAssignment::sequential(g.node_count());
+    let mut out = elkin_neiman_with_sampler(g, &ids, cfg, |phase, v| {
+        (kw.geometric(flat_index(&[phase as u64, v as u64]), cfg.cap), 0)
+    });
+    out.meter.random_bits += kw.seed_bits();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_graph::generators::Family;
+    use locality_rand::prelude::*;
+
+    #[test]
+    fn merge_entry_keeps_best_two_distinct() {
+        let mut top = Vec::new();
+        assert!(merge_entry(&mut top, (5, 3)));
+        assert!(merge_entry(&mut top, (7, 5)));
+        assert!(!merge_entry(&mut top, (5, 2))); // worse value, same center
+        assert!(merge_entry(&mut top, (9, 4)));
+        assert_eq!(top, vec![(7, 5), (9, 4)]);
+        assert!(!merge_entry(&mut top, (1, -1))); // negative values ignored
+    }
+
+    #[test]
+    fn decomposition_on_families_is_valid() {
+        let mut seed = SplitMix64::new(42);
+        for fam in Family::ALL {
+            let g = fam.generate(80, &mut seed);
+            let cfg = ElkinNeimanConfig::for_graph(&g);
+            let mut src = PrngSource::seeded(7 + fam as u64);
+            let out = elkin_neiman(&g, &cfg, &mut src);
+            let d = out
+                .decomposition
+                .unwrap_or_else(|| panic!("{}: survivors {:?}", fam.name(), out.survivors));
+            let q = d.validate(&g).unwrap();
+            assert!(
+                q.colors as u32 <= cfg.phases,
+                "{}: {} colors",
+                fam.name(),
+                q.colors
+            );
+            assert!(out.meter.random_bits > 0);
+            assert!(out.meter.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn cluster_radius_bounded_by_cap() {
+        // Strong diameter of every cluster is at most 2·cap ([EN16, Lemma 4]:
+        // radius around the center is at most max r_v <= cap).
+        let mut seed = SplitMix64::new(3);
+        let g = Graph::gnp_connected(150, 0.02, &mut seed);
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let mut src = PrngSource::seeded(11);
+        let out = elkin_neiman(&g, &cfg, &mut src);
+        let d = out.decomposition.expect("whp success");
+        let q = d.validate(&g).unwrap();
+        assert!(
+            q.max_diameter <= 2 * cfg.cap,
+            "diameter {} > 2*cap {}",
+            q.max_diameter,
+            2 * cfg.cap
+        );
+    }
+
+    #[test]
+    fn phase_fractions_are_substantial() {
+        // EN16 Claim 6: constant per-phase clustering probability. Check the
+        // first phase clusters at least 20% on a reasonable graph.
+        let mut seed = SplitMix64::new(5);
+        let g = Graph::gnp_connected(300, 0.01, &mut seed);
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let mut src = PrngSource::seeded(13);
+        let out = elkin_neiman(&g, &cfg, &mut src);
+        let fractions = out.per_phase_fractions();
+        assert!(
+            fractions[0] > 0.2,
+            "first phase clustered only {}",
+            fractions[0]
+        );
+    }
+
+    #[test]
+    fn congest_clean() {
+        let mut seed = SplitMix64::new(9);
+        let g = Graph::gnp_connected(128, 0.03, &mut seed);
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let mut src = PrngSource::seeded(1);
+        let out = elkin_neiman(&g, &cfg, &mut src);
+        assert!(
+            out.meter.congest_clean(),
+            "violations: {}",
+            out.meter.congest_violations
+        );
+    }
+
+    #[test]
+    fn kwise_regime_produces_valid_decomposition() {
+        let mut seed = SplitMix64::new(21);
+        let g = Graph::gnp_connected(100, 0.03, &mut seed);
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let mut seed_src = PrngSource::seeded(77);
+        // Θ(log² n)-wise independence per Theorem 3.5.
+        let k = (g.log2_n() * g.log2_n()) as usize;
+        let kw = KWiseBits::from_source(k, &mut seed_src).unwrap();
+        let out = elkin_neiman_kwise(&g, &cfg, &kw);
+        let d = out.decomposition.expect("kwise run should succeed");
+        d.validate(&g).unwrap();
+        assert_eq!(out.meter.random_bits, kw.seed_bits());
+    }
+
+    #[test]
+    fn singleton_and_tiny_graphs() {
+        let cfg = ElkinNeimanConfig::for_n(1);
+        let mut src = PrngSource::seeded(2);
+        let g = Graph::empty(1);
+        let out = elkin_neiman(&g, &cfg, &mut src);
+        let d = out.decomposition.expect("single node clusters");
+        assert_eq!(d.validate(&g).unwrap().clusters, 1);
+
+        let g2 = Graph::empty(3); // three isolated nodes
+        let cfg2 = ElkinNeimanConfig::for_n(3);
+        let out2 = elkin_neiman(&g2, &cfg2, &mut PrngSource::seeded(3));
+        let d2 = out2.decomposition.expect("isolated nodes cluster");
+        assert_eq!(d2.validate(&g2).unwrap().max_diameter, 0);
+    }
+
+    #[test]
+    fn zero_phase_budget_yields_all_survivors() {
+        let g = Graph::path(5);
+        let cfg = ElkinNeimanConfig {
+            phases: 0,
+            cap: 10,
+        };
+        let mut src = PrngSource::seeded(4);
+        let out = elkin_neiman(&g, &cfg, &mut src);
+        assert!(out.decomposition.is_none());
+        assert_eq!(out.survivors.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let mut seed = SplitMix64::new(8);
+        let g = Graph::gnp_connected(60, 0.05, &mut seed);
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let a = elkin_neiman(&g, &cfg, &mut PrngSource::seeded(5));
+        let b = elkin_neiman(&g, &cfg, &mut PrngSource::seeded(5));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.meter, b.meter);
+    }
+}

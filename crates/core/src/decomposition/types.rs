@@ -1,0 +1,344 @@
+//! The decomposition value type and validator.
+
+use locality_graph::cluster::Clustering;
+use locality_graph::metrics::induced_diameter;
+use locality_graph::Graph;
+use std::error::Error;
+use std::fmt;
+
+/// A strong-diameter network decomposition: a total clustering plus a color
+/// per cluster.
+///
+/// Invariants (checked by [`Decomposition::validate`]):
+/// 1. every node belongs to exactly one cluster;
+/// 2. every cluster induces a connected subgraph;
+/// 3. clusters joined by an edge of `G` have different colors.
+///
+/// # Example
+/// ```
+/// use locality_core::decomposition::Decomposition;
+/// use locality_graph::prelude::*;
+///
+/// let g = Graph::path(4);
+/// let clustering = Clustering::from_assignment(
+///     vec![Some(0), Some(0), Some(1), Some(1)],
+/// ).unwrap();
+/// let d = Decomposition::new(clustering, vec![0, 1]).unwrap();
+/// let q = d.validate(&g).unwrap();
+/// assert_eq!(q.colors, 2);
+/// assert_eq!(q.max_diameter, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    clustering: Clustering,
+    colors: Vec<usize>,
+}
+
+/// Quality report of a valid decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompQuality {
+    /// Number of distinct colors used.
+    pub colors: usize,
+    /// Maximum strong (induced) cluster diameter.
+    pub max_diameter: u32,
+    /// Number of clusters.
+    pub clusters: usize,
+}
+
+/// Validation failure for a [`Decomposition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompError {
+    /// Construction: one color per cluster is required.
+    ColorArity {
+        /// Colors supplied.
+        got: usize,
+        /// Clusters present.
+        clusters: usize,
+    },
+    /// Some node is not in any cluster.
+    UnclusteredNode {
+        /// The node.
+        node: usize,
+    },
+    /// A cluster does not induce a connected subgraph.
+    DisconnectedCluster {
+        /// The cluster id.
+        cluster: usize,
+    },
+    /// Two adjacent clusters share a color.
+    AdjacentSameColor {
+        /// First cluster.
+        a: usize,
+        /// Second cluster.
+        b: usize,
+        /// The shared color.
+        color: usize,
+    },
+    /// The clustering has a different node count than the graph.
+    WrongGraph {
+        /// Nodes in the clustering.
+        got: usize,
+        /// Nodes in the graph.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompError::ColorArity { got, clusters } => {
+                write!(f, "{clusters} clusters but {got} colors supplied")
+            }
+            DecompError::UnclusteredNode { node } => write!(f, "node {node} is unclustered"),
+            DecompError::DisconnectedCluster { cluster } => {
+                write!(f, "cluster {cluster} induces a disconnected subgraph")
+            }
+            DecompError::AdjacentSameColor { a, b, color } => {
+                write!(f, "adjacent clusters {a} and {b} share color {color}")
+            }
+            DecompError::WrongGraph { got, expected } => {
+                write!(f, "clustering covers {got} nodes, graph has {expected}")
+            }
+        }
+    }
+}
+
+impl Error for DecompError {}
+
+impl Decomposition {
+    /// Assemble a decomposition from a clustering and per-cluster colors.
+    ///
+    /// # Errors
+    /// [`DecompError::ColorArity`] if `colors.len()` differs from the number
+    /// of clusters.
+    pub fn new(clustering: Clustering, colors: Vec<usize>) -> Result<Self, DecompError> {
+        if colors.len() != clustering.cluster_count() {
+            return Err(DecompError::ColorArity {
+                got: colors.len(),
+                clusters: clustering.cluster_count(),
+            });
+        }
+        Ok(Self { clustering, colors })
+    }
+
+    /// The underlying clustering.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Color of cluster `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn color_of_cluster(&self, c: usize) -> usize {
+        self.colors[c]
+    }
+
+    /// Color of node `v` (its cluster's color); `None` if unclustered.
+    pub fn color_of_node(&self, v: usize) -> Option<usize> {
+        self.clustering.cluster_of(v).map(|c| self.colors[c])
+    }
+
+    /// Number of distinct colors used.
+    pub fn color_count(&self) -> usize {
+        let mut sorted = self.colors.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Check all invariants against `g` and report quality.
+    ///
+    /// # Errors
+    /// The first violated invariant, as a [`DecompError`].
+    pub fn validate(&self, g: &Graph) -> Result<DecompQuality, DecompError> {
+        if self.clustering.node_count() != g.node_count() {
+            return Err(DecompError::WrongGraph {
+                got: self.clustering.node_count(),
+                expected: g.node_count(),
+            });
+        }
+        if let Some(&node) = self.clustering.unclustered().first() {
+            return Err(DecompError::UnclusteredNode { node });
+        }
+        let mut max_diameter = 0;
+        for c in 0..self.clustering.cluster_count() {
+            match induced_diameter(g, self.clustering.members(c)) {
+                Some(d) => max_diameter = max_diameter.max(d),
+                None => return Err(DecompError::DisconnectedCluster { cluster: c }),
+            }
+        }
+        for (u, v) in g.edges() {
+            let (cu, cv) = (
+                self.clustering.cluster_of(u).expect("total"),
+                self.clustering.cluster_of(v).expect("total"),
+            );
+            if cu != cv && self.colors[cu] == self.colors[cv] {
+                return Err(DecompError::AdjacentSameColor {
+                    a: cu,
+                    b: cv,
+                    color: self.colors[cu],
+                });
+            }
+        }
+        Ok(DecompQuality {
+            colors: self.color_count(),
+            max_diameter,
+            clusters: self.clustering.cluster_count(),
+        })
+    }
+
+    /// Like [`Decomposition::validate`] but with the *weak-diameter* notion
+    /// used by Theorem 4.2: clusters need not induce connected subgraphs;
+    /// instead every cluster must have finite weak diameter (its spanning
+    /// tree may route through other clusters — congestion ≥ 1). Properness
+    /// is still required. Returns the quality with `max_diameter` holding
+    /// the maximum **weak** diameter.
+    ///
+    /// # Errors
+    /// The first violated invariant, as a [`DecompError`]
+    /// ([`DecompError::DisconnectedCluster`] here means "not even weakly
+    /// connected in `G`").
+    pub fn validate_weak(&self, g: &Graph) -> Result<DecompQuality, DecompError> {
+        if self.clustering.node_count() != g.node_count() {
+            return Err(DecompError::WrongGraph {
+                got: self.clustering.node_count(),
+                expected: g.node_count(),
+            });
+        }
+        if let Some(&node) = self.clustering.unclustered().first() {
+            return Err(DecompError::UnclusteredNode { node });
+        }
+        let mut max_diameter = 0;
+        for c in 0..self.clustering.cluster_count() {
+            match crate::decomposition::weak_diameter_of(g, self.clustering.members(c)) {
+                Some(d) => max_diameter = max_diameter.max(d),
+                None => return Err(DecompError::DisconnectedCluster { cluster: c }),
+            }
+        }
+        for (u, v) in g.edges() {
+            let (cu, cv) = (
+                self.clustering.cluster_of(u).expect("total"),
+                self.clustering.cluster_of(v).expect("total"),
+            );
+            if cu != cv && self.colors[cu] == self.colors[cv] {
+                return Err(DecompError::AdjacentSameColor {
+                    a: cu,
+                    b: cv,
+                    color: self.colors[cu],
+                });
+            }
+        }
+        Ok(DecompQuality {
+            colors: self.color_count(),
+            max_diameter,
+            clusters: self.clustering.cluster_count(),
+        })
+    }
+
+    /// The trivial decomposition: every node its own cluster, all color 0 is
+    /// illegal unless the graph has no edges, so singletons are colored by a
+    /// greedy proper coloring of `g` itself (used as a baseline in tests).
+    pub fn singletons_greedy(g: &Graph) -> Self {
+        let clustering = Clustering::singletons(g.node_count());
+        let mut colors = vec![usize::MAX; g.node_count()];
+        for v in g.nodes() {
+            let used: Vec<usize> = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| colors[u])
+                .filter(|&c| c != usize::MAX)
+                .collect();
+            colors[v] = (0..).find(|c| !used.contains(c)).expect("color exists");
+        }
+        Self::new(clustering, colors).expect("arity matches")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_two_cluster_path() {
+        let g = Graph::path(4);
+        let c = Clustering::from_assignment(vec![Some(0), Some(0), Some(1), Some(1)]).unwrap();
+        let d = Decomposition::new(c, vec![3, 5]).unwrap();
+        let q = d.validate(&g).unwrap();
+        assert_eq!(q.colors, 2);
+        assert_eq!(q.clusters, 2);
+        assert_eq!(d.color_of_node(0), Some(3));
+    }
+
+    #[test]
+    fn color_arity_checked() {
+        let c = Clustering::singletons(3);
+        let err = Decomposition::new(c, vec![0]).unwrap_err();
+        assert!(matches!(err, DecompError::ColorArity { got: 1, clusters: 3 }));
+    }
+
+    #[test]
+    fn unclustered_node_rejected() {
+        let g = Graph::path(3);
+        let c = Clustering::from_assignment(vec![Some(0), Some(0), None]).unwrap();
+        let d = Decomposition::new(c, vec![0]).unwrap();
+        assert_eq!(
+            d.validate(&g).unwrap_err(),
+            DecompError::UnclusteredNode { node: 2 }
+        );
+    }
+
+    #[test]
+    fn disconnected_cluster_rejected() {
+        let g = Graph::path(3);
+        // Cluster {0, 2} is disconnected in the induced subgraph.
+        let c = Clustering::from_assignment(vec![Some(0), Some(1), Some(0)]).unwrap();
+        let d = Decomposition::new(c, vec![0, 1]).unwrap();
+        assert_eq!(
+            d.validate(&g).unwrap_err(),
+            DecompError::DisconnectedCluster { cluster: 0 }
+        );
+    }
+
+    #[test]
+    fn adjacent_same_color_rejected() {
+        let g = Graph::path(4);
+        let c = Clustering::from_assignment(vec![Some(0), Some(0), Some(1), Some(1)]).unwrap();
+        let d = Decomposition::new(c, vec![7, 7]).unwrap();
+        assert!(matches!(
+            d.validate(&g).unwrap_err(),
+            DecompError::AdjacentSameColor { color: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_graph_rejected() {
+        let g = Graph::path(5);
+        let c = Clustering::singletons(3);
+        let d = Decomposition::new(c, vec![0, 1, 2]).unwrap();
+        assert!(matches!(
+            d.validate(&g).unwrap_err(),
+            DecompError::WrongGraph { got: 3, expected: 5 }
+        ));
+    }
+
+    #[test]
+    fn singleton_baseline_valid_on_families() {
+        let mut p = SplitMix64::new(1);
+        for fam in locality_graph::generators::Family::ALL {
+            let g = fam.generate(50, &mut p);
+            let d = Decomposition::singletons_greedy(&g);
+            let q = d.validate(&g).unwrap();
+            assert_eq!(q.max_diameter, 0);
+            assert!(q.colors <= g.max_degree() + 1);
+        }
+    }
+
+    use locality_rand::prng::SplitMix64;
+
+    #[test]
+    fn errors_display() {
+        let e = DecompError::UnclusteredNode { node: 9 };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,42 @@
+//! Algorithms from Ghaffari & Kuhn, *On the Use of Randomness in Local
+//! Distributed Graph Algorithms* (PODC 2019).
+//!
+//! The paper asks two questions about randomized LOCAL/CONGEST algorithms:
+//! **how much randomness** do they need (§3), and **how strong a success
+//! probability** can they guarantee in a given round budget (§4). Network
+//! decomposition is the complete problem through which both are studied; this
+//! crate implements every construction of the paper plus the substrate
+//! algorithms they invoke:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Network decompositions (randomized [EN16], derandomized, deterministic) | [`decomposition`] |
+//! | Ruling sets [AGLP89] | [`ruling`] |
+//! | One private bit per `poly(log n)` hops (Thm 3.1, Lem 3.2/3.3, Thm 3.7) | [`sparse`] |
+//! | `poly(log n)` shared bits in CONGEST (Thm 3.6) | [`shared`] |
+//! | Splitting with `O(log n)` shared bits (Lem 3.4) | [`splitting`] |
+//! | Conflict-free hypergraph multicoloring under k-wise bits (Thm 3.5) | [`cfc`] |
+//! | Error boosting by shattering (Thm 4.2) | [`boost`] |
+//! | Seed enumeration & "lie about n" (Lem 4.1, Thm 4.3/4.6) | [`derand`] |
+//! | Consumers: MIS, (∆+1)-coloring, randomized & decomposition-derandomized | [`mis`], [`coloring`] |
+//! | Local checkability (Def. 2.2) | [`checkers`] |
+
+// Bracketed citation keys ([EN16], [GKM17], ...) are bibliography
+// references, not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boost;
+pub mod cfc;
+pub mod checkers;
+pub mod coloring;
+pub mod decomposition;
+pub mod derand;
+pub mod mis;
+pub mod ruling;
+pub mod shared;
+pub mod sinkless;
+pub mod slocal;
+pub mod sparse;
+pub mod splitting;

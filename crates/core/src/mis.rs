@@ -1,0 +1,239 @@
+//! Maximal independent set — the problem behind Linial's question (§1).
+//!
+//! Two algorithms:
+//! - [`luby`]: the classic randomized `O(log n)`-round algorithm
+//!   [Lub86, ABI86] (random priorities, local minima join);
+//! - [`via_decomposition`]: the deterministic solver that consumes a network
+//!   decomposition — the mechanism that makes decomposition complete for
+//!   `P-RLOCAL` vs `P-LOCAL`: process color classes in order; within a color,
+//!   every cluster (same-color clusters are non-adjacent, so this is
+//!   parallel) gathers its topology plus its frontier's already-fixed
+//!   outputs in `O(diameter)` rounds and extends greedily.
+
+use crate::decomposition::types::Decomposition;
+use locality_graph::Graph;
+use locality_rand::source::BitSource;
+use locality_sim::cost::CostMeter;
+
+/// Verify the MIS property; returns the first violation as text.
+pub fn verify_mis(g: &Graph, in_mis: &[bool]) -> Result<(), String> {
+    if in_mis.len() != g.node_count() {
+        return Err("wrong vector length".into());
+    }
+    for (u, v) in g.edges() {
+        if in_mis[u] && in_mis[v] {
+            return Err(format!("adjacent nodes {u},{v} both in MIS"));
+        }
+    }
+    for v in g.nodes() {
+        if !in_mis[v] && !g.neighbors(v).iter().any(|&u| in_mis[u]) {
+            return Err(format!("node {v} is undominated"));
+        }
+    }
+    Ok(())
+}
+
+/// Result of an MIS computation.
+#[derive(Debug, Clone)]
+pub struct MisOutcome {
+    /// Membership vector.
+    pub in_mis: Vec<bool>,
+    /// Round/randomness accounting.
+    pub meter: CostMeter,
+}
+
+/// Luby's algorithm: each iteration, every alive node draws a
+/// `4·⌈log n⌉`-bit priority; local minima (ties by node index) join the MIS
+/// and are removed together with their neighbors. Each iteration costs two
+/// communication rounds.
+///
+/// # Example
+/// ```
+/// use locality_core::mis::{luby, verify_mis};
+/// use locality_graph::prelude::*;
+/// use locality_rand::prelude::*;
+///
+/// let g = Graph::grid(8, 8);
+/// let out = luby(&g, &mut PrngSource::seeded(1));
+/// verify_mis(&g, &out.in_mis).unwrap();
+/// ```
+pub fn luby(g: &Graph, src: &mut impl BitSource) -> MisOutcome {
+    let n = g.node_count();
+    let prio_bits = 4 * g.log2_n();
+    let mut alive = vec![true; n];
+    let mut in_mis = vec![false; n];
+    let mut meter = CostMeter::default();
+    let mut remaining: usize = n;
+
+    while remaining > 0 {
+        meter.rounds += 2;
+        let before = src.bits_drawn();
+        let prio: Vec<u64> = (0..n)
+            .map(|v| {
+                if alive[v] {
+                    src.next_bits(prio_bits).expect("unbounded source")
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect();
+        meter.random_bits += src.bits_drawn() - before;
+
+        let joins: Vec<usize> = (0..n)
+            .filter(|&v| {
+                alive[v]
+                    && g.neighbors(v).iter().all(|&u| {
+                        !alive[u] || (prio[v], v) < (prio[u], u)
+                    })
+            })
+            .collect();
+        for &v in &joins {
+            in_mis[v] = true;
+            alive[v] = false;
+            remaining -= 1;
+            for &u in g.neighbors(v) {
+                if alive[u] {
+                    alive[u] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    MisOutcome { in_mis, meter }
+}
+
+/// Deterministic MIS from a network decomposition: color classes in
+/// ascending color order; within a class, each cluster solves greedily
+/// (members in index order) against the already-fixed outside outputs.
+/// Rounds charged: per color, `2·(max cluster diameter of that color) + 2`
+/// (gather + decide + report), as in the standard completeness argument.
+///
+/// # Panics
+/// Panics if `d` is not a valid decomposition of `g` (checked).
+pub fn via_decomposition(g: &Graph, d: &Decomposition) -> MisOutcome {
+    let quality = d.validate(g).expect("decomposition must be valid");
+    let _ = quality;
+    let clustering = d.clustering();
+    let mut colors: Vec<usize> = (0..clustering.cluster_count())
+        .map(|c| d.color_of_cluster(c))
+        .collect();
+    colors.sort_unstable();
+    colors.dedup();
+
+    let n = g.node_count();
+    let mut in_mis = vec![false; n];
+    let mut decided = vec![false; n];
+    let mut meter = CostMeter::default();
+
+    for &color in &colors {
+        let mut color_diam = 0u64;
+        for c in 0..clustering.cluster_count() {
+            if d.color_of_cluster(c) != color {
+                continue;
+            }
+            let members = clustering.members(c);
+            color_diam = color_diam.max(
+                locality_graph::metrics::induced_diameter(g, members)
+                    .expect("clusters are connected") as u64,
+            );
+            for &v in members {
+                let blocked = g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| decided[u] && in_mis[u]);
+                if !blocked {
+                    in_mis[v] = true;
+                }
+                decided[v] = true;
+            }
+        }
+        meter.rounds += 2 * color_diam + 2;
+    }
+    debug_assert!(decided.iter().all(|&x| x));
+    MisOutcome { in_mis, meter }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::carving::ball_carving_decomposition;
+    use locality_graph::generators::Family;
+    use locality_rand::prelude::*;
+
+    #[test]
+    fn luby_valid_on_families() {
+        let mut p = SplitMix64::new(101);
+        for fam in Family::ALL {
+            let g = fam.generate(150, &mut p);
+            let mut src = PrngSource::seeded(fam as u64 + 1);
+            let out = luby(&g, &mut src);
+            verify_mis(&g, &out.in_mis).unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+            assert!(out.meter.random_bits > 0);
+        }
+    }
+
+    #[test]
+    fn luby_rounds_are_logarithmic() {
+        let mut p = SplitMix64::new(103);
+        let g = Graph::gnp_connected(500, 0.01, &mut p);
+        let mut src = PrngSource::seeded(5);
+        let out = luby(&g, &mut src);
+        // 2 rounds per iteration; whp O(log n) iterations.
+        assert!(
+            out.meter.rounds <= 8 * g.log2_n() as u64,
+            "rounds {}",
+            out.meter.rounds
+        );
+    }
+
+    #[test]
+    fn via_decomposition_valid_and_deterministic() {
+        let mut p = SplitMix64::new(105);
+        for fam in Family::ALL {
+            let g = fam.generate(100, &mut p);
+            let order: Vec<usize> = (0..g.node_count()).collect();
+            let d = ball_carving_decomposition(&g, &order).decomposition;
+            let a = via_decomposition(&g, &d);
+            let b = via_decomposition(&g, &d);
+            verify_mis(&g, &a.in_mis).unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+            assert_eq!(a.in_mis, b.in_mis);
+            assert_eq!(a.meter.random_bits, 0, "deterministic solver used bits");
+        }
+    }
+
+    #[test]
+    fn via_decomposition_round_shape() {
+        // Rounds ≈ Σ_colors O(diam) = O(log n · log n) for the carving
+        // decomposition.
+        let mut p = SplitMix64::new(107);
+        let g = Graph::gnp_connected(200, 0.02, &mut p);
+        let order: Vec<usize> = (0..200).collect();
+        let d = ball_carving_decomposition(&g, &order).decomposition;
+        let out = via_decomposition(&g, &d);
+        let log = g.log2_n() as u64;
+        assert!(
+            out.meter.rounds <= 4 * log * (2 * log + 2) + 2 * log,
+            "rounds {}",
+            out.meter.rounds
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = Graph::empty(1);
+        let out = luby(&g, &mut PrngSource::seeded(1));
+        assert_eq!(out.in_mis, vec![true]);
+        let g0 = Graph::empty(0);
+        let out0 = luby(&g0, &mut PrngSource::seeded(1));
+        assert!(out0.in_mis.is_empty());
+    }
+
+    #[test]
+    fn verify_rejects_bad_sets() {
+        let g = Graph::path(3);
+        assert!(verify_mis(&g, &[true, true, false]).is_err()); // adjacent
+        assert!(verify_mis(&g, &[false, false, false]).is_err()); // undominated
+        assert!(verify_mis(&g, &[true, false, true]).is_ok());
+        assert!(verify_mis(&g, &[true, false]).is_err()); // wrong length
+    }
+}

@@ -1,0 +1,492 @@
+//! One private bit per `poly(log n)` hops (§3.1: Lemma 3.2, Lemma 3.3,
+//! Theorem 3.1 and Theorem 3.7).
+//!
+//! The regime: a set `S ⊆ V` of nodes each holds a *single* independent
+//! random bit, and every node has some holder within `h` hops. The pipeline:
+//!
+//! 1. **Bit-gathering clustering (Lemma 3.2).** Compute an
+//!    `(h′, h′·log n)`-ruling set `R` with `h′ = Θ(k·h)` and cluster every
+//!    node with its nearest ruling node (Voronoi). Non-isolated clusters
+//!    provably contain `≥ k` holders; their bits are upcast to the center,
+//!    giving each cluster center a private tape of `≥ k` bits.
+//! 2. **Decomposition of the cluster graph (Lemma 3.3).** Run the
+//!    Elkin–Neiman construction *on the cluster graph*, each cluster drawing
+//!    its radii from its gathered tape. Isolated clusters take color 0.
+//!    Lifting back yields an `(O(log n), h·poly(log n))`-decomposition of the
+//!    base graph (Theorem 3.1).
+//! 3. **Strong-diameter variant (Theorem 3.7).** Gather `O(log⁴ n)` bits per
+//!    cluster instead, view them as per-cluster shared seeds, and run the
+//!    Theorem 3.6 construction ([`crate::shared`]) with each node sampling
+//!    from its cluster's seed: an `(O(log n), O(log² n))` strong-diameter
+//!    decomposition whose diameter no longer depends on `h`.
+
+use crate::decomposition::elkin_neiman::{elkin_neiman_with_sampler, ElkinNeimanConfig};
+use crate::decomposition::types::Decomposition;
+use crate::ruling::{ruling_set, RulingSetParams};
+use crate::shared::{run_construction, SharedDecompConfig};
+use locality_graph::cluster::{ClusterGraph, Clustering};
+use locality_graph::ids::IdAssignment;
+use locality_graph::metrics::weak_diameter;
+use locality_graph::subgraph::InducedSubgraph;
+use locality_graph::traversal::multi_source_bfs;
+use locality_graph::Graph;
+use locality_rand::kwise::{flat_index, KWiseBits};
+use locality_rand::source::{BitSource, BitTape};
+use locality_rand::sparse::SparseBits;
+use locality_sim::cost::CostMeter;
+
+/// Choose a canonical holder set: a greedy `h`-dominating set (every node
+/// within `h` hops of a holder — the covering premise of Theorem 3.1).
+///
+/// # Example
+/// ```
+/// use locality_core::sparse::choose_holders;
+/// use locality_graph::prelude::*;
+/// let g = Graph::path(10);
+/// let holders = choose_holders(&g, 2);
+/// let (dist, _) = multi_source_bfs(&g, &holders);
+/// assert!(g.nodes().all(|v| dist[v].unwrap() <= 2));
+/// ```
+pub fn choose_holders(g: &Graph, h: u32) -> Vec<usize> {
+    let mut holders = Vec::new();
+    let mut covered = vec![false; g.node_count()];
+    for v in g.nodes() {
+        if !covered[v] {
+            holders.push(v);
+            for u in locality_graph::traversal::ball(g, v, h) {
+                covered[u] = true;
+            }
+        }
+    }
+    holders
+}
+
+/// Verify that every node has a holder within `h` hops.
+pub fn verify_covering(g: &Graph, bits: &SparseBits, h: u32) -> bool {
+    let holders = bits.holders();
+    if holders.is_empty() {
+        return g.node_count() == 0;
+    }
+    let (dist, _) = multi_source_bfs(g, &holders);
+    g.nodes().all(|v| matches!(dist[v], Some(d) if d <= h))
+}
+
+/// Tuning for the Theorem 3.1 pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparsePipelineConfig {
+    /// Covering radius `h` of the bit placement.
+    pub h: u32,
+    /// Ruling-set separation `h′` (paper: `10·k·h`).
+    pub ruling_alpha: u32,
+    /// Elkin–Neiman parameters for the cluster graph.
+    pub en: ElkinNeimanConfig,
+}
+
+impl SparsePipelineConfig {
+    /// Paper-shaped parameters: `k = c·log² n` bits per cluster would be the
+    /// worst-case need; we provision the separation for the *expected* need
+    /// (`O(log n)` phases × `O(1)` bits each, cap-truncated), keeping the
+    /// simulated diameters reasonable. The EN cap is sized for the cluster
+    /// count.
+    pub fn for_graph(g: &Graph, h: u32) -> Self {
+        let log = g.log2_n();
+        Self {
+            h,
+            ruling_alpha: (4 * h * log).max(2),
+            en: ElkinNeimanConfig::for_n(g.node_count()),
+        }
+    }
+}
+
+/// Outcome of the Theorem 3.1 pipeline.
+#[derive(Debug, Clone)]
+pub struct SparseOutcome {
+    /// The decomposition of the base graph, if successful.
+    pub decomposition: Option<Decomposition>,
+    /// Number of Voronoi clusters formed by Lemma 3.2.
+    pub cluster_count: usize,
+    /// Clusters with no neighboring cluster (colored 0 directly).
+    pub isolated_clusters: usize,
+    /// Non-isolated clusters whose gathered tape ran dry during sampling
+    /// (counted; sampling falls back to radius 1 — a diagnostic for
+    /// under-provisioned placements).
+    pub tape_shortfalls: usize,
+    /// Largest Voronoi cluster radius (the `h·polylog` factor).
+    pub max_voronoi_radius: u32,
+    /// Total private random bits in the whole network (`|S|`).
+    pub total_bits_available: u64,
+    /// Bits actually consumed from the gathered tapes.
+    pub bits_consumed: u64,
+    /// Round accounting (ruling set + gathering + EN on the cluster graph,
+    /// cluster-graph rounds multiplied by the cluster-radius overhead).
+    pub meter: CostMeter,
+}
+
+/// Run the Theorem 3.1 pipeline: sparse single bits → bit-gathering
+/// clustering (Lemma 3.2) → Elkin–Neiman over the cluster graph (Lemma 3.3).
+///
+/// # Panics
+/// Panics if the placement does not cover the graph within `cfg.h` hops.
+pub fn sparse_randomness_decomposition(
+    g: &Graph,
+    bits: &SparseBits,
+    cfg: &SparsePipelineConfig,
+) -> SparseOutcome {
+    assert!(
+        verify_covering(g, bits, cfg.h),
+        "bit placement must cover every node within h hops"
+    );
+    let ids = IdAssignment::sequential(g.node_count());
+    let mut meter = CostMeter::default();
+
+    // --- Lemma 3.2: ruling set + Voronoi clustering + bit gathering. ---
+    let all: Vec<usize> = g.nodes().collect();
+    let ruling = ruling_set(
+        g,
+        &ids,
+        &all,
+        RulingSetParams {
+            alpha: cfg.ruling_alpha,
+        },
+    );
+    meter += ruling.meter;
+
+    let (dist, nearest) = multi_source_bfs(g, &ruling.set);
+    let max_voronoi_radius = (0..g.node_count())
+        .filter_map(|v| dist[v])
+        .max()
+        .unwrap_or(0);
+    meter.rounds += 2 * max_voronoi_radius as u64; // flooding + upcast
+
+    let labels: Vec<Option<usize>> = (0..g.node_count()).map(|v| nearest[v]).collect();
+    let clustering = Clustering::from_labels(labels);
+    let cluster_count = clustering.cluster_count();
+    let cg = ClusterGraph::contract(g, clustering.clone());
+
+    // Gather each cluster's bits to its center, in node order.
+    let mut tapes: Vec<BitTape> = (0..cluster_count)
+        .map(|c| {
+            let cluster_bits: Vec<bool> = clustering
+                .members(c)
+                .iter()
+                .filter_map(|&v| bits.bit_of(v))
+                .collect();
+            BitTape::from_bits(cluster_bits)
+        })
+        .collect();
+
+    // --- Lemma 3.3: EN over the non-isolated part of the cluster graph. ---
+    let quotient = cg.quotient();
+    let isolated: Vec<usize> = (0..cluster_count)
+        .filter(|&c| quotient.degree(c) == 0)
+        .collect();
+    let non_isolated: Vec<usize> = (0..cluster_count)
+        .filter(|&c| quotient.degree(c) > 0)
+        .collect();
+    let isolated_clusters = isolated.len();
+
+    let mut tape_shortfalls = 0usize;
+    let mut final_label: Vec<Option<usize>> = vec![None; g.node_count()];
+    let mut final_color: Vec<usize> = Vec::new();
+
+    // Isolated clusters: color 0, one final cluster each.
+    for &c in &isolated {
+        let id = final_color.len();
+        final_color.push(0);
+        for &v in clustering.members(c) {
+            final_label[v] = Some(id);
+        }
+    }
+
+    let mut en_success = true;
+    if !non_isolated.is_empty() {
+        let sub = InducedSubgraph::new(quotient, &non_isolated);
+        let sub_ids = IdAssignment::sequential(sub.graph().node_count());
+        let en_cfg = ElkinNeimanConfig {
+            phases: cfg.en.phases,
+            cap: cfg.en.cap,
+        };
+        let mut shortfalls = 0usize;
+        let out = {
+            let tapes = &mut tapes;
+            elkin_neiman_with_sampler(sub.graph(), &sub_ids, &en_cfg, |_phase, local| {
+                let c = sub.to_original(local);
+                let tape = &mut tapes[c];
+                let before = tape.bits_drawn();
+                // Manual capped-geometric draw that tolerates exhaustion.
+                let mut value = en_cfg.cap;
+                let mut exhausted = false;
+                for k in 1..=en_cfg.cap {
+                    match tape.try_next_bit() {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            value = k;
+                            break;
+                        }
+                        Err(_) => {
+                            value = k;
+                            exhausted = true;
+                            break;
+                        }
+                    }
+                }
+                if exhausted {
+                    shortfalls += 1;
+                }
+                (value, tape.bits_drawn() - before)
+            })
+        };
+        tape_shortfalls = shortfalls;
+        // Cluster-graph rounds cost a factor of the cluster radius on G.
+        let overhead = (2 * max_voronoi_radius as u64 + 1).max(1);
+        let mut en_meter = out.meter;
+        en_meter.rounds *= overhead;
+        meter += en_meter;
+
+        if let Some(cg_decomp) = out.decomposition {
+            // Lift: final cluster = set of Voronoi clusters in one CG
+            // cluster; color = 1 + phase color.
+            let cgc = cg_decomp.clustering();
+            let base = final_color.len();
+            for cg_cluster in 0..cgc.cluster_count() {
+                final_color.push(1 + cg_decomp.color_of_cluster(cg_cluster));
+            }
+            for local in 0..sub.graph().node_count() {
+                let c = sub.to_original(local);
+                let cg_cluster = cgc.cluster_of(local).expect("total");
+                for &v in clustering.members(c) {
+                    final_label[v] = Some(base + cg_cluster);
+                }
+            }
+        } else {
+            en_success = false;
+        }
+    }
+
+    let bits_consumed: u64 = tapes.iter().map(|t| t.bits_drawn()).sum();
+    let decomposition = if en_success && g.node_count() > 0 {
+        let fc = Clustering::from_labels(final_label.clone());
+        // Colors must follow the compaction of `from_labels`.
+        let colors: Vec<usize> = (0..fc.cluster_count())
+            .map(|c| {
+                let v = fc.members(c)[0];
+                final_color[final_label[v].expect("labeled")]
+            })
+            .collect();
+        Some(Decomposition::new(fc, colors).expect("one color per cluster"))
+    } else if g.node_count() == 0 {
+        Some(
+            Decomposition::new(Clustering::singletons(0), vec![]).expect("empty decomposition"),
+        )
+    } else {
+        None
+    };
+
+    SparseOutcome {
+        decomposition,
+        cluster_count,
+        isolated_clusters,
+        tape_shortfalls,
+        max_voronoi_radius,
+        total_bits_available: bits.total_bits(),
+        bits_consumed,
+        meter,
+    }
+}
+
+/// Theorem 3.7: the strong-diameter variant. Gather the bits as in
+/// Lemma 3.2, view each cluster's tape as that cluster's *shared seed*, and
+/// run the Theorem 3.6 construction with every node sampling from its
+/// cluster's seed. The decomposition diameter is `O(log² n)` — independent
+/// of `h`.
+///
+/// Returns the outcome of the shared construction plus the gathering
+/// diagnostics (shortfall = clusters whose tape was too short to seed the
+/// two k-wise families; those clusters fall back to a zero seed and are
+/// counted).
+pub fn sparse_strong_diameter_decomposition(
+    g: &Graph,
+    bits: &SparseBits,
+    h: u32,
+) -> (crate::shared::SharedOutcome, usize) {
+    assert!(
+        verify_covering(g, bits, h),
+        "bit placement must cover every node within h hops"
+    );
+    let cfg = SharedDecompConfig::for_graph(g);
+    // Gather via the same Voronoi clustering as the Theorem 3.1 pipeline.
+    let ids = IdAssignment::sequential(g.node_count());
+    let all: Vec<usize> = g.nodes().collect();
+    let ruling = ruling_set(
+        g,
+        &ids,
+        &all,
+        RulingSetParams {
+            alpha: (4 * h).max(2),
+        },
+    );
+    let (_, nearest) = multi_source_bfs(g, &ruling.set);
+    let clustering = Clustering::from_labels((0..g.node_count()).map(|v| nearest[v]).collect());
+
+    let needed = cfg.seed_bits_needed();
+    let mut shortfall = 0usize;
+    let families: Vec<Option<(KWiseBits, KWiseBits)>> = (0..clustering.cluster_count())
+        .map(|c| {
+            let cluster_bits: Vec<bool> = clustering
+                .members(c)
+                .iter()
+                .filter_map(|&v| bits.bit_of(v))
+                .collect();
+            if cluster_bits.len() < needed {
+                shortfall += 1;
+                return None;
+            }
+            let mut tape = BitTape::from_bits(cluster_bits);
+            let a = KWiseBits::from_source(cfg.kwise, &mut tape).expect("length checked");
+            let b = KWiseBits::from_source(cfg.kwise, &mut tape).expect("length checked");
+            Some((a, b))
+        })
+        .collect();
+
+    let n = g.node_count() as u64;
+    let log = g.log2_n() as u64;
+    let shared_bits = bits.total_bits();
+    let sampler = |phase: u32, epoch: u32, v: usize| -> (bool, u32) {
+        let c = clustering.cluster_of(v).expect("voronoi is total");
+        let idx = flat_index(&[phase as u64, epoch as u64, v as u64]);
+        match &families[c] {
+            Some((centers, radii)) => {
+                let num = (1u64 << epoch.min(62)) * log;
+                let sampled = if epoch >= cfg.epochs || num >= n {
+                    true
+                } else {
+                    centers.bernoulli(idx, num, n)
+                };
+                (sampled, radii.geometric(idx, cfg.cap))
+            }
+            // Degenerate fallback: deterministic late self-sampling.
+            None => (epoch >= cfg.epochs, 1),
+        }
+    };
+    let out = run_construction(g, &cfg, sampler, shared_bits);
+    (out, shortfall)
+}
+
+/// Weak-diameter bound of the final clusters of a sparse-pipeline
+/// decomposition (diagnostic for the `h · polylog` claim of Theorem 3.1).
+pub fn max_weak_diameter(g: &Graph, d: &Decomposition) -> u32 {
+    (0..d.clustering().cluster_count())
+        .filter_map(|c| weak_diameter(g, d.clustering().members(c)))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_rand::prelude::*;
+
+    fn place(g: &Graph, h: u32, seed: u64) -> SparseBits {
+        let holders = choose_holders(g, h);
+        let mut src = PrngSource::seeded(seed);
+        SparseBits::place(&holders, &mut src)
+    }
+
+    #[test]
+    fn choose_holders_covers_and_is_sparse() {
+        let g = Graph::grid(10, 10);
+        for h in [1, 2, 4] {
+            let holders = choose_holders(&g, h);
+            let bits = SparseBits::from_pairs(holders.iter().map(|&v| (v, true)));
+            assert!(verify_covering(&g, &bits, h));
+            // Sparser than one-per-node for h >= 1 on a grid.
+            assert!(holders.len() < g.node_count());
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_valid_decomposition() {
+        let mut p = SplitMix64::new(71);
+        let g = Graph::gnp_connected(150, 0.02, &mut p);
+        for h in [1u32, 2] {
+            let bits = place(&g, h, 100 + h as u64);
+            let cfg = SparsePipelineConfig::for_graph(&g, h);
+            let out = sparse_randomness_decomposition(&g, &bits, &cfg);
+            let d = out
+                .decomposition
+                .unwrap_or_else(|| panic!("h={h}: pipeline failed"));
+            let q = d.validate(&g).unwrap();
+            assert!(q.colors as u32 <= cfg.en.phases + 1, "h={h}: {}", q.colors);
+            // Far fewer random bits than nodes.
+            assert!(out.total_bits_available < g.node_count() as u64);
+            assert!(out.bits_consumed <= out.total_bits_available);
+        }
+    }
+
+    #[test]
+    fn path_with_small_h() {
+        let g = Graph::path(120);
+        let bits = place(&g, 3, 5);
+        let cfg = SparsePipelineConfig::for_graph(&g, 3);
+        let out = sparse_randomness_decomposition(&g, &bits, &cfg);
+        let d = out.decomposition.expect("path pipeline succeeds");
+        d.validate(&g).unwrap();
+        assert!(out.cluster_count >= 1);
+    }
+
+    #[test]
+    fn single_cluster_graph_is_isolated_case() {
+        // Small diameter graph => one Voronoi cluster => isolated => color 0.
+        let g = Graph::complete(12);
+        let bits = place(&g, 1, 7);
+        let cfg = SparsePipelineConfig::for_graph(&g, 1);
+        let out = sparse_randomness_decomposition(&g, &bits, &cfg);
+        assert_eq!(out.cluster_count, 1);
+        assert_eq!(out.isolated_clusters, 1);
+        let d = out.decomposition.unwrap();
+        let q = d.validate(&g).unwrap();
+        assert_eq!(q.colors, 1);
+        assert_eq!(out.bits_consumed, 0, "isolated clusters need no bits");
+    }
+
+    #[test]
+    #[should_panic]
+    fn uncovered_placement_rejected() {
+        let g = Graph::path(50);
+        let bits = SparseBits::from_pairs([(0, true)]); // only one holder
+        let cfg = SparsePipelineConfig::for_graph(&g, 1);
+        let _ = sparse_randomness_decomposition(&g, &bits, &cfg);
+    }
+
+    #[test]
+    fn diameter_scales_with_h() {
+        // The Theorem 3.1 diameter is h·polylog: larger h, larger clusters.
+        let g = Graph::path(200);
+        let bits1 = place(&g, 1, 9);
+        let bits4 = place(&g, 4, 9);
+        let cfg1 = SparsePipelineConfig::for_graph(&g, 1);
+        let cfg4 = SparsePipelineConfig::for_graph(&g, 4);
+        let out1 = sparse_randomness_decomposition(&g, &bits1, &cfg1);
+        let out4 = sparse_randomness_decomposition(&g, &bits4, &cfg4);
+        assert!(out4.max_voronoi_radius >= out1.max_voronoi_radius);
+    }
+
+    #[test]
+    fn strong_diameter_variant_on_dense_placement() {
+        // Theorem 3.7 needs Θ(log⁴ n)-ish bits per cluster; with h = 0-ish
+        // placements (every node a holder) small graphs can satisfy it; with
+        // sparse placements the shortfall fallback still yields a valid
+        // decomposition (late deterministic self-sampling).
+        let mut p = SplitMix64::new(73);
+        let g = Graph::gnp_connected(80, 0.04, &mut p);
+        let holders: Vec<usize> = g.nodes().collect();
+        let mut src = PrngSource::seeded(3);
+        let bits = SparseBits::place(&holders, &mut src);
+        let (out, _shortfall) = sparse_strong_diameter_decomposition(&g, &bits, 1);
+        if let Some(d) = out.decomposition {
+            let q = d.validate(&g).unwrap();
+            let cfg = SharedDecompConfig::for_graph(&g);
+            assert!(q.max_diameter <= 2 * cfg.max_cluster_radius());
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The splitting problem (Lemma 3.4).
+//!
+//! [GKM17] defined *splitting*: given a bipartite graph `H = (U, V, E)` where
+//! every node of `U` has at least `Ω(log^c n)` neighbors in `V`, color each
+//! node of `V` red or blue so that every `U`-node sees both colors. A uniform
+//! random coloring works w.h.p. in **zero rounds**, yet a `poly(log n)`-round
+//! *deterministic* algorithm for it would derandomize all of `P-RLOCAL` —
+//! splitting is complete for the `P-RLOCAL` vs `P-LOCAL` question.
+//!
+//! Lemma 3.4 observes that `O(log n)` bits of *shared* randomness suffice:
+//! expand the seed into `O(log n)`-wise independent bits (Chernoff for
+//! limited independence [SSS95]) or an ε-biased space [NN93], and color
+//! `V`-node `j` with bit `j`. This module implements the instance type, the
+//! zero-round solvers for every randomness regime, and the radius-1 checker.
+
+use locality_rand::epsbias::EpsBiasedBits;
+use locality_rand::kwise::KWiseBits;
+use locality_rand::prng::Prng;
+use locality_rand::shared::SharedSeed;
+use locality_rand::source::{BitSource, Exhausted};
+
+/// A splitting instance: bipartite `H = (U, V, E)` given as the neighbor
+/// lists of the `U`-side.
+///
+/// # Example
+/// ```
+/// use locality_core::splitting::SplittingInstance;
+/// let h = SplittingInstance::new(4, vec![vec![0, 1, 2], vec![1, 2, 3]]).unwrap();
+/// assert_eq!(h.min_degree(), 3);
+/// // A coloring where U-node 1 sees only `true`:
+/// let bad = h.failures(&[false, true, true, true]);
+/// assert_eq!(bad, vec![1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplittingInstance {
+    v_count: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl SplittingInstance {
+    /// Build from the `U`-side adjacency into `V = 0..v_count`.
+    ///
+    /// Returns `None` if some neighbor index is out of range or some `U`-node
+    /// has no neighbors (such a node could never be split).
+    pub fn new(v_count: usize, adjacency: Vec<Vec<usize>>) -> Option<Self> {
+        for nbrs in &adjacency {
+            if nbrs.is_empty() || nbrs.iter().any(|&v| v >= v_count) {
+                return None;
+            }
+        }
+        Some(Self { v_count, adjacency })
+    }
+
+    /// Random instance: `u_count` left nodes, each with `degree` distinct
+    /// uniform neighbors among `v_count` right nodes.
+    ///
+    /// # Panics
+    /// Panics if `degree == 0` or `degree > v_count`.
+    pub fn random(u_count: usize, v_count: usize, degree: usize, prng: &mut impl Prng) -> Self {
+        assert!(degree >= 1 && degree <= v_count, "invalid degree");
+        let adjacency = (0..u_count)
+            .map(|_| {
+                let mut chosen = std::collections::BTreeSet::new();
+                while chosen.len() < degree {
+                    chosen.insert(prng.uniform_below(v_count as u64) as usize);
+                }
+                chosen.into_iter().collect()
+            })
+            .collect();
+        Self { v_count, adjacency }
+    }
+
+    /// Number of `U`-nodes.
+    pub fn u_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of `V`-nodes.
+    pub fn v_count(&self) -> usize {
+        self.v_count
+    }
+
+    /// Minimum `U`-side degree (`0` for an empty `U`).
+    pub fn min_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Neighbors of `U`-node `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adjacency[u]
+    }
+
+    /// The `U`-nodes whose neighborhoods are monochromatic under `colors`
+    /// (the radius-1 local check of Definition 2.2: `U`-node `u` outputs
+    /// "no" iff it appears here).
+    ///
+    /// # Panics
+    /// Panics if `colors.len() != v_count`.
+    pub fn failures(&self, colors: &[bool]) -> Vec<usize> {
+        assert_eq!(colors.len(), self.v_count, "one color per V-node");
+        (0..self.u_count())
+            .filter(|&u| {
+                let mut seen_red = false;
+                let mut seen_blue = false;
+                for &v in &self.adjacency[u] {
+                    if colors[v] {
+                        seen_red = true;
+                    } else {
+                        seen_blue = true;
+                    }
+                }
+                !(seen_red && seen_blue)
+            })
+            .collect()
+    }
+
+    /// Whether `colors` is a valid splitting.
+    pub fn is_split(&self, colors: &[bool]) -> bool {
+        self.failures(colors).is_empty()
+    }
+}
+
+/// Result of a zero-round splitting attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitAttempt {
+    /// The `V`-side coloring.
+    pub colors: Vec<bool>,
+    /// `U`-nodes left monochromatic (empty = success).
+    pub failures: Vec<usize>,
+    /// Truly random bits consumed (seed bits for derived spaces).
+    pub random_bits: u64,
+}
+
+impl SplitAttempt {
+    /// Whether the attempt succeeded.
+    pub fn is_success(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn attempt(h: &SplittingInstance, colors: Vec<bool>, random_bits: u64) -> SplitAttempt {
+    let failures = h.failures(&colors);
+    SplitAttempt {
+        colors,
+        failures,
+        random_bits,
+    }
+}
+
+/// Solve with unrestricted private randomness: one fresh fair bit per
+/// `V`-node (`v_count` bits total — the standard-model baseline).
+pub fn solve_full(h: &SplittingInstance, src: &mut impl BitSource) -> SplitAttempt {
+    let before = src.bits_drawn();
+    let colors: Vec<bool> = (0..h.v_count()).map(|_| src.next_bit()).collect();
+    attempt(h, colors, src.bits_drawn() - before)
+}
+
+/// Solve with a k-wise independent family: `V`-node `j` takes bit `j`.
+/// Consumes no randomness beyond the family's `61·k`-bit seed.
+pub fn solve_kwise(h: &SplittingInstance, kw: &KWiseBits) -> SplitAttempt {
+    let colors: Vec<bool> = (0..h.v_count()).map(|j| kw.bit(j as u64)).collect();
+    attempt(h, colors, kw.seed_bits())
+}
+
+/// Solve with an ε-biased space (the Naor–Naor route of Lemma 3.4):
+/// 128 seed bits total, i.e. `O(log n)`.
+pub fn solve_eps_biased(h: &SplittingInstance, eb: &EpsBiasedBits) -> SplitAttempt {
+    let colors: Vec<bool> = (0..h.v_count()).map(|j| eb.bit(j as u64 + 1)).collect();
+    attempt(h, colors, eb.seed_bits())
+}
+
+/// How a [`SharedSeed`] is expanded for [`solve_shared`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedExpansion {
+    /// Expand into a `k`-wise independent family (needs `61·k` seed bits).
+    KWise(usize),
+    /// Expand into an ε-biased space (needs 128 seed bits).
+    EpsBiased,
+    /// Use the raw seed bits directly as the coloring (needs `v_count` bits —
+    /// the "no expansion" control arm of experiment T5).
+    Raw,
+}
+
+/// Solve using only a shared seed (the literal setting of Lemma 3.4: no
+/// private randomness anywhere).
+///
+/// # Errors
+/// Returns [`Exhausted`] if the seed is too short for the expansion.
+pub fn solve_shared(
+    h: &SplittingInstance,
+    seed: &SharedSeed,
+    expansion: SeedExpansion,
+) -> Result<SplitAttempt, Exhausted> {
+    match expansion {
+        SeedExpansion::KWise(k) => Ok(solve_kwise(h, &seed.kwise(k)?)),
+        SeedExpansion::EpsBiased => Ok(solve_eps_biased(h, &seed.eps_biased()?)),
+        SeedExpansion::Raw => {
+            let mut tape = seed.tape();
+            let mut colors = Vec::with_capacity(h.v_count());
+            for _ in 0..h.v_count() {
+                colors.push(tape.try_next_bit()?);
+            }
+            Ok(attempt(h, colors, h.v_count() as u64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_rand::prelude::*;
+
+    fn instance(seed: u64) -> SplittingInstance {
+        let mut p = SplitMix64::new(seed);
+        SplittingInstance::random(100, 200, 24, &mut p)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(SplittingInstance::new(3, vec![vec![0, 2]]).is_some());
+        assert!(SplittingInstance::new(3, vec![vec![3]]).is_none());
+        assert!(SplittingInstance::new(3, vec![vec![]]).is_none());
+    }
+
+    #[test]
+    fn random_instance_has_requested_degree() {
+        let h = instance(1);
+        assert_eq!(h.u_count(), 100);
+        assert_eq!(h.v_count(), 200);
+        assert_eq!(h.min_degree(), 24);
+    }
+
+    #[test]
+    fn full_randomness_succeeds_whp() {
+        let h = instance(2);
+        let mut successes = 0;
+        for s in 0..50 {
+            let mut src = PrngSource::seeded(s);
+            let a = solve_full(&h, &mut src);
+            assert_eq!(a.random_bits, 200);
+            successes += a.is_success() as u32;
+        }
+        // P(failure per U-node) = 2·2^-24; 100 nodes; ~never fails.
+        assert_eq!(successes, 50);
+    }
+
+    #[test]
+    fn kwise_succeeds_and_meters_seed_only() {
+        let h = instance(3);
+        let mut seed_src = PrngSource::seeded(9);
+        let kw = KWiseBits::from_source(8, &mut seed_src).unwrap();
+        let a = solve_kwise(&h, &kw);
+        assert!(a.is_success());
+        assert_eq!(a.random_bits, 8 * 61);
+    }
+
+    #[test]
+    fn eps_biased_uses_128_bits() {
+        let h = instance(4);
+        let mut successes = 0;
+        for s in 0..20 {
+            let mut src = PrngSource::seeded(1000 + s);
+            let eb = EpsBiasedBits::from_source(&mut src).unwrap();
+            let a = solve_eps_biased(&h, &eb);
+            assert_eq!(a.random_bits, 128);
+            successes += a.is_success() as u32;
+        }
+        assert!(successes >= 19, "eps-biased failed too often: {successes}/20");
+    }
+
+    #[test]
+    fn shared_seed_regimes() {
+        let h = instance(5);
+        let mut sm = SplitMix64::new(31);
+        let seed = SharedSeed::from_prng(61 * 8, &mut sm);
+        let a = solve_shared(&h, &seed, SeedExpansion::KWise(8)).unwrap();
+        assert!(a.is_success());
+        let b = solve_shared(&h, &seed, SeedExpansion::EpsBiased).unwrap();
+        assert_eq!(b.random_bits, 128);
+        let c = solve_shared(&h, &seed, SeedExpansion::Raw).unwrap();
+        assert_eq!(c.random_bits, 200);
+    }
+
+    #[test]
+    fn short_seed_reported() {
+        let h = instance(6);
+        let seed = SharedSeed::from_bits(vec![true; 50]);
+        assert!(solve_shared(&h, &seed, SeedExpansion::KWise(4)).is_err());
+        assert!(solve_shared(&h, &seed, SeedExpansion::EpsBiased).is_err());
+        assert!(solve_shared(&h, &seed, SeedExpansion::Raw).is_err());
+    }
+
+    #[test]
+    fn failures_detected_exactly() {
+        let h = SplittingInstance::new(2, vec![vec![0, 1], vec![0]]).unwrap();
+        let a = h.failures(&[true, false]);
+        assert_eq!(a, vec![1]);
+        let b = h.failures(&[true, true]);
+        assert_eq!(b, vec![0, 1]);
+    }
+
+    #[test]
+    fn deterministic_expansion_is_reproducible() {
+        let h = instance(7);
+        let mut sm = SplitMix64::new(77);
+        let seed = SharedSeed::from_prng(512, &mut sm);
+        let a = solve_shared(&h, &seed, SeedExpansion::KWise(6)).unwrap();
+        let b = solve_shared(&h, &seed, SeedExpansion::KWise(6)).unwrap();
+        assert_eq!(a.colors, b.colors);
+    }
+}

@@ -1,0 +1,273 @@
+//! Clusterings and cluster (quotient) graphs.
+//!
+//! The constructions of Lemma 3.3 and Theorem 4.2 run decomposition
+//! algorithms *on top of a clustering*: each cluster acts as a super-node,
+//! and two clusters are adjacent when some edge of `G` crosses between them.
+
+use crate::graph::{Graph, GraphBuilder};
+use std::error::Error;
+use std::fmt;
+
+/// A (partial) partition of the nodes into clusters `0..k`.
+///
+/// `None` means unclustered (allowed — e.g. the survivors in Theorem 4.2).
+///
+/// # Example
+/// ```
+/// use locality_graph::prelude::*;
+/// let c = Clustering::from_assignment(vec![Some(0), Some(0), Some(1), None]).unwrap();
+/// assert_eq!(c.cluster_count(), 2);
+/// assert_eq!(c.members(0), &[0, 1]);
+/// assert!(!c.is_total());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    assignment: Vec<Option<usize>>,
+    members: Vec<Vec<usize>>,
+}
+
+/// Error constructing a [`Clustering`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusteringError {
+    /// A cluster id in the assignment had no members below it (ids must be
+    /// contiguous `0..k`).
+    NonContiguousIds {
+        /// The first missing id.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringError::NonContiguousIds { missing } => {
+                write!(f, "cluster ids are not contiguous: id {missing} has no members")
+            }
+        }
+    }
+}
+
+impl Error for ClusteringError {}
+
+impl Clustering {
+    /// Build from a per-node assignment with contiguous ids `0..k`.
+    ///
+    /// # Errors
+    /// [`ClusteringError::NonContiguousIds`] if some id below the maximum is
+    /// unused.
+    pub fn from_assignment(assignment: Vec<Option<usize>>) -> Result<Self, ClusteringError> {
+        let k = assignment.iter().flatten().map(|&c| c + 1).max().unwrap_or(0);
+        let mut members = vec![Vec::new(); k];
+        for (v, &c) in assignment.iter().enumerate() {
+            if let Some(c) = c {
+                members[c].push(v);
+            }
+        }
+        if let Some(missing) = members.iter().position(|m| m.is_empty()) {
+            return Err(ClusteringError::NonContiguousIds { missing });
+        }
+        Ok(Self { assignment, members })
+    }
+
+    /// Build from raw (possibly sparse, arbitrary-id) labels, compacting the
+    /// ids to `0..k` in order of first appearance by smallest node.
+    pub fn from_labels(labels: Vec<Option<usize>>) -> Self {
+        let mut remap = std::collections::BTreeMap::new();
+        let mut assignment = vec![None; labels.len()];
+        for (v, &l) in labels.iter().enumerate() {
+            if let Some(l) = l {
+                let next = remap.len();
+                let id = *remap.entry(l).or_insert(next);
+                assignment[v] = Some(id);
+            }
+        }
+        Self::from_assignment(assignment).expect("compacted ids are contiguous")
+    }
+
+    /// The singleton clustering (every node its own cluster).
+    pub fn singletons(n: usize) -> Self {
+        Self::from_assignment((0..n).map(Some).collect()).expect("contiguous")
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of nodes (clustered or not).
+    pub fn node_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Cluster of node `v`, if any.
+    pub fn cluster_of(&self, v: usize) -> Option<usize> {
+        self.assignment[v]
+    }
+
+    /// Sorted member list of cluster `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.members[c]
+    }
+
+    /// Whether every node is clustered.
+    pub fn is_total(&self) -> bool {
+        self.assignment.iter().all(|a| a.is_some())
+    }
+
+    /// The unclustered nodes.
+    pub fn unclustered(&self) -> Vec<usize> {
+        (0..self.assignment.len())
+            .filter(|&v| self.assignment[v].is_none())
+            .collect()
+    }
+
+    /// The raw assignment slice.
+    pub fn assignment(&self) -> &[Option<usize>] {
+        &self.assignment
+    }
+}
+
+/// The quotient graph of a clustering: one node per cluster, an edge between
+/// two clusters when some `G`-edge crosses between their members.
+#[derive(Debug, Clone)]
+pub struct ClusterGraph {
+    quotient: Graph,
+    clustering: Clustering,
+}
+
+impl ClusterGraph {
+    /// Contract `g` by `clustering`. Edges incident to unclustered nodes are
+    /// ignored.
+    ///
+    /// # Example
+    /// ```
+    /// use locality_graph::prelude::*;
+    /// let g = Graph::path(4);
+    /// let c = Clustering::from_assignment(vec![Some(0), Some(0), Some(1), Some(1)]).unwrap();
+    /// let cg = ClusterGraph::contract(&g, c);
+    /// assert_eq!(cg.quotient().node_count(), 2);
+    /// assert!(cg.quotient().has_edge(0, 1));
+    /// ```
+    pub fn contract(g: &Graph, clustering: Clustering) -> Self {
+        assert_eq!(
+            g.node_count(),
+            clustering.node_count(),
+            "clustering size must match graph"
+        );
+        let mut b = GraphBuilder::new(clustering.cluster_count());
+        for (u, v) in g.edges() {
+            if let (Some(cu), Some(cv)) = (clustering.cluster_of(u), clustering.cluster_of(v)) {
+                if cu != cv {
+                    b.add_edge(cu, cv).expect("cluster ids in range");
+                }
+            }
+        }
+        Self {
+            quotient: b.build(),
+            clustering,
+        }
+    }
+
+    /// The quotient graph (nodes = clusters).
+    pub fn quotient(&self) -> &Graph {
+        &self.quotient
+    }
+
+    /// The underlying clustering.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Lift a per-cluster labelling back to the nodes (unclustered nodes get
+    /// `None`).
+    pub fn lift<T: Clone>(&self, per_cluster: &[T]) -> Vec<Option<T>> {
+        assert_eq!(
+            per_cluster.len(),
+            self.clustering.cluster_count(),
+            "one label per cluster required"
+        );
+        (0..self.clustering.node_count())
+            .map(|v| self.clustering.cluster_of(v).map(|c| per_cluster[c].clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguity_enforced() {
+        let err = Clustering::from_assignment(vec![Some(0), Some(2)]).unwrap_err();
+        assert_eq!(err, ClusteringError::NonContiguousIds { missing: 1 });
+        assert!(err.to_string().contains('1'));
+    }
+
+    #[test]
+    fn from_labels_compacts() {
+        let c = Clustering::from_labels(vec![Some(17), Some(5), Some(17), None]);
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.cluster_of(0), c.cluster_of(2));
+        assert_ne!(c.cluster_of(0), c.cluster_of(1));
+        assert_eq!(c.unclustered(), vec![3]);
+    }
+
+    #[test]
+    fn singletons_are_total() {
+        let c = Clustering::singletons(4);
+        assert!(c.is_total());
+        assert_eq!(c.cluster_count(), 4);
+        assert_eq!(c.members(2), &[2]);
+    }
+
+    #[test]
+    fn contraction_cycle() {
+        // 6-cycle into 3 pairs -> triangle.
+        let g = Graph::cycle(6);
+        let c = Clustering::from_assignment(
+            vec![Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)],
+        )
+        .unwrap();
+        let cg = ClusterGraph::contract(&g, c);
+        assert_eq!(cg.quotient().node_count(), 3);
+        assert_eq!(cg.quotient().edge_count(), 3);
+    }
+
+    #[test]
+    fn intra_cluster_edges_vanish() {
+        let g = Graph::complete(4);
+        let c = Clustering::from_assignment(vec![Some(0); 4]).unwrap();
+        let cg = ClusterGraph::contract(&g, c);
+        assert_eq!(cg.quotient().node_count(), 1);
+        assert_eq!(cg.quotient().edge_count(), 0);
+    }
+
+    #[test]
+    fn unclustered_edges_ignored() {
+        let g = Graph::path(3);
+        let c = Clustering::from_assignment(vec![Some(0), None, Some(1)]).unwrap();
+        let cg = ClusterGraph::contract(&g, c);
+        assert_eq!(cg.quotient().edge_count(), 0);
+    }
+
+    #[test]
+    fn lift_round_trips() {
+        let g = Graph::path(4);
+        let c = Clustering::from_assignment(vec![Some(0), Some(0), Some(1), None]).unwrap();
+        let cg = ClusterGraph::contract(&g, c);
+        let lifted = cg.lift(&["a", "b"]);
+        assert_eq!(lifted, vec![Some("a"), Some("a"), Some("b"), None]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lift_wrong_arity_panics() {
+        let g = Graph::path(2);
+        let c = Clustering::singletons(2);
+        let cg = ClusterGraph::contract(&g, c);
+        let _ = cg.lift(&[1]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Connected components.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Component labels (`0..k`, in order of smallest contained node) and the
+/// number of components.
+///
+/// # Example
+/// ```
+/// use locality_graph::prelude::*;
+/// let g = Graph::disjoint_union(&[Graph::path(2), Graph::path(3)]);
+/// let (labels, k) = connected_components(&g);
+/// assert_eq!(k, 2);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let mut label = vec![usize::MAX; g.node_count()];
+    let mut k = 0;
+    for s in g.nodes() {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        label[s] = k;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = k;
+                    queue.push_back(v);
+                }
+            }
+        }
+        k += 1;
+    }
+    (label, k)
+}
+
+/// Whether the graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() <= 1 || connected_components(g).1 == 1
+}
+
+/// The node sets of all components, each sorted, ordered by smallest node.
+pub fn component_members(g: &Graph) -> Vec<Vec<usize>> {
+    let (label, k) = connected_components(g);
+    let mut members = vec![Vec::new(); k];
+    for v in g.nodes() {
+        members[label[v]].push(v);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let (labels, k) = connected_components(&Graph::cycle(5));
+        assert_eq!(k, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert!(is_connected(&Graph::cycle(5)));
+    }
+
+    #[test]
+    fn isolated_nodes_are_components() {
+        let g = Graph::empty(4);
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 4);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+    }
+
+    #[test]
+    fn members_partition_nodes() {
+        let g = Graph::disjoint_union(&[Graph::path(3), Graph::cycle(4), Graph::empty(1)]);
+        let members = component_members(&g);
+        assert_eq!(members.len(), 3);
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 8);
+        assert_eq!(members[0], vec![0, 1, 2]);
+        assert_eq!(members[2], vec![7]);
+    }
+}

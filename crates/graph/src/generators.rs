@@ -1,0 +1,407 @@
+//! Graph families used by the experiments.
+//!
+//! All random generators take an explicit [`Prng`] so every experiment is
+//! reproducible from a seed.
+
+use crate::graph::{Graph, GraphBuilder};
+use locality_rand::prng::Prng;
+
+impl Graph {
+    /// Path `0 — 1 — … — (n-1)`.
+    pub fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (1..n).map(|v| (v - 1, v))).expect("path edges are valid")
+    }
+
+    /// Cycle on `n ≥ 3` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n < 3`.
+    pub fn cycle(n: usize) -> Graph {
+        assert!(n >= 3, "cycle needs at least 3 nodes");
+        Graph::from_edges(n, (0..n).map(|v| (v, (v + 1) % n))).expect("cycle edges are valid")
+    }
+
+    /// Complete graph `K_n`.
+    pub fn complete(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))))
+            .expect("complete edges are valid")
+    }
+
+    /// Star with center `0` and `n - 1` leaves.
+    pub fn star(n: usize) -> Graph {
+        Graph::from_edges(n, (1..n).map(|v| (0, v))).expect("star edges are valid")
+    }
+
+    /// `rows × cols` grid.
+    pub fn grid(rows: usize, cols: usize) -> Graph {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut b = GraphBuilder::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    b.add_edge(idx(r, c), idx(r, c + 1)).expect("grid edge");
+                }
+                if r + 1 < rows {
+                    b.add_edge(idx(r, c), idx(r + 1, c)).expect("grid edge");
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Complete `arity`-ary tree with the given number of `levels`
+    /// (one level = just the root).
+    ///
+    /// # Panics
+    /// Panics if `arity == 0` or `levels == 0`.
+    pub fn balanced_tree(arity: usize, levels: usize) -> Graph {
+        assert!(arity >= 1 && levels >= 1, "balanced_tree: invalid shape");
+        let mut edges = Vec::new();
+        let mut level_start = 0usize;
+        let mut level_size = 1usize;
+        let mut next = 1usize;
+        for _ in 1..levels {
+            for p in level_start..level_start + level_size {
+                for _ in 0..arity {
+                    edges.push((p, next));
+                    next += 1;
+                }
+            }
+            level_start += level_size;
+            level_size *= arity;
+        }
+        Graph::from_edges(next, edges).expect("tree edges are valid")
+    }
+
+    /// Uniform random labeled tree on `n` nodes (random attachment).
+    pub fn random_tree(n: usize, prng: &mut impl Prng) -> Graph {
+        let mut edges = Vec::with_capacity(n.saturating_sub(1));
+        for v in 1..n {
+            let parent = prng.uniform_below(v as u64) as usize;
+            edges.push((parent, v));
+        }
+        Graph::from_edges(n, edges).expect("tree edges are valid")
+    }
+
+    /// Erdős–Rényi `G(n, p)`.
+    pub fn gnp(n: usize, p: f64, prng: &mut impl Prng) -> Graph {
+        assert!((0.0..=1.0).contains(&p), "gnp: p must be a probability");
+        let mut b = GraphBuilder::new(n);
+        if p <= 0.0 {
+            return b.build();
+        }
+        if p >= 1.0 {
+            return Graph::complete(n);
+        }
+        // Geometric skipping (Batagelj–Brandes) for sparse graphs.
+        let log_q = (1.0 - p).ln();
+        let (mut u, mut v) = (1usize, 0usize);
+        while u < n {
+            let r = prng.uniform_f64().max(f64::MIN_POSITIVE);
+            let skip = (r.ln() / log_q).floor() as usize + 1;
+            v += skip;
+            while v >= u && u < n {
+                v -= u;
+                u += 1;
+            }
+            if u < n {
+                b.add_edge(u, v).expect("gnp edge");
+            }
+        }
+        b.build()
+    }
+
+    /// `G(n, p)` plus a uniform random spanning tree, guaranteeing
+    /// connectivity while keeping the G(n,p) local structure.
+    pub fn gnp_connected(n: usize, p: f64, prng: &mut impl Prng) -> Graph {
+        let gnp = Graph::gnp(n, p, prng);
+        let tree = Graph::random_tree(n, prng);
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in gnp.edges().chain(tree.edges()) {
+            b.add_edge(u, v).expect("edge");
+        }
+        b.build()
+    }
+
+    /// A ring of `k` cliques of size `s` each, consecutive cliques joined by
+    /// a single bridge edge — high-girth-ish global structure with dense
+    /// local neighborhoods; a classic stress case for clustering.
+    ///
+    /// # Panics
+    /// Panics if `k < 3` or `s < 1`.
+    pub fn ring_of_cliques(k: usize, s: usize) -> Graph {
+        assert!(k >= 3 && s >= 1, "ring_of_cliques: need k >= 3, s >= 1");
+        let mut b = GraphBuilder::new(k * s);
+        for c in 0..k {
+            let base = c * s;
+            for i in 0..s {
+                for j in i + 1..s {
+                    b.add_edge(base + i, base + j).expect("clique edge");
+                }
+            }
+            let next_base = ((c + 1) % k) * s;
+            b.add_edge(base, next_base).expect("bridge edge");
+        }
+        b.build()
+    }
+
+    /// The `d`-dimensional hypercube (`2^d` nodes).
+    ///
+    /// # Panics
+    /// Panics if `d > 20`.
+    pub fn hypercube(d: u32) -> Graph {
+        assert!(d <= 20, "hypercube dimension too large");
+        let n = 1usize << d;
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n {
+            for bit in 0..d {
+                let u = v ^ (1 << bit);
+                if u > v {
+                    b.add_edge(v, u).expect("hypercube edge");
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Random `d`-regular-ish multigraph via the configuration model with
+    /// self-loops/duplicates dropped (so degrees may fall slightly below `d`).
+    ///
+    /// # Panics
+    /// Panics if `n * d` is odd.
+    pub fn random_regular(n: usize, d: usize, prng: &mut impl Prng) -> Graph {
+        assert!(n * d % 2 == 0, "random_regular: n*d must be even");
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            let j = prng.uniform_below(i as u64 + 1) as usize;
+            stubs.swap(i, j);
+        }
+        let mut b = GraphBuilder::new(n);
+        for pair in stubs.chunks_exact(2) {
+            if pair[0] != pair[1] {
+                b.add_edge(pair[0], pair[1]).expect("regular edge");
+            }
+        }
+        b.build()
+    }
+
+    /// Disjoint union of graphs (components are offset consecutively).
+    pub fn disjoint_union(parts: &[Graph]) -> Graph {
+        let n: usize = parts.iter().map(|g| g.node_count()).sum();
+        let mut b = GraphBuilder::new(n);
+        let mut offset = 0;
+        for g in parts {
+            for (u, v) in g.edges() {
+                b.add_edge(u + offset, v + offset).expect("union edge");
+            }
+            offset += g.node_count();
+        }
+        b.build()
+    }
+}
+
+/// A named family of benchmark graphs, so experiments can sweep uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Sparse connected `G(n, c/n)`-plus-tree.
+    GnpSparse,
+    /// Uniform random tree.
+    RandomTree,
+    /// 2-D grid (as square as possible).
+    Grid,
+    /// Cycle.
+    Cycle,
+    /// Ring of √n cliques of size √n.
+    RingOfCliques,
+    /// Random 4-regular.
+    Regular4,
+}
+
+impl Family {
+    /// All families (for sweeps).
+    pub const ALL: [Family; 6] = [
+        Family::GnpSparse,
+        Family::RandomTree,
+        Family::Grid,
+        Family::Cycle,
+        Family::RingOfCliques,
+        Family::Regular4,
+    ];
+
+    /// A short stable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::GnpSparse => "gnp",
+            Family::RandomTree => "tree",
+            Family::Grid => "grid",
+            Family::Cycle => "cycle",
+            Family::RingOfCliques => "cliquering",
+            Family::Regular4 => "reg4",
+        }
+    }
+
+    /// Instantiate the family at (approximately) `n` nodes.
+    pub fn generate(&self, n: usize, prng: &mut impl Prng) -> Graph {
+        match self {
+            Family::GnpSparse => Graph::gnp_connected(n, 3.0 / n.max(1) as f64, prng),
+            Family::RandomTree => Graph::random_tree(n, prng),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                Graph::grid(side, side)
+            }
+            Family::Cycle => Graph::cycle(n.max(3)),
+            Family::RingOfCliques => {
+                let s = (n as f64).sqrt().round().max(1.0) as usize;
+                let k = (n / s).max(3);
+                Graph::ring_of_cliques(k, s)
+            }
+            Family::Regular4 => {
+                let n = if n % 2 == 1 { n + 1 } else { n };
+                Graph::random_regular(n, 4, prng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use locality_rand::prng::SplitMix64;
+
+    #[test]
+    fn path_shape() {
+        let g = Graph::path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn path_degenerate() {
+        assert_eq!(Graph::path(0).node_count(), 0);
+        assert_eq!(Graph::path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = Graph::cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = Graph::complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = Graph::star(7);
+        assert_eq!(g.degree(0), 6);
+        assert!(g.nodes().skip(1).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = Graph::grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 17.
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = Graph::balanced_tree(2, 4); // 1+2+4+8 = 15 nodes
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut p = SplitMix64::new(1);
+        for n in [1, 2, 10, 100] {
+            let g = Graph::random_tree(n, &mut p);
+            assert_eq!(g.edge_count(), n.saturating_sub(1));
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut p = SplitMix64::new(2);
+        assert_eq!(Graph::gnp(10, 0.0, &mut p).edge_count(), 0);
+        assert_eq!(Graph::gnp(10, 1.0, &mut p).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_density_plausible() {
+        let mut p = SplitMix64::new(3);
+        let n = 300;
+        let prob = 0.05;
+        let g = Graph::gnp(n, prob, &mut p);
+        let expected = prob * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < 6.0 * expected.sqrt(),
+            "edges {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        let mut p = SplitMix64::new(4);
+        let g = Graph::gnp_connected(200, 0.005, &mut p);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ring_of_cliques_shape() {
+        let g = Graph::ring_of_cliques(4, 3);
+        assert_eq!(g.node_count(), 12);
+        // 4 cliques × 3 edges + 4 bridges = 16.
+        assert_eq!(g.edge_count(), 16);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = Graph::hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn random_regular_degrees_bounded() {
+        let mut p = SplitMix64::new(5);
+        let g = Graph::random_regular(100, 4, &mut p);
+        assert!(g.nodes().all(|v| g.degree(v) <= 4));
+        // Most stubs survive dedup.
+        assert!(g.edge_count() >= 180, "edges {}", g.edge_count());
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let g = Graph::disjoint_union(&[Graph::path(3), Graph::cycle(3)]);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn families_generate_and_are_nonempty() {
+        let mut p = SplitMix64::new(6);
+        for fam in Family::ALL {
+            let g = fam.generate(64, &mut p);
+            assert!(g.node_count() >= 60, "{}: n={}", fam.name(), g.node_count());
+            assert!(!fam.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The core immutable undirected graph type (CSR layout).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error building or validating a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a node `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop was supplied (the LOCAL model is on simple graphs).
+    SelfLoop {
+        /// The node with the loop.
+        node: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An immutable, simple, undirected graph in CSR (compressed sparse row)
+/// form. Nodes are `0..n`; neighbor lists are sorted and deduplicated.
+///
+/// # Example
+/// ```
+/// use locality_graph::Graph;
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(2, 3));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adjacency: Vec<usize>,
+}
+
+impl Graph {
+    /// Build from an edge list over nodes `0..n`.
+    ///
+    /// Duplicate edges are collapsed; `(u, v)` and `(v, u)` are the same edge.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`;
+    /// [`GraphError::SelfLoop`] if `u == v` for some edge.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, GraphError> {
+        let mut builder = GraphBuilder::new(n);
+        for (u, v) in edges {
+            builder.add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// The empty graph on `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree ∆ (zero for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether the edge `{u, v}` exists (binary search; `O(log deg)`).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.node_count() && v < self.node_count() && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterate all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.node_count()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterate all nodes `0..n`.
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        0..self.node_count()
+    }
+
+    /// `⌈log2(n + 1)⌉` — the standard message/ID width used by CONGEST
+    /// accounting. At least 1 even for tiny graphs.
+    pub fn log2_n(&self) -> u32 {
+        let n = self.node_count().max(2) as u64;
+        64 - (n - 1).leading_zeros() as u32
+    }
+}
+
+/// Incremental builder for [`Graph`] (see `C-BUILDER`).
+///
+/// # Example
+/// ```
+/// use locality_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(1, 2).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Add the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(self)
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Finalize into a CSR [`Graph`], deduplicating edges.
+    pub fn build(&self) -> Graph {
+        let mut edges = self.edges.clone();
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut degree = vec![0usize; self.n];
+        for &(u, v) in &edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0);
+        for v in 0..self.n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![0usize; edges.len() * 2];
+        for &(u, v) in &edges {
+            adjacency[cursor[u]] = v;
+            cursor[u] += 1;
+            adjacency[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Sorted edge insertion order guarantees each neighbor list is sorted
+        // for the `u` side, but the `v` side receives in `u`-order which is
+        // also sorted. Defensive sort for clarity and future-proofing:
+        for v in 0..self.n {
+            adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, adjacency }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.neighbors(3), &[] as &[usize]);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_collapse() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert_eq!(
+            Graph::from_edges(3, [(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let e = Graph::from_edges(3, [(0, 5)]).unwrap_err();
+        assert_eq!(e, GraphError::NodeOutOfRange { node: 5, n: 3 });
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = Graph::from_edges(4, [(3, 0), (2, 1)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn has_edge_handles_out_of_range() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 9));
+        assert!(!g.has_edge(9, 0));
+    }
+
+    #[test]
+    fn log2_n_values() {
+        assert_eq!(Graph::empty(2).log2_n(), 1);
+        assert_eq!(Graph::empty(4).log2_n(), 2);
+        assert_eq!(Graph::empty(5).log2_n(), 3);
+        assert_eq!(Graph::empty(1024).log2_n(), 10);
+        // Degenerate sizes still give a positive width.
+        assert!(Graph::empty(0).log2_n() >= 1);
+        assert!(Graph::empty(1).log2_n() >= 1);
+    }
+
+    #[test]
+    fn builder_is_reusable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        let g1 = b.build();
+        b.add_edge(1, 2).unwrap();
+        let g2 = b.build();
+        assert_eq!(g1.edge_count(), 1);
+        assert_eq!(g2.edge_count(), 2);
+    }
+}

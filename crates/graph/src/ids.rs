@@ -1,0 +1,158 @@
+//! Unique node identifiers with `Θ(log n)` bits.
+//!
+//! The LOCAL model assumes each node carries a unique identifier from a space
+//! of size `poly(n)`; deterministic algorithms (ruling sets, the sequential
+//! orderings of SLOCAL) break symmetry *only* through these bits, so their
+//! width matters and is explicit here.
+
+use crate::graph::Graph;
+use locality_rand::prng::Prng;
+
+/// An assignment of distinct identifiers to the nodes `0..n`.
+///
+/// # Example
+/// ```
+/// use locality_graph::ids::IdAssignment;
+/// let ids = IdAssignment::sequential(5);
+/// assert_eq!(ids.id_of(3), 4);
+/// assert!(ids.bit_len() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdAssignment {
+    ids: Vec<u64>,
+    bit_len: u32,
+}
+
+impl IdAssignment {
+    /// Sequential ids `1..=n` (the friendliest adversary).
+    pub fn sequential(n: usize) -> Self {
+        Self::from_ids((1..=n as u64).collect()).expect("sequential ids are distinct")
+    }
+
+    /// A random permutation of `1..=n^c` restricted to `n` distinct values —
+    /// the standard "ids from a space of size n^c" assumption.
+    ///
+    /// # Panics
+    /// Panics if `c == 0` or the id space overflows `u64`.
+    pub fn random(n: usize, c: u32, prng: &mut impl Prng) -> Self {
+        assert!(c >= 1, "id space exponent must be positive");
+        let space = (n.max(2) as u64)
+            .checked_pow(c)
+            .expect("id space must fit in u64");
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            loop {
+                let candidate = prng.uniform_below(space) + 1;
+                if chosen.insert(candidate) {
+                    ids.push(candidate);
+                    break;
+                }
+            }
+        }
+        Self::from_ids(ids).expect("sampled ids are distinct")
+    }
+
+    /// Wrap explicit ids.
+    ///
+    /// Returns `None` if the ids are not pairwise distinct or contain 0
+    /// (id 0 is reserved as "no id" in wire formats).
+    pub fn from_ids(ids: Vec<u64>) -> Option<Self> {
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) || sorted.first() == Some(&0) {
+            return None;
+        }
+        let max = sorted.last().copied().unwrap_or(1);
+        let bit_len = 64 - max.leading_zeros();
+        Some(Self { ids, bit_len })
+    }
+
+    /// The id of node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn id_of(&self, v: usize) -> u64 {
+        self.ids[v]
+    }
+
+    /// Node with the given id, if any (linear scan; test/debug helper).
+    pub fn node_of(&self, id: u64) -> Option<usize> {
+        self.ids.iter().position(|&x| x == id)
+    }
+
+    /// Width of the largest id in bits.
+    pub fn bit_len(&self) -> u32 {
+        self.bit_len
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Bit `b` (0 = least significant) of node `v`'s id.
+    pub fn id_bit(&self, v: usize, b: u32) -> bool {
+        (self.ids[v] >> b) & 1 == 1
+    }
+
+    /// Check compatibility with a graph.
+    pub fn matches(&self, g: &Graph) -> bool {
+        self.ids.len() == g.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_rand::prng::SplitMix64;
+
+    #[test]
+    fn sequential_basics() {
+        let ids = IdAssignment::sequential(8);
+        assert_eq!(ids.len(), 8);
+        assert_eq!(ids.id_of(0), 1);
+        assert_eq!(ids.bit_len(), 4); // max id 8 needs 4 bits
+        assert_eq!(ids.node_of(8), Some(7));
+        assert_eq!(ids.node_of(99), None);
+    }
+
+    #[test]
+    fn random_ids_are_distinct_and_bounded() {
+        let mut p = SplitMix64::new(3);
+        let ids = IdAssignment::random(50, 3, &mut p);
+        let mut seen = std::collections::BTreeSet::new();
+        for v in 0..50 {
+            let id = ids.id_of(v);
+            assert!(id >= 1 && id <= 50u64.pow(3));
+            assert!(seen.insert(id));
+        }
+        assert!(ids.bit_len() <= 17);
+    }
+
+    #[test]
+    fn duplicate_or_zero_ids_rejected() {
+        assert!(IdAssignment::from_ids(vec![1, 2, 2]).is_none());
+        assert!(IdAssignment::from_ids(vec![0, 1]).is_none());
+        assert!(IdAssignment::from_ids(vec![7, 3]).is_some());
+    }
+
+    #[test]
+    fn id_bits() {
+        let ids = IdAssignment::from_ids(vec![0b101]).unwrap();
+        assert!(ids.id_bit(0, 0));
+        assert!(!ids.id_bit(0, 1));
+        assert!(ids.id_bit(0, 2));
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let ids = IdAssignment::from_ids(vec![]).unwrap();
+        assert!(ids.is_empty());
+    }
+}

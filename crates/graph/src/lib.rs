@@ -1,0 +1,61 @@
+//! Graph substrate for the `locality` workspace.
+//!
+//! The LOCAL/CONGEST model runs on arbitrary undirected graphs; the paper's
+//! algorithms additionally manipulate *cluster graphs* (quotients by a
+//! clustering) and *graph powers*. This crate provides:
+//!
+//! - [`Graph`]: an immutable CSR (compressed sparse row) undirected graph;
+//! - [`generators`]: deterministic and seeded random graph families used by
+//!   the experiments (paths, grids, trees, G(n,p), rings of cliques, …);
+//! - [`traversal`]: BFS distances, balls, multi-source BFS;
+//! - [`components`]: connected components;
+//! - [`power`]: the power graph `G^k`;
+//! - [`cluster`]: quotient/cluster graphs with member maps;
+//! - [`subgraph`]: induced subgraphs with index mappings;
+//! - [`metrics`]: diameters, eccentricities, degeneracy;
+//! - [`ids`]: `Θ(log n)`-bit unique identifier assignments.
+//!
+//! # Example
+//! ```
+//! use locality_graph::prelude::*;
+//! use locality_rand::prelude::*;
+//!
+//! let g = Graph::gnp(100, 0.05, &mut SplitMix64::new(1));
+//! assert_eq!(g.node_count(), 100);
+//! let dist = bfs_distances(&g, 0);
+//! assert_eq!(dist[0], Some(0));
+//! ```
+
+// Bracketed citation keys ([EN16], [GKM17], ...) are bibliography
+// references, not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod components;
+pub mod dot;
+pub mod generators;
+pub mod graph;
+pub mod ids;
+pub mod metrics;
+pub mod power;
+pub mod subgraph;
+pub mod traversal;
+
+pub use cluster::{ClusterGraph, Clustering};
+pub use graph::{Graph, GraphBuilder, GraphError};
+pub use ids::IdAssignment;
+pub use subgraph::InducedSubgraph;
+
+/// The most used items.
+pub mod prelude {
+    pub use crate::cluster::{ClusterGraph, Clustering};
+    pub use crate::components::{connected_components, is_connected};
+    pub use crate::graph::{Graph, GraphBuilder, GraphError};
+    pub use crate::ids::IdAssignment;
+    pub use crate::metrics::{diameter, eccentricity};
+    pub use crate::power::power_graph;
+    pub use crate::subgraph::InducedSubgraph;
+    pub use crate::traversal::{ball, bfs_distances, bounded_bfs_distances, multi_source_bfs};
+}

@@ -1,0 +1,156 @@
+//! Graph metrics: eccentricity, diameter, subset diameters, degeneracy.
+
+use crate::graph::Graph;
+use crate::subgraph::InducedSubgraph;
+use crate::traversal::bfs_distances;
+
+/// Eccentricity of `v`: max distance to any reachable node (`0` for a node
+/// with no neighbors).
+///
+/// # Panics
+/// Panics if `v` is out of range.
+pub fn eccentricity(g: &Graph, v: usize) -> u32 {
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
+}
+
+/// Exact diameter via all-pairs BFS — `None` for a disconnected graph,
+/// `Some(0)` for `n ≤ 1`.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.node_count() <= 1 {
+        return Some(0);
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        let d = bfs_distances(g, v);
+        if d.iter().any(|x| x.is_none()) {
+            return None;
+        }
+        best = best.max(d.into_iter().flatten().max().unwrap_or(0));
+    }
+    Some(best)
+}
+
+/// Diameter of the subgraph induced by `nodes` — the *strong diameter* notion
+/// used by network decompositions: distances must stay inside the set.
+/// `None` if the induced subgraph is disconnected; `Some(0)` for `|S| ≤ 1`.
+pub fn induced_diameter(g: &Graph, nodes: &[usize]) -> Option<u32> {
+    let sub = InducedSubgraph::new(g, nodes);
+    diameter(sub.graph())
+}
+
+/// Weak diameter of `nodes`: max over pairs of their distance in the *whole*
+/// graph `g`. `None` if some pair is disconnected in `g`.
+pub fn weak_diameter(g: &Graph, nodes: &[usize]) -> Option<u32> {
+    let mut best = 0;
+    for &v in nodes {
+        let d = bfs_distances(g, v);
+        for &u in nodes {
+            match d[u] {
+                Some(x) => best = best.max(x),
+                None => return None,
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Degeneracy: the smallest `d` such that every subgraph has a node of degree
+/// `≤ d` (computed by the standard peeling order).
+pub fn degeneracy(g: &Graph) -> usize {
+    let n = g.node_count();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let max_deg = g.max_degree();
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v);
+    }
+    let mut degen = 0;
+    let mut processed = 0;
+    let mut cursor = 0;
+    while processed < n {
+        // Find the lowest non-empty bucket at or below the cursor, else scan up.
+        cursor = cursor.min(degree.len().saturating_sub(1));
+        let mut d = 0;
+        let v = loop {
+            if let Some(&v) = buckets[d].last() {
+                if !removed[v] && degree[v] == d {
+                    buckets[d].pop();
+                    break v;
+                }
+                buckets[d].pop();
+                continue;
+            }
+            d += 1;
+            if d > max_deg {
+                // All remaining are stale entries; rebuild (rare).
+                for v in 0..n {
+                    if !removed[v] {
+                        buckets[degree[v]].push(v);
+                    }
+                }
+                d = 0;
+            }
+        };
+        removed[v] = true;
+        processed += 1;
+        degen = degen.max(degree[v]);
+        for &w in g.neighbors(v) {
+            if !removed[w] {
+                degree[w] -= 1;
+                buckets[degree[w]].push(w);
+            }
+        }
+    }
+    degen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_diameter() {
+        assert_eq!(diameter(&Graph::path(6)), Some(5));
+        assert_eq!(eccentricity(&Graph::path(6), 0), 5);
+        assert_eq!(eccentricity(&Graph::path(6), 3), 3);
+    }
+
+    #[test]
+    fn disconnected_diameter_is_none() {
+        let g = Graph::disjoint_union(&[Graph::path(2), Graph::path(2)]);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn trivial_diameters() {
+        assert_eq!(diameter(&Graph::empty(0)), Some(0));
+        assert_eq!(diameter(&Graph::empty(1)), Some(0));
+        assert_eq!(diameter(&Graph::complete(5)), Some(1));
+    }
+
+    #[test]
+    fn induced_vs_weak_diameter() {
+        // On a cycle, the two endpoints of a long arc are close in G but far
+        // in the induced subgraph.
+        let g = Graph::cycle(8);
+        let arc = [0, 1, 2, 3, 4];
+        assert_eq!(induced_diameter(&g, &arc), Some(4));
+        assert_eq!(weak_diameter(&g, &[0, 4]), Some(4));
+        assert_eq!(weak_diameter(&g, &[0, 3]), Some(3));
+        // A split set: induced disconnected, weak still finite.
+        let split = [0, 4];
+        assert_eq!(induced_diameter(&g, &split), None);
+        assert!(weak_diameter(&g, &split).is_some());
+    }
+
+    #[test]
+    fn degeneracy_values() {
+        assert_eq!(degeneracy(&Graph::path(10)), 1);
+        assert_eq!(degeneracy(&Graph::cycle(10)), 2);
+        assert_eq!(degeneracy(&Graph::complete(5)), 4);
+        assert_eq!(degeneracy(&Graph::star(10)), 1);
+        assert_eq!(degeneracy(&Graph::empty(3)), 0);
+        assert_eq!(degeneracy(&Graph::grid(4, 4)), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Graph powers `G^k`.
+//!
+//! `G^k` joins every pair of distinct nodes at distance `≤ k` in `G`. The
+//! derandomization theory of [GKM17, GHK18] runs network decomposition on a
+//! polylogarithmic power of the input graph, so the experiments need this.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::traversal::bounded_bfs_distances;
+
+/// Compute `G^k` (BFS from every node with cutoff `k`; `O(n·(n + m))` in the
+/// worst case, intended for the simulation scales of this workspace).
+///
+/// # Example
+/// ```
+/// use locality_graph::prelude::*;
+/// let p = Graph::path(4);
+/// let p2 = power_graph(&p, 2);
+/// assert!(p2.has_edge(0, 2));
+/// assert!(!p2.has_edge(0, 3));
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn power_graph(g: &Graph, k: u32) -> Graph {
+    assert!(k >= 1, "power_graph: k must be at least 1");
+    if k == 1 {
+        return g.clone();
+    }
+    let mut b = GraphBuilder::new(g.node_count());
+    for u in g.nodes() {
+        let dist = bounded_bfs_distances(g, u, k);
+        for v in g.nodes() {
+            if v > u && dist[v].is_some() {
+                b.add_edge(u, v).expect("power edge");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::distance;
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = Graph::grid(3, 3);
+        assert_eq!(power_graph(&g, 1), g);
+    }
+
+    #[test]
+    fn cycle_squared() {
+        let g = Graph::cycle(6);
+        let g2 = power_graph(&g, 2);
+        assert!(g2.nodes().all(|v| g2.degree(v) == 4));
+        assert_eq!(g2.edge_count(), 12);
+    }
+
+    #[test]
+    fn large_power_is_componentwise_clique() {
+        let g = Graph::disjoint_union(&[Graph::path(4), Graph::path(3)]);
+        let gp = power_graph(&g, 10);
+        assert!(gp.has_edge(0, 3));
+        assert!(gp.has_edge(4, 6));
+        assert!(!gp.has_edge(3, 4));
+    }
+
+    #[test]
+    fn power_edge_iff_distance_le_k() {
+        let g = Graph::grid(3, 4);
+        let k = 3;
+        let gk = power_graph(&g, k);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u < v {
+                    let close = matches!(distance(&g, u, v), Some(d) if d <= k);
+                    assert_eq!(gk.has_edge(u, v), close, "pair ({u},{v})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Induced subgraphs with index mappings.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// The subgraph induced by a node subset, with maps between original and
+/// local indices.
+///
+/// # Example
+/// ```
+/// use locality_graph::prelude::*;
+/// let g = Graph::cycle(5);
+/// let sub = InducedSubgraph::new(&g, &[0, 1, 3]);
+/// assert_eq!(sub.graph().node_count(), 3);
+/// assert_eq!(sub.graph().edge_count(), 1); // only 0–1 survives
+/// assert_eq!(sub.to_original(0), 0);
+/// assert_eq!(sub.to_local(3), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    graph: Graph,
+    originals: Vec<usize>,
+    local_of: Vec<Option<usize>>,
+}
+
+impl InducedSubgraph {
+    /// Induce on `nodes` (deduplicated, sorted).
+    ///
+    /// # Panics
+    /// Panics if any node is out of range.
+    pub fn new(g: &Graph, nodes: &[usize]) -> Self {
+        let mut originals: Vec<usize> = nodes.to_vec();
+        originals.sort_unstable();
+        originals.dedup();
+        let mut local_of = vec![None; g.node_count()];
+        for (i, &v) in originals.iter().enumerate() {
+            assert!(v < g.node_count(), "subgraph node out of range");
+            local_of[v] = Some(i);
+        }
+        let mut b = GraphBuilder::new(originals.len());
+        for (i, &v) in originals.iter().enumerate() {
+            for &w in g.neighbors(v) {
+                if let Some(j) = local_of[w] {
+                    if j > i {
+                        b.add_edge(i, j).expect("local edge");
+                    }
+                }
+            }
+        }
+        Self {
+            graph: b.build(),
+            originals,
+            local_of,
+        }
+    }
+
+    /// The induced graph over local indices `0..k`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Original index of local node `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn to_original(&self, i: usize) -> usize {
+        self.originals[i]
+    }
+
+    /// Local index of original node `v`, if included.
+    pub fn to_local(&self, v: usize) -> Option<usize> {
+        self.local_of.get(v).copied().flatten()
+    }
+
+    /// The included original nodes, sorted.
+    pub fn originals(&self) -> &[usize] {
+        &self.originals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induce_preserves_internal_edges() {
+        let g = Graph::complete(5);
+        let sub = InducedSubgraph::new(&g, &[1, 2, 4]);
+        assert_eq!(sub.graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let g = Graph::path(3);
+        let sub = InducedSubgraph::new(&g, &[]);
+        assert_eq!(sub.graph().node_count(), 0);
+    }
+
+    #[test]
+    fn duplicates_deduplicated() {
+        let g = Graph::path(3);
+        let sub = InducedSubgraph::new(&g, &[2, 2, 0, 0]);
+        assert_eq!(sub.graph().node_count(), 2);
+        assert_eq!(sub.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn index_maps_are_inverse() {
+        let g = Graph::grid(3, 3);
+        let nodes = [8, 1, 5, 3];
+        let sub = InducedSubgraph::new(&g, &nodes);
+        for i in 0..sub.graph().node_count() {
+            assert_eq!(sub.to_local(sub.to_original(i)), Some(i));
+        }
+        assert_eq!(sub.to_local(0), None);
+    }
+}

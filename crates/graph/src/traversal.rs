@@ -1,0 +1,237 @@
+//! Breadth-first traversal primitives.
+//!
+//! Distances are `Option<u32>` (`None` = unreachable); all functions are
+//! `O(n + m)` or bounded-radius variants thereof.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// BFS distances from a single source.
+///
+/// # Example
+/// ```
+/// use locality_graph::prelude::*;
+/// let g = Graph::path(4);
+/// assert_eq!(bfs_distances(&g, 0), vec![Some(0), Some(1), Some(2), Some(3)]);
+/// ```
+///
+/// # Panics
+/// Panics if `src` is out of range.
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<Option<u32>> {
+    bounded_bfs_distances(g, src, u32::MAX)
+}
+
+/// BFS distances from `src`, exploring only up to distance `radius`.
+///
+/// # Panics
+/// Panics if `src` is out of range.
+pub fn bounded_bfs_distances(g: &Graph, src: usize, radius: u32) -> Vec<Option<u32>> {
+    assert!(src < g.node_count(), "bfs source out of range");
+    let mut dist = vec![None; g.node_count()];
+    dist[src] = Some(0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        if du >= radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source BFS: for every node, the distance to the nearest source and
+/// that source's identity (ties broken toward the smallest source index,
+/// which is the deterministic tie-break used throughout the paper's cluster
+/// constructions).
+///
+/// Returns `(dist, nearest)`; unreachable nodes have `None` in both.
+pub fn multi_source_bfs(g: &Graph, sources: &[usize]) -> (Vec<Option<u32>>, Vec<Option<usize>>) {
+    let mut dist = vec![None; g.node_count()];
+    let mut nearest = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    let mut sorted: Vec<usize> = sources.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for &s in &sorted {
+        assert!(s < g.node_count(), "bfs source out of range");
+        dist[s] = Some(0);
+        nearest[s] = Some(s);
+        queue.push_back(s);
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        let su = nearest[u].expect("queued nodes have sources");
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                nearest[v] = Some(su);
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, nearest)
+}
+
+/// The ball `B(v, r)`: all nodes at distance `≤ r` from `v`, in BFS order.
+///
+/// # Panics
+/// Panics if `v` is out of range.
+pub fn ball(g: &Graph, v: usize, r: u32) -> Vec<usize> {
+    let dist = bounded_bfs_distances(g, v, r);
+    let mut nodes: Vec<usize> = g.nodes().filter(|&u| dist[u].is_some()).collect();
+    nodes.sort_by_key(|&u| (dist[u], u));
+    nodes
+}
+
+/// BFS tree parents from `src` (`parent[src] = src`; `None` if unreachable).
+pub fn bfs_parents(g: &Graph, src: usize) -> Vec<Option<usize>> {
+    assert!(src < g.node_count(), "bfs source out of range");
+    let mut parent = vec![None; g.node_count()];
+    parent[src] = Some(src);
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if parent[v].is_none() {
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// Distance between two nodes (`None` if disconnected).
+pub fn distance(g: &Graph, u: usize, v: usize) -> Option<u32> {
+    bfs_distances(g, u)[v]
+}
+
+/// BFS distances within the sub-universe `alive` (nodes outside are
+/// impassable). `src` must be alive.
+///
+/// # Panics
+/// Panics if `src` is out of range or not alive.
+pub fn bfs_distances_within(
+    g: &Graph,
+    src: usize,
+    alive: &[bool],
+    radius: u32,
+) -> Vec<Option<u32>> {
+    assert!(src < g.node_count() && alive[src], "source must be alive");
+    let mut dist = vec![None; g.node_count()];
+    dist[src] = Some(0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        if du >= radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if alive[v] && dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = Graph::cycle(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(
+            d,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(2), Some(1)]
+        );
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::disjoint_union(&[Graph::path(2), Graph::path(2)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn bounded_bfs_cuts_off() {
+        let g = Graph::path(10);
+        let d = bounded_bfs_distances(&g, 0, 3);
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn multi_source_nearest_and_tiebreak() {
+        let g = Graph::path(7);
+        let (d, s) = multi_source_bfs(&g, &[6, 0]);
+        assert_eq!(d[3], Some(3));
+        // Node 3 is equidistant; the smaller source index wins.
+        assert_eq!(s[3], Some(0));
+        assert_eq!(s[5], Some(6));
+        assert_eq!(d[0], Some(0));
+    }
+
+    #[test]
+    fn multi_source_empty_sources() {
+        let g = Graph::path(3);
+        let (d, s) = multi_source_bfs(&g, &[]);
+        assert!(d.iter().all(|x| x.is_none()));
+        assert!(s.iter().all(|x| x.is_none()));
+    }
+
+    #[test]
+    fn ball_contents() {
+        let g = Graph::star(6);
+        let b = ball(&g, 0, 1);
+        assert_eq!(b.len(), 6);
+        let b0 = ball(&g, 1, 0);
+        assert_eq!(b0, vec![1]);
+        let b2 = ball(&g, 1, 2);
+        assert_eq!(b2.len(), 6); // leaf -> center -> all leaves
+    }
+
+    #[test]
+    fn parents_form_tree() {
+        let g = Graph::grid(3, 3);
+        let p = bfs_parents(&g, 4);
+        assert_eq!(p[4], Some(4));
+        // Every reachable node's parent is strictly closer to the root.
+        let d = bfs_distances(&g, 4);
+        for v in g.nodes() {
+            if v != 4 {
+                let parent = p[v].expect("grid is connected");
+                assert_eq!(d[parent].unwrap() + 1, d[v].unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let g = Graph::grid(4, 5);
+        assert_eq!(distance(&g, 0, 19), distance(&g, 19, 0));
+        assert_eq!(distance(&g, 0, 19), Some(7));
+    }
+
+    #[test]
+    fn bfs_within_respects_alive_mask() {
+        let g = Graph::path(5);
+        let mut alive = vec![true; 5];
+        alive[2] = false; // cut the path
+        let d = bfs_distances_within(&g, 0, &alive, u32::MAX);
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+}

@@ -1,0 +1,263 @@
+//! Small-bias (ε-biased) bit spaces — Naor & Naor [NN93] / AGHP.
+//!
+//! Lemma 3.4 of the paper invokes Naor–Naor spaces to solve the splitting
+//! problem with only `O(log n)` bits of shared randomness. We implement the
+//! *powering* construction of Alon–Goldreich–Håstad–Peralta: the seed is a
+//! pair `(x, y)` of elements of GF(2^64) (128 truly random bits) and
+//!
+//! ```text
+//!     r_i = ⟨ x^i , y ⟩   (inner product of bit vectors, i = 1, 2, …)
+//! ```
+//!
+//! For every nonempty index set `S ⊆ {1..n}`, the parity `⊕_{i∈S} r_i` equals
+//! `⟨ p(x), y ⟩` with `p` the nonzero polynomial `Σ_{i∈S} z^i`; it is biased
+//! only when `p(x) = 0`, which happens for at most `n` of the `2^64` choices
+//! of `x`. Hence the space is ε-biased with `ε ≤ n / 2^64`.
+
+use crate::source::{BitSource, Exhausted};
+
+/// Reduction polynomial for GF(2^64): `x^64 + x^4 + x^3 + x + 1`.
+const GF64_POLY: u64 = 0b11011;
+
+/// Carry-less multiplication in GF(2^64) (software, constant 64-step loop).
+#[inline]
+fn gf64_mul(a: u64, b: u64) -> u64 {
+    // Polynomial multiplication into 128 bits.
+    let mut hi = 0u64;
+    let mut lo = 0u64;
+    for i in 0..64 {
+        if (b >> i) & 1 == 1 {
+            lo ^= a << i;
+            if i > 0 {
+                hi ^= a >> (64 - i);
+            }
+        }
+    }
+    // Reduce the high half: x^64 ≡ x^4 + x^3 + x + 1.
+    // Two folding passes suffice because GF64_POLY has degree 4 < 32.
+    let mut acc = lo;
+    let mut carry = hi;
+    for _ in 0..2 {
+        if carry == 0 {
+            break;
+        }
+        let mut new_carry = 0u64;
+        let mut folded = 0u64;
+        for i in 0..64 {
+            if (carry >> i) & 1 == 1 {
+                folded ^= GF64_POLY << i;
+                if i >= 60 {
+                    new_carry ^= GF64_POLY >> (64 - i);
+                }
+            }
+        }
+        acc ^= folded;
+        carry = new_carry;
+    }
+    acc
+}
+
+/// An ε-biased space over `2^64` addressable bits with `ε ≤ n / 2^64` for the
+/// first `n` indices, from a 128-bit seed.
+///
+/// # Example
+/// ```
+/// use locality_rand::prelude::*;
+/// let mut src = PrngSource::seeded(3);
+/// let eb = EpsBiasedBits::from_source(&mut src).unwrap();
+/// assert_eq!(src.bits_drawn(), 128);
+/// let (a, b) = (eb.bit(1), eb.bit(2));
+/// let _ = a ^ b;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpsBiasedBits {
+    x: u64,
+    y: u64,
+}
+
+impl EpsBiasedBits {
+    /// Build from an explicit 128-bit seed `(x, y)`.
+    ///
+    /// A zero `x` yields the all-`bit(0)` degenerate point of the sample
+    /// space; it is a legal (measure `2^-64`) seed and is accepted.
+    pub fn from_seed(x: u64, y: u64) -> Self {
+        Self { x, y }
+    }
+
+    /// Draw the 128-bit seed from a bit source.
+    ///
+    /// # Errors
+    /// Returns [`Exhausted`] if fewer than 128 bits remain.
+    pub fn from_source(src: &mut impl BitSource) -> Result<Self, Exhausted> {
+        let x = src.next_bits(64)?;
+        let y = src.next_bits(64)?;
+        Ok(Self { x, y })
+    }
+
+    /// Seed length in truly random bits (always 128).
+    pub fn seed_bits(&self) -> u64 {
+        128
+    }
+
+    /// The i-th bit of the space: `⟨x^i, y⟩`.
+    ///
+    /// Random access costs `O(log i)` field multiplications.
+    pub fn bit(&self, index: u64) -> bool {
+        let xi = gf64_pow(self.x, index);
+        (xi & self.y).count_ones() & 1 == 1
+    }
+
+    /// Iterator over bits `1, 2, 3, …` with O(1) field mults per step.
+    pub fn iter(&self) -> Bits {
+        Bits {
+            space: *self,
+            power: self.x,
+        }
+    }
+}
+
+/// Exponentiation in GF(2^64) by square-and-multiply. `x^0 = 1`.
+fn gf64_pow(x: u64, mut e: u64) -> u64 {
+    let mut base = x;
+    let mut acc = 1u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = gf64_mul(acc, base);
+        }
+        base = gf64_mul(base, base);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Sequential iterator over an ε-biased space (see [`EpsBiasedBits::iter`]).
+#[derive(Debug, Clone)]
+pub struct Bits {
+    space: EpsBiasedBits,
+    power: u64,
+}
+
+impl Iterator for Bits {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let bit = (self.power & self.space.y).count_ones() & 1 == 1;
+        self.power = gf64_mul(self.power, self.space.x);
+        Some(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn gf64_mul_identity_and_zero() {
+        for a in [0u64, 1, 2, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(gf64_mul(a, 1), a);
+            assert_eq!(gf64_mul(1, a), a);
+            assert_eq!(gf64_mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn gf64_mul_commutative_and_distributive() {
+        let mut g = Xoshiro256StarStar::new(1);
+        for _ in 0..200 {
+            let (a, b, c) = (g.next_u64(), g.next_u64(), g.next_u64());
+            assert_eq!(gf64_mul(a, b), gf64_mul(b, a));
+            assert_eq!(gf64_mul(a, b ^ c), gf64_mul(a, b) ^ gf64_mul(a, c));
+        }
+    }
+
+    #[test]
+    fn gf64_mul_associative() {
+        let mut g = Xoshiro256StarStar::new(2);
+        for _ in 0..100 {
+            let (a, b, c) = (g.next_u64(), g.next_u64(), g.next_u64());
+            assert_eq!(
+                gf64_mul(gf64_mul(a, b), c),
+                gf64_mul(a, gf64_mul(b, c))
+            );
+        }
+    }
+
+    #[test]
+    fn gf64_pow_matches_iterated_mul() {
+        let x = 0x1234_5678_9ABC_DEF0u64;
+        let mut acc = 1u64;
+        for e in 0..20u64 {
+            assert_eq!(gf64_pow(x, e), acc);
+            acc = gf64_mul(acc, x);
+        }
+    }
+
+    #[test]
+    fn iterator_matches_random_access() {
+        let mut src = PrngSource::seeded(77);
+        let eb = EpsBiasedBits::from_source(&mut src).unwrap();
+        let seq: Vec<bool> = eb.iter().take(50).collect();
+        for (j, &b) in seq.iter().enumerate() {
+            assert_eq!(b, eb.bit(j as u64 + 1), "index {}", j + 1);
+        }
+    }
+
+    #[test]
+    fn bits_are_roughly_fair_over_seeds() {
+        // Average single-bit bias over many seeds must be tiny.
+        let mut ones = 0u64;
+        let mut total = 0u64;
+        for seed in 0..300u64 {
+            let mut src = PrngSource::seeded(seed);
+            let eb = EpsBiasedBits::from_source(&mut src).unwrap();
+            for i in 1..=100u64 {
+                ones += eb.bit(i) as u64;
+                total += 1;
+            }
+        }
+        let rate = ones as f64 / total as f64;
+        assert!((rate - 0.5).abs() < 0.01, "bit rate {rate}");
+    }
+
+    #[test]
+    fn parity_bias_is_small_for_fixed_subsets() {
+        // The defining property: for a fixed subset S, the parity over random
+        // seeds is near-fair. Sample 2000 seeds for a few subsets.
+        let subsets: Vec<Vec<u64>> = vec![
+            vec![1],
+            vec![1, 2],
+            vec![3, 17, 40],
+            (1..=20).collect(),
+        ];
+        for s in &subsets {
+            let mut odd = 0u64;
+            let trials = 2000u64;
+            for seed in 0..trials {
+                let mut src = PrngSource::seeded(seed * 31 + 7);
+                let eb = EpsBiasedBits::from_source(&mut src).unwrap();
+                let parity = s.iter().fold(false, |p, &i| p ^ eb.bit(i));
+                odd += parity as u64;
+            }
+            let rate = odd as f64 / trials as f64;
+            assert!(
+                (rate - 0.5).abs() < 0.05,
+                "subset {s:?}: parity rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_accounting_is_128_bits() {
+        let mut src = PrngSource::seeded(5);
+        let eb = EpsBiasedBits::from_source(&mut src).unwrap();
+        assert_eq!(eb.seed_bits(), 128);
+        assert_eq!(src.bits_drawn(), 128);
+    }
+
+    #[test]
+    fn short_seed_is_rejected() {
+        let mut tape = BitTape::from_bits(vec![true; 100]);
+        assert!(EpsBiasedBits::from_source(&mut tape).is_err());
+    }
+}

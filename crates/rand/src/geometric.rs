@@ -1,0 +1,152 @@
+//! Exact arithmetic for truncated geometric distributions.
+//!
+//! The Elkin–Neiman clustering (Lemma 3.3, Theorem 3.6) draws cluster radii
+//! from a geometric(1/2) distribution truncated at `cap` coin flips. The
+//! method-of-conditional-expectations derandomizer
+//! (`locality-core::decomposition::cond_expect`) needs the *exact*
+//! distribution to compute pessimistic estimators, so we provide it here as
+//! rational-free `f64` arithmetic plus exact dyadic helpers.
+
+/// The distribution of [`crate::source::BitSource::geometric`]: flip fair
+/// coins, return the index of the first tail, capped at `cap` flips.
+///
+/// `Pr[X = k] = 2^-k` for `1 ≤ k < cap` and `Pr[X = cap] = 2^-(cap-1)`.
+///
+/// # Example
+/// ```
+/// use locality_rand::geometric::TruncatedGeometric;
+/// let g = TruncatedGeometric::new(3);
+/// assert_eq!(g.pmf(1), 0.5);
+/// assert_eq!(g.pmf(2), 0.25);
+/// assert_eq!(g.pmf(3), 0.25); // cap absorbs the tail
+/// let total: f64 = g.support().map(|k| g.pmf(k)).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncatedGeometric {
+    cap: u32,
+}
+
+impl TruncatedGeometric {
+    /// Create the distribution truncated at `cap` flips.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` or `cap > 63` (dyadic masses would underflow).
+    pub fn new(cap: u32) -> Self {
+        assert!(cap >= 1 && cap <= 63, "cap must be in 1..=63");
+        Self { cap }
+    }
+
+    /// The truncation point.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Support iterator `1..=cap`.
+    pub fn support(&self) -> impl Iterator<Item = u32> {
+        1..=self.cap
+    }
+
+    /// Probability mass at `k` (zero outside the support).
+    pub fn pmf(&self, k: u32) -> f64 {
+        if k < 1 || k > self.cap {
+            0.0
+        } else if k == self.cap {
+            // Absorbs Pr[X >= cap] = 2^-(cap-1).
+            1.0 / (1u64 << (self.cap - 1)) as f64
+        } else {
+            1.0 / (1u64 << k) as f64
+        }
+    }
+
+    /// `Pr[X > k]`.
+    pub fn tail(&self, k: u32) -> f64 {
+        if k >= self.cap {
+            0.0
+        } else {
+            1.0 / (1u64 << k) as f64
+        }
+    }
+
+    /// `Pr[X ≤ k]`.
+    pub fn cdf(&self, k: u32) -> f64 {
+        1.0 - self.tail(k)
+    }
+
+    /// Expected value (approaches 2 as `cap → ∞`).
+    pub fn mean(&self) -> f64 {
+        self.support().map(|k| k as f64 * self.pmf(k)).sum()
+    }
+
+    /// Number of random bits consumed to sample value `k`
+    /// (`k` flips below the cap, `cap` flips at the cap).
+    pub fn bits_for(&self, k: u32) -> u32 {
+        k.min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for cap in [1, 2, 5, 10, 40, 63] {
+            let g = TruncatedGeometric::new(cap);
+            let total: f64 = g.support().map(|k| g.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "cap {cap}: total {total}");
+        }
+    }
+
+    #[test]
+    fn cdf_tail_consistency() {
+        let g = TruncatedGeometric::new(12);
+        for k in 0..=13 {
+            assert!((g.cdf(k) + g.tail(k) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(g.tail(12), 0.0);
+        assert_eq!(g.tail(20), 0.0);
+    }
+
+    #[test]
+    fn mean_approaches_two() {
+        let g = TruncatedGeometric::new(40);
+        assert!((g.mean() - 2.0).abs() < 1e-9);
+        let tiny = TruncatedGeometric::new(1);
+        assert_eq!(tiny.mean(), 1.0);
+    }
+
+    #[test]
+    fn sampler_matches_pmf() {
+        let g = TruncatedGeometric::new(6);
+        let mut src = PrngSource::seeded(2);
+        let n = 60_000;
+        let mut counts = vec![0u32; 8];
+        for _ in 0..n {
+            counts[src.geometric(6) as usize] += 1;
+        }
+        for k in g.support() {
+            let expected = n as f64 * g.pmf(k);
+            let got = counts[k as usize] as f64;
+            assert!(
+                (got - expected).abs() < 6.0 * expected.sqrt() + 10.0,
+                "k={k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn bits_accounting() {
+        let g = TruncatedGeometric::new(5);
+        assert_eq!(g.bits_for(1), 1);
+        assert_eq!(g.bits_for(5), 5);
+        assert_eq!(g.bits_for(9), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cap_rejected() {
+        let _ = TruncatedGeometric::new(0);
+    }
+}

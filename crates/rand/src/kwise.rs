@@ -1,0 +1,367 @@
+//! k-wise independent bit spaces (§3.2 of the paper).
+//!
+//! The classic construction [AS04]: a uniformly random polynomial of degree
+//! `k-1` over a prime field, evaluated at distinct points, yields k-wise
+//! independent field elements — hence k-wise independent bits — from a seed of
+//! only `k·⌈log p⌉` truly random bits. The paper uses this to show that
+//! `poly(log n)`-wise independence (Theorem 3.5) and hence `poly(log n)` bits
+//! of shared randomness suffice for network decomposition.
+//!
+//! We use the Mersenne prime `p = 2^61 − 1`, so a `KWiseBits` expands a seed
+//! of `61·k` bits into `p − 1 ≈ 2.3·10^18` addressable pseudo-random values of
+//! which any `k` are exactly independent (up to the `2^-61` bias of mapping a
+//! field element to a bit).
+
+use crate::source::{BitSource, Exhausted};
+
+/// The field modulus `2^61 − 1` (a Mersenne prime).
+pub const MERSENNE61: u64 = (1 << 61) - 1;
+
+/// Multiply two field elements modulo `2^61 − 1`.
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    let prod = a as u128 * b as u128;
+    // Mersenne reduction: x = hi * 2^61 + lo ≡ hi + lo (mod 2^61 − 1).
+    let lo = (prod & MERSENNE61 as u128) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= MERSENNE61 {
+        s -= MERSENNE61;
+    }
+    s
+}
+
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let s = a + b;
+    if s >= MERSENNE61 {
+        s - MERSENNE61
+    } else {
+        s
+    }
+}
+
+/// A family of k-wise independent random values addressed by index.
+///
+/// Indices are points of GF(2^61 − 1); each index yields a field element
+/// (`word`), a fair bit (`bit`), a bounded uniform (`uniform_below`), or a
+/// Bernoulli trial (`bernoulli`). Any `k` *distinct* indices are mutually
+/// independent; no randomness beyond the seed is ever consumed.
+///
+/// # Example
+/// ```
+/// use locality_rand::prelude::*;
+/// let mut seed_src = PrngSource::seeded(1);
+/// let kw = KWiseBits::from_source(8, &mut seed_src).unwrap();
+/// assert_eq!(kw.k(), 8);
+/// assert_eq!(kw.seed_bits(), 8 * 61);
+/// let _ = kw.bit(42);
+/// let _ = kw.bernoulli(42, 1, 3); // Pr ≈ 1/3, same index reproducible
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KWiseBits {
+    coeffs: Vec<u64>,
+}
+
+impl KWiseBits {
+    /// Build from explicit coefficients (each reduced mod `p`).
+    ///
+    /// # Panics
+    /// Panics if `coeffs` is empty.
+    pub fn from_coefficients(coeffs: Vec<u64>) -> Self {
+        assert!(!coeffs.is_empty(), "k-wise family needs k >= 1 coefficients");
+        let coeffs = coeffs.into_iter().map(|c| c % MERSENNE61).collect();
+        Self { coeffs }
+    }
+
+    /// Draw the `61·k`-bit seed from a bit source.
+    ///
+    /// # Errors
+    /// Returns [`Exhausted`] if the source has fewer than `61·k` bits, which
+    /// is precisely how "not enough shared randomness" manifests.
+    pub fn from_source(k: usize, src: &mut impl BitSource) -> Result<Self, Exhausted> {
+        assert!(k >= 1, "k-wise family needs k >= 1");
+        let mut coeffs = Vec::with_capacity(k);
+        for _ in 0..k {
+            coeffs.push(src.next_bits(61)? % MERSENNE61);
+        }
+        Ok(Self { coeffs })
+    }
+
+    /// The independence parameter `k`.
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Number of truly random seed bits this family consumed.
+    pub fn seed_bits(&self) -> u64 {
+        61 * self.coeffs.len() as u64
+    }
+
+    /// Evaluate the polynomial at point `index + 1` (avoiding the fixed point
+    /// 0 where the constant coefficient would leak alone is unnecessary, but
+    /// using `index + 1` keeps all evaluation points nonzero and distinct).
+    ///
+    /// Returns a value uniform in `0..p`, k-wise independently across indices.
+    pub fn word(&self, index: u64) -> u64 {
+        let x = (index % (MERSENNE61 - 1)) + 1;
+        // Horner evaluation.
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add_mod(mul_mod(acc, x), c);
+        }
+        acc
+    }
+
+    /// A fair bit for `index` (bias `< 2^-60` from the odd modulus).
+    pub fn bit(&self, index: u64) -> bool {
+        self.word(index) & 1 == 1
+    }
+
+    /// A uniform value in `0..n` for `index` (bias `≤ n/p`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn uniform_below(&self, index: u64, n: u64) -> u64 {
+        assert!(n > 0, "uniform_below: n must be positive");
+        self.word(index) % n
+    }
+
+    /// Bernoulli trial with probability `num/den` for `index`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0` or `num > den`.
+    pub fn bernoulli(&self, index: u64, num: u64, den: u64) -> bool {
+        assert!(den > 0 && num <= den, "bernoulli: invalid probability");
+        let threshold = ((num as u128 * MERSENNE61 as u128) / den as u128) as u64;
+        self.word(index) < threshold
+    }
+
+    /// A capped geometric(1/2) variable for `index`, built from the bits of
+    /// the word at `index` and, if needed, follow-on indices in a disjoint
+    /// index band (`index + j·STRIDE`). Consumes no new randomness.
+    ///
+    /// With `cap ≤ 60` a single word suffices, so values for `k` distinct
+    /// indices remain k-wise independent.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` or `cap > 60`.
+    pub fn geometric(&self, index: u64, cap: u32) -> u32 {
+        assert!(cap >= 1 && cap <= 60, "geometric: cap must be in 1..=60");
+        let w = self.word(index);
+        for k in 1..=cap {
+            if (w >> (k - 1)) & 1 == 0 {
+                return k;
+            }
+        }
+        cap
+    }
+}
+
+/// Combine structured coordinates into a flat k-wise index.
+///
+/// Distributed algorithms index randomness by tuples such as
+/// `(phase, epoch, node)`; this packs them injectively (for coordinates below
+/// `2^20`) so distinct tuples map to distinct evaluation points.
+///
+/// # Example
+/// ```
+/// use locality_rand::kwise::flat_index;
+/// assert_ne!(flat_index(&[1, 2, 3]), flat_index(&[3, 2, 1]));
+/// ```
+pub fn flat_index(coords: &[u64]) -> u64 {
+    const BASE: u64 = 1 << 20;
+    let mut acc = 0u64;
+    for &c in coords {
+        debug_assert!(c < BASE, "flat_index coordinate out of range");
+        acc = acc.wrapping_mul(BASE).wrapping_add(c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn mul_mod_agrees_with_u128() {
+        let cases = [
+            (0, 0),
+            (1, MERSENNE61 - 1),
+            (MERSENNE61 - 1, MERSENNE61 - 1),
+            (123_456_789, 987_654_321),
+            (1 << 60, (1 << 60) + 5),
+        ];
+        for (a, b) in cases {
+            let expect = ((a as u128 * b as u128) % MERSENNE61 as u128) as u64;
+            assert_eq!(mul_mod(a, b), expect, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn word_is_deterministic_per_index() {
+        let kw = KWiseBits::from_coefficients(vec![3, 5, 7]);
+        assert_eq!(kw.word(10), kw.word(10));
+        assert_eq!(kw.k(), 3);
+    }
+
+    #[test]
+    fn seed_bits_accounting() {
+        let mut src = PrngSource::seeded(8);
+        let kw = KWiseBits::from_source(16, &mut src).unwrap();
+        assert_eq!(kw.seed_bits(), 16 * 61);
+        assert_eq!(src.bits_drawn(), 16 * 61);
+    }
+
+    #[test]
+    fn insufficient_seed_is_reported() {
+        let mut tape = BitTape::from_bits(vec![true; 100]);
+        let err = KWiseBits::from_source(2, &mut tape);
+        assert!(err.is_err(), "100 bits cannot seed a 2-wise (122-bit) family");
+    }
+
+    /// Exhaustive k-wise independence check over a small prime field.
+    ///
+    /// The construction is identical in structure (random degree-(k-1)
+    /// polynomial, Horner evaluation), so verifying it exhaustively mod 13
+    /// validates the algebra used mod 2^61 − 1.
+    #[test]
+    fn pairwise_independence_exhaustive_small_field() {
+        const P: u64 = 13;
+        let eval = |coeffs: &[u64], x: u64| -> u64 {
+            let mut acc = 0u64;
+            for &c in coeffs.iter().rev() {
+                acc = (acc * x + c) % P;
+            }
+            acc
+        };
+        // k = 2: over all P^2 seeds, (f(x1), f(x2)) for x1 != x2 (nonzero)
+        // must be exactly uniform over P^2 pairs.
+        let (x1, x2) = (3u64, 7u64);
+        let mut counts = vec![0u32; (P * P) as usize];
+        for c0 in 0..P {
+            for c1 in 0..P {
+                let coeffs = [c0, c1];
+                let (v1, v2) = (eval(&coeffs, x1), eval(&coeffs, x2));
+                counts[(v1 * P + v2) as usize] += 1;
+            }
+        }
+        assert!(
+            counts.iter().all(|&c| c == 1),
+            "each value pair must occur exactly once"
+        );
+    }
+
+    #[test]
+    fn triple_wise_independence_exhaustive_small_field() {
+        const P: u64 = 5;
+        let eval = |coeffs: &[u64], x: u64| -> u64 {
+            let mut acc = 0u64;
+            for &c in coeffs.iter().rev() {
+                acc = (acc * x + c) % P;
+            }
+            acc
+        };
+        let pts = [1u64, 2, 4];
+        let mut counts = vec![0u32; (P * P * P) as usize];
+        for c0 in 0..P {
+            for c1 in 0..P {
+                for c2 in 0..P {
+                    let coeffs = [c0, c1, c2];
+                    let idx = pts
+                        .iter()
+                        .fold(0u64, |acc, &x| acc * P + eval(&coeffs, x));
+                    counts[idx as usize] += 1;
+                }
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn bits_are_roughly_fair() {
+        let mut src = PrngSource::seeded(99);
+        let kw = KWiseBits::from_source(4, &mut src).unwrap();
+        let n = 50_000u64;
+        let ones = (0..n).filter(|&i| kw.bit(i)).count() as f64;
+        let expected = n as f64 / 2.0;
+        assert!(
+            (ones - expected).abs() < 6.0 * (expected / 2.0).sqrt(),
+            "ones {ones} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn pairwise_bit_correlation_is_small() {
+        // Agreement between bit(i) and bit(i+1): one fresh pair per seed so
+        // the samples are independent (within a seed, only pairwise
+        // independence holds and pair events are mutually correlated).
+        let trials = 4000u64;
+        let agree = (0..trials)
+            .filter(|&seed| {
+                let mut src = PrngSource::seeded(seed);
+                let kw = KWiseBits::from_source(2, &mut src).unwrap();
+                kw.bit(seed) == kw.bit(seed + 1)
+            })
+            .count();
+        let rate = agree as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.04, "agreement rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_rate_matches() {
+        let mut src = PrngSource::seeded(123);
+        let kw = KWiseBits::from_source(8, &mut src).unwrap();
+        let n = 60_000u64;
+        let hits = (0..n).filter(|&i| kw.bernoulli(i, 1, 10)).count() as f64;
+        let expected = n as f64 / 10.0;
+        assert!(
+            (hits - expected).abs() < 6.0 * (expected * 0.9).sqrt(),
+            "hits {hits} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn geometric_from_word_distribution() {
+        let mut src = PrngSource::seeded(5);
+        let kw = KWiseBits::from_source(4, &mut src).unwrap();
+        let n = 60_000u64;
+        let mut counts = [0u32; 6];
+        for i in 0..n {
+            let v = kw.geometric(i, 40) as usize;
+            if v < counts.len() {
+                counts[v] += 1;
+            }
+        }
+        for k in 1..=3 {
+            let expected = n as f64 / (1u64 << k) as f64;
+            let got = counts[k] as f64;
+            assert!(
+                (got - expected).abs() < 6.0 * expected.sqrt(),
+                "geometric mass at {k}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_below_in_range() {
+        let kw = KWiseBits::from_coefficients(vec![17, 29]);
+        for i in 0..1000 {
+            assert!(kw.uniform_below(i, 7) < 7);
+        }
+    }
+
+    #[test]
+    fn flat_index_injective_on_small_tuples() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for a in 0..10u64 {
+            for b in 0..10u64 {
+                for c in 0..10u64 {
+                    assert!(seen.insert(flat_index(&[a, b, c])));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Randomness as a metered, restrictable resource.
+//!
+//! Ghaffari & Kuhn (PODC 2019) study *how much* randomness local distributed
+//! graph algorithms actually need. That question only makes sense if random
+//! bits are an explicit resource: every bit drawn must be observable, sources
+//! must be exhaustible, and the three restricted regimes of the paper must be
+//! constructible:
+//!
+//! 1. **Sparse private bits** (§3.1): a few nodes each hold a *single*
+//!    independent bit — see [`sparse::SparseBits`].
+//! 2. **Limited independence** (§3.2): the bits across the network are only
+//!    k-wise independent — see [`kwise::KWiseBits`], built from a seed of
+//!    `O(k log n)` truly random bits.
+//! 3. **Shared randomness** (§3.2): the whole network shares `poly(log n)`
+//!    bits and has no private randomness — see [`shared::SharedSeed`], with
+//!    deterministic expanders into k-wise independent ([`kwise`]) or small-bias
+//!    ([`epsbias`], Naor–Naor style) bit spaces.
+//!
+//! Unrestricted randomness is modelled by [`prng`] PRNG streams wrapped in a
+//! metered [`source::BitSource`].
+//!
+//! # Example
+//!
+//! ```
+//! use locality_rand::prelude::*;
+//!
+//! // A fully random, metered source.
+//! let mut src = PrngSource::seeded(42);
+//! let heads = src.next_bit();
+//! let r = src.geometric(64); // Pr[r = k] = 2^-k, capped at 64 flips
+//! assert!(r >= 1 && heads | true);
+//! assert!(src.bits_drawn() >= 2);
+//!
+//! // poly(log n) shared bits, expanded k-wise independently.
+//! let seed = SharedSeed::from_prng(256, &mut SplitMix64::new(7));
+//! let kw = seed.kwise(4).unwrap(); // 4-wise independent bits
+//! let _b = kw.bit(123456); // any index, no further randomness consumed
+//! ```
+
+// Bracketed citation keys ([EN16], [GKM17], ...) are bibliography
+// references, not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epsbias;
+pub mod geometric;
+pub mod kwise;
+pub mod prng;
+pub mod shared;
+pub mod source;
+pub mod sparse;
+pub mod stats;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::epsbias::EpsBiasedBits;
+    pub use crate::kwise::KWiseBits;
+    pub use crate::prng::{Prng, SplitMix64, Xoshiro256StarStar};
+    pub use crate::shared::SharedSeed;
+    pub use crate::source::{BitSource, BitTape, Exhausted, PrngSource};
+    pub use crate::sparse::SparseBits;
+}
+
+pub use epsbias::EpsBiasedBits;
+pub use kwise::KWiseBits;
+pub use prng::{Prng, SplitMix64, Xoshiro256StarStar};
+pub use shared::SharedSeed;
+pub use source::{BitSource, BitTape, Exhausted, PrngSource};
+pub use sparse::SparseBits;

@@ -1,0 +1,196 @@
+//! Deterministic pseudo-random generators used to *model* unbounded
+//! randomness.
+//!
+//! The workspace never uses OS entropy: every experiment is reproducible from
+//! an explicit `u64` seed. Two classic generators are provided:
+//! [`SplitMix64`] (seeding, splitting) and [`Xoshiro256StarStar`] (bulk
+//! stream). Both are implemented from the public-domain reference algorithms.
+
+/// A deterministic stream of 64-bit words.
+///
+/// # Example
+/// ```
+/// use locality_rand::prng::{Prng, SplitMix64};
+/// let mut g = SplitMix64::new(1);
+/// let (a, b) = (g.next_u64(), g.next_u64());
+/// assert_ne!(a, b);
+/// ```
+pub trait Prng {
+    /// Produce the next 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produce a uniform value in `0..n`.
+    ///
+    /// Uses Lemire-style rejection so the result is exactly uniform.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    fn uniform_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "uniform_below: n must be positive");
+        // Rejection sampling over the top `2^64 - (2^64 mod n)` values.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Produce a uniform `f64` in `[0, 1)`.
+    fn uniform_f64(&mut self) -> f64 {
+        // 53 high bits -> [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// SplitMix64: tiny, fast, and ideal for deriving independent seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derive an independent child seed (used to fan out per-node streams).
+    pub fn split(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+impl Prng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        Self::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+/// Xoshiro256**: the workhorse stream generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Create a generator, expanding the 64-bit seed via [`SplitMix64`]
+    /// (the initialization recommended by the xoshiro authors).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // All-zero state is invalid; SplitMix64 cannot produce 4 zero words
+        // from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl Prng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Default for Xoshiro256StarStar {
+    fn default() -> Self {
+        Self::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_seed_sensitivity() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_reference_stability() {
+        // Regression pin: the stream for a fixed seed must never change,
+        // otherwise every experiment in the repo silently changes.
+        let mut g = Xoshiro256StarStar::new(12345);
+        let first: Vec<u64> = (0..4).map(|_| g.next_u64()).collect();
+        let mut h = Xoshiro256StarStar::new(12345);
+        let again: Vec<u64> = (0..4).map(|_| h.next_u64()).collect();
+        assert_eq!(first, again);
+        assert!(first.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn uniform_below_is_in_range_and_hits_all_values() {
+        let mut g = Xoshiro256StarStar::new(7);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = g.uniform_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut g = Xoshiro256StarStar::new(3);
+        for _ in 0..1000 {
+            let x = g.uniform_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_below_zero_panics() {
+        let mut g = SplitMix64::new(0);
+        let _ = g.uniform_below(0);
+    }
+
+    #[test]
+    fn uniform_below_mean_is_plausible() {
+        let mut g = Xoshiro256StarStar::new(11);
+        let n = 100u64;
+        let samples = 20_000;
+        let sum: u64 = (0..samples).map(|_| g.uniform_below(n)).sum();
+        let mean = sum as f64 / samples as f64;
+        // True mean 49.5, std of the estimate ~0.2.
+        assert!((mean - 49.5).abs() < 2.0, "mean {mean} too far from 49.5");
+    }
+}

@@ -1,0 +1,182 @@
+//! Globally shared randomness (§3.2, direction (C)).
+//!
+//! A [`SharedSeed`] is a short, public string of truly random bits known to
+//! every node — the paper's "poly(log n) bits of global shared randomness
+//! (and no private randomness)". Nodes may deterministically *expand* the seed
+//! into k-wise independent families ([`SharedSeed::kwise`]) or ε-biased spaces
+//! ([`SharedSeed::eps_biased`]); both expansions are pure functions of the
+//! seed, so no hidden randomness is created.
+
+use crate::epsbias::EpsBiasedBits;
+use crate::kwise::KWiseBits;
+use crate::prng::Prng;
+use crate::source::{BitSource, BitTape, Exhausted};
+
+/// A short public random string shared by the entire network.
+///
+/// # Example
+/// ```
+/// use locality_rand::prelude::*;
+/// let mut sm = SplitMix64::new(11);
+/// let seed = SharedSeed::from_prng(512, &mut sm);
+/// assert_eq!(seed.len(), 512);
+/// // Every node expands the same seed to the same 8-wise family:
+/// let a = seed.kwise(8).unwrap();
+/// let b = seed.kwise(8).unwrap();
+/// assert_eq!(a.bit(99), b.bit(99));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedSeed {
+    bits: Vec<bool>,
+}
+
+impl SharedSeed {
+    /// Wrap an explicit bit string.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Self { bits }
+    }
+
+    /// Sample a fresh seed of `len` bits from a PRNG (the experiment driver's
+    /// stand-in for nature's coin flips).
+    pub fn from_prng(len: usize, prng: &mut impl Prng) -> Self {
+        let bits = (0..len).map(|_| prng.next_u64() & 1 == 1).collect();
+        Self { bits }
+    }
+
+    /// Sample a fresh seed of `len` bits from a metered source.
+    ///
+    /// # Panics
+    /// Panics if `src` exhausts before `len` bits.
+    pub fn draw_from(src: &mut impl BitSource, len: usize) -> Self {
+        Self {
+            bits: (0..len).map(|_| src.next_bit()).collect(),
+        }
+    }
+
+    /// Seed length in bits — the network's entire randomness budget.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the seed is empty (a deterministic algorithm).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// View the seed as a consumable tape (fresh cursor each call).
+    pub fn tape(&self) -> BitTape {
+        BitTape::from_bits(self.bits.clone())
+    }
+
+    /// A sub-seed over bit positions `start..end` (used to give disjoint
+    /// phases their own independent budget).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> SharedSeed {
+        SharedSeed {
+            bits: self.bits[start..end].to_vec(),
+        }
+    }
+
+    /// Deterministically expand the seed prefix into a k-wise independent
+    /// family (consuming `61·k` seed bits).
+    ///
+    /// # Errors
+    /// Returns [`Exhausted`] if the seed is shorter than `61·k` bits.
+    pub fn kwise(&self, k: usize) -> Result<KWiseBits, Exhausted> {
+        KWiseBits::from_source(k, &mut self.tape())
+    }
+
+    /// Deterministically expand the seed prefix into an ε-biased space
+    /// (consuming 128 seed bits).
+    ///
+    /// # Errors
+    /// Returns [`Exhausted`] if the seed is shorter than 128 bits.
+    pub fn eps_biased(&self) -> Result<EpsBiasedBits, Exhausted> {
+        EpsBiasedBits::from_source(&mut self.tape())
+    }
+
+    /// Enumerate every seed of length `len` (for brute-force derandomization,
+    /// Lemma 4.1). The iterator yields `2^len` seeds.
+    ///
+    /// # Panics
+    /// Panics if `len > 30` (the enumeration would not terminate in practice).
+    pub fn enumerate_all(len: usize) -> impl Iterator<Item = SharedSeed> {
+        assert!(len <= 30, "enumerate_all: seed space 2^{len} too large");
+        (0u64..(1 << len)).map(move |v| SharedSeed {
+            bits: (0..len).map(|i| (v >> i) & 1 == 1).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::SplitMix64;
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let mut sm = SplitMix64::new(4);
+        let seed = SharedSeed::from_prng(400, &mut sm);
+        let kw1 = seed.kwise(6).unwrap();
+        let kw2 = seed.kwise(6).unwrap();
+        for i in 0..100 {
+            assert_eq!(kw1.bit(i), kw2.bit(i));
+        }
+        let eb1 = seed.eps_biased().unwrap();
+        let eb2 = seed.eps_biased().unwrap();
+        for i in 1..100 {
+            assert_eq!(eb1.bit(i), eb2.bit(i));
+        }
+    }
+
+    #[test]
+    fn too_short_seed_fails_loudly() {
+        let seed = SharedSeed::from_bits(vec![true; 60]);
+        assert!(seed.kwise(1).is_err());
+        assert!(seed.eps_biased().is_err());
+        let seed = SharedSeed::from_bits(vec![true; 61]);
+        assert!(seed.kwise(1).is_ok());
+    }
+
+    #[test]
+    fn slice_gives_disjoint_budgets() {
+        let mut sm = SplitMix64::new(5);
+        let seed = SharedSeed::from_prng(200, &mut sm);
+        let a = seed.slice(0, 100);
+        let b = seed.slice(100, 200);
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 100);
+        assert_ne!(a.tape().as_slice(), b.tape().as_slice());
+    }
+
+    #[test]
+    fn enumerate_all_covers_space() {
+        let seeds: Vec<_> = SharedSeed::enumerate_all(4).collect();
+        assert_eq!(seeds.len(), 16);
+        // All distinct.
+        for i in 0..seeds.len() {
+            for j in 0..i {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_seed_is_deterministic_algorithm() {
+        let seed = SharedSeed::from_bits(vec![]);
+        assert!(seed.is_empty());
+        assert_eq!(seed.len(), 0);
+        assert!(seed.kwise(1).is_err());
+    }
+
+    #[test]
+    fn tape_is_fresh_per_call() {
+        let seed = SharedSeed::from_bits(vec![true, false, true]);
+        let mut t1 = seed.tape();
+        t1.next_bit();
+        let mut t2 = seed.tape();
+        assert!(t2.next_bit(), "second tape must start at the beginning");
+    }
+}

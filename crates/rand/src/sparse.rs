@@ -1,0 +1,136 @@
+//! Sparse private randomness (§3.1, direction (A)).
+//!
+//! "Some nodes `S ⊆ V` hold some bits of randomness, each holding just a
+//! single bit, and for each node there is at least one node of `S` within
+//! distance `h`." [`SparseBits`] records exactly that placement: the set of
+//! holder node indices and their single independent bits. The graph-aware
+//! side (choosing an `h`-dominating holder set, validating the covering
+//! radius, harvesting bits along trees) lives in `locality-core::sparse`.
+
+use crate::source::BitSource;
+use std::collections::BTreeMap;
+
+/// A placement of single independent random bits on a subset of nodes.
+///
+/// # Example
+/// ```
+/// use locality_rand::prelude::*;
+/// let mut src = PrngSource::seeded(10);
+/// let sb = SparseBits::place(&[0, 3, 9], &mut src);
+/// assert_eq!(sb.holder_count(), 3);
+/// assert!(sb.bit_of(3).is_some());
+/// assert!(sb.bit_of(4).is_none());
+/// assert_eq!(sb.total_bits(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseBits {
+    bits: BTreeMap<usize, bool>,
+}
+
+impl SparseBits {
+    /// Place one fresh independent bit on each listed holder node.
+    ///
+    /// Duplicate holders are collapsed (the last drawn bit wins), mirroring
+    /// "each holding just a single bit".
+    ///
+    /// # Panics
+    /// Panics if `src` exhausts.
+    pub fn place(holders: &[usize], src: &mut impl BitSource) -> Self {
+        let mut bits = BTreeMap::new();
+        for &v in holders {
+            bits.insert(v, src.next_bit());
+        }
+        Self { bits }
+    }
+
+    /// Build from explicit `(node, bit)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, bool)>) -> Self {
+        Self {
+            bits: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The bit held by `node`, if it is a holder.
+    pub fn bit_of(&self, node: usize) -> Option<bool> {
+        self.bits.get(&node).copied()
+    }
+
+    /// Whether `node` holds a bit.
+    pub fn is_holder(&self, node: usize) -> bool {
+        self.bits.contains_key(&node)
+    }
+
+    /// Number of holder nodes.
+    pub fn holder_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Total bits of randomness in the whole network — the paper's headline
+    /// resource measure.
+    pub fn total_bits(&self) -> u64 {
+        self.bits.len() as u64
+    }
+
+    /// Iterate `(node, bit)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.bits.iter().map(|(&v, &b)| (v, b))
+    }
+
+    /// The holder node indices in increasing order.
+    pub fn holders(&self) -> Vec<usize> {
+        self.bits.keys().copied().collect()
+    }
+}
+
+impl FromIterator<(usize, bool)> for SparseBits {
+    fn from_iter<I: IntoIterator<Item = (usize, bool)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn place_assigns_each_holder_one_bit() {
+        let mut src = PrngSource::seeded(0);
+        let sb = SparseBits::place(&[5, 1, 8], &mut src);
+        assert_eq!(sb.holder_count(), 3);
+        assert_eq!(src.bits_drawn(), 3);
+        for v in [1, 5, 8] {
+            assert!(sb.is_holder(v));
+        }
+        assert!(!sb.is_holder(0));
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut src = PrngSource::seeded(1);
+        let sb = SparseBits::place(&[2, 2, 2], &mut src);
+        assert_eq!(sb.holder_count(), 1);
+        assert_eq!(sb.total_bits(), 1);
+    }
+
+    #[test]
+    fn holders_sorted() {
+        let sb = SparseBits::from_pairs([(9, true), (1, false), (4, true)]);
+        assert_eq!(sb.holders(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn iter_round_trips() {
+        let pairs = [(0, true), (7, false)];
+        let sb: SparseBits = pairs.into_iter().collect();
+        let back: Vec<_> = sb.iter().collect();
+        assert_eq!(back, vec![(0, true), (7, false)]);
+    }
+
+    #[test]
+    fn empty_placement() {
+        let sb = SparseBits::default();
+        assert_eq!(sb.holder_count(), 0);
+        assert_eq!(sb.bit_of(0), None);
+    }
+}

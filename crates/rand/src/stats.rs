@@ -1,0 +1,156 @@
+//! Empirical statistics helpers for validating randomness sources.
+//!
+//! These back the statistical tests throughout the workspace: bit-stream
+//! bias, chi-square uniformity, serial correlation, and subset-parity bias
+//! (the quantity an ε-biased space bounds).
+
+/// Empirical bias of a bit sample: `|#ones/#total − 1/2|`.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn bias(bits: &[bool]) -> f64 {
+    assert!(!bits.is_empty(), "bias of an empty sample");
+    let ones = bits.iter().filter(|&&b| b).count() as f64;
+    (ones / bits.len() as f64 - 0.5).abs()
+}
+
+/// Pearson chi-square statistic against the uniform distribution over
+/// `counts.len()` cells.
+///
+/// # Panics
+/// Panics if `counts` is empty or all-zero.
+pub fn chi_square_uniform(counts: &[u64]) -> f64 {
+    assert!(!counts.is_empty(), "no cells");
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "no observations");
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// A generous chi-square acceptance threshold: `df + 6·sqrt(2·df)`
+/// (≈ six standard deviations above the mean — suitable for deterministic
+/// regression tests that must never flake).
+pub fn chi_square_threshold(cells: usize) -> f64 {
+    let df = (cells - 1) as f64;
+    df + 6.0 * (2.0 * df).sqrt()
+}
+
+/// Lag-1 serial correlation of a bit stream (≈ 0 for independent bits).
+///
+/// # Panics
+/// Panics if the sample has fewer than 2 bits.
+pub fn serial_correlation(bits: &[bool]) -> f64 {
+    assert!(bits.len() >= 2, "need at least two bits");
+    let x: Vec<f64> = bits.iter().map(|&b| b as u8 as f64).collect();
+    let n = x.len() - 1;
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    let mut cov = 0.0;
+    let mut var = 0.0;
+    for i in 0..n {
+        cov += (x[i] - mean) * (x[i + 1] - mean);
+    }
+    for v in &x {
+        var += (v - mean) * (v - mean);
+    }
+    if var == 0.0 {
+        return 1.0; // constant stream: maximally correlated
+    }
+    cov / var
+}
+
+/// Empirical parity bias of an indexed bit space over a fixed index subset,
+/// sampled across seeds: `|P(⊕_{i∈S} bit_i = 1) − 1/2|`.
+pub fn subset_parity_bias(parities: &[bool]) -> f64 {
+    bias(parities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn bias_of_fair_prng_is_small() {
+        let mut src = PrngSource::seeded(1);
+        let bits: Vec<bool> = (0..50_000).map(|_| src.next_bit()).collect();
+        assert!(bias(&bits) < 0.01, "bias {}", bias(&bits));
+    }
+
+    #[test]
+    fn bias_detects_constant_stream() {
+        assert_eq!(bias(&[true; 100]), 0.5);
+        assert_eq!(bias(&[false; 100]), 0.5);
+    }
+
+    #[test]
+    fn chi_square_accepts_uniform_rejects_skewed() {
+        let mut src = PrngSource::seeded(2);
+        let mut counts = [0u64; 16];
+        for _ in 0..32_000 {
+            counts[src.uniform_below(16) as usize] += 1;
+        }
+        let stat = chi_square_uniform(&counts);
+        assert!(stat < chi_square_threshold(16), "chi2 {stat}");
+
+        let skewed = [10_000u64, 1, 1, 1, 1, 1, 1, 1];
+        assert!(chi_square_uniform(&skewed) > chi_square_threshold(8));
+    }
+
+    #[test]
+    fn serial_correlation_flags_alternation_and_constants() {
+        let alternating: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        assert!(serial_correlation(&alternating) < -0.9);
+        assert_eq!(serial_correlation(&[true; 10]), 1.0);
+        let mut src = PrngSource::seeded(3);
+        let random: Vec<bool> = (0..50_000).map(|_| src.next_bit()).collect();
+        assert!(serial_correlation(&random).abs() < 0.02);
+    }
+
+    #[test]
+    fn kwise_words_pass_chi_square() {
+        let mut src = PrngSource::seeded(4);
+        let kw = KWiseBits::from_source(8, &mut src).unwrap();
+        let mut counts = [0u64; 16];
+        for i in 0..32_000u64 {
+            counts[(kw.word(i) & 15) as usize] += 1;
+        }
+        let stat = chi_square_uniform(&counts);
+        assert!(stat < chi_square_threshold(16), "chi2 {stat}");
+    }
+
+    #[test]
+    fn eps_biased_subset_parities_are_fair_across_seeds() {
+        // The defining guarantee, measured: over random seeds, the parity of
+        // a fixed subset is near-fair.
+        let subset = [2u64, 5, 11, 17];
+        let parities: Vec<bool> = (0..4000u64)
+            .map(|s| {
+                let mut src = PrngSource::seeded(s * 13 + 1);
+                let eb = EpsBiasedBits::from_source(&mut src).unwrap();
+                subset.iter().fold(false, |p, &i| p ^ eb.bit(i))
+            })
+            .collect();
+        assert!(subset_parity_bias(&parities) < 0.03);
+    }
+
+    #[test]
+    fn geometric_tail_is_geometric() {
+        let mut src = PrngSource::seeded(5);
+        let n = 40_000u64;
+        let mut ge3 = 0u64;
+        for _ in 0..n {
+            if src.geometric(40) >= 3 {
+                ge3 += 1;
+            }
+        }
+        // P(X >= 3) = 1/4.
+        let rate = ge3 as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "tail rate {rate}");
+    }
+}

@@ -1,0 +1,458 @@
+//! The synchronous round engine.
+
+use crate::cost::CostMeter;
+use crate::node::{NodeContext, Outbox, Protocol, Step};
+use crate::wire::WireSize;
+use locality_graph::ids::IdAssignment;
+use locality_graph::Graph;
+use std::error::Error;
+use std::fmt;
+
+/// Communication regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Unbounded messages.
+    Local,
+    /// Messages of at most `budget_bits` bits; larger messages are delivered
+    /// but counted as violations (so experiments can report them).
+    Congest {
+        /// Per-message bit budget (`O(log n)`).
+        budget_bits: u64,
+    },
+}
+
+/// Error from [`Engine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The number of protocol instances differed from the node count.
+    WrongNodeCount {
+        /// Instances supplied.
+        got: usize,
+        /// Nodes in the graph.
+        expected: usize,
+    },
+    /// Some node had not halted after the round limit.
+    RoundLimit {
+        /// The limit that was hit.
+        limit: u32,
+        /// How many nodes were still running.
+        still_running: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WrongNodeCount { got, expected } => {
+                write!(f, "expected {expected} protocol instances, got {got}")
+            }
+            EngineError::RoundLimit {
+                limit,
+                still_running,
+            } => write!(
+                f,
+                "round limit {limit} reached with {still_running} nodes still running"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct Run<O> {
+    /// Per-node outputs, indexed by node.
+    pub outputs: Vec<O>,
+    /// Cost accounting for the whole execution.
+    pub meter: CostMeter,
+}
+
+/// The synchronous message-passing engine for one graph.
+///
+/// See the crate-level example. The engine is deterministic: nodes are
+/// processed in index order and inboxes are sorted by port, so a run is a
+/// pure function of the graph, ids, mode, and the protocols' own state.
+#[derive(Debug)]
+pub struct Engine<'g> {
+    graph: &'g Graph,
+    ids: &'g IdAssignment,
+    mode: Mode,
+}
+
+impl<'g> Engine<'g> {
+    /// A LOCAL-model engine (unbounded messages).
+    ///
+    /// # Panics
+    /// Panics if `ids` does not match `graph`.
+    pub fn local(graph: &'g Graph, ids: &'g IdAssignment) -> Self {
+        assert!(ids.matches(graph), "id assignment must match graph");
+        Self {
+            graph,
+            ids,
+            mode: Mode::Local,
+        }
+    }
+
+    /// A CONGEST-model engine with the default budget of `8·⌈log2 n⌉` bits
+    /// per message (the model allows any `O(log n)`; the constant is
+    /// reported, not hidden).
+    ///
+    /// # Panics
+    /// Panics if `ids` does not match `graph`.
+    pub fn congest(graph: &'g Graph, ids: &'g IdAssignment) -> Self {
+        let budget = 8 * graph.log2_n() as u64;
+        Self::congest_with_budget(graph, ids, budget)
+    }
+
+    /// A CONGEST-model engine with an explicit per-message budget.
+    ///
+    /// # Panics
+    /// Panics if `ids` does not match `graph`.
+    pub fn congest_with_budget(graph: &'g Graph, ids: &'g IdAssignment, budget_bits: u64) -> Self {
+        assert!(ids.matches(graph), "id assignment must match graph");
+        Self {
+            graph,
+            ids,
+            mode: Mode::Congest { budget_bits },
+        }
+    }
+
+    /// The communication mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Execute `protocols` (one per node, in node order) until every node has
+    /// halted or `max_rounds` elapses.
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`] or [`EngineError::RoundLimit`].
+    pub fn run<P: Protocol>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+    ) -> Result<Run<P::Output>, EngineError> {
+        self.run_metered(protocols, max_rounds, |_| 0)
+    }
+
+    /// Like [`Engine::run`], but additionally sums per-node random-bit usage
+    /// reported by `random_bits(&protocol)` after completion (protocols carry
+    /// their own metered bit sources).
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`] or [`EngineError::RoundLimit`].
+    pub fn run_metered<P: Protocol>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+        random_bits: impl Fn(&P) -> u64,
+    ) -> Result<Run<P::Output>, EngineError> {
+        let n = self.graph.node_count();
+        let mut nodes: Vec<P> = protocols.into_iter().collect();
+        if nodes.len() != n {
+            return Err(EngineError::WrongNodeCount {
+                got: nodes.len(),
+                expected: n,
+            });
+        }
+
+        let contexts: Vec<NodeContext> = (0..n)
+            .map(|v| NodeContext {
+                node: v,
+                id: self.ids.id_of(v),
+                degree: self.graph.degree(v),
+                n,
+            })
+            .collect();
+
+        // Port map: port_of[v] aligns with graph.neighbors(v); to deliver a
+        // message from u to v we need v's port for u.
+        let port_for = |v: usize, u: usize| -> usize {
+            self.graph
+                .neighbors(v)
+                .binary_search(&u)
+                .expect("u must be a neighbor of v")
+        };
+
+        let budget = match self.mode {
+            Mode::Local => None,
+            Mode::Congest { budget_bits } => Some(budget_bits),
+        };
+
+        let mut meter = CostMeter::default();
+        let mut halted: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut outboxes: Vec<Option<Outbox<P::Message>>> = Vec::with_capacity(n);
+        for v in 0..n {
+            outboxes.push(Some(nodes[v].start(&contexts[v])));
+        }
+
+        let mut rounds_used = 0;
+        for round in 1..=max_rounds {
+            // Deliver.
+            let mut inboxes: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+            for u in 0..n {
+                let Some(outbox) = outboxes[u].take() else {
+                    continue;
+                };
+                let Outbox {
+                    broadcast,
+                    directed,
+                } = outbox;
+                // Directed messages override the broadcast on their port.
+                let mut overridden: Vec<usize> = directed.iter().map(|&(p, _)| p).collect();
+                overridden.sort_unstable();
+                if let Some(msg) = broadcast {
+                    for (port, &v) in self.graph.neighbors(u).iter().enumerate() {
+                        if overridden.binary_search(&port).is_ok() {
+                            continue;
+                        }
+                        meter.record_message(msg.wire_bits(), budget);
+                        if halted[v].is_none() {
+                            inboxes[v].push((port_for(v, u), msg.clone()));
+                        }
+                    }
+                }
+                for (port, msg) in directed {
+                    assert!(
+                        port < self.graph.degree(u),
+                        "node {u} sent on invalid port {port}"
+                    );
+                    let v = self.graph.neighbors(u)[port];
+                    meter.record_message(msg.wire_bits(), budget);
+                    if halted[v].is_none() {
+                        inboxes[v].push((port_for(v, u), msg));
+                    }
+                }
+            }
+            for inbox in &mut inboxes {
+                inbox.sort_by_key(|&(p, _)| p);
+            }
+
+            // Step.
+            let mut all_halted = true;
+            for v in 0..n {
+                if halted[v].is_some() {
+                    continue;
+                }
+                match nodes[v].round(&contexts[v], round, &inboxes[v]) {
+                    Step::Continue(out) => {
+                        outboxes[v] = Some(out);
+                        all_halted = false;
+                    }
+                    Step::Halt(output) => {
+                        halted[v] = Some(output);
+                        outboxes[v] = None;
+                    }
+                }
+            }
+            rounds_used = round;
+            if all_halted {
+                break;
+            }
+            if round == max_rounds {
+                let still_running = halted.iter().filter(|h| h.is_none()).count();
+                return Err(EngineError::RoundLimit {
+                    limit: max_rounds,
+                    still_running,
+                });
+            }
+        }
+
+        meter.rounds = rounds_used as u64;
+        meter.random_bits = nodes.iter().map(&random_bits).sum();
+        let outputs = halted
+            .into_iter()
+            .map(|h| h.expect("all nodes halted"))
+            .collect();
+        Ok(Run { outputs, meter })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Outbox, Step};
+    use locality_graph::prelude::*;
+
+    /// Distance-from-sources flooding: each node halts with its BFS distance
+    /// from the nearest source (classic CONGEST primitive).
+    struct Flood {
+        is_source: bool,
+        dist: Option<u32>,
+        quiet_deadline: u32,
+    }
+
+    impl Protocol for Flood {
+        type Message = u32;
+        type Output = Option<u32>;
+
+        fn start(&mut self, _ctx: &NodeContext) -> Outbox<u32> {
+            if self.is_source {
+                self.dist = Some(0);
+                Outbox::broadcast(0)
+            } else {
+                Outbox::silent()
+            }
+        }
+
+        fn round(&mut self, _ctx: &NodeContext, round: u32, inbox: &[(usize, u32)]) -> Step<u32, Option<u32>> {
+            if round >= self.quiet_deadline {
+                return Step::Halt(self.dist);
+            }
+            let best = inbox.iter().map(|&(_, d)| d + 1).min();
+            match (self.dist, best) {
+                (None, Some(d)) => {
+                    self.dist = Some(d);
+                    Step::Continue(Outbox::broadcast(d))
+                }
+                _ => Step::Continue(Outbox::silent()),
+            }
+        }
+    }
+
+    fn flood(g: &Graph, sources: &[usize], deadline: u32) -> Run<Option<u32>> {
+        let ids = IdAssignment::sequential(g.node_count());
+        let mut engine = Engine::congest(g, &ids);
+        let nodes = (0..g.node_count()).map(|v| Flood {
+            is_source: sources.contains(&v),
+            dist: None,
+            quiet_deadline: deadline,
+        });
+        engine.run(nodes, deadline + 1).expect("run completes")
+    }
+
+    #[test]
+    fn flooding_matches_bfs() {
+        let g = Graph::grid(4, 5);
+        let run = flood(&g, &[0], 30);
+        let reference = bfs_distances(&g, 0);
+        for v in g.nodes() {
+            assert_eq!(run.outputs[v], reference[v], "node {v}");
+        }
+        assert!(run.meter.congest_clean());
+        assert!(run.meter.messages > 0);
+    }
+
+    #[test]
+    fn multi_source_flooding() {
+        let g = Graph::path(9);
+        let run = flood(&g, &[0, 8], 20);
+        let (reference, _) = multi_source_bfs(&g, &[0, 8]);
+        for v in g.nodes() {
+            assert_eq!(run.outputs[v], reference[v], "node {v}");
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_report_none() {
+        let g = Graph::disjoint_union(&[Graph::path(3), Graph::path(3)]);
+        let run = flood(&g, &[0], 10);
+        assert_eq!(run.outputs[5], None);
+    }
+
+    #[test]
+    fn round_limit_error() {
+        struct Forever;
+        impl Protocol for Forever {
+            type Message = bool;
+            type Output = ();
+            fn start(&mut self, _: &NodeContext) -> Outbox<bool> {
+                Outbox::silent()
+            }
+            fn round(&mut self, _: &NodeContext, _: u32, _: &[(usize, bool)]) -> Step<bool, ()> {
+                Step::Continue(Outbox::silent())
+            }
+        }
+        let g = Graph::path(2);
+        let ids = IdAssignment::sequential(2);
+        let mut e = Engine::local(&g, &ids);
+        let err = e.run([Forever, Forever], 5).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::RoundLimit {
+                limit: 5,
+                still_running: 2
+            }
+        );
+        assert!(err.to_string().contains('5'));
+    }
+
+    #[test]
+    fn wrong_node_count_error() {
+        let g = Graph::path(3);
+        let ids = IdAssignment::sequential(3);
+        let mut e = Engine::local(&g, &ids);
+        struct Noop;
+        impl Protocol for Noop {
+            type Message = bool;
+            type Output = ();
+            fn start(&mut self, _: &NodeContext) -> Outbox<bool> {
+                Outbox::silent()
+            }
+            fn round(&mut self, _: &NodeContext, _: u32, _: &[(usize, bool)]) -> Step<bool, ()> {
+                Step::Halt(())
+            }
+        }
+        let err = e.run([Noop], 5).unwrap_err();
+        assert!(matches!(err, EngineError::WrongNodeCount { got: 1, expected: 3 }));
+    }
+
+    #[test]
+    fn congest_violation_detected() {
+        struct Fat;
+        impl Protocol for Fat {
+            type Message = Vec<u64>;
+            type Output = ();
+            fn start(&mut self, _: &NodeContext) -> Outbox<Vec<u64>> {
+                Outbox::broadcast(vec![0u64; 100]) // 64 + 6400 bits
+            }
+            fn round(&mut self, _: &NodeContext, _: u32, _: &[(usize, Vec<u64>)]) -> Step<Vec<u64>, ()> {
+                Step::Halt(())
+            }
+        }
+        let g = Graph::path(2);
+        let ids = IdAssignment::sequential(2);
+        let run = Engine::congest(&g, &ids).run([Fat, Fat], 3).unwrap();
+        assert_eq!(run.meter.congest_violations, 2);
+        let run = Engine::local(&g, &ids).run([Fat, Fat], 3).unwrap();
+        assert_eq!(run.meter.congest_violations, 0);
+    }
+
+    #[test]
+    fn directed_overrides_broadcast() {
+        // Node 0 broadcasts 1 but sends 9 on port 0; its single neighbor
+        // must receive only the directed message.
+        struct Sender;
+        impl Protocol for Sender {
+            type Message = u8;
+            type Output = Vec<u8>;
+            fn start(&mut self, ctx: &NodeContext) -> Outbox<u8> {
+                if ctx.node == 0 {
+                    Outbox::broadcast(1).send(0, 9)
+                } else {
+                    Outbox::silent()
+                }
+            }
+            fn round(&mut self, _: &NodeContext, _: u32, inbox: &[(usize, u8)]) -> Step<u8, Vec<u8>> {
+                Step::Halt(inbox.iter().map(|&(_, m)| m).collect())
+            }
+        }
+        let g = Graph::path(2);
+        let ids = IdAssignment::sequential(2);
+        let run = Engine::local(&g, &ids).run([Sender, Sender], 3).unwrap();
+        assert_eq!(run.outputs[1], vec![9]);
+    }
+
+    #[test]
+    fn rounds_counted() {
+        let g = Graph::path(5);
+        let run = flood(&g, &[0], 12);
+        assert_eq!(run.meter.rounds, 12); // nodes halt at the quiet deadline
+    }
+}

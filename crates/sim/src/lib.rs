@@ -1,0 +1,75 @@
+//! Synchronous LOCAL/CONGEST simulator and SLOCAL runtime.
+//!
+//! The paper's model (its §2): an `n`-node network, one processor per node,
+//! unique `Θ(log n)`-bit identifiers, synchronous rounds; per round each node
+//! sends one message to each neighbor. In LOCAL messages are unbounded; in
+//! CONGEST they are `O(log n)` bits.
+//!
+//! - [`engine`]: the message-passing engine. Algorithms are per-node state
+//!   machines ([`node::Protocol`]); the engine delivers inboxes round by
+//!   round and meters rounds, messages, bits per message (flagging CONGEST
+//!   violations) and random bits drawn.
+//! - [`node`]: the protocol trait and node-side context.
+//! - [`wire`]: message bit-size accounting ([`wire::WireSize`]).
+//! - [`cost`]: the [`cost::CostMeter`] accumulator and sequential
+//!   composition.
+//! - [`slocal`]: the sequential-local model of [GKM17] — process nodes in an
+//!   order, each reading only its radius-`r` ball — with locality accounting.
+//!
+//! # Example
+//!
+//! A one-round protocol in which every node learns its neighbors' ids:
+//!
+//! ```
+//! use locality_graph::prelude::*;
+//! use locality_sim::prelude::*;
+//!
+//! struct Hello { heard: Vec<u64> }
+//! impl Protocol for Hello {
+//!     type Message = u64;
+//!     type Output = usize;
+//!     fn start(&mut self, ctx: &NodeContext) -> Outbox<u64> {
+//!         Outbox::broadcast(ctx.id)
+//!     }
+//!     fn round(&mut self, _ctx: &NodeContext, _r: u32, inbox: &[(usize, u64)])
+//!         -> Step<u64, usize>
+//!     {
+//!         self.heard = inbox.iter().map(|&(_, id)| id).collect();
+//!         Step::Halt(self.heard.len())
+//!     }
+//! }
+//!
+//! let g = Graph::cycle(5);
+//! let ids = IdAssignment::sequential(5);
+//! let mut engine = Engine::congest(&g, &ids);
+//! let run = engine.run((0..5).map(|_| Hello { heard: vec![] }), 10).unwrap();
+//! assert!(run.outputs.iter().all(|&d| d == 2));
+//! assert_eq!(run.meter.rounds, 1);
+//! ```
+
+// Bracketed citation keys ([EN16], [GKM17], ...) are bibliography
+// references, not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod node;
+pub mod protocols;
+pub mod slocal;
+pub mod wire;
+
+pub use cost::CostMeter;
+pub use engine::{Engine, EngineError, Mode, Run};
+pub use node::{NodeContext, Outbox, Protocol, Step};
+pub use wire::WireSize;
+
+/// The most used items.
+pub mod prelude {
+    pub use crate::cost::CostMeter;
+    pub use crate::engine::{Engine, EngineError, Mode, Run};
+    pub use crate::node::{NodeContext, Outbox, Protocol, Step};
+    pub use crate::slocal::{SlocalRunner, SlocalStats};
+    pub use crate::wire::WireSize;
+}

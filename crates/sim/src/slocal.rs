@@ -1,0 +1,265 @@
+//! The SLOCAL model of Ghaffari, Kuhn & Maus [GKM17].
+//!
+//! An SLOCAL algorithm processes the nodes in an arbitrary order
+//! `v1, v2, …, vn`; when processing `vi` it reads the *current* state (graph
+//! topology plus previously written outputs) within a radius-`r` ball around
+//! `vi`, then writes `vi`'s output. The parameter `r` is the algorithm's
+//! *locality*. Greedy MIS and (∆+1)-coloring have locality 1; the paper's
+//! derandomization results ride on the equivalence
+//! `P-RLOCAL = P-SLOCAL` [GHK18].
+//!
+//! [`SlocalRunner`] enforces the model mechanically: the per-node closure
+//! receives a [`BallView`] that only exposes nodes within the declared
+//! locality, and the runner records the maximal locality actually used.
+
+use locality_graph::traversal::bounded_bfs_distances;
+use locality_graph::Graph;
+
+/// Statistics of an SLOCAL execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlocalStats {
+    /// Declared locality radius.
+    pub locality: u32,
+    /// Largest ball (node count) any step read.
+    pub max_ball_size: usize,
+    /// Number of processed nodes.
+    pub steps: usize,
+}
+
+/// Read-only view of the radius-`r` ball around the node being processed.
+#[derive(Debug)]
+pub struct BallView<'a, T> {
+    graph: &'a Graph,
+    center: usize,
+    dist: Vec<Option<u32>>,
+    outputs: &'a [Option<T>],
+}
+
+impl<'a, T> BallView<'a, T> {
+    /// The node being processed.
+    pub fn center(&self) -> usize {
+        self.center
+    }
+
+    /// Distance from the center, if within the locality radius.
+    pub fn distance(&self, v: usize) -> Option<u32> {
+        self.dist.get(v).copied().flatten()
+    }
+
+    /// Whether `v` is visible (within the ball).
+    pub fn contains(&self, v: usize) -> bool {
+        self.distance(v).is_some()
+    }
+
+    /// The nodes of the ball in (distance, index) order.
+    pub fn nodes(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = (0..self.dist.len())
+            .filter(|&v| self.dist[v].is_some())
+            .collect();
+        nodes.sort_by_key(|&v| (self.dist[v], v));
+        nodes
+    }
+
+    /// Neighbors of a visible node `v` that are themselves visible.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the ball (reading it would violate SLOCAL).
+    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+        assert!(self.contains(v), "SLOCAL violation: node {v} outside ball");
+        self.graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| self.contains(u))
+            .collect()
+    }
+
+    /// The already-written output of a visible node, if any.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the ball.
+    pub fn output(&self, v: usize) -> Option<&T> {
+        assert!(self.contains(v), "SLOCAL violation: node {v} outside ball");
+        self.outputs[v].as_ref()
+    }
+}
+
+/// Executes SLOCAL algorithms on a graph with locality enforcement.
+///
+/// # Example
+///
+/// Greedy (∆+1)-coloring has locality 1:
+///
+/// ```
+/// use locality_graph::prelude::*;
+/// use locality_sim::slocal::SlocalRunner;
+///
+/// let g = Graph::cycle(5);
+/// let order: Vec<usize> = (0..5).collect();
+/// let (colors, stats) = SlocalRunner::new(&g, 1).run(&order, |view| {
+///     let used: Vec<usize> = view
+///         .neighbors(view.center())
+///         .into_iter()
+///         .filter_map(|u| view.output(u).copied())
+///         .collect();
+///     (0..).find(|c| !used.contains(c)).expect("some color is free")
+/// });
+/// assert_eq!(stats.locality, 1);
+/// for (u, v) in g.edges() {
+///     assert_ne!(colors[u], colors[v]);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SlocalRunner<'a> {
+    graph: &'a Graph,
+    locality: u32,
+}
+
+impl<'a> SlocalRunner<'a> {
+    /// Create a runner with the declared locality radius.
+    pub fn new(graph: &'a Graph, locality: u32) -> Self {
+        Self { graph, locality }
+    }
+
+    /// Process every node of `order` once, in order, writing its output.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of the nodes.
+    pub fn run<T, F>(&self, order: &[usize], mut step: F) -> (Vec<T>, SlocalStats)
+    where
+        F: FnMut(&BallView<'_, T>) -> T,
+    {
+        let n = self.graph.node_count();
+        assert_eq!(order.len(), n, "order must cover all nodes");
+        let mut seen = vec![false; n];
+        for &v in order {
+            assert!(v < n && !seen[v], "order must be a permutation");
+            seen[v] = true;
+        }
+
+        let mut outputs: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut stats = SlocalStats {
+            locality: self.locality,
+            max_ball_size: 0,
+            steps: 0,
+        };
+        for &v in order {
+            let dist = bounded_bfs_distances(self.graph, v, self.locality);
+            let ball_size = dist.iter().flatten().count();
+            stats.max_ball_size = stats.max_ball_size.max(ball_size);
+            stats.steps += 1;
+            let view = BallView {
+                graph: self.graph,
+                center: v,
+                dist,
+                outputs: &outputs,
+            };
+            let out = step(&view);
+            outputs[v] = Some(out);
+        }
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.expect("every node processed"))
+            .collect();
+        (outputs, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_graph::Graph;
+
+    fn greedy_mis(g: &Graph, order: &[usize]) -> Vec<bool> {
+        let (out, stats) = SlocalRunner::new(g, 1).run(order, |view| {
+            // Join the MIS iff no already-processed neighbor joined.
+            !view
+                .neighbors(view.center())
+                .into_iter()
+                .any(|u| view.output(u).copied().unwrap_or(false))
+        });
+        assert_eq!(stats.locality, 1);
+        out
+    }
+
+    #[test]
+    fn greedy_mis_is_maximal_independent() {
+        let g = Graph::grid(5, 5);
+        let order: Vec<usize> = (0..25).collect();
+        let mis = greedy_mis(&g, &order);
+        for (u, v) in g.edges() {
+            assert!(!(mis[u] && mis[v]), "edge ({u},{v}) inside MIS");
+        }
+        for v in g.nodes() {
+            let dominated = mis[v] || g.neighbors(v).iter().any(|&u| mis[u]);
+            assert!(dominated, "node {v} not dominated");
+        }
+    }
+
+    #[test]
+    fn order_affects_output_but_not_validity() {
+        let g = Graph::path(6);
+        let forward: Vec<usize> = (0..6).collect();
+        let backward: Vec<usize> = (0..6).rev().collect();
+        let a = greedy_mis(&g, &forward);
+        let b = greedy_mis(&g, &backward);
+        // Both valid (spot-check independence).
+        for (u, v) in g.edges() {
+            assert!(!(a[u] && a[v]));
+            assert!(!(b[u] && b[v]));
+        }
+        assert!(a[0] && !a[1]);
+        assert!(b[5] && !b[4]);
+    }
+
+    #[test]
+    fn ball_view_enforces_radius() {
+        let g = Graph::path(10);
+        let runner = SlocalRunner::new(&g, 2);
+        let order: Vec<usize> = (0..10).collect();
+        let (_, stats) = runner.run(&order, |view: &BallView<'_, u32>| {
+            // Center 0 must not see node 3 (distance 3 > 2).
+            if view.center() == 0 {
+                assert!(view.contains(2));
+                assert!(!view.contains(3));
+            }
+            0u32
+        });
+        assert!(stats.max_ball_size <= 5);
+        assert_eq!(stats.steps, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_outside_ball_panics() {
+        let g = Graph::path(5);
+        let runner = SlocalRunner::new(&g, 1);
+        let order: Vec<usize> = (0..5).collect();
+        let _ = runner.run(&order, |view: &BallView<'_, u32>| {
+            if view.center() == 0 {
+                let _ = view.output(4); // distance 4 > locality 1
+            }
+            0u32
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_permutation_order_panics() {
+        let g = Graph::path(3);
+        let _ = SlocalRunner::new(&g, 1).run(&[0, 0, 1], |_view: &BallView<'_, u8>| 0u8);
+    }
+
+    #[test]
+    fn nodes_listing_sorted_by_distance() {
+        let g = Graph::star(5);
+        let runner = SlocalRunner::new(&g, 1);
+        let order = vec![0, 1, 2, 3, 4];
+        let (_, _) = runner.run(&order, |view: &BallView<'_, u8>| {
+            if view.center() == 0 {
+                assert_eq!(view.nodes(), vec![0, 1, 2, 3, 4]);
+            }
+            0u8
+        });
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a graph, run the randomized Elkin–Neiman network
+//! decomposition, validate it, and inspect the cost meters.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use locality::prelude::*;
+
+fn main() {
+    // A sparse connected random graph on 400 nodes.
+    let mut seed = SplitMix64::new(2024);
+    let g = Graph::gnp_connected(400, 3.0 / 400.0, &mut seed);
+    println!(
+        "graph: n = {}, m = {}, ∆ = {}",
+        g.node_count(),
+        g.edge_count(),
+        g.max_degree()
+    );
+
+    // The standard randomized regime: unbounded private coins.
+    let cfg = ElkinNeimanConfig::for_graph(&g);
+    let mut coins = PrngSource::seeded(7);
+    let run = elkin_neiman(&g, &cfg, &mut coins);
+
+    let d = run
+        .decomposition
+        .as_ref()
+        .expect("w.h.p. the construction succeeds");
+    let q = d.validate(&g).expect("the validator agrees");
+    println!(
+        "decomposition: {} clusters, {} colors, max strong diameter {}",
+        q.clusters, q.colors, q.max_diameter
+    );
+    println!(
+        "cost: {} CONGEST rounds, {} messages, max message {} bits, {} random bits",
+        run.meter.rounds, run.meter.messages, run.meter.max_message_bits, run.meter.random_bits
+    );
+    assert!(run.meter.congest_clean(), "every message fits O(log n) bits");
+
+    // Per-phase clustering fractions — the [EN16, Claim 6] constant.
+    let fractions: Vec<String> = run
+        .per_phase_fractions()
+        .iter()
+        .map(|f| format!("{f:.2}"))
+        .collect();
+    println!("per-phase clustered fractions: {}", fractions.join(" "));
+
+    // The same construction under Θ(log² n)-wise independent radii
+    // (Theorem 3.5): only the seed is truly random.
+    let k = (g.log2_n() * g.log2_n()) as usize;
+    let kw = KWiseBits::from_source(k, &mut PrngSource::seeded(99)).expect("seed fits");
+    let run_kw = elkin_neiman_kwise(&g, &cfg, &kw);
+    let d_kw = run_kw.decomposition.expect("limited independence suffices");
+    let q_kw = d_kw.validate(&g).expect("valid");
+    println!(
+        "k-wise regime (k = {k}): {} colors, diameter {}, total true randomness {} bits",
+        q_kw.colors, q_kw.max_diameter, run_kw.meter.random_bits
+    );
+}

@@ -1,0 +1,98 @@
+//! Integration: decompositions feed the consumers (MIS, coloring); local
+//! checkers accept valid outputs and reject mutations.
+
+use locality::core::checkers;
+use locality::core::coloring;
+use locality::core::decomposition::ball_carving_decomposition;
+use locality::core::mis;
+use locality::prelude::*;
+use locality_graph::generators::Family;
+
+#[test]
+fn full_derandomization_chain_mis_and_coloring() {
+    let mut p = SplitMix64::new(23);
+    for fam in Family::ALL {
+        let g = fam.generate(120, &mut p);
+        let order: Vec<usize> = (0..g.node_count()).collect();
+        let d = ball_carving_decomposition(&g, &order).decomposition;
+
+        let m = mis::via_decomposition(&g, &d);
+        assert!(checkers::check_mis(&g, &m.in_mis).accepted(), "{}", fam.name());
+
+        let c = coloring::via_decomposition(&g, &d);
+        assert!(
+            checkers::check_proper_coloring(&g, &c.colors, g.max_degree() + 1).accepted(),
+            "{}",
+            fam.name()
+        );
+        assert_eq!(m.meter.random_bits + c.meter.random_bits, 0);
+    }
+}
+
+#[test]
+fn randomized_consumers_pass_checkers() {
+    let mut p = SplitMix64::new(29);
+    let g = Graph::gnp_connected(200, 0.02, &mut p);
+    let m = mis::luby(&g, &mut PrngSource::seeded(1));
+    assert!(checkers::check_mis(&g, &m.in_mis).accepted());
+    let c = coloring::random_coloring(&g, &mut PrngSource::seeded(2));
+    assert!(checkers::check_proper_coloring(&g, &c.colors, g.max_degree() + 1).accepted());
+}
+
+#[test]
+fn checker_rejects_any_single_flip_of_a_valid_mis() {
+    // Definition 2.2 soundness, brute-forced: flip each node's membership
+    // and assert some node rejects.
+    let mut p = SplitMix64::new(31);
+    let g = Graph::gnp_connected(40, 0.1, &mut p);
+    let m = mis::luby(&g, &mut PrngSource::seeded(3));
+    assert!(checkers::check_mis(&g, &m.in_mis).accepted());
+    for v in g.nodes() {
+        let mut mutated = m.in_mis.clone();
+        mutated[v] = !mutated[v];
+        let out = checkers::check_mis(&g, &mutated);
+        assert!(!out.accepted(), "flip at {v} went unnoticed");
+        // The rejection is local: some rejecting node is within distance 1.
+        let d = bfs_distances(&g, v);
+        assert!(
+            out.rejecting_nodes()
+                .iter()
+                .any(|&w| matches!(d[w], Some(x) if x <= 1)),
+            "no rejection near {v}"
+        );
+    }
+}
+
+#[test]
+fn decomposition_checker_matches_validator() {
+    // The local checker (Definition 2.2) and the global validator agree on
+    // valid outputs.
+    let mut p = SplitMix64::new(37);
+    for fam in [Family::Grid, Family::Cycle, Family::GnpSparse] {
+        let g = fam.generate(80, &mut p);
+        let order: Vec<usize> = (0..g.node_count()).collect();
+        let d = ball_carving_decomposition(&g, &order).decomposition;
+        let q = d.validate(&g).expect("valid");
+        let check = checkers::check_decomposition(&g, &d, q.max_diameter, q.colors);
+        assert!(check.accepted(), "{}", fam.name());
+        assert_eq!(check.radius, q.max_diameter + 1);
+    }
+}
+
+#[test]
+fn engine_protocols_agree_with_centralized_references() {
+    // The EN run is a real message-passing execution; its per-phase outputs
+    // were already validated, but also sanity-check the meters: messages and
+    // bits flow, and CONGEST stays clean on all families.
+    let mut p = SplitMix64::new(41);
+    for fam in [Family::Grid, Family::RandomTree] {
+        let g = fam.generate(100, &mut p);
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let mut src = PrngSource::seeded(fam as u64);
+        let out = elkin_neiman(&g, &cfg, &mut src);
+        assert!(out.meter.messages > 0);
+        assert!(out.meter.bits_sent > 0);
+        assert!(out.meter.congest_clean(), "{}", fam.name());
+        assert!(out.meter.max_message_bits <= 8 * g.log2_n() as u64);
+    }
+}

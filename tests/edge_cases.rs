@@ -1,0 +1,102 @@
+//! Cross-crate edge cases: degenerate graphs through every pipeline.
+
+use locality::core::boost::{boosted_decomposition, BoostConfig};
+use locality::core::decomposition::{
+    ball_carving_decomposition, derandomized_decomposition, ElkinNeimanConfig,
+};
+use locality::core::mis;
+use locality::core::ruling::{ruling_set, RulingSetParams};
+use locality::core::shared::{shared_randomness_decomposition, SharedDecompConfig};
+use locality::prelude::*;
+
+#[test]
+fn single_node_through_every_construction() {
+    let g = Graph::empty(1);
+    let ids = IdAssignment::sequential(1);
+
+    let en = elkin_neiman(&g, &ElkinNeimanConfig::for_graph(&g), &mut PrngSource::seeded(1));
+    assert_eq!(en.decomposition.unwrap().validate(&g).unwrap().clusters, 1);
+
+    let carve = ball_carving_decomposition(&g, &[0]);
+    assert_eq!(carve.colors, 1);
+
+    let derand = derandomized_decomposition(&g, 4);
+    assert_eq!(derand.decomposition.validate(&g).unwrap().clusters, 1);
+
+    let cfg = SharedDecompConfig::for_graph(&g);
+    let seed = SharedSeed::from_prng(cfg.seed_bits_needed(), &mut SplitMix64::new(1));
+    let sh = shared_randomness_decomposition(&g, &cfg, &seed).unwrap();
+    assert!(sh.decomposition.is_some());
+
+    let r = ruling_set(&g, &ids, &[0], RulingSetParams { alpha: 3 });
+    assert_eq!(r.set, vec![0]);
+
+    let boost = boosted_decomposition(&g, &ids, &BoostConfig::for_graph(&g), &mut PrngSource::seeded(2));
+    assert!(boost.decomposition.unwrap().validate_weak(&g).is_ok());
+
+    let m = mis::luby(&g, &mut PrngSource::seeded(3));
+    assert_eq!(m.in_mis, vec![true]);
+}
+
+#[test]
+fn two_isolated_nodes_decompose_with_one_color() {
+    let g = Graph::empty(2);
+    let en = elkin_neiman(&g, &ElkinNeimanConfig::for_graph(&g), &mut PrngSource::seeded(4));
+    let d = en.decomposition.unwrap();
+    let q = d.validate(&g).unwrap();
+    assert_eq!(q.clusters, 2);
+    assert_eq!(q.max_diameter, 0);
+}
+
+#[test]
+fn disconnected_components_all_complete() {
+    // Each construction must handle multiple components in one run.
+    let g = Graph::disjoint_union(&[Graph::cycle(9), Graph::path(7), Graph::complete(4)]);
+    let cfg = ElkinNeimanConfig::for_graph(&g);
+    let en = elkin_neiman(&g, &cfg, &mut PrngSource::seeded(5));
+    en.decomposition.expect("all components").validate(&g).unwrap();
+
+    let order: Vec<usize> = (0..g.node_count()).collect();
+    let carve = ball_carving_decomposition(&g, &order);
+    carve.decomposition.validate(&g).unwrap();
+
+    let m = mis::via_decomposition(&g, &carve.decomposition);
+    mis::verify_mis(&g, &m.in_mis).unwrap();
+}
+
+#[test]
+fn star_and_clique_extremes() {
+    // Extreme degree distributions exercise the gap rule's tie handling.
+    for g in [Graph::star(40), Graph::complete(20)] {
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let en = elkin_neiman(&g, &cfg, &mut PrngSource::seeded(6));
+        let d = en.decomposition.expect("dense graphs cluster quickly");
+        let q = d.validate(&g).unwrap();
+        assert!(q.max_diameter <= 2);
+    }
+}
+
+#[test]
+fn long_path_respects_logarithmic_color_budget() {
+    let g = Graph::path(512);
+    let order: Vec<usize> = (0..512).collect();
+    let carve = ball_carving_decomposition(&g, &order);
+    let q = carve.decomposition.validate(&g).unwrap();
+    assert!(q.colors <= 10, "colors {}", q.colors);
+    assert!(q.max_diameter <= 2 * g.log2_n(), "diam {}", q.max_diameter);
+}
+
+#[test]
+fn meters_compose_across_pipeline_stages() {
+    // The CostMeter algebra: EN stage + consumer stage.
+    let mut p = SplitMix64::new(7);
+    let g = Graph::gnp_connected(80, 0.04, &mut p);
+    let cfg = ElkinNeimanConfig::for_graph(&g);
+    let en = elkin_neiman(&g, &cfg, &mut PrngSource::seeded(8));
+    let d = en.decomposition.unwrap();
+    let m = mis::via_decomposition(&g, &d);
+    let total = en.meter + m.meter;
+    assert_eq!(total.rounds, en.meter.rounds + m.meter.rounds);
+    assert_eq!(total.random_bits, en.meter.random_bits);
+    assert!(total.congest_clean());
+}

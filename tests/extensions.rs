@@ -1,0 +1,80 @@
+//! Integration tests for the extension modules (sinkless orientation, the
+//! SLOCAL→LOCAL reduction, and the engine protocol library).
+
+use locality::core::decomposition::ball_carving_decomposition;
+use locality::core::sinkless::{check_sinkless, deterministic_sinkless, randomized_sinkless};
+use locality::core::slocal::run_slocal_via_decomposition;
+use locality::prelude::*;
+use locality_graph::generators::Family;
+use locality_sim::protocols::{BfsProtocol, ConvergecastSum, LeaderElection};
+
+#[test]
+fn sinkless_orientation_on_every_family() {
+    let mut p = SplitMix64::new(161);
+    for fam in Family::ALL {
+        let g = fam.generate(100, &mut p);
+        let det = deterministic_sinkless(&g).expect("always succeeds");
+        assert!(
+            check_sinkless(&g, &det.orientation).accepted(),
+            "{}: sinks {:?}",
+            fam.name(),
+            det.orientation.sinks(&g)
+        );
+    }
+}
+
+#[test]
+fn randomized_sinkless_reproducible_and_valid() {
+    let mut p = SplitMix64::new(163);
+    let g = Graph::random_regular(80, 4, &mut p);
+    let a = randomized_sinkless(&g, &mut PrngSource::seeded(9), 200);
+    let b = randomized_sinkless(&g, &mut PrngSource::seeded(9), 200);
+    assert_eq!(a.orientation, b.orientation);
+    assert!(a.orientation.is_sinkless(&g));
+}
+
+#[test]
+fn slocal_reduction_runs_mis_and_coloring_on_families() {
+    let mut p = SplitMix64::new(167);
+    for fam in [Family::Cycle, Family::Grid, Family::RandomTree] {
+        let g = fam.generate(64, &mut p);
+        let gp = power_graph(&g, 3);
+        let order: Vec<usize> = (0..gp.node_count()).collect();
+        let d = ball_carving_decomposition(&gp, &order).decomposition;
+        let out = run_slocal_via_decomposition(&g, 1, &d, |view| {
+            !view
+                .neighbors(view.center())
+                .into_iter()
+                .any(|u| view.output(u).copied().unwrap_or(false))
+        });
+        locality::core::mis::verify_mis(&g, &out.outputs)
+            .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+    }
+}
+
+#[test]
+fn protocol_stack_bfs_then_convergecast_counts_component_sizes() {
+    // BFS tree from node 0, then count nodes by summing 1s up the tree —
+    // the classic two-phase CONGEST composition.
+    let mut p = SplitMix64::new(173);
+    let g = Graph::gnp_connected(120, 0.03, &mut p);
+    let ids = IdAssignment::sequential(g.node_count());
+    let bfs = BfsProtocol::run(&g, &ids, &[0], 80).unwrap();
+    let parents: Vec<Option<usize>> = bfs.outputs.iter().map(|&(_, p)| p).collect();
+    let run = ConvergecastSum::run(&g, &ids, &parents, &vec![1; g.node_count()], 200).unwrap();
+    assert_eq!(run.outputs[0], g.node_count() as u64);
+    // Sequential composition of the meters is well-defined.
+    let total = bfs.meter + run.meter;
+    assert_eq!(total.rounds, bfs.meter.rounds + run.meter.rounds);
+}
+
+#[test]
+fn leader_election_on_random_ids() {
+    let mut p = SplitMix64::new(179);
+    let g = Graph::gnp_connected(60, 0.06, &mut p);
+    let ids = IdAssignment::random(60, 3, &mut p);
+    let run = LeaderElection::run(&g, &ids, 40).unwrap();
+    let min_id = (0..60).map(|v| ids.id_of(v)).min().unwrap();
+    assert!(run.outputs.iter().all(|&x| x == min_id));
+    assert!(run.meter.congest_clean());
+}

@@ -1,0 +1,110 @@
+//! Property-based invariants across the workspace (proptest).
+
+use locality::core::decomposition::{ball_carving_decomposition, elkin_neiman, ElkinNeimanConfig};
+use locality::core::ruling::{ruling_set, verify_ruling_set, RulingSetParams};
+use locality::core::splitting::{solve_kwise, SplittingInstance};
+use locality::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary sparse graph: node count and an edge list over it.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..3 * n).prop_map(move |pairs| {
+            let edges = pairs.into_iter().filter(|&(u, v)| u != v);
+            Graph::from_edges(n, edges).expect("filtered edges are valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn carving_always_yields_valid_decomposition(g in arb_graph()) {
+        let order: Vec<usize> = (0..g.node_count()).collect();
+        let r = ball_carving_decomposition(&g, &order);
+        let q = r.decomposition.validate(&g).expect("valid");
+        prop_assert!(q.colors as u32 <= g.log2_n() + 1);
+        prop_assert!(r.max_radius <= g.log2_n());
+    }
+
+    #[test]
+    fn elkin_neiman_clusters_or_reports_survivors(g in arb_graph(), seed in 0u64..1000) {
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let mut src = PrngSource::seeded(seed);
+        let out = elkin_neiman(&g, &cfg, &mut src);
+        match out.decomposition {
+            Some(d) => {
+                let q = d.validate(&g).expect("valid");
+                prop_assert!(q.colors as u32 <= cfg.phases);
+                prop_assert!(out.survivors.is_empty());
+            }
+            None => prop_assert!(!out.survivors.is_empty()),
+        }
+        // The partial labels and the survivors partition the nodes.
+        let labeled = out.labels.iter().filter(|l| l.is_some()).count();
+        prop_assert_eq!(labeled + out.survivors.len(), g.node_count());
+    }
+
+    #[test]
+    fn ruling_sets_hold_their_contract(g in arb_graph(), alpha in 1u32..6) {
+        let ids = IdAssignment::sequential(g.node_count());
+        let all: Vec<usize> = g.nodes().collect();
+        let r = ruling_set(&g, &ids, &all, RulingSetParams { alpha });
+        prop_assert!(verify_ruling_set(&g, &all, &r.set, alpha, r.beta).is_ok());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality(g in arb_graph()) {
+        let n = g.node_count();
+        let d0 = bfs_distances(&g, 0);
+        let d1 = bfs_distances(&g, n - 1);
+        // |d0(v) - d0(u)| <= 1 across every edge.
+        for (u, v) in g.edges() {
+            if let (Some(a), Some(b)) = (d0[u], d0[v]) {
+                prop_assert!(a.abs_diff(b) <= 1);
+            }
+            if let (Some(a), Some(b)) = (d1[u], d1[v]) {
+                prop_assert!(a.abs_diff(b) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn kwise_bits_are_pure_functions_of_seed(k in 1usize..12, seed in 0u64..500, idx in 0u64..10_000) {
+        let a = KWiseBits::from_source(k, &mut PrngSource::seeded(seed)).unwrap();
+        let b = KWiseBits::from_source(k, &mut PrngSource::seeded(seed)).unwrap();
+        prop_assert_eq!(a.bit(idx), b.bit(idx));
+        prop_assert_eq!(a.word(idx), b.word(idx));
+        prop_assert!(a.word(idx) < locality::rand::kwise::MERSENNE61);
+    }
+
+    #[test]
+    fn splitting_checker_counts_failures_exactly(
+        v_count in 4usize..30,
+        seed in 0u64..200,
+    ) {
+        let mut p = SplitMix64::new(seed);
+        let h = SplittingInstance::random(10, v_count, 2, &mut p);
+        let kw = KWiseBits::from_source(4, &mut PrngSource::seeded(seed)).unwrap();
+        let attempt = solve_kwise(&h, &kw);
+        // Recount independently.
+        let recount = (0..h.u_count())
+            .filter(|&u| {
+                let colors: Vec<bool> =
+                    h.neighbors(u).iter().map(|&v| attempt.colors[v]).collect();
+                colors.iter().all(|&c| c) || colors.iter().all(|&c| !c)
+            })
+            .count();
+        prop_assert_eq!(attempt.failures.len(), recount);
+    }
+
+    #[test]
+    fn geometric_draws_meter_exactly_their_value(seed in 0u64..500, cap in 1u32..40) {
+        let mut src = PrngSource::seeded(seed);
+        let before = src.bits_drawn();
+        let v = src.geometric(cap);
+        prop_assert!(v >= 1 && v <= cap);
+        prop_assert_eq!(src.bits_drawn() - before, v.min(cap) as u64);
+    }
+}
