@@ -19,18 +19,14 @@ fn bench_boost(c: &mut Criterion) {
             en: ElkinNeimanConfig { phases, cap: 16 },
             t_override: Some(8),
         };
-        group.bench_with_input(
-            BenchmarkId::new("en_phases", phases),
-            &phases,
-            |b, _| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let mut src = PrngSource::seeded(seed);
-                    boosted_decomposition(&g, &ids, &cfg, &mut src)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("en_phases", phases), &phases, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut src = PrngSource::seeded(seed);
+                boosted_decomposition(&g, &ids, &cfg, &mut src)
+            });
+        });
     }
     group.finish();
 }

@@ -68,13 +68,9 @@ fn bench_derandomized(c: &mut Criterion) {
     group.sample_size(10);
     for side in [5usize, 7] {
         let g = Graph::grid(side, side);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(side * side),
-            &g,
-            |b, g| {
-                b.iter(|| derandomized_decomposition(g, 8));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &g, |b, g| {
+            b.iter(|| derandomized_decomposition(g, 8));
+        });
     }
     group.finish();
 }

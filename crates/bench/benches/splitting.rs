@@ -2,9 +2,7 @@
 //! (T5 hot paths).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use locality_core::splitting::{
-    solve_eps_biased, solve_full, solve_kwise, SplittingInstance,
-};
+use locality_core::splitting::{solve_eps_biased, solve_full, solve_kwise, SplittingInstance};
 use locality_rand::epsbias::EpsBiasedBits;
 use locality_rand::kwise::KWiseBits;
 use locality_rand::prng::SplitMix64;

@@ -1,4 +1,4 @@
-//! Regenerate the theorem-derived tables (T1–T9) and figures (F1–F4).
+//! Regenerate the theorem-derived tables (T1–T10) and figures (F1–F4).
 //!
 //! ```sh
 //! cargo run -p locality-bench --release --bin experiments -- all
@@ -7,20 +7,43 @@
 
 use locality_bench::experiments;
 
+const USAGE: &str = "usage: experiments <all | t1..t10 f1..f4>...
+
+Regenerates the theorem-derived tables (T1-T10) and figures (F1-F4)
+described in DESIGN.md section 3. Pass `all` to run every experiment,
+or any mix of individual ids.
+
+options:
+  -h, --help  print this message and exit";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
     if args.is_empty() {
-        eprintln!("usage: experiments <all | t1..t9 f1..f4>...");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
-    for arg in &args {
-        let id = arg.to_lowercase();
+    let ids: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
+    if let Some(bad) = ids
+        .iter()
+        .find(|id| *id != "all" && !experiments::ALL.contains(&id.as_str()))
+    {
+        eprintln!(
+            "unknown experiment id: {bad} (known: all, {})",
+            experiments::ALL.join(", ")
+        );
+        std::process::exit(2);
+    }
+    for id in &ids {
         if id == "all" {
             for e in experiments::ALL {
                 experiments::run(e);
             }
         } else {
-            experiments::run(&id);
+            experiments::run(id);
         }
     }
 }

@@ -65,9 +65,21 @@ pub fn t1_en_baseline() {
     println!("\n== T1: Elkin–Neiman randomized decomposition (baseline) ==");
     println!("paper claim: O(log n) colors, O(log n) cluster radius, O(log^2 n) CONGEST rounds\n");
     let mut t = Table::new(&[
-        "family", "n", "colors", "diam", "rounds", "maxmsg(b)", "violations", "10*log2n",
+        "family",
+        "n",
+        "colors",
+        "diam",
+        "rounds",
+        "maxmsg(b)",
+        "violations",
+        "10*log2n",
     ]);
-    for fam in [Family::GnpSparse, Family::RandomTree, Family::Grid, Family::Cycle] {
+    for fam in [
+        Family::GnpSparse,
+        Family::RandomTree,
+        Family::Grid,
+        Family::Cycle,
+    ] {
         for n in [64usize, 256, 1024] {
             let g = fam_graph(fam, n, 7 + n as u64);
             let cfg = ElkinNeimanConfig::for_graph(&g);
@@ -144,7 +156,13 @@ pub fn t3_kwise_independence() {
     let g = fam_graph(Family::GnpSparse, 256, 33);
     let cfg = ElkinNeimanConfig::for_graph(&g);
     let trials = 20u64;
-    let mut t = Table::new(&["k (independence)", "success", "avg colors", "avg diam", "seed bits"]);
+    let mut t = Table::new(&[
+        "k (independence)",
+        "success",
+        "avg colors",
+        "avg diam",
+        "seed bits",
+    ]);
     let log2 = g.log2_n() as usize;
     let mut ks = vec![1usize, 2, 4, 8, 16, 64, log2 * log2];
     ks.dedup();
@@ -197,7 +215,13 @@ pub fn t4_shared_congest() {
     println!("\n== T4: shared randomness in CONGEST (Theorem 3.6) ==");
     println!("paper claim: (O(log n), O(log^2 n)) decomposition from poly(log n) shared bits\n");
     let mut t = Table::new(&[
-        "family", "n", "shared bits", "colors", "diam", "bound 2(R+cap)", "rounds",
+        "family",
+        "n",
+        "shared bits",
+        "colors",
+        "diam",
+        "bound 2(R+cap)",
+        "rounds",
     ]);
     for fam in [Family::GnpSparse, Family::Grid, Family::Cycle] {
         for n in [64usize, 256, 1024] {
@@ -271,7 +295,12 @@ pub fn t6_boosting() {
     let ids = IdAssignment::sequential(g.node_count());
     let trials = 30u64;
     let mut t = Table::new(&[
-        "EN phases", "P(survivors)", "avg survivors", "max K", "pipeline success", "avg colors",
+        "EN phases",
+        "P(survivors)",
+        "avg survivors",
+        "max K",
+        "pipeline success",
+        "avg colors",
     ]);
     for phases in [1u32, 2, 3, 4, 6, 10] {
         let mut with_survivors = 0u64;
@@ -329,7 +358,11 @@ pub fn t7_derandomization() {
         "seeds good for ALL instances: {} ({:.2}% of the space) -> deterministic algorithm {}",
         good,
         100.0 * good as f64 / report.failures_per_seed.len() as f64,
-        if report.good_seed.is_some() { "EXISTS" } else { "not found" }
+        if report.good_seed.is_some() {
+            "EXISTS"
+        } else {
+            "not found"
+        }
     );
 
     println!("\n-- the \"lie about n\" mechanism (Thm 4.3), observed --");
@@ -352,7 +385,10 @@ pub fn t7_derandomization() {
 
     println!("\n-- Theorem 4.3 / 4.6 derandomization thresholds (formula curves) --");
     let mut t = Table::new(&[
-        "log2 n", "PS92 log2(rounds)", "Thm4.3 b=3 log2 T", "Thm4.3 b=4 log2 T",
+        "log2 n",
+        "PS92 log2(rounds)",
+        "Thm4.3 b=3 log2 T",
+        "Thm4.3 b=4 log2 T",
         "Thm4.6 e=0.5: log2(-log2 err)",
     ]);
     for logn in [10u32, 16, 24, 32, 48, 64] {
@@ -374,7 +410,11 @@ pub fn t8_mis() {
     println!("\n== T8: MIS — randomized vs decomposition-derandomized ==");
     println!("paper context: decomposition makes MIS deterministic (P-RLOCAL engine)\n");
     let mut t = Table::new(&[
-        "n", "luby rounds", "luby randbits", "det rounds (carving)", "det randbits",
+        "n",
+        "luby rounds",
+        "luby randbits",
+        "det rounds (carving)",
+        "det randbits",
     ]);
     for n in [64usize, 256, 1024] {
         let g = fam_graph(Family::GnpSparse, n, 61 + n as u64);
@@ -432,7 +472,11 @@ pub fn t9_ablations() {
         let (s, c, d) = match &out.decomposition {
             Some(d) => {
                 let q = d.validate(&g).expect("valid");
-                ("yes".to_string(), q.colors.to_string(), q.max_diameter.to_string())
+                (
+                    "yes".to_string(),
+                    q.colors.to_string(),
+                    q.max_diameter.to_string(),
+                )
             }
             None => ("no".into(), "-".into(), "-".into()),
         };
@@ -576,7 +620,12 @@ pub fn t10_extensions() {
 pub fn f1_phase_fractions() {
     println!("\n== F1: per-phase clustered fraction (EN16 Claim 6: >= const) ==");
     let mut t = Table::new(&["family", "phase1", "phase2", "phase3", "phase4", "phase5"]);
-    for fam in [Family::GnpSparse, Family::Grid, Family::Cycle, Family::RandomTree] {
+    for fam in [
+        Family::GnpSparse,
+        Family::Grid,
+        Family::Cycle,
+        Family::RandomTree,
+    ] {
         let g = fam_graph(fam, 512, 101);
         let cfg = ElkinNeimanConfig::for_graph(&g);
         // Average over seeds.
@@ -605,7 +654,7 @@ pub fn f2_survival_curve() {
     let g = fam_graph(Family::GnpSparse, 512, 103);
     let cfg = ElkinNeimanConfig::for_graph(&g);
     let trials = 20u64;
-    let mut survive = vec![0.0f64; 12];
+    let mut survive = [0.0f64; 12];
     for s in 0..trials {
         let mut src = PrngSource::seeded(s * 13 + 5);
         let out = elkin_neiman(&g, &cfg, &mut src);
@@ -641,7 +690,13 @@ pub fn f3_separated_tail() {
     let t_param = 4u32;
     let separation = 2 * t_param + 1;
     let mut t = Table::new(&[
-        "EN phases", "avg survivors", "P(K=0)", "P(K=1)", "P(K=2)", "P(K>=3)", "max K",
+        "EN phases",
+        "avg survivors",
+        "P(K=0)",
+        "P(K=1)",
+        "P(K=2)",
+        "P(K>=3)",
+        "max K",
     ]);
     for phases in [1u32, 2, 4, 8] {
         let cfg = ElkinNeimanConfig { phases, cap: 20 };
@@ -678,7 +733,14 @@ pub fn f3_separated_tail() {
 pub fn f4_marking_concentration() {
     println!("\n== F4: k-wise marking concentration (Theorem 3.5 / SSS95) ==");
     let n = 1024usize;
-    let mut t = Table::new(&["edge size", "expected marked", "min", "avg", "max", "violations"]);
+    let mut t = Table::new(&[
+        "edge size",
+        "expected marked",
+        "min",
+        "avg",
+        "max",
+        "violations",
+    ]);
     for size in [64usize, 128, 256, 512] {
         let mut p = SplitMix64::new(size as u64);
         let hg = random_hypergraph(n, 50, &[size], &mut p);

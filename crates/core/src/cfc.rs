@@ -54,7 +54,10 @@ impl Hypergraph {
             }
             normalized.push(e);
         }
-        Some(Self { n, edges: normalized })
+        Some(Self {
+            n,
+            edges: normalized,
+        })
     }
 
     /// Number of vertices.
@@ -79,7 +82,7 @@ impl Hypergraph {
     /// (sizes 1 → 0, 2 → 1, 3..4 → 2, 5..8 → 3, …).
     pub fn size_class(&self, e: usize) -> u32 {
         let s = self.edges[e].len() as u64;
-        64 - (s - 1).leading_zeros() as u32
+        64 - (s - 1).leading_zeros()
     }
 }
 
@@ -94,7 +97,11 @@ pub type Multicoloring = Vec<BTreeSet<(u32, usize)>>;
 /// # Panics
 /// Panics if `coloring.len()` differs from the vertex count.
 pub fn violations(hg: &Hypergraph, coloring: &Multicoloring) -> Vec<usize> {
-    assert_eq!(coloring.len(), hg.vertex_count(), "one color set per vertex");
+    assert_eq!(
+        coloring.len(),
+        hg.vertex_count(),
+        "one color set per vertex"
+    );
     (0..hg.edge_count())
         .filter(|&e| {
             let mut counts: std::collections::BTreeMap<(u32, usize), usize> =
@@ -237,7 +244,13 @@ pub fn conflict_free_multicolor(
                 |v: usize| kw.bernoulli(flat_index(&[class as u64, v as u64]), num, den);
             let r: Vec<Vec<usize>> = class_edges
                 .iter()
-                .map(|&e| hg.edge(e).iter().copied().filter(|&v| is_marked(v)).collect())
+                .map(|&e| {
+                    hg.edge(e)
+                        .iter()
+                        .copied()
+                        .filter(|&v| is_marked(v))
+                        .collect()
+                })
                 .collect();
             (r, true)
         };
@@ -363,7 +376,11 @@ mod tests {
         let mut src = PrngSource::seeded(5);
         let kw = KWiseBits::from_source(32, &mut src).unwrap();
         let out = conflict_free_multicolor(&hg, &kw, 8, 2);
-        assert!(out.violations.is_empty(), "violations: {:?}", out.violations);
+        assert!(
+            out.violations.is_empty(),
+            "violations: {:?}",
+            out.violations
+        );
         assert_eq!(out.random_bits, 32 * 61);
         let marked_classes: Vec<_> = out.class_stats.iter().filter(|c| c.marked).collect();
         assert!(!marked_classes.is_empty());

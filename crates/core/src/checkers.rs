@@ -42,9 +42,7 @@ pub fn check_proper_coloring(g: &Graph, colors: &[usize], palette: usize) -> Che
     assert_eq!(colors.len(), g.node_count(), "one color per node");
     let verdicts = g
         .nodes()
-        .map(|v| {
-            colors[v] < palette && g.neighbors(v).iter().all(|&u| colors[u] != colors[v])
-        })
+        .map(|v| colors[v] < palette && g.neighbors(v).iter().all(|&u| colors[u] != colors[v]))
         .collect();
     CheckOutcome {
         verdicts,
@@ -120,13 +118,13 @@ pub fn check_decomposition(
                 _ => return false,
             }
             // Adjacent clusters differ in color.
-            g.neighbors(v).iter().all(|&u| {
-                match clustering.cluster_of(u) {
+            g.neighbors(v)
+                .iter()
+                .all(|&u| match clustering.cluster_of(u) {
                     Some(cu) if cu != c => d.color_of_cluster(cu) != d.color_of_cluster(c),
                     Some(_) => true,
                     None => false,
-                }
-            })
+                })
         })
         .collect();
     CheckOutcome { verdicts, radius }

@@ -66,10 +66,8 @@ pub fn random_coloring(g: &Graph, src: &mut impl BitSource) -> ColoringOutcome {
                 if colors[v].is_some() {
                     return None;
                 }
-                let taken: Vec<usize> =
-                    g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
-                let free: Vec<usize> =
-                    (0..palette).filter(|c| !taken.contains(c)).collect();
+                let taken: Vec<usize> = g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
+                let free: Vec<usize> = (0..palette).filter(|c| !taken.contains(c)).collect();
                 debug_assert!(!free.is_empty(), "palette ∆+1 can never empty");
                 Some(free[src.uniform_below(free.len() as u64) as usize])
             })
@@ -91,7 +89,10 @@ pub fn random_coloring(g: &Graph, src: &mut impl BitSource) -> ColoringOutcome {
     }
 
     ColoringOutcome {
-        colors: colors.into_iter().map(|c| c.expect("all colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all colored"))
+            .collect(),
         meter,
     }
 }
@@ -128,8 +129,7 @@ pub fn via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutcome {
                     .expect("clusters are connected") as u64,
             );
             for &v in members {
-                let taken: Vec<usize> =
-                    g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
+                let taken: Vec<usize> = g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
                 let free = (0..palette)
                     .find(|cand| !taken.contains(cand))
                     .expect("palette ∆+1 suffices for greedy");
@@ -140,7 +140,10 @@ pub fn via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutcome {
     }
 
     ColoringOutcome {
-        colors: colors.into_iter().map(|c| c.expect("all colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all colored"))
+            .collect(),
         meter,
     }
 }

@@ -262,7 +262,12 @@ mod tests {
                 .validate(&g)
                 .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
             assert!(q.colors as u32 <= r.phases);
-            assert!(q.max_diameter <= 2 * 8, "{}: {}", fam.name(), q.max_diameter);
+            assert!(
+                q.max_diameter <= 2 * 8,
+                "{}: {}",
+                fam.name(),
+                q.max_diameter
+            );
         }
     }
 
@@ -284,7 +289,11 @@ mod tests {
         let r = derandomized_decomposition(&g, 8);
         assert!(r.phases <= 14, "used {} phases", r.phases);
         // Early phases make substantial progress.
-        assert!(r.per_phase_fraction[0] >= 0.25, "{:?}", r.per_phase_fraction);
+        assert!(
+            r.per_phase_fraction[0] >= 0.25,
+            "{:?}",
+            r.per_phase_fraction
+        );
     }
 
     #[test]

@@ -337,7 +337,10 @@ pub fn elkin_neiman_kwise(g: &Graph, cfg: &ElkinNeimanConfig, kw: &KWiseBits) ->
     assert!(cfg.cap <= 60, "k-wise radii require cap <= 60");
     let ids = IdAssignment::sequential(g.node_count());
     let mut out = elkin_neiman_with_sampler(g, &ids, cfg, |phase, v| {
-        (kw.geometric(flat_index(&[phase as u64, v as u64]), cfg.cap), 0)
+        (
+            kw.geometric(flat_index(&[phase as u64, v as u64]), cfg.cap),
+            0,
+        )
     });
     out.meter.random_bits += kw.seed_bits();
     out
@@ -467,10 +470,7 @@ mod tests {
     #[test]
     fn zero_phase_budget_yields_all_survivors() {
         let g = Graph::path(5);
-        let cfg = ElkinNeimanConfig {
-            phases: 0,
-            cap: 10,
-        };
+        let cfg = ElkinNeimanConfig { phases: 0, cap: 10 };
         let mut src = PrngSource::seeded(4);
         let out = elkin_neiman(&g, &cfg, &mut src);
         assert!(out.decomposition.is_none());

@@ -28,10 +28,7 @@ pub use carving::{ball_carving_decomposition, CarvingResult};
 
 /// Weak diameter of a node set (re-exported convenience over
 /// [`locality_graph::metrics::weak_diameter`]).
-pub(crate) fn weak_diameter_of(
-    g: &locality_graph::Graph,
-    nodes: &[usize],
-) -> Option<u32> {
+pub(crate) fn weak_diameter_of(g: &locality_graph::Graph, nodes: &[usize]) -> Option<u32> {
     locality_graph::metrics::weak_diameter(g, nodes)
 }
 

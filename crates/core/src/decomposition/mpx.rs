@@ -84,8 +84,8 @@ pub fn mpx_partition(g: &Graph, beta: f64, prng: &mut impl Prng) -> MpxOutcome {
     let mut best_key = vec![f64::INFINITY; n];
     let mut center = vec![usize::MAX; n];
     let mut heap = BinaryHeap::new();
-    for v in 0..n {
-        heap.push(Item(-shifts[v], v, v));
+    for (v, &shift) in shifts.iter().enumerate() {
+        heap.push(Item(-shift, v, v));
     }
     while let Some(Item(key, c, v)) = heap.pop() {
         if center[v] != usize::MAX {

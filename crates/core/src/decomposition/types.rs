@@ -274,7 +274,13 @@ mod tests {
     fn color_arity_checked() {
         let c = Clustering::singletons(3);
         let err = Decomposition::new(c, vec![0]).unwrap_err();
-        assert!(matches!(err, DecompError::ColorArity { got: 1, clusters: 3 }));
+        assert!(matches!(
+            err,
+            DecompError::ColorArity {
+                got: 1,
+                clusters: 3
+            }
+        ));
     }
 
     #[test]
@@ -318,7 +324,10 @@ mod tests {
         let d = Decomposition::new(c, vec![0, 1, 2]).unwrap();
         assert!(matches!(
             d.validate(&g).unwrap_err(),
-            DecompError::WrongGraph { got: 3, expected: 5 }
+            DecompError::WrongGraph {
+                got: 3,
+                expected: 5
+            }
         ));
     }
 

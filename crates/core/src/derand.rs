@@ -191,7 +191,11 @@ mod tests {
         });
         // A random coloring fails with prob ≤ 6·2·2^-5 < 0.4 per instance;
         // over 2^12 seeds, plenty succeed on all 8 instances.
-        assert!(report.good_seed.is_some(), "error rate {}", report.error_rate);
+        assert!(
+            report.good_seed.is_some(),
+            "error rate {}",
+            report.error_rate
+        );
         assert!(report.error_rate < 0.5);
         assert_eq!(report.failures_per_seed.len(), 1 << 12);
     }
@@ -214,7 +218,10 @@ mod tests {
     fn graph_family_counting_matches_lemma() {
         // |G_n| < 2^{n²} for sufficiently large n (with ids from n^3 the
         // crossover is around n ≈ 35).
-        assert!(log2_graph_family_size(10, 3) > 100.0, "small n: bound fails");
+        assert!(
+            log2_graph_family_size(10, 3) > 100.0,
+            "small n: bound fails"
+        );
         for n in [50u64, 200, 1000] {
             let lg = log2_graph_family_size(n, 3);
             assert!(lg < (n * n) as f64, "n={n}: log2|G| = {lg}");

@@ -82,9 +82,9 @@ pub fn luby(g: &Graph, src: &mut impl BitSource) -> MisOutcome {
         let joins: Vec<usize> = (0..n)
             .filter(|&v| {
                 alive[v]
-                    && g.neighbors(v).iter().all(|&u| {
-                        !alive[u] || (prio[v], v) < (prio[u], u)
-                    })
+                    && g.neighbors(v)
+                        .iter()
+                        .all(|&u| !alive[u] || (prio[v], v) < (prio[u], u))
             })
             .collect();
         for &v in &joins {
@@ -137,10 +137,7 @@ pub fn via_decomposition(g: &Graph, d: &Decomposition) -> MisOutcome {
                     .expect("clusters are connected") as u64,
             );
             for &v in members {
-                let blocked = g
-                    .neighbors(v)
-                    .iter()
-                    .any(|&u| decided[u] && in_mis[u]);
+                let blocked = g.neighbors(v).iter().any(|&u| decided[u] && in_mis[u]);
                 if !blocked {
                     in_mis[v] = true;
                 }

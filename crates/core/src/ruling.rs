@@ -111,8 +111,7 @@ fn rule_recursive(
         return vec![v];
     }
     let b = bit - 1;
-    let (zeros, ones): (Vec<usize>, Vec<usize>) =
-        subset.iter().partition(|&&v| !ids.id_bit(v, b));
+    let (zeros, ones): (Vec<usize>, Vec<usize>) = subset.iter().partition(|&&v| !ids.id_bit(v, b));
     let s0 = rule_recursive(g, ids, &zeros, alpha, b);
     let s1 = rule_recursive(g, ids, &ones, alpha, b);
     if s0.is_empty() {
@@ -125,7 +124,7 @@ fn rule_recursive(
     let (dist, _) = multi_source_bfs(g, &s0);
     let mut out = s0;
     for v in s1 {
-        let close = matches!(dist[v], Some(d) if (d as u32) < alpha);
+        let close = matches!(dist[v], Some(d) if d < alpha);
         if !close {
             out.push(v);
         }
@@ -156,7 +155,7 @@ pub fn verify_ruling_set(
         for &t in set {
             if t != s {
                 match dist[t] {
-                    Some(d) if (d as u32) < alpha => {
+                    Some(d) if d < alpha => {
                         return Err(format!("ruling nodes {s},{t} at distance {d} < {alpha}"));
                     }
                     _ => {}
@@ -169,7 +168,7 @@ pub fn verify_ruling_set(
     let (dist, _) = multi_source_bfs(g, set);
     for &u in subset {
         match dist[u] {
-            Some(d) if (d as u32) <= beta => {}
+            Some(d) if d <= beta => {}
             Some(d) => return Err(format!("node {u} at distance {d} > β = {beta}")),
             None => {
                 if !member.contains(&u) {

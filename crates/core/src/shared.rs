@@ -348,7 +348,10 @@ mod tests {
         );
         // Cumulatively, a handful of phases clear most of the graph.
         let cleared: usize = out.per_phase.iter().take(6).map(|&(_, c)| c).sum();
-        assert!(cleared * 2 >= alive, "six phases cleared only {cleared}/{alive}");
+        assert!(
+            cleared * 2 >= alive,
+            "six phases cleared only {cleared}/{alive}"
+        );
     }
 
     #[test]
@@ -368,7 +371,8 @@ mod tests {
         let out = shared_randomness_decomposition(&g, &cfg, &seeded(&cfg, 19)).unwrap();
         let log = g.log2_n() as u64;
         // O(phases * epochs * (R + cap)) with R = O(log^2):
-        let bound = cfg.phases as u64 * cfg.epochs as u64 * (2 * (cfg.max_cluster_radius() as u64) + 2);
+        let bound =
+            cfg.phases as u64 * cfg.epochs as u64 * (2 * (cfg.max_cluster_radius() as u64) + 2);
         assert!(out.meter.rounds <= bound);
         assert!(out.meter.rounds >= log); // sanity: not free
     }

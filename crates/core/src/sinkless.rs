@@ -217,7 +217,11 @@ fn find_cycle(g: &Graph, members: &[usize]) -> Option<Vec<usize>> {
         degree[v] = g.neighbors(v).iter().filter(|&&u| in_set[u]).count();
     }
     // Peel to the 2-core.
-    let mut queue: VecDeque<usize> = members.iter().copied().filter(|&v| degree[v] <= 1).collect();
+    let mut queue: VecDeque<usize> = members
+        .iter()
+        .copied()
+        .filter(|&v| degree[v] <= 1)
+        .collect();
     let mut alive: Vec<bool> = in_set.clone();
     while let Some(v) = queue.pop_front() {
         if !alive[v] {
@@ -262,10 +266,7 @@ fn find_cycle(g: &Graph, members: &[usize]) -> Option<Vec<usize>> {
 pub fn check_sinkless(g: &Graph, o: &Orientation) -> crate::checkers::CheckOutcome {
     let out = o.out_degrees(g);
     crate::checkers::CheckOutcome {
-        verdicts: g
-            .nodes()
-            .map(|v| g.degree(v) < 3 || out[v] > 0)
-            .collect(),
+        verdicts: g.nodes().map(|v| g.degree(v) < 3 || out[v] > 0).collect(),
         radius: 1,
     }
 }
@@ -321,8 +322,8 @@ mod tests {
     #[test]
     fn checker_rejects_a_manufactured_sink() {
         let g = Graph::complete(4); // every node has degree 3
-        // All edges toward node 0: node 0 has out-degree 0 (its edges all
-        // come in? edges (0,1),(0,2),(0,3) reversed) -> 0 is a sink... build:
+                                    // All edges toward node 0: node 0 has out-degree 0 (its edges all
+                                    // come in? edges (0,1),(0,2),(0,3) reversed) -> 0 is a sink... build:
         let forward: Vec<bool> = g
             .edges()
             .map(|(u, _v)| u != 0) // edges touching 0 point INTO 0

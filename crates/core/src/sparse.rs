@@ -275,9 +275,7 @@ pub fn sparse_randomness_decomposition(
             .collect();
         Some(Decomposition::new(fc, colors).expect("one color per cluster"))
     } else if g.node_count() == 0 {
-        Some(
-            Decomposition::new(Clustering::singletons(0), vec![]).expect("empty decomposition"),
-        )
+        Some(Decomposition::new(Clustering::singletons(0), vec![]).expect("empty decomposition"))
     } else {
         None
     };

@@ -268,7 +268,10 @@ mod tests {
             assert_eq!(a.random_bits, 128);
             successes += a.is_success() as u32;
         }
-        assert!(successes >= 19, "eps-biased failed too often: {successes}/20");
+        assert!(
+            successes >= 19,
+            "eps-biased failed too often: {successes}/20"
+        );
     }
 
     #[test]

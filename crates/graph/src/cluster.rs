@@ -41,7 +41,10 @@ impl fmt::Display for ClusteringError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusteringError::NonContiguousIds { missing } => {
-                write!(f, "cluster ids are not contiguous: id {missing} has no members")
+                write!(
+                    f,
+                    "cluster ids are not contiguous: id {missing} has no members"
+                )
             }
         }
     }
@@ -56,7 +59,12 @@ impl Clustering {
     /// [`ClusteringError::NonContiguousIds`] if some id below the maximum is
     /// unused.
     pub fn from_assignment(assignment: Vec<Option<usize>>) -> Result<Self, ClusteringError> {
-        let k = assignment.iter().flatten().map(|&c| c + 1).max().unwrap_or(0);
+        let k = assignment
+            .iter()
+            .flatten()
+            .map(|&c| c + 1)
+            .max()
+            .unwrap_or(0);
         let mut members = vec![Vec::new(); k];
         for (v, &c) in assignment.iter().enumerate() {
             if let Some(c) = c {
@@ -66,7 +74,10 @@ impl Clustering {
         if let Some(missing) = members.iter().position(|m| m.is_empty()) {
             return Err(ClusteringError::NonContiguousIds { missing });
         }
-        Ok(Self { assignment, members })
+        Ok(Self {
+            assignment,
+            members,
+        })
     }
 
     /// Build from raw (possibly sparse, arbitrary-id) labels, compacting the
@@ -190,7 +201,11 @@ impl ClusterGraph {
             "one label per cluster required"
         );
         (0..self.clustering.node_count())
-            .map(|v| self.clustering.cluster_of(v).map(|c| per_cluster[c].clone()))
+            .map(|v| {
+                self.clustering
+                    .cluster_of(v)
+                    .map(|c| per_cluster[c].clone())
+            })
             .collect()
     }
 }
@@ -227,10 +242,9 @@ mod tests {
     fn contraction_cycle() {
         // 6-cycle into 3 pairs -> triangle.
         let g = Graph::cycle(6);
-        let c = Clustering::from_assignment(
-            vec![Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)],
-        )
-        .unwrap();
+        let c =
+            Clustering::from_assignment(vec![Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)])
+                .unwrap();
         let cg = ClusterGraph::contract(&g, c);
         assert_eq!(cg.quotient().node_count(), 3);
         assert_eq!(cg.quotient().edge_count(), 3);

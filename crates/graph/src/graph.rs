@@ -104,12 +104,17 @@ impl Graph {
 
     /// Maximum degree ∆ (zero for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether the edge `{u, v}` exists (binary search; `O(log deg)`).
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        u < self.node_count() && v < self.node_count() && self.neighbors(u).binary_search(&v).is_ok()
+        u < self.node_count()
+            && v < self.node_count()
+            && self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Iterate all edges `(u, v)` with `u < v`.
@@ -132,7 +137,7 @@ impl Graph {
     /// accounting. At least 1 even for tiny graphs.
     pub fn log2_n(&self) -> u32 {
         let n = self.node_count().max(2) as u64;
-        64 - (n - 1).leading_zeros() as u32
+        64 - (n - 1).leading_zeros()
     }
 }
 
@@ -156,7 +161,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a builder for a graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Add the undirected edge `{u, v}`.

@@ -176,10 +176,7 @@ mod tests {
         let mut g = Xoshiro256StarStar::new(2);
         for _ in 0..100 {
             let (a, b, c) = (g.next_u64(), g.next_u64(), g.next_u64());
-            assert_eq!(
-                gf64_mul(gf64_mul(a, b), c),
-                gf64_mul(a, gf64_mul(b, c))
-            );
+            assert_eq!(gf64_mul(gf64_mul(a, b), c), gf64_mul(a, gf64_mul(b, c)));
         }
     }
 
@@ -224,12 +221,7 @@ mod tests {
     fn parity_bias_is_small_for_fixed_subsets() {
         // The defining property: for a fixed subset S, the parity over random
         // seeds is near-fair. Sample 2000 seeds for a few subsets.
-        let subsets: Vec<Vec<u64>> = vec![
-            vec![1],
-            vec![1, 2],
-            vec![3, 17, 40],
-            (1..=20).collect(),
-        ];
+        let subsets: Vec<Vec<u64>> = vec![vec![1], vec![1, 2], vec![3, 17, 40], (1..=20).collect()];
         for s in &subsets {
             let mut odd = 0u64;
             let trials = 2000u64;

@@ -33,7 +33,7 @@ impl TruncatedGeometric {
     /// # Panics
     /// Panics if `cap == 0` or `cap > 63` (dyadic masses would underflow).
     pub fn new(cap: u32) -> Self {
-        assert!(cap >= 1 && cap <= 63, "cap must be in 1..=63");
+        assert!((1..=63).contains(&cap), "cap must be in 1..=63");
         Self { cap }
     }
 
@@ -122,7 +122,7 @@ mod tests {
         let g = TruncatedGeometric::new(6);
         let mut src = PrngSource::seeded(2);
         let n = 60_000;
-        let mut counts = vec![0u32; 8];
+        let mut counts = [0u32; 8];
         for _ in 0..n {
             counts[src.geometric(6) as usize] += 1;
         }

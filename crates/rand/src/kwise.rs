@@ -69,7 +69,10 @@ impl KWiseBits {
     /// # Panics
     /// Panics if `coeffs` is empty.
     pub fn from_coefficients(coeffs: Vec<u64>) -> Self {
-        assert!(!coeffs.is_empty(), "k-wise family needs k >= 1 coefficients");
+        assert!(
+            !coeffs.is_empty(),
+            "k-wise family needs k >= 1 coefficients"
+        );
         let coeffs = coeffs.into_iter().map(|c| c % MERSENNE61).collect();
         Self { coeffs }
     }
@@ -147,7 +150,7 @@ impl KWiseBits {
     /// # Panics
     /// Panics if `cap == 0` or `cap > 60`.
     pub fn geometric(&self, index: u64, cap: u32) -> u32 {
-        assert!(cap >= 1 && cap <= 60, "geometric: cap must be in 1..=60");
+        assert!((1..=60).contains(&cap), "geometric: cap must be in 1..=60");
         let w = self.word(index);
         for k in 1..=cap {
             if (w >> (k - 1)) & 1 == 0 {
@@ -218,7 +221,10 @@ mod tests {
     fn insufficient_seed_is_reported() {
         let mut tape = BitTape::from_bits(vec![true; 100]);
         let err = KWiseBits::from_source(2, &mut tape);
-        assert!(err.is_err(), "100 bits cannot seed a 2-wise (122-bit) family");
+        assert!(
+            err.is_err(),
+            "100 bits cannot seed a 2-wise (122-bit) family"
+        );
     }
 
     /// Exhaustive k-wise independence check over a small prime field.
@@ -269,9 +275,7 @@ mod tests {
             for c1 in 0..P {
                 for c2 in 0..P {
                     let coeffs = [c0, c1, c2];
-                    let idx = pts
-                        .iter()
-                        .fold(0u64, |acc, &x| acc * P + eval(&coeffs, x));
+                    let idx = pts.iter().fold(0u64, |acc, &x| acc * P + eval(&coeffs, x));
                     counts[idx as usize] += 1;
                 }
             }
@@ -334,9 +338,9 @@ mod tests {
                 counts[v] += 1;
             }
         }
-        for k in 1..=3 {
+        for (k, &c) in counts.iter().enumerate().take(4).skip(1) {
             let expected = n as f64 / (1u64 << k) as f64;
-            let got = counts[k] as f64;
+            let got = c as f64;
             assert!(
                 (got - expected).abs() < 6.0 * expected.sqrt(),
                 "geometric mass at {k}: {got} vs {expected}"

@@ -21,7 +21,11 @@ pub struct Exhausted {
 
 impl fmt::Display for Exhausted {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "randomness source exhausted after {} bits", self.capacity)
+        write!(
+            f,
+            "randomness source exhausted after {} bits",
+            self.capacity
+        )
     }
 }
 
@@ -319,9 +323,9 @@ mod tests {
             }
         }
         // Pr[X=1] = 1/2, Pr[X=2] = 1/4, ...
-        for k in 1..=4 {
+        for (k, &c) in counts.iter().enumerate().take(5).skip(1) {
             let expected = n as f64 / (1u64 << k) as f64;
-            let got = counts[k] as f64;
+            let got = c as f64;
             assert!(
                 (got - expected).abs() < 5.0 * expected.sqrt() + 20.0,
                 "geometric mass at {k}: got {got}, expected {expected}"

@@ -196,8 +196,8 @@ impl<'g> Engine<'g> {
         for round in 1..=max_rounds {
             // Deliver.
             let mut inboxes: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
-            for u in 0..n {
-                let Some(outbox) = outboxes[u].take() else {
+            for (u, slot) in outboxes.iter_mut().enumerate() {
+                let Some(outbox) = slot.take() else {
                     continue;
                 };
                 let Outbox {
@@ -301,7 +301,12 @@ mod tests {
             }
         }
 
-        fn round(&mut self, _ctx: &NodeContext, round: u32, inbox: &[(usize, u32)]) -> Step<u32, Option<u32>> {
+        fn round(
+            &mut self,
+            _ctx: &NodeContext,
+            round: u32,
+            inbox: &[(usize, u32)],
+        ) -> Step<u32, Option<u32>> {
             if round >= self.quiet_deadline {
                 return Step::Halt(self.dist);
             }
@@ -400,7 +405,13 @@ mod tests {
             }
         }
         let err = e.run([Noop], 5).unwrap_err();
-        assert!(matches!(err, EngineError::WrongNodeCount { got: 1, expected: 3 }));
+        assert!(matches!(
+            err,
+            EngineError::WrongNodeCount {
+                got: 1,
+                expected: 3
+            }
+        ));
     }
 
     #[test]
@@ -412,7 +423,12 @@ mod tests {
             fn start(&mut self, _: &NodeContext) -> Outbox<Vec<u64>> {
                 Outbox::broadcast(vec![0u64; 100]) // 64 + 6400 bits
             }
-            fn round(&mut self, _: &NodeContext, _: u32, _: &[(usize, Vec<u64>)]) -> Step<Vec<u64>, ()> {
+            fn round(
+                &mut self,
+                _: &NodeContext,
+                _: u32,
+                _: &[(usize, Vec<u64>)],
+            ) -> Step<Vec<u64>, ()> {
                 Step::Halt(())
             }
         }
@@ -439,7 +455,12 @@ mod tests {
                     Outbox::silent()
                 }
             }
-            fn round(&mut self, _: &NodeContext, _: u32, inbox: &[(usize, u8)]) -> Step<u8, Vec<u8>> {
+            fn round(
+                &mut self,
+                _: &NodeContext,
+                _: u32,
+                inbox: &[(usize, u8)],
+            ) -> Step<u8, Vec<u8>> {
                 Step::Halt(inbox.iter().map(|&(_, m)| m).collect())
             }
         }

@@ -11,6 +11,10 @@ use crate::wire::Compact;
 use locality_graph::ids::IdAssignment;
 use locality_graph::Graph;
 
+/// Per-node BFS output: `(distance, parent port)`, each `None` when the node
+/// is unreachable within the deadline.
+pub type BfsOutput = (Option<u32>, Option<usize>);
+
 /// BFS from a set of sources: each node halts with `(distance, parent port)`
 /// to its nearest source (`None` if unreachable within the deadline).
 #[derive(Debug)]
@@ -42,17 +46,16 @@ impl BfsProtocol {
         ids: &IdAssignment,
         sources: &[usize],
         deadline: u32,
-    ) -> Result<Run<(Option<u32>, Option<usize>)>, EngineError> {
+    ) -> Result<Run<BfsOutput>, EngineError> {
         let mut engine = Engine::congest(g, ids);
-        let nodes =
-            (0..g.node_count()).map(|v| BfsProtocol::new(sources.contains(&v), deadline));
+        let nodes = (0..g.node_count()).map(|v| BfsProtocol::new(sources.contains(&v), deadline));
         engine.run(nodes, deadline + 1)
     }
 }
 
 impl Protocol for BfsProtocol {
     type Message = u32;
-    type Output = (Option<u32>, Option<usize>);
+    type Output = BfsOutput;
 
     fn start(&mut self, _ctx: &NodeContext) -> Outbox<u32> {
         if self.is_source {
@@ -100,11 +103,7 @@ impl LeaderElection {
     ///
     /// # Errors
     /// Propagates [`EngineError`].
-    pub fn run(
-        g: &Graph,
-        ids: &IdAssignment,
-        deadline: u32,
-    ) -> Result<Run<u64>, EngineError> {
+    pub fn run(g: &Graph, ids: &IdAssignment, deadline: u32) -> Result<Run<u64>, EngineError> {
         let id_width = ids.bit_len().max(1) as u16;
         let mut engine = Engine::congest(g, ids);
         let nodes = (0..g.node_count()).map(|_| LeaderElection {
@@ -293,8 +292,8 @@ mod tests {
         // The root holds the total.
         assert_eq!(run.outputs[0], values.iter().sum::<u64>());
         // Leaves hold their own values.
-        for leaf in 3..7 {
-            assert_eq!(run.outputs[leaf], values[leaf]);
+        for (leaf, &val) in values.iter().enumerate().skip(3) {
+            assert_eq!(run.outputs[leaf], val);
         }
     }
 

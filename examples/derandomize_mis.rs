@@ -14,7 +14,12 @@ use locality::prelude::*;
 fn main() {
     let mut sm = SplitMix64::new(8);
     let g = Graph::gnp_connected(250, 0.015, &mut sm);
-    println!("graph: n = {}, m = {}, ∆ = {}", g.node_count(), g.edge_count(), g.max_degree());
+    println!(
+        "graph: n = {}, m = {}, ∆ = {}",
+        g.node_count(),
+        g.edge_count(),
+        g.max_degree()
+    );
 
     // Randomized baseline: Luby.
     let luby = mis::luby(&g, &mut PrngSource::seeded(17));

@@ -36,7 +36,10 @@ fn main() {
         "cost: {} CONGEST rounds, {} messages, max message {} bits, {} random bits",
         run.meter.rounds, run.meter.messages, run.meter.max_message_bits, run.meter.random_bits
     );
-    assert!(run.meter.congest_clean(), "every message fits O(log n) bits");
+    assert!(
+        run.meter.congest_clean(),
+        "every message fits O(log n) bits"
+    );
 
     // Per-phase clustering fractions — the [EN16, Claim 6] constant.
     let fractions: Vec<String> = run

@@ -17,7 +17,11 @@ fn full_derandomization_chain_mis_and_coloring() {
         let d = ball_carving_decomposition(&g, &order).decomposition;
 
         let m = mis::via_decomposition(&g, &d);
-        assert!(checkers::check_mis(&g, &m.in_mis).accepted(), "{}", fam.name());
+        assert!(
+            checkers::check_mis(&g, &m.in_mis).accepted(),
+            "{}",
+            fam.name()
+        );
 
         let c = coloring::via_decomposition(&g, &d);
         assert!(

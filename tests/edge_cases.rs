@@ -14,7 +14,11 @@ fn single_node_through_every_construction() {
     let g = Graph::empty(1);
     let ids = IdAssignment::sequential(1);
 
-    let en = elkin_neiman(&g, &ElkinNeimanConfig::for_graph(&g), &mut PrngSource::seeded(1));
+    let en = elkin_neiman(
+        &g,
+        &ElkinNeimanConfig::for_graph(&g),
+        &mut PrngSource::seeded(1),
+    );
     assert_eq!(en.decomposition.unwrap().validate(&g).unwrap().clusters, 1);
 
     let carve = ball_carving_decomposition(&g, &[0]);
@@ -31,7 +35,12 @@ fn single_node_through_every_construction() {
     let r = ruling_set(&g, &ids, &[0], RulingSetParams { alpha: 3 });
     assert_eq!(r.set, vec![0]);
 
-    let boost = boosted_decomposition(&g, &ids, &BoostConfig::for_graph(&g), &mut PrngSource::seeded(2));
+    let boost = boosted_decomposition(
+        &g,
+        &ids,
+        &BoostConfig::for_graph(&g),
+        &mut PrngSource::seeded(2),
+    );
     assert!(boost.decomposition.unwrap().validate_weak(&g).is_ok());
 
     let m = mis::luby(&g, &mut PrngSource::seeded(3));
@@ -41,7 +50,11 @@ fn single_node_through_every_construction() {
 #[test]
 fn two_isolated_nodes_decompose_with_one_color() {
     let g = Graph::empty(2);
-    let en = elkin_neiman(&g, &ElkinNeimanConfig::for_graph(&g), &mut PrngSource::seeded(4));
+    let en = elkin_neiman(
+        &g,
+        &ElkinNeimanConfig::for_graph(&g),
+        &mut PrngSource::seeded(4),
+    );
     let d = en.decomposition.unwrap();
     let q = d.validate(&g).unwrap();
     assert_eq!(q.clusters, 2);
@@ -54,7 +67,10 @@ fn disconnected_components_all_complete() {
     let g = Graph::disjoint_union(&[Graph::cycle(9), Graph::path(7), Graph::complete(4)]);
     let cfg = ElkinNeimanConfig::for_graph(&g);
     let en = elkin_neiman(&g, &cfg, &mut PrngSource::seeded(5));
-    en.decomposition.expect("all components").validate(&g).unwrap();
+    en.decomposition
+        .expect("all components")
+        .validate(&g)
+        .unwrap();
 
     let order: Vec<usize> = (0..g.node_count()).collect();
     let carve = ball_carving_decomposition(&g, &order);

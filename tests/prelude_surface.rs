@@ -1,0 +1,59 @@
+//! Pins the umbrella crate's `locality::prelude` re-export surface and
+//! exercises it end-to-end: if a re-export disappears or changes shape, this
+//! file stops compiling.
+
+// Import-level pin: every name the prelude promises, spelled out. A removed
+// or renamed re-export is a compile error here before any test runs.
+#[allow(unused_imports)]
+use locality::prelude::{
+    ball, bfs_distances, boosted_decomposition, bounded_bfs_distances, checkers, coloring,
+    connected_components, diameter, eccentricity, elkin_neiman, elkin_neiman_kwise, is_connected,
+    mis, multi_source_bfs, power_graph, ruling_set, shared_randomness_decomposition,
+    sparse_randomness_decomposition, splitting, BitSource, BitTape, BoostConfig, ClusterGraph,
+    Clustering, CostMeter, Decomposition, ElkinNeimanConfig, EpsBiasedBits, Exhausted, Graph,
+    GraphBuilder, GraphError, IdAssignment, InducedSubgraph, KWiseBits, Prng, PrngSource,
+    RulingSetParams, SharedDecompConfig, SharedSeed, SparseBits, SparsePipelineConfig, SplitMix64,
+    SplittingInstance, Xoshiro256StarStar,
+};
+
+#[test]
+fn quickstart_pipeline_through_the_prelude() {
+    // The README/lib.rs quickstart: gnp graph → Elkin–Neiman → validate.
+    let g = Graph::gnp(200, 0.03, &mut SplitMix64::new(7));
+    let cfg = ElkinNeimanConfig::for_graph(&g);
+    let mut src = PrngSource::seeded(1);
+    let run = elkin_neiman(&g, &cfg, &mut src);
+    let d = run.decomposition.expect("whp success");
+    d.validate(&g).expect("valid decomposition");
+    assert!(d.color_count() <= cfg.phases as usize);
+}
+
+#[test]
+fn substrate_helpers_are_reachable_from_the_prelude() {
+    let g = Graph::gnp(64, 0.1, &mut SplitMix64::new(3));
+    let (labels, k) = connected_components(&g);
+    assert_eq!(labels.len(), g.node_count());
+    assert!(k >= 1);
+    assert_eq!(is_connected(&g), k == 1);
+    let d = bfs_distances(&g, 0);
+    assert_eq!(d[0], Some(0));
+    let g2 = power_graph(&g, 2);
+    assert!(g2.edge_count() >= g.edge_count());
+}
+
+#[test]
+fn algorithms_are_reachable_from_the_prelude() {
+    let g = Graph::cycle(48);
+    let ids = IdAssignment::sequential(g.node_count());
+    let all: Vec<usize> = g.nodes().collect();
+    let r = ruling_set(&g, &ids, &all, RulingSetParams { alpha: 2 });
+    assert!(!r.set.is_empty());
+
+    let h = SplittingInstance::random(20, 40, 4, &mut SplitMix64::new(5));
+    let kw = KWiseBits::from_source(4, &mut PrngSource::seeded(9)).unwrap();
+    let attempt = splitting::solve_kwise(&h, &kw);
+    assert_eq!(attempt.colors.len(), h.v_count());
+
+    let meter = CostMeter::default();
+    assert_eq!(meter.rounds, 0);
+}

@@ -38,7 +38,9 @@ fn theorem_3_5_kwise_radii_match_full_independence_quality() {
     let k = (g.log2_n() * g.log2_n()) as usize;
     let kw = KWiseBits::from_source(k, &mut PrngSource::seeded(5)).unwrap();
     let out = elkin_neiman_kwise(&g, &cfg, &kw);
-    let d = out.decomposition.expect("polylog-wise independence suffices");
+    let d = out
+        .decomposition
+        .expect("polylog-wise independence suffices");
     let q = d.validate(&g).expect("valid");
     // Exactly the seed is metered: no hidden randomness.
     assert_eq!(out.meter.random_bits, 61 * k as u64);
@@ -89,7 +91,12 @@ fn theorem_3_5_cfc_reduction() {
     assert!(out.violations.is_empty(), "violations {:?}", out.violations);
     // The marked classes reduced to polylog-size subproblems.
     for c in out.class_stats.iter().filter(|c| c.marked) {
-        assert!(c.max_marked <= 60, "class {} kept {}", c.class, c.max_marked);
+        assert!(
+            c.max_marked <= 60,
+            "class {} kept {}",
+            c.class,
+            c.max_marked
+        );
     }
 }
 
@@ -114,9 +121,7 @@ fn theorem_4_2_boost_absorbs_survivors_on_every_family() {
 
 #[test]
 fn deterministic_constructions_consume_zero_randomness() {
-    use locality::core::decomposition::{
-        ball_carving_decomposition, derandomized_decomposition,
-    };
+    use locality::core::decomposition::{ball_carving_decomposition, derandomized_decomposition};
     let g = Graph::grid(7, 7);
     let order: Vec<usize> = (0..49).collect();
     let carve = ball_carving_decomposition(&g, &order);
