@@ -2,16 +2,17 @@
 //!
 //! ```sh
 //! cargo run -p locality-bench --release --bin experiments -- all
-//! cargo run -p locality-bench --release --bin experiments -- t1 t5 f3
+//! cargo run -p locality-bench --release --bin experiments -- t1 a1 f3
 //! ```
 
 use locality_bench::experiments;
 
-const USAGE: &str = "usage: experiments <all | t1..t10 f1..f4>...
+const USAGE: &str = "usage: experiments <all | t1..t10 a1 f1..f4>...
 
-Regenerates the theorem-derived tables (T1-T10) and figures (F1-F4)
-described in DESIGN.md section 3. Pass `all` to run every experiment,
-or any mix of individual ids.
+Regenerates the theorem-derived tables (T1-T10), the unified
+LocalAlgorithm accounting table (A1), and figures (F1-F4) described in
+DESIGN.md section 3. Pass `all` to run every experiment, or any mix of
+individual ids.
 
 options:
   -h, --help  print this message and exit";

@@ -8,10 +8,15 @@
 //! The deterministic route consumes a network decomposition exactly as MIS
 //! does.
 
+use crate::algorithm::{node_seed, run_congest_protocol, AlgorithmRun, LocalAlgorithm};
 use crate::decomposition::types::Decomposition;
+use locality_graph::ids::IdAssignment;
 use locality_graph::Graph;
-use locality_rand::source::BitSource;
+use locality_rand::source::{BitSource, PrngSource};
 use locality_sim::cost::CostMeter;
+use locality_sim::executor::{BatchProtocol, Control, Inbox, Outlet};
+use locality_sim::node::NodeContext;
+use locality_sim::wire::{Compact, WireSize};
 
 /// Verify a proper coloring with at most `palette` colors.
 pub fn verify_coloring(g: &Graph, colors: &[usize], palette: usize) -> Result<(), String> {
@@ -148,6 +153,164 @@ pub fn via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutcome {
     }
 }
 
+/// Wire messages of the distributed trial-coloring protocol: colors are
+/// width-aware [`Compact`] values (`⌈log2(∆+1)⌉ ≤ log n` bits), so the
+/// protocol is CONGEST-clean under the default budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorMsg {
+    /// "I propose this color for myself this round."
+    Propose(Compact),
+    /// "This color is now permanently mine."
+    Final(Compact),
+}
+
+impl WireSize for ColorMsg {
+    fn wire_bits(&self) -> u64 {
+        1 + match self {
+            ColorMsg::Propose(c) | ColorMsg::Final(c) => c.wire_bits(),
+        }
+    }
+}
+
+/// The one-round-per-trial (∆+1)-coloring as a genuine engine protocol (the
+/// boosting shape: each trial is a single proposal exchange, and every trial
+/// succeeds per node with constant probability, so failure decays
+/// exponentially in the round budget). Odd engine rounds deliver proposals —
+/// conflict-free proposers finalize and announce; even rounds deliver the
+/// announcements — finalized nodes halt, everyone else redraws from the
+/// colors its neighbors have not claimed.
+#[derive(Debug, Clone)]
+pub struct TrialProtocol {
+    src: PrngSource,
+    palette: usize,
+    width: u16,
+    taken: Vec<bool>,
+    proposal: usize,
+    finalized: Option<usize>,
+}
+
+impl TrialProtocol {
+    /// One instance for node `v` with a shared `palette` size (the algorithm
+    /// wrapper computes `∆ + 1` once — `Graph::max_degree` is an `O(n)` scan
+    /// that must not run per node).
+    pub fn new(palette: usize, ids: &IdAssignment, v: usize, seed: u64) -> Self {
+        let width = (64 - (palette as u64).leading_zeros()).max(1) as u16;
+        Self {
+            src: PrngSource::seeded(node_seed(seed, ids.id_of(v))),
+            palette,
+            width,
+            taken: vec![false; palette],
+            proposal: 0,
+            finalized: None,
+        }
+    }
+
+    /// Random bits this node has drawn so far.
+    pub fn bits_drawn(&self) -> u64 {
+        self.src.bits_drawn()
+    }
+
+    fn draw_and_propose(&mut self, out: &mut Outlet<'_, ColorMsg>) {
+        let free = self.palette - self.taken.iter().filter(|&&t| t).count();
+        debug_assert!(free > 0, "palette ∆+1 can never empty");
+        let k = self.src.uniform_below(free as u64) as usize;
+        self.proposal = (0..self.palette)
+            .filter(|&c| !self.taken[c])
+            .nth(k)
+            .expect("k < free");
+        out.broadcast(ColorMsg::Propose(Compact::new(
+            self.proposal as u64,
+            self.width,
+        )));
+    }
+}
+
+impl BatchProtocol for TrialProtocol {
+    type Message = ColorMsg;
+    type Output = usize;
+
+    fn start(&mut self, _ctx: &NodeContext, out: &mut Outlet<'_, ColorMsg>) {
+        self.draw_and_propose(out);
+    }
+
+    fn round(
+        &mut self,
+        _ctx: &NodeContext,
+        round: u32,
+        inbox: &Inbox<'_, ColorMsg>,
+        out: &mut Outlet<'_, ColorMsg>,
+    ) -> Control<usize> {
+        if round % 2 == 1 {
+            // Proposals are in: keep mine only if no neighbor wants it too.
+            let conflict = inbox.iter().any(|(_, msg)| match msg {
+                ColorMsg::Propose(c) => c.value() as usize == self.proposal,
+                ColorMsg::Final(_) => false,
+            });
+            if !conflict {
+                self.finalized = Some(self.proposal);
+                out.broadcast(ColorMsg::Final(Compact::new(
+                    self.proposal as u64,
+                    self.width,
+                )));
+            }
+            Control::Continue
+        } else {
+            // Finalizations are in.
+            for (_, msg) in inbox.iter() {
+                if let ColorMsg::Final(c) = msg {
+                    self.taken[c.value() as usize] = true;
+                }
+            }
+            if let Some(color) = self.finalized {
+                return Control::Halt(color);
+            }
+            self.draw_and_propose(out);
+            Control::Continue
+        }
+    }
+}
+
+/// Trial (∆+1)-coloring through the unified [`LocalAlgorithm`] interface,
+/// executed as a CONGEST protocol on the arena engine.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialColoring {
+    /// Worker threads for node steps (`1` = sequential; `0` = all cores).
+    /// Any value produces bit-identical results.
+    pub threads: usize,
+    /// Engine round cap (`0` = a generous `w.h.p.`-safe default).
+    pub max_rounds: u32,
+}
+
+impl Default for TrialColoring {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            max_rounds: 0,
+        }
+    }
+}
+
+impl LocalAlgorithm for TrialColoring {
+    type Label = usize;
+
+    fn name(&self) -> &'static str {
+        "trial-coloring"
+    }
+
+    fn run(&self, g: &Graph, ids: &IdAssignment, seed: u64) -> AlgorithmRun<usize> {
+        let palette = g.max_degree() + 1;
+        run_congest_protocol(
+            self.name(),
+            g,
+            ids,
+            self.threads,
+            self.max_rounds,
+            (0..g.node_count()).map(|v| TrialProtocol::new(palette, ids, v, seed)),
+            TrialProtocol::bits_drawn,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +365,55 @@ mod tests {
         let g0 = Graph::empty(0);
         let out0 = random_coloring(&g0, &mut PrngSource::seeded(1));
         assert!(out0.colors.is_empty());
+    }
+
+    #[test]
+    fn engine_trial_coloring_valid_on_families() {
+        let mut p = SplitMix64::new(211);
+        for fam in Family::ALL {
+            let g = fam.generate(110, &mut p);
+            let ids = IdAssignment::sequential(g.node_count());
+            let run = TrialColoring::default().run(&g, &ids, fam as u64 + 5);
+            verify_coloring(&g, &run.labels, g.max_degree() + 1)
+                .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+            assert_eq!(
+                run.stats.meter.congest_violations,
+                0,
+                "{}: color messages must fit the CONGEST budget",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_trial_coloring_thread_count_invariant() {
+        let mut p = SplitMix64::new(213);
+        let g = Graph::gnp_connected(130, 0.04, &mut p);
+        let ids = IdAssignment::sequential(g.node_count());
+        let a = TrialColoring::default().run(&g, &ids, 17);
+        let b = TrialColoring {
+            threads: 5,
+            max_rounds: 0,
+        }
+        .run(&g, &ids, 17);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn engine_trial_coloring_edge_cases() {
+        let ids = IdAssignment::sequential(3);
+        let run = TrialColoring::default().run(&Graph::empty(3), &ids, 1);
+        assert_eq!(run.labels, vec![0, 0, 0]);
+        let ids0 = IdAssignment::sequential(0);
+        let run0 = TrialColoring::default().run(&Graph::empty(0), &ids0, 1);
+        assert!(run0.labels.is_empty());
+    }
+
+    #[test]
+    fn color_msg_wire_sizes() {
+        assert_eq!(ColorMsg::Propose(Compact::new(3, 5)).wire_bits(), 6);
+        assert_eq!(ColorMsg::Final(Compact::new(3, 5)).wire_bits(), 6);
     }
 
     #[test]

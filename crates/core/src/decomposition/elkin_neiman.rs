@@ -19,12 +19,14 @@
 //! hop; `O(cap)` rounds stabilize. Messages carry two compact
 //! `(id, value)` pairs — `O(log n)` bits.
 
+use crate::algorithm::{AlgorithmRun, LocalAlgorithm, RoundStats};
 use crate::decomposition::types::Decomposition;
 use locality_graph::cluster::Clustering;
 use locality_graph::ids::IdAssignment;
 use locality_graph::Graph;
 use locality_rand::kwise::{flat_index, KWiseBits};
 use locality_rand::source::BitSource;
+use locality_rand::source::PrngSource;
 use locality_sim::cost::CostMeter;
 use locality_sim::engine::Engine;
 use locality_sim::node::{NodeContext, Outbox, Protocol, Step};
@@ -346,6 +348,44 @@ pub fn elkin_neiman_kwise(g: &Graph, cfg: &ElkinNeimanConfig, kw: &KWiseBits) ->
     out
 }
 
+/// The Elkin–Neiman decomposition through the unified [`LocalAlgorithm`]
+/// interface. The construction already executes phase by phase as a CONGEST
+/// protocol on the engine; this wrapper gives it the standard
+/// graph-ids-seed signature and uniform [`RoundStats`]. A node's label is
+/// its `(phase, center id)` cluster, or `None` if it survived the phase
+/// budget (the `V̄` of Theorem 4.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElkinNeimanDecomposition {
+    /// Phase/cap parameters (`None` = the paper's parameters for the graph,
+    /// [`ElkinNeimanConfig::for_graph`]).
+    pub cfg: Option<ElkinNeimanConfig>,
+}
+
+impl LocalAlgorithm for ElkinNeimanDecomposition {
+    type Label = Option<(u32, u64)>;
+
+    fn name(&self) -> &'static str {
+        "elkin-neiman"
+    }
+
+    fn run(&self, g: &Graph, ids: &IdAssignment, seed: u64) -> AlgorithmRun<Self::Label> {
+        let cfg = self.cfg.unwrap_or_else(|| ElkinNeimanConfig::for_graph(g));
+        let mut src = PrngSource::seeded(seed);
+        let out = elkin_neiman_partial(g, ids, &cfg, &mut src);
+        AlgorithmRun {
+            labels: out.labels,
+            stats: RoundStats {
+                algorithm: self.name(),
+                n: g.node_count(),
+                // The phases run on `Engine::congest`, which uses exactly
+                // this mode.
+                mode: locality_sim::engine::Mode::default_congest(g),
+                meter: out.meter,
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +515,19 @@ mod tests {
         let out = elkin_neiman(&g, &cfg, &mut src);
         assert!(out.decomposition.is_none());
         assert_eq!(out.survivors.len(), 5);
+    }
+
+    #[test]
+    fn local_algorithm_wrapper_matches_direct_call() {
+        let mut seed = SplitMix64::new(31);
+        let g = Graph::gnp_connected(70, 0.04, &mut seed);
+        let ids = IdAssignment::sequential(g.node_count());
+        let run = ElkinNeimanDecomposition::default().run(&g, &ids, 19);
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let direct = elkin_neiman_partial(&g, &ids, &cfg, &mut PrngSource::seeded(19));
+        assert_eq!(run.labels, direct.labels);
+        assert_eq!(run.stats.meter, direct.meter);
+        assert_eq!(run.stats.algorithm, "elkin-neiman");
     }
 
     #[test]

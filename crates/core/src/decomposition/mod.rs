@@ -34,6 +34,7 @@ pub(crate) fn weak_diameter_of(g: &locality_graph::Graph, nodes: &[usize]) -> Op
 
 pub use cond_expect::{derandomized_decomposition, DerandResult};
 pub use elkin_neiman::{
-    elkin_neiman, elkin_neiman_kwise, elkin_neiman_partial, ElkinNeimanConfig, EnOutcome,
+    elkin_neiman, elkin_neiman_kwise, elkin_neiman_partial, ElkinNeimanConfig,
+    ElkinNeimanDecomposition, EnOutcome,
 };
 pub use types::{DecompError, DecompQuality, Decomposition};

@@ -20,6 +20,12 @@
 //! | Seed enumeration & "lie about n" (Lem 4.1, Thm 4.3/4.6) | [`derand`] |
 //! | Consumers: MIS, (∆+1)-coloring, randomized & decomposition-derandomized | [`mis`], [`coloring`] |
 //! | Local checkability (Def. 2.2) | [`checkers`] |
+//!
+//! Since the arena-executor refactor the core algorithms also expose the
+//! unified [`algorithm::LocalAlgorithm`] interface (graph + ids + seed in,
+//! labeling + [`algorithm::RoundStats`] out): MIS, trial coloring and the
+//! Elkin–Neiman decomposition run as engine protocols, so their round,
+//! message and random-bit budgets are measured by one metering path.
 
 // Bracketed citation keys ([EN16], [GKM17], ...) are bibliography
 // references, not intra-doc links.
@@ -27,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algorithm;
 pub mod boost;
 pub mod cfc;
 pub mod checkers;

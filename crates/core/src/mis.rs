@@ -10,10 +10,15 @@
 //!   parallel) gathers its topology plus its frontier's already-fixed
 //!   outputs in `O(diameter)` rounds and extends greedily.
 
+use crate::algorithm::{node_seed, run_congest_protocol, AlgorithmRun, LocalAlgorithm};
 use crate::decomposition::types::Decomposition;
+use locality_graph::ids::IdAssignment;
 use locality_graph::Graph;
-use locality_rand::source::BitSource;
+use locality_rand::source::{BitSource, PrngSource};
 use locality_sim::cost::CostMeter;
+use locality_sim::executor::{BatchProtocol, Control, Inbox, Outlet};
+use locality_sim::node::NodeContext;
+use locality_sim::wire::{Compact, WireSize};
 
 /// Verify the MIS property; returns the first violation as text.
 pub fn verify_mis(g: &Graph, in_mis: &[bool]) -> Result<(), String> {
@@ -150,6 +155,156 @@ pub fn via_decomposition(g: &Graph, d: &Decomposition) -> MisOutcome {
     MisOutcome { in_mis, meter }
 }
 
+/// Wire messages of the distributed Luby protocol. Priorities carry the
+/// sender's id for tie-breaking; both fields are width-aware [`Compact`]
+/// values, so the protocol is CONGEST-clean (`≤ 5·log n + 1` bits against
+/// the default `8·log n` budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisMsg {
+    /// "My priority this iteration is `.0`; my id is `.1`."
+    Priority(Compact, Compact),
+    /// "I joined the MIS — remove yourselves."
+    Join,
+}
+
+impl WireSize for MisMsg {
+    fn wire_bits(&self) -> u64 {
+        1 + match self {
+            MisMsg::Priority(p, id) => p.wire_bits() + id.wire_bits(),
+            MisMsg::Join => 0,
+        }
+    }
+}
+
+/// Luby's algorithm as a genuine per-node engine protocol (two engine rounds
+/// per iteration): odd rounds deliver priorities and local minima announce
+/// `Join`; even rounds deliver the announcements — joiners halt *in*, their
+/// neighbors halt *out*, everyone else redraws.
+///
+/// Messages are `Copy`, so the executor's round loop stays allocation-free.
+#[derive(Debug, Clone)]
+pub struct LubyProtocol {
+    src: PrngSource,
+    prio_bits: u32,
+    id_width: u16,
+    joined: bool,
+    prio: u64,
+    id: u64,
+}
+
+impl LubyProtocol {
+    /// One instance for node `v`; randomness is derived from
+    /// [`node_seed`]`(seed, id)`, so a run is reproducible node-by-node.
+    pub fn new(g: &Graph, ids: &IdAssignment, v: usize, seed: u64) -> Self {
+        Self {
+            // 4·log n priority bits, capped at 60 so a priority always fits
+            // one word draw (beyond n = 2^15 extra bits only shave an
+            // already-negligible tie probability, and ties break by id).
+            src: PrngSource::seeded(node_seed(seed, ids.id_of(v))),
+            prio_bits: (4 * g.log2_n()).min(60),
+            id_width: ids.bit_len().max(1) as u16,
+            joined: false,
+            prio: 0,
+            id: ids.id_of(v),
+        }
+    }
+
+    /// Random bits this node has drawn so far.
+    pub fn bits_drawn(&self) -> u64 {
+        self.src.bits_drawn()
+    }
+
+    fn draw_and_announce(&mut self, out: &mut Outlet<'_, MisMsg>) {
+        self.prio = self.src.next_bits(self.prio_bits).expect("unbounded");
+        out.broadcast(MisMsg::Priority(
+            Compact::new(self.prio, self.prio_bits as u16),
+            Compact::new(self.id, self.id_width),
+        ));
+    }
+}
+
+impl BatchProtocol for LubyProtocol {
+    type Message = MisMsg;
+    type Output = bool;
+
+    fn start(&mut self, _ctx: &NodeContext, out: &mut Outlet<'_, MisMsg>) {
+        self.draw_and_announce(out);
+    }
+
+    fn round(
+        &mut self,
+        _ctx: &NodeContext,
+        round: u32,
+        inbox: &Inbox<'_, MisMsg>,
+        out: &mut Outlet<'_, MisMsg>,
+    ) -> Control<bool> {
+        if round % 2 == 1 {
+            // Priorities are in: am I the local minimum among still-alive
+            // neighbors (ties by id)?
+            let is_min = inbox.iter().all(|(_, msg)| match msg {
+                MisMsg::Priority(p, id) => (self.prio, self.id) < (p.value(), id.value()),
+                MisMsg::Join => true,
+            });
+            if is_min {
+                self.joined = true;
+                out.broadcast(MisMsg::Join);
+            }
+            Control::Continue
+        } else {
+            // Join announcements are in.
+            if self.joined {
+                return Control::Halt(true);
+            }
+            if inbox.iter().any(|(_, msg)| matches!(msg, MisMsg::Join)) {
+                return Control::Halt(false);
+            }
+            self.draw_and_announce(out);
+            Control::Continue
+        }
+    }
+}
+
+/// Luby's MIS through the unified [`LocalAlgorithm`] interface, executed as
+/// a CONGEST protocol on the arena engine (so rounds/messages/random bits in
+/// the returned [`RoundStats`] are measured, not charged analytically).
+#[derive(Debug, Clone, Copy)]
+pub struct LubyMis {
+    /// Worker threads for node steps (`1` = sequential; `0` = all cores).
+    /// Any value produces bit-identical results.
+    pub threads: usize,
+    /// Engine round cap (`0` = a generous `w.h.p.`-safe default).
+    pub max_rounds: u32,
+}
+
+impl Default for LubyMis {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            max_rounds: 0,
+        }
+    }
+}
+
+impl LocalAlgorithm for LubyMis {
+    type Label = bool;
+
+    fn name(&self) -> &'static str {
+        "luby-mis"
+    }
+
+    fn run(&self, g: &Graph, ids: &IdAssignment, seed: u64) -> AlgorithmRun<bool> {
+        run_congest_protocol(
+            self.name(),
+            g,
+            ids,
+            self.threads,
+            self.max_rounds,
+            (0..g.node_count()).map(|v| LubyProtocol::new(g, ids, v, seed)),
+            LubyProtocol::bits_drawn,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +378,83 @@ mod tests {
         let g0 = Graph::empty(0);
         let out0 = luby(&g0, &mut PrngSource::seeded(1));
         assert!(out0.in_mis.is_empty());
+    }
+
+    #[test]
+    fn engine_luby_valid_on_families() {
+        let mut p = SplitMix64::new(201);
+        for fam in Family::ALL {
+            let g = fam.generate(120, &mut p);
+            let ids = IdAssignment::sequential(g.node_count());
+            let run = LubyMis::default().run(&g, &ids, fam as u64 + 3);
+            verify_mis(&g, &run.labels).unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+            assert!(run.stats.meter.random_bits > 0);
+            assert_eq!(
+                run.stats.meter.congest_violations,
+                0,
+                "{}: Luby messages must fit the CONGEST budget",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_luby_deterministic_and_thread_count_invariant() {
+        let mut p = SplitMix64::new(203);
+        let g = Graph::gnp_connected(150, 0.03, &mut p);
+        let ids = IdAssignment::sequential(g.node_count());
+        let a = LubyMis::default().run(&g, &ids, 9);
+        for threads in [1, 3, 8] {
+            let b = LubyMis {
+                threads,
+                max_rounds: 0,
+            }
+            .run(&g, &ids, 9);
+            assert_eq!(a.labels, b.labels, "threads={threads}");
+            assert_eq!(a.stats, b.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn engine_luby_rounds_logarithmic() {
+        let mut p = SplitMix64::new(205);
+        let g = Graph::gnp_connected(500, 0.01, &mut p);
+        let ids = IdAssignment::sequential(g.node_count());
+        let run = LubyMis::default().run(&g, &ids, 4);
+        // Two engine rounds per iteration; w.h.p. O(log n) iterations.
+        assert!(
+            run.stats.meter.rounds <= 8 * g.log2_n() as u64,
+            "rounds {}",
+            run.stats.meter.rounds
+        );
+    }
+
+    #[test]
+    fn engine_luby_edge_cases() {
+        let ids1 = IdAssignment::sequential(1);
+        let run = LubyMis::default().run(&Graph::empty(1), &ids1, 1);
+        assert_eq!(run.labels, vec![true]);
+        let ids0 = IdAssignment::sequential(0);
+        let run0 = LubyMis::default().run(&Graph::empty(0), &ids0, 1);
+        assert!(run0.labels.is_empty());
+    }
+
+    #[test]
+    fn engine_luby_handles_large_id_spaces() {
+        // Regression: with n > 2^15, 4·log n priority bits would exceed the
+        // 64-bit word draw; the cap keeps large graphs runnable.
+        let g = Graph::cycle(70_000);
+        let ids = IdAssignment::sequential(g.node_count());
+        let run = LubyMis::default().run(&g, &ids, 2);
+        verify_mis(&g, &run.labels).unwrap();
+        assert_eq!(run.stats.meter.congest_violations, 0);
+    }
+
+    #[test]
+    fn mis_msg_wire_sizes() {
+        assert_eq!(MisMsg::Join.wire_bits(), 1);
+        let m = MisMsg::Priority(Compact::new(5, 12), Compact::new(3, 4));
+        assert_eq!(m.wire_bits(), 17);
     }
 
     #[test]

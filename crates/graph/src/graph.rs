@@ -36,6 +36,13 @@ impl Error for GraphError {}
 /// An immutable, simple, undirected graph in CSR (compressed sparse row)
 /// form. Nodes are `0..n`; neighbor lists are sorted and deduplicated.
 ///
+/// Each undirected edge `{u, v}` owns two **directed edge slots** in the CSR
+/// adjacency array: slot `(u, p)` where `p` is `u`'s port for `v`, and the
+/// mirrored slot `(v, q)` where `q` is `v`'s port for `u`. The mirror map
+/// between the two is precomputed at construction ([`Graph::mirror_slot`]),
+/// so message fabrics laid out over the edge slots can route a message from
+/// sender slot to receiver port in `O(1)` with no per-lookup search.
+///
 /// # Example
 /// ```
 /// use locality_graph::Graph;
@@ -45,11 +52,17 @@ impl Error for GraphError {}
 /// assert_eq!(g.neighbors(1), &[0, 2]);
 /// assert!(g.has_edge(2, 3));
 /// assert!(!g.has_edge(0, 3));
+/// // The slot (1, port of 2) mirrors the slot (2, port of 1).
+/// let s = g.slot_of(1, g.port_of(1, 2).unwrap());
+/// assert_eq!(g.mirror_slot(g.mirror_slot(s)), s);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     offsets: Vec<usize>,
     adjacency: Vec<usize>,
+    /// `mirror[s]` is the slot of the reversed directed edge: if slot `s` is
+    /// `(u, port of v)` then `mirror[s]` is `(v, port of u)`. An involution.
+    mirror: Vec<usize>,
 }
 
 impl Graph {
@@ -139,6 +152,69 @@ impl Graph {
         let n = self.node_count().max(2) as u64;
         64 - (n - 1).leading_zeros()
     }
+
+    /// Number of directed edge slots (`2·edge_count`): one per `(node, port)`
+    /// pair, in CSR order.
+    pub fn directed_edge_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The contiguous range of directed edge slots owned by `v` — slot
+    /// `edge_slots(v).start + p` is `v`'s port `p`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn edge_slots(&self, v: usize) -> std::ops::Range<usize> {
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// The directed edge slot for `(v, port)`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range or `port >= degree(v)`.
+    pub fn slot_of(&self, v: usize, port: usize) -> usize {
+        assert!(
+            port < self.degree(v),
+            "port {port} out of range for node {v}"
+        );
+        self.offsets[v] + port
+    }
+
+    /// The node a directed edge slot points at (`adjacency[slot]`).
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn slot_neighbor(&self, slot: usize) -> usize {
+        self.adjacency[slot]
+    }
+
+    /// The mirrored slot of `slot`: if `slot` is `(u, port of v)`, the result
+    /// is `(v, port of u)`. Precomputed at construction; an involution.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn mirror_slot(&self, slot: usize) -> usize {
+        self.mirror[slot]
+    }
+
+    /// The mirrored slots of all of `v`'s ports, aligned with
+    /// [`Graph::neighbors`] — `mirror_slots(v)[p]` is the slot from which
+    /// `v`'s neighbor on port `p` sends to `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn mirror_slots(&self, v: usize) -> &[usize] {
+        &self.mirror[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// `v`'s port for neighbor `u` (binary search; `O(log deg)`), or `None`
+    /// if `{v, u}` is not an edge.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn port_of(&self, v: usize, u: usize) -> Option<usize> {
+        self.neighbors(v).binary_search(&u).ok()
+    }
 }
 
 /// Incremental builder for [`Graph`] (see `C-BUILDER`).
@@ -208,19 +284,30 @@ impl GraphBuilder {
         }
         let mut cursor = offsets.clone();
         let mut adjacency = vec![0usize; edges.len() * 2];
+        let mut mirror = vec![0usize; edges.len() * 2];
         for &(u, v) in &edges {
-            adjacency[cursor[u]] = v;
+            let su = cursor[u];
+            let sv = cursor[v];
+            adjacency[su] = v;
+            adjacency[sv] = u;
+            // Both slots of the edge are known right here, so the reverse
+            // index costs nothing extra to build.
+            mirror[su] = sv;
+            mirror[sv] = su;
             cursor[u] += 1;
-            adjacency[cursor[v]] = u;
             cursor[v] += 1;
         }
-        // Sorted edge insertion order guarantees each neighbor list is sorted
-        // for the `u` side, but the `v` side receives in `u`-order which is
-        // also sorted. Defensive sort for clarity and future-proofing:
-        for v in 0..self.n {
-            adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
+        // Sorted canonical edge order keeps every neighbor list sorted: node
+        // w first receives its smaller neighbors (edges (a, w), ascending a),
+        // then its larger ones (edges (w, b), ascending b).
+        debug_assert!((0..self.n).all(|v| adjacency[offsets[v]..offsets[v + 1]]
+            .windows(2)
+            .all(|w| w[0] < w[1])));
+        Graph {
+            offsets,
+            adjacency,
+            mirror,
         }
-        Graph { offsets, adjacency }
     }
 }
 
@@ -296,6 +383,39 @@ mod tests {
         // Degenerate sizes still give a positive width.
         assert!(Graph::empty(0).log2_n() >= 1);
         assert!(Graph::empty(1).log2_n() >= 1);
+    }
+
+    #[test]
+    fn mirror_index_is_a_consistent_involution() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 5), (3, 4)]).unwrap();
+        assert_eq!(g.directed_edge_count(), 10);
+        for v in g.nodes() {
+            assert_eq!(g.edge_slots(v).len(), g.degree(v));
+            for (port, &u) in g.neighbors(v).iter().enumerate() {
+                let s = g.slot_of(v, port);
+                assert!(g.edge_slots(v).contains(&s));
+                assert_eq!(g.slot_neighbor(s), u);
+                let m = g.mirror_slot(s);
+                // The mirror lives in u's slot range, points back at v, and
+                // mirrors back to s.
+                assert!(g.edge_slots(u).contains(&m));
+                assert_eq!(g.slot_neighbor(m), v);
+                assert_eq!(g.mirror_slot(m), s);
+                assert_eq!(g.mirror_slots(v)[port], m);
+                // port_of agrees with the slot arithmetic.
+                assert_eq!(g.slot_of(u, g.port_of(u, v).unwrap()), m);
+            }
+        }
+        assert_eq!(g.port_of(0, 5), None);
+    }
+
+    #[test]
+    fn slot_apis_on_empty_graph() {
+        let g = Graph::empty(3);
+        assert_eq!(g.directed_edge_count(), 0);
+        assert!(g.edge_slots(1).is_empty());
+        assert!(g.mirror_slots(1).is_empty());
+        assert_eq!(g.port_of(0, 2), None);
     }
 
     #[test]

@@ -32,6 +32,23 @@ proptest! {
     }
 
     #[test]
+    fn mirror_index_matches_port_search(g in arb_graph()) {
+        prop_assert_eq!(g.directed_edge_count(), 2 * g.edge_count());
+        for v in g.nodes() {
+            for (port, &u) in g.neighbors(v).iter().enumerate() {
+                let s = g.slot_of(v, port);
+                let m = g.mirror_slot(s);
+                prop_assert_eq!(g.mirror_slot(m), s);
+                prop_assert_eq!(g.slot_neighbor(m), v);
+                // The precomputed mirror agrees with an explicit port search.
+                let q = g.port_of(u, v).expect("edge is symmetric");
+                prop_assert_eq!(m, g.slot_of(u, q));
+                prop_assert_eq!(g.mirror_slots(v)[port], m);
+            }
+        }
+    }
+
+    #[test]
     fn power_graph_is_monotone(g in arb_graph()) {
         let g2 = power_graph(&g, 2);
         let g3 = power_graph(&g, 3);

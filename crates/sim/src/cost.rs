@@ -58,6 +58,37 @@ impl CostMeter {
         }
     }
 
+    /// Record a broadcast as `fanout` directed messages of `bits` each.
+    ///
+    /// CONGEST is a per-edge budget: a broadcast from a degree-`d` node puts
+    /// one message on each of its `d` ports, so an over-budget broadcast is
+    /// `d` violations — counting it once would under-report congestion by a
+    /// factor of the degree. The engine's arena layout already enforces this
+    /// (each occupied edge slot is one directed message); this method is the
+    /// same rule for orchestrated code that meters broadcasts in bulk.
+    ///
+    /// # Example
+    /// ```
+    /// use locality_sim::cost::CostMeter;
+    /// let mut m = CostMeter::default();
+    /// m.record_broadcast(20, 5, Some(16)); // over budget on every port
+    /// assert_eq!(m.messages, 5);
+    /// assert_eq!(m.congest_violations, 5);
+    /// ```
+    pub fn record_broadcast(&mut self, bits: u64, fanout: u64, congest_budget: Option<u64>) {
+        if fanout == 0 {
+            return;
+        }
+        self.messages += fanout;
+        self.bits_sent += bits * fanout;
+        self.max_message_bits = self.max_message_bits.max(bits);
+        if let Some(budget) = congest_budget {
+            if bits > budget {
+                self.congest_violations += fanout;
+            }
+        }
+    }
+
     /// Whether this execution was CONGEST-clean.
     pub fn congest_clean(&self) -> bool {
         self.congest_violations == 0
@@ -114,6 +145,31 @@ mod tests {
         assert_eq!(m.max_message_bits, 20);
         assert_eq!(m.congest_violations, 1);
         assert!(!m.congest_clean());
+    }
+
+    #[test]
+    fn record_broadcast_counts_per_port() {
+        let mut m = CostMeter::default();
+        m.record_broadcast(10, 4, Some(16)); // within budget: no violations
+        assert_eq!(m.messages, 4);
+        assert_eq!(m.bits_sent, 40);
+        assert_eq!(m.congest_violations, 0);
+        m.record_broadcast(20, 3, Some(16)); // over budget: one per port
+        assert_eq!(m.messages, 7);
+        assert_eq!(m.congest_violations, 3);
+        assert_eq!(m.max_message_bits, 20);
+        m.record_broadcast(99, 0, Some(16)); // isolated node: nothing sent
+        assert_eq!(m.messages, 7);
+        assert_eq!(m.max_message_bits, 20);
+        // Per-port bulk accounting agrees with port-by-port accounting.
+        let mut p = CostMeter::default();
+        for _ in 0..4 {
+            p.record_message(10, Some(16));
+        }
+        for _ in 0..3 {
+            p.record_message(20, Some(16));
+        }
+        assert_eq!(m, p);
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! The synchronous round engine.
+//!
+//! Since the arena refactor this is a thin adapter over
+//! [`crate::executor::Executor`]: per-node [`Protocol`] state machines are
+//! wrapped so their `Outbox`es land directly in the executor's flat message
+//! arenas, and their inboxes are materialized into a per-node scratch buffer
+//! that is allocated once and reused every round. Both interfaces therefore
+//! share one delivery, metering and halt implementation.
 
 use crate::cost::CostMeter;
+use crate::executor::{BatchProtocol, Control, Executor, Inbox, Outlet};
 use crate::node::{NodeContext, Outbox, Protocol, Step};
-use crate::wire::WireSize;
 use locality_graph::ids::IdAssignment;
 use locality_graph::Graph;
 use std::error::Error;
@@ -19,6 +26,18 @@ pub enum Mode {
         /// Per-message bit budget (`O(log n)`).
         budget_bits: u64,
     },
+}
+
+impl Mode {
+    /// The standard CONGEST regime for `g`: `8·⌈log2 n⌉` bits per message
+    /// (the model allows any `O(log n)`; the constant is reported, not
+    /// hidden). This is the single definition the engine, the executor and
+    /// the algorithm wrappers all share.
+    pub fn default_congest(g: &Graph) -> Self {
+        Mode::Congest {
+            budget_bits: 8 * g.log2_n() as u64,
+        }
+    }
 }
 
 /// Error from [`Engine::run`].
@@ -66,6 +85,20 @@ pub struct Run<O> {
     pub outputs: Vec<O>,
     /// Cost accounting for the whole execution.
     pub meter: CostMeter,
+    /// The CONGEST per-message budget the run was metered against (`None`
+    /// in LOCAL mode) — kept on the result so violation counts are
+    /// interpretable without the engine at hand.
+    pub budget_bits: Option<u64>,
+}
+
+impl<O> Run<O> {
+    /// Whether the execution stayed within its CONGEST budget (vacuously
+    /// true in LOCAL mode). Violations themselves are counted per directed
+    /// message in [`CostMeter::congest_violations`]: an over-budget
+    /// broadcast from a degree-`d` node is `d` violations, not one.
+    pub fn congest_clean(&self) -> bool {
+        self.meter.congest_clean()
+    }
 }
 
 /// The synchronous message-passing engine for one graph.
@@ -94,15 +127,18 @@ impl<'g> Engine<'g> {
         }
     }
 
-    /// A CONGEST-model engine with the default budget of `8·⌈log2 n⌉` bits
-    /// per message (the model allows any `O(log n)`; the constant is
-    /// reported, not hidden).
+    /// A CONGEST-model engine with the standard budget
+    /// ([`Mode::default_congest`]).
     ///
     /// # Panics
     /// Panics if `ids` does not match `graph`.
     pub fn congest(graph: &'g Graph, ids: &'g IdAssignment) -> Self {
-        let budget = 8 * graph.log2_n() as u64;
-        Self::congest_with_budget(graph, ids, budget)
+        assert!(ids.matches(graph), "id assignment must match graph");
+        Self {
+            graph,
+            ids,
+            mode: Mode::default_congest(graph),
+        }
     }
 
     /// A CONGEST-model engine with an explicit per-message budget.
@@ -153,124 +189,114 @@ impl<'g> Engine<'g> {
         max_rounds: u32,
         random_bits: impl Fn(&P) -> u64,
     ) -> Result<Run<P::Output>, EngineError> {
-        let n = self.graph.node_count();
-        let mut nodes: Vec<P> = protocols.into_iter().collect();
-        if nodes.len() != n {
-            return Err(EngineError::WrongNodeCount {
-                got: nodes.len(),
-                expected: n,
-            });
-        }
+        self.executor().run_metered(
+            protocols.into_iter().map(Legacy::new),
+            max_rounds,
+            |legacy: &Legacy<P>| random_bits(&legacy.inner),
+        )
+    }
 
-        let contexts: Vec<NodeContext> = (0..n)
-            .map(|v| NodeContext {
-                node: v,
-                id: self.ids.id_of(v),
-                degree: self.graph.degree(v),
-                n,
-            })
-            .collect();
+    /// Like [`Engine::run`], but with node steps chunked across `threads`
+    /// scoped threads (`0` = available parallelism). Deterministic: produces
+    /// exactly the outputs and meter of [`Engine::run`] (see
+    /// [`Executor::run_parallel`], including why the bounds are required
+    /// unconditionally).
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`] or [`EngineError::RoundLimit`].
+    pub fn run_parallel<P>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+        threads: usize,
+    ) -> Result<Run<P::Output>, EngineError>
+    where
+        P: Protocol + Send + Clone,
+        P::Message: Send + Sync,
+        P::Output: Send + PartialEq + fmt::Debug,
+    {
+        self.executor()
+            .run_parallel(protocols.into_iter().map(Legacy::new), max_rounds, threads)
+    }
 
-        // Port map: port_of[v] aligns with graph.neighbors(v); to deliver a
-        // message from u to v we need v's port for u.
-        let port_for = |v: usize, u: usize| -> usize {
-            self.graph
-                .neighbors(v)
-                .binary_search(&u)
-                .expect("u must be a neighbor of v")
-        };
-
-        let budget = match self.mode {
-            Mode::Local => None,
-            Mode::Congest { budget_bits } => Some(budget_bits),
-        };
-
-        let mut meter = CostMeter::default();
-        let mut halted: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-        let mut outboxes: Vec<Option<Outbox<P::Message>>> = Vec::with_capacity(n);
-        for v in 0..n {
-            outboxes.push(Some(nodes[v].start(&contexts[v])));
-        }
-
-        let mut rounds_used = 0;
-        for round in 1..=max_rounds {
-            // Deliver.
-            let mut inboxes: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
-            for (u, slot) in outboxes.iter_mut().enumerate() {
-                let Some(outbox) = slot.take() else {
-                    continue;
-                };
-                let Outbox {
-                    broadcast,
-                    directed,
-                } = outbox;
-                // Directed messages override the broadcast on their port.
-                let mut overridden: Vec<usize> = directed.iter().map(|&(p, _)| p).collect();
-                overridden.sort_unstable();
-                if let Some(msg) = broadcast {
-                    for (port, &v) in self.graph.neighbors(u).iter().enumerate() {
-                        if overridden.binary_search(&port).is_ok() {
-                            continue;
-                        }
-                        meter.record_message(msg.wire_bits(), budget);
-                        if halted[v].is_none() {
-                            inboxes[v].push((port_for(v, u), msg.clone()));
-                        }
-                    }
-                }
-                for (port, msg) in directed {
-                    assert!(
-                        port < self.graph.degree(u),
-                        "node {u} sent on invalid port {port}"
-                    );
-                    let v = self.graph.neighbors(u)[port];
-                    meter.record_message(msg.wire_bits(), budget);
-                    if halted[v].is_none() {
-                        inboxes[v].push((port_for(v, u), msg));
-                    }
-                }
-            }
-            for inbox in &mut inboxes {
-                inbox.sort_by_key(|&(p, _)| p);
-            }
-
-            // Step.
-            let mut all_halted = true;
-            for v in 0..n {
-                if halted[v].is_some() {
-                    continue;
-                }
-                match nodes[v].round(&contexts[v], round, &inboxes[v]) {
-                    Step::Continue(out) => {
-                        outboxes[v] = Some(out);
-                        all_halted = false;
-                    }
-                    Step::Halt(output) => {
-                        halted[v] = Some(output);
-                        outboxes[v] = None;
-                    }
-                }
-            }
-            rounds_used = round;
-            if all_halted {
-                break;
-            }
-            if round == max_rounds {
-                let still_running = halted.iter().filter(|h| h.is_none()).count();
-                return Err(EngineError::RoundLimit {
-                    limit: max_rounds,
-                    still_running,
-                });
+    fn executor(&self) -> Executor<'g> {
+        match self.mode {
+            Mode::Local => Executor::local(self.graph, self.ids),
+            Mode::Congest { budget_bits } => {
+                Executor::congest_with_budget(self.graph, self.ids, budget_bits)
             }
         }
+    }
+}
 
-        meter.rounds = rounds_used as u64;
-        meter.random_bits = nodes.iter().map(&random_bits).sum();
-        let outputs = halted
-            .into_iter()
-            .map(|h| h.expect("all nodes halted"))
-            .collect();
-        Ok(Run { outputs, meter })
+/// Adapter running a legacy [`Protocol`] on the arena executor: outboxes are
+/// unpacked straight into the node's arena slots, and the inbox view is
+/// materialized into a scratch buffer that is reused across rounds (so the
+/// steady-state round loop stays allocation-free once every scratch buffer
+/// has grown to its node's degree).
+#[derive(Debug, Clone)]
+struct Legacy<P: Protocol> {
+    inner: P,
+    scratch: Vec<(usize, P::Message)>,
+}
+
+impl<P: Protocol> Legacy<P> {
+    fn new(inner: P) -> Self {
+        Self {
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// Write an [`Outbox`] into arena slots. Directed messages override the
+/// broadcast on their port (last write wins), as the engine always promised.
+///
+/// Semantics note: each `(node, port)` pair holds **one** message per round.
+/// The pre-arena engine delivered (and metered) *every* entry of a
+/// degenerate `Outbox` that listed the same port twice; the arena layout
+/// makes the model's "one message per edge per round" rule structural, so
+/// only the last write to a port survives. Pinned by
+/// `duplicate_directed_port_keeps_last_message` below.
+fn write_outbox<M: Clone>(outbox: Outbox<M>, out: &mut Outlet<'_, M>) {
+    let Outbox {
+        broadcast,
+        directed,
+    } = outbox;
+    if let Some(msg) = broadcast {
+        out.broadcast(msg);
+    }
+    for (port, msg) in directed {
+        out.send(port, msg);
+    }
+}
+
+impl<P: Protocol> BatchProtocol for Legacy<P> {
+    type Message = P::Message;
+    type Output = P::Output;
+
+    fn start(&mut self, ctx: &NodeContext, out: &mut Outlet<'_, P::Message>) {
+        write_outbox(self.inner.start(ctx), out);
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext,
+        round: u32,
+        inbox: &Inbox<'_, P::Message>,
+        out: &mut Outlet<'_, P::Message>,
+    ) -> Control<P::Output> {
+        self.scratch.clear();
+        for (port, msg) in inbox.iter() {
+            self.scratch.push((port, msg.clone()));
+        }
+        match self.inner.round(ctx, round, &self.scratch) {
+            Step::Continue(outbox) => {
+                write_outbox(outbox, out);
+                Control::Continue
+            }
+            Step::Halt(output) => Control::Halt(output),
+        }
     }
 }
 
@@ -475,5 +501,37 @@ mod tests {
         let g = Graph::path(5);
         let run = flood(&g, &[0], 12);
         assert_eq!(run.meter.rounds, 12); // nodes halt at the quiet deadline
+    }
+
+    #[test]
+    fn duplicate_directed_port_keeps_last_message() {
+        // One message per edge per round is structural in the arena layout:
+        // a degenerate Outbox listing a port twice delivers (and meters)
+        // only the last entry.
+        struct Dup;
+        impl Protocol for Dup {
+            type Message = u8;
+            type Output = Vec<u8>;
+            fn start(&mut self, ctx: &NodeContext) -> Outbox<u8> {
+                if ctx.node == 0 {
+                    Outbox::directed(vec![(0, 1), (0, 2)])
+                } else {
+                    Outbox::silent()
+                }
+            }
+            fn round(
+                &mut self,
+                _: &NodeContext,
+                _: u32,
+                inbox: &[(usize, u8)],
+            ) -> Step<u8, Vec<u8>> {
+                Step::Halt(inbox.iter().map(|&(_, m)| m).collect())
+            }
+        }
+        let g = Graph::path(2);
+        let ids = IdAssignment::sequential(2);
+        let run = Engine::local(&g, &ids).run([Dup, Dup], 3).unwrap();
+        assert_eq!(run.outputs[1], vec![2]);
+        assert_eq!(run.meter.messages, 1);
     }
 }

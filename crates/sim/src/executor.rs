@@ -1,0 +1,815 @@
+//! The arena-backed batched round executor.
+//!
+//! The [`crate::engine::Engine`] interface materializes an `Outbox`/inbox
+//! `Vec` per node per round; fine for correctness work, but the per-round
+//! allocations and the strictly sequential node loop dominate at scale. This
+//! module is the hot path underneath it:
+//!
+//! - **Message arenas.** Every directed edge `(u, port)` owns a fixed slot in
+//!   a flat arena laid out by the graph's CSR edge index
+//!   ([`locality_graph::Graph::edge_slots`]). A node *sends* by writing its
+//!   own contiguous slot segment and *receives* by reading the mirrored slots
+//!   ([`locality_graph::Graph::mirror_slots`]) of the opposite arena.
+//!   Delivery is therefore a single metering-and-clear pass that flips the
+//!   read/write arenas — no queues, no copying, and **zero heap allocation
+//!   per round** once the arenas exist (for messages that do not themselves
+//!   own heap memory).
+//! - **Deterministic parallelism.** Each node writes only its own slot
+//!   segment and its own output cell, so node steps are embarrassingly
+//!   parallel *and bit-identical to the sequential order*:
+//!   [`Executor::run_parallel`] chunks the nodes across
+//!   [`std::thread::scope`] threads and produces exactly the outputs and
+//!   [`CostMeter`] of [`Executor::run`]. The `determinism-checks` cargo
+//!   feature makes `run_parallel` re-run sequentially and assert equality.
+//!
+//! Protocols for this executor implement [`BatchProtocol`], writing messages
+//! through an [`Outlet`] and reading them through an [`Inbox`] view instead
+//! of building per-round collections. The legacy [`crate::node::Protocol`]
+//! trait is adapted onto this executor by [`crate::engine::Engine`], so both
+//! interfaces are metered by the same code.
+
+use crate::cost::CostMeter;
+use crate::engine::{EngineError, Mode, Run};
+use crate::node::NodeContext;
+use crate::wire::WireSize;
+use locality_graph::ids::IdAssignment;
+use locality_graph::Graph;
+
+/// A node's decision after a batched round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Control<O> {
+    /// Keep running (messages, if any, were written through the [`Outlet`]).
+    Continue,
+    /// Terminate with this output. Anything written through the [`Outlet`]
+    /// this round is discarded: a halting node is silent.
+    Halt(O),
+}
+
+/// Read view of one node's inbox for the current round.
+///
+/// Port `p` carries a message exactly when the neighbor on port `p` wrote its
+/// mirrored slot last round; the view resolves mirrors through the graph's
+/// precomputed reverse-edge index, so each lookup is `O(1)`.
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    arena: &'a [Option<M>],
+    mirrors: &'a [usize],
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// The receiving node's degree (ports are `0..degree`).
+    pub fn degree(&self) -> usize {
+        self.mirrors.len()
+    }
+
+    /// The message received on `port`, if any.
+    ///
+    /// # Panics
+    /// Panics if `port >= degree`.
+    pub fn get(&self, port: usize) -> Option<&'a M> {
+        self.arena[self.mirrors[port]].as_ref()
+    }
+
+    /// Iterate the occupied ports in ascending port order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &'a M)> + '_ {
+        self.mirrors
+            .iter()
+            .enumerate()
+            .filter_map(|(port, &slot)| self.arena[slot].as_ref().map(|m| (port, m)))
+    }
+
+    /// Whether no message arrived this round.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
+
+/// Write view of one node's outgoing edge slots for the current round.
+///
+/// The slots start empty each round; writing the same port twice keeps the
+/// last message (a later [`Outlet::send`] overrides an earlier
+/// [`Outlet::broadcast`] on that port, matching the engine's semantics).
+#[derive(Debug)]
+pub struct Outlet<'a, M> {
+    node: usize,
+    slots: &'a mut [Option<M>],
+}
+
+impl<M: Clone> Outlet<'_, M> {
+    /// The sending node's degree (ports are `0..degree`).
+    pub fn degree(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Send `msg` on `port`.
+    ///
+    /// # Panics
+    /// Panics if `port >= degree`.
+    pub fn send(&mut self, port: usize, msg: M) {
+        assert!(
+            port < self.slots.len(),
+            "node {} sent on invalid port {}",
+            self.node,
+            port
+        );
+        self.slots[port] = Some(msg);
+    }
+
+    /// Send `msg` to every neighbor (one directed message per port — CONGEST
+    /// accounting charges each of them).
+    pub fn broadcast(&mut self, msg: M) {
+        if let Some((last, rest)) = self.slots.split_last_mut() {
+            for slot in rest {
+                *slot = Some(msg.clone());
+            }
+            *last = Some(msg);
+        }
+    }
+}
+
+/// A synchronous protocol over the arena executor, one instance per node.
+///
+/// Like [`crate::node::Protocol`], but messages are exchanged through slot
+/// views instead of per-round collections, so a well-behaved implementation
+/// allocates nothing in its `round`.
+pub trait BatchProtocol {
+    /// Message type (must report its wire size for CONGEST accounting).
+    type Message: Clone + WireSize;
+    /// Per-node output.
+    type Output;
+
+    /// Write the messages for round 1.
+    fn start(&mut self, ctx: &NodeContext, out: &mut Outlet<'_, Self::Message>);
+
+    /// Receive round `round`'s inbox; write replies; continue or halt.
+    fn round(
+        &mut self,
+        ctx: &NodeContext,
+        round: u32,
+        inbox: &Inbox<'_, Self::Message>,
+        out: &mut Outlet<'_, Self::Message>,
+    ) -> Control<Self::Output>;
+}
+
+/// The arena-backed executor for one graph.
+///
+/// Construction mirrors [`crate::engine::Engine`]; [`Executor::run`] is the
+/// sequential reference order and [`Executor::run_parallel`] the chunked
+/// parallel order, which is guaranteed (and under the `determinism-checks`
+/// feature, asserted) to produce bit-identical results.
+///
+/// # Example
+/// ```
+/// use locality_graph::prelude::*;
+/// use locality_sim::executor::{BatchProtocol, Control, Executor, Inbox, Outlet};
+/// use locality_sim::node::NodeContext;
+///
+/// /// Every node halts with the number of neighbors that greeted it.
+/// struct Hello;
+/// impl BatchProtocol for Hello {
+///     type Message = u64;
+///     type Output = usize;
+///     fn start(&mut self, ctx: &NodeContext, out: &mut Outlet<'_, u64>) {
+///         out.broadcast(ctx.id);
+///     }
+///     fn round(
+///         &mut self,
+///         _ctx: &NodeContext,
+///         _round: u32,
+///         inbox: &Inbox<'_, u64>,
+///         _out: &mut Outlet<'_, u64>,
+///     ) -> Control<usize> {
+///         Control::Halt(inbox.iter().count())
+///     }
+/// }
+///
+/// let g = Graph::cycle(5);
+/// let ids = IdAssignment::sequential(5);
+/// let run = Executor::congest(&g, &ids).run((0..5).map(|_| Hello), 10).unwrap();
+/// assert!(run.outputs.iter().all(|&d| d == 2));
+/// assert_eq!(run.meter.rounds, 1);
+/// ```
+#[derive(Debug)]
+pub struct Executor<'g> {
+    graph: &'g Graph,
+    ids: &'g IdAssignment,
+    mode: Mode,
+}
+
+impl<'g> Executor<'g> {
+    /// A LOCAL-model executor (unbounded messages).
+    ///
+    /// # Panics
+    /// Panics if `ids` does not match `graph`.
+    pub fn local(graph: &'g Graph, ids: &'g IdAssignment) -> Self {
+        assert!(ids.matches(graph), "id assignment must match graph");
+        Self {
+            graph,
+            ids,
+            mode: Mode::Local,
+        }
+    }
+
+    /// A CONGEST-model executor with the standard budget
+    /// ([`Mode::default_congest`]).
+    ///
+    /// # Panics
+    /// Panics if `ids` does not match `graph`.
+    pub fn congest(graph: &'g Graph, ids: &'g IdAssignment) -> Self {
+        assert!(ids.matches(graph), "id assignment must match graph");
+        Self {
+            graph,
+            ids,
+            mode: Mode::default_congest(graph),
+        }
+    }
+
+    /// A CONGEST-model executor with an explicit per-message budget.
+    ///
+    /// # Panics
+    /// Panics if `ids` does not match `graph`.
+    pub fn congest_with_budget(graph: &'g Graph, ids: &'g IdAssignment, budget_bits: u64) -> Self {
+        assert!(ids.matches(graph), "id assignment must match graph");
+        Self {
+            graph,
+            ids,
+            mode: Mode::Congest { budget_bits },
+        }
+    }
+
+    /// The communication mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn budget(&self) -> Option<u64> {
+        match self.mode {
+            Mode::Local => None,
+            Mode::Congest { budget_bits } => Some(budget_bits),
+        }
+    }
+
+    /// Execute `protocols` sequentially (the reference order).
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`] or [`EngineError::RoundLimit`].
+    pub fn run<P: BatchProtocol>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+    ) -> Result<Run<P::Output>, EngineError> {
+        self.run_metered(protocols, max_rounds, |_| 0)
+    }
+
+    /// Like [`Executor::run`], but additionally sums per-node random-bit
+    /// usage reported by `random_bits(&protocol)` after completion.
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`] or [`EngineError::RoundLimit`].
+    pub fn run_metered<P: BatchProtocol>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+        random_bits: impl Fn(&P) -> u64,
+    ) -> Result<Run<P::Output>, EngineError> {
+        let nodes: Vec<P> = protocols.into_iter().collect();
+        let graph = self.graph;
+        self.drive(
+            nodes,
+            max_rounds,
+            &random_bits,
+            |nodes, outputs, write, read, contexts, round| {
+                step_chunk(graph, contexts, 0, nodes, outputs, write, 0, read, round)
+            },
+        )
+    }
+
+    /// Execute `protocols` with node steps chunked across `threads` scoped
+    /// threads (`0` = available parallelism). Outputs and meter are
+    /// bit-identical to [`Executor::run`]: every node writes only its own
+    /// slot segment and output cell, and metering is a deterministic pass
+    /// over the arena in slot order.
+    ///
+    /// The `Clone`/`PartialEq`/`Debug` bounds exist so the
+    /// `determinism-checks` cargo feature can re-run the protocol
+    /// sequentially and assert the equivalence; the bounds are required
+    /// unconditionally so enabling the feature is additive (it changes
+    /// behavior, never the API).
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`] or [`EngineError::RoundLimit`].
+    pub fn run_parallel<P>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+        threads: usize,
+    ) -> Result<Run<P::Output>, EngineError>
+    where
+        P: BatchProtocol + Send + Clone,
+        P::Message: Send + Sync,
+        P::Output: Send + PartialEq + std::fmt::Debug,
+    {
+        self.run_parallel_metered(protocols, max_rounds, threads, |_| 0)
+    }
+
+    /// [`Executor::run_parallel`] with random-bit accounting, as in
+    /// [`Executor::run_metered`].
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`] or [`EngineError::RoundLimit`].
+    pub fn run_parallel_metered<P>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+        threads: usize,
+        random_bits: impl Fn(&P) -> u64,
+    ) -> Result<Run<P::Output>, EngineError>
+    where
+        P: BatchProtocol + Send + Clone,
+        P::Message: Send + Sync,
+        P::Output: Send + PartialEq + std::fmt::Debug,
+    {
+        let nodes: Vec<P> = protocols.into_iter().collect();
+        #[cfg(feature = "determinism-checks")]
+        {
+            let reference = self.run_metered(nodes.clone(), max_rounds, &random_bits);
+            let parallel = self.run_parallel_inner(nodes, max_rounds, threads, &random_bits);
+            match (&reference, &parallel) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.meter, b.meter,
+                        "determinism check: parallel meter diverged from sequential"
+                    );
+                    assert_eq!(
+                        a.outputs, b.outputs,
+                        "determinism check: parallel outputs diverged from sequential"
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "determinism check: error outcomes diverged");
+                }
+                _ => panic!("determinism check: parallel and sequential outcomes diverged"),
+            }
+            parallel
+        }
+        #[cfg(not(feature = "determinism-checks"))]
+        {
+            self.run_parallel_inner(nodes, max_rounds, threads, &random_bits)
+        }
+    }
+
+    fn run_parallel_inner<P>(
+        &mut self,
+        nodes: Vec<P>,
+        max_rounds: u32,
+        threads: usize,
+        random_bits: &impl Fn(&P) -> u64,
+    ) -> Result<Run<P::Output>, EngineError>
+    where
+        P: BatchProtocol + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+    {
+        let n = self.graph.node_count();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        let chunks = threads.min(n.max(1));
+        if chunks <= 1 {
+            return self.run_metered(nodes, max_rounds, random_bits);
+        }
+        // Contiguous node chunks; slot segments follow the CSR offsets.
+        let per = n.div_ceil(chunks);
+        let bounds: Vec<(usize, usize)> = (0..chunks)
+            .map(|c| ((c * per).min(n), ((c + 1) * per).min(n)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let graph = self.graph;
+        self.drive(
+            nodes,
+            max_rounds,
+            random_bits,
+            |nodes, outputs, write, read, contexts, round| {
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(bounds.len());
+                    let mut nodes_rest = nodes;
+                    let mut outputs_rest = outputs;
+                    let mut write_rest = write;
+                    let mut consumed_nodes = 0usize;
+                    let mut consumed_slots = 0usize;
+                    for &(lo, hi) in &bounds {
+                        let slot_hi = if hi == n {
+                            graph.directed_edge_count()
+                        } else {
+                            graph.edge_slots(hi).start
+                        };
+                        let (node_chunk, nr) = nodes_rest.split_at_mut(hi - lo);
+                        let (out_chunk, or) = outputs_rest.split_at_mut(hi - lo);
+                        let (write_chunk, wr) = write_rest.split_at_mut(slot_hi - consumed_slots);
+                        nodes_rest = nr;
+                        outputs_rest = or;
+                        write_rest = wr;
+                        let node_base = consumed_nodes;
+                        let slot_base = consumed_slots;
+                        consumed_nodes = hi;
+                        consumed_slots = slot_hi;
+                        handles.push(scope.spawn(move || {
+                            step_chunk(
+                                graph,
+                                contexts,
+                                node_base,
+                                node_chunk,
+                                out_chunk,
+                                write_chunk,
+                                slot_base,
+                                read,
+                                round,
+                            )
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("executor worker panicked"))
+                        .sum()
+                })
+            },
+        )
+    }
+
+    /// The shared round loop: arena setup, the per-round
+    /// meter-clear-and-flip delivery pass, halt bookkeeping, and final
+    /// accounting. `step` runs all still-active nodes for one round and
+    /// returns how many are still running.
+    fn drive<P: BatchProtocol>(
+        &mut self,
+        mut nodes: Vec<P>,
+        max_rounds: u32,
+        random_bits: &impl Fn(&P) -> u64,
+        mut step: impl FnMut(
+            &mut [P],
+            &mut [Option<P::Output>],
+            &mut [Option<P::Message>],
+            &[Option<P::Message>],
+            &[NodeContext],
+            u32,
+        ) -> usize,
+    ) -> Result<Run<P::Output>, EngineError> {
+        let n = self.graph.node_count();
+        if nodes.len() != n {
+            return Err(EngineError::WrongNodeCount {
+                got: nodes.len(),
+                expected: n,
+            });
+        }
+        let contexts: Vec<NodeContext> = (0..n)
+            .map(|v| NodeContext {
+                node: v,
+                id: self.ids.id_of(v),
+                degree: self.graph.degree(v),
+                n,
+            })
+            .collect();
+        let slots = self.graph.directed_edge_count();
+        // The two arenas; after setup the round loop only moves `Option`s in
+        // place and swaps the buffers, never reallocating.
+        let mut read: Vec<Option<P::Message>> = (0..slots).map(|_| None).collect();
+        let mut write: Vec<Option<P::Message>> = (0..slots).map(|_| None).collect();
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let budget = self.budget();
+        let mut meter = CostMeter::default();
+
+        for v in 0..n {
+            let mut out = Outlet {
+                node: v,
+                slots: &mut write[self.graph.edge_slots(v)],
+            };
+            nodes[v].start(&contexts[v], &mut out);
+        }
+
+        let mut rounds_used = 0;
+        if n > 0 && max_rounds == 0 {
+            return Err(EngineError::RoundLimit {
+                limit: 0,
+                still_running: n,
+            });
+        }
+        for round in 1..=max_rounds {
+            // Deliver: meter what was just written, clear the consumed arena,
+            // flip. Readers then see the fresh messages through their mirror
+            // slots; no copying happens.
+            for msg in write.iter().flatten() {
+                meter.record_message(msg.wire_bits(), budget);
+            }
+            for slot in read.iter_mut() {
+                *slot = None;
+            }
+            std::mem::swap(&mut read, &mut write);
+
+            let still_running = step(
+                &mut nodes,
+                &mut outputs,
+                &mut write,
+                &read,
+                &contexts,
+                round,
+            );
+            rounds_used = round;
+            if still_running == 0 {
+                break;
+            }
+            if round == max_rounds {
+                return Err(EngineError::RoundLimit {
+                    limit: max_rounds,
+                    still_running,
+                });
+            }
+        }
+
+        meter.rounds = rounds_used as u64;
+        meter.random_bits = nodes.iter().map(random_bits).sum();
+        let outputs = outputs
+            .into_iter()
+            .map(|h| h.expect("all nodes halted"))
+            .collect();
+        Ok(Run {
+            outputs,
+            meter,
+            budget_bits: budget,
+        })
+    }
+}
+
+/// Step one contiguous chunk of nodes; returns how many are still running.
+///
+/// `nodes`, `outputs` and `write` are the chunk's slices (node range
+/// `node_base..node_base + nodes.len()`, slot range starting at `slot_base`);
+/// `read` and `contexts` are the full arrays. Writes land only in the
+/// chunk's own slices, which is what makes parallel execution deterministic.
+#[allow(clippy::too_many_arguments)]
+fn step_chunk<P: BatchProtocol>(
+    graph: &Graph,
+    contexts: &[NodeContext],
+    node_base: usize,
+    nodes: &mut [P],
+    outputs: &mut [Option<P::Output>],
+    write: &mut [Option<P::Message>],
+    slot_base: usize,
+    read: &[Option<P::Message>],
+    round: u32,
+) -> usize {
+    let mut still_running = 0;
+    for (i, node) in nodes.iter_mut().enumerate() {
+        if outputs[i].is_some() {
+            continue;
+        }
+        let v = node_base + i;
+        let range = graph.edge_slots(v);
+        let local = (range.start - slot_base)..(range.end - slot_base);
+        let inbox = Inbox {
+            arena: read,
+            mirrors: graph.mirror_slots(v),
+        };
+        let mut out = Outlet {
+            node: v,
+            slots: &mut write[local.clone()],
+        };
+        match node.round(&contexts[v], round, &inbox, &mut out) {
+            Control::Continue => still_running += 1,
+            Control::Halt(output) => {
+                outputs[i] = Some(output);
+                // A halting node is silent: discard anything it wrote.
+                for slot in &mut write[local] {
+                    *slot = None;
+                }
+            }
+        }
+    }
+    still_running
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_graph::prelude::*;
+
+    /// BFS flooding (mirrors the engine test, through the batched interface).
+    #[derive(Debug, Clone)]
+    struct Flood {
+        is_source: bool,
+        dist: Option<u32>,
+        deadline: u32,
+    }
+
+    impl BatchProtocol for Flood {
+        type Message = u32;
+        type Output = Option<u32>;
+
+        fn start(&mut self, _ctx: &NodeContext, out: &mut Outlet<'_, u32>) {
+            if self.is_source {
+                self.dist = Some(0);
+                out.broadcast(0);
+            }
+        }
+
+        fn round(
+            &mut self,
+            _ctx: &NodeContext,
+            round: u32,
+            inbox: &Inbox<'_, u32>,
+            out: &mut Outlet<'_, u32>,
+        ) -> Control<Option<u32>> {
+            if round >= self.deadline {
+                return Control::Halt(self.dist);
+            }
+            if self.dist.is_none() {
+                if let Some(d) = inbox.iter().map(|(_, &d)| d + 1).min() {
+                    self.dist = Some(d);
+                    out.broadcast(d);
+                }
+            }
+            Control::Continue
+        }
+    }
+
+    fn flood_protocols(g: &Graph, sources: &[usize], deadline: u32) -> Vec<Flood> {
+        (0..g.node_count())
+            .map(|v| Flood {
+                is_source: sources.contains(&v),
+                dist: None,
+                deadline,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_flood_matches_bfs() {
+        let g = Graph::grid(5, 7);
+        let ids = IdAssignment::sequential(g.node_count());
+        let run = Executor::congest(&g, &ids)
+            .run(flood_protocols(&g, &[0], 30), 31)
+            .unwrap();
+        let reference = bfs_distances(&g, 0);
+        for v in g.nodes() {
+            assert_eq!(run.outputs[v], reference[v], "node {v}");
+        }
+        assert!(run.congest_clean());
+        assert_eq!(run.budget_bits, Some(8 * g.log2_n() as u64));
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_flood() {
+        let g = Graph::grid(9, 11);
+        let ids = IdAssignment::sequential(g.node_count());
+        let seq = Executor::congest(&g, &ids)
+            .run(flood_protocols(&g, &[3, 50], 40), 41)
+            .unwrap();
+        for threads in [2, 3, 8, 64] {
+            let par = Executor::congest(&g, &ids)
+                .run_parallel(flood_protocols(&g, &[3, 50], 40), 41, threads)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "threads={threads}");
+            assert_eq!(par.meter, seq.meter, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_edgeless_and_tiny_graphs() {
+        for g in [Graph::empty(0), Graph::empty(5), Graph::path(2)] {
+            let ids = IdAssignment::sequential(g.node_count());
+            let run = Executor::local(&g, &ids)
+                .run_parallel(flood_protocols(&g, &[], 3), 4, 4)
+                .unwrap();
+            assert_eq!(run.outputs.len(), g.node_count());
+            assert!(run.outputs.iter().all(|d| d.is_none()));
+        }
+    }
+
+    #[test]
+    fn round_limit_reported_with_still_running() {
+        #[derive(Debug, Clone)]
+        struct Forever;
+        impl BatchProtocol for Forever {
+            type Message = bool;
+            type Output = ();
+            fn start(&mut self, _: &NodeContext, _: &mut Outlet<'_, bool>) {}
+            fn round(
+                &mut self,
+                _: &NodeContext,
+                _: u32,
+                _: &Inbox<'_, bool>,
+                _: &mut Outlet<'_, bool>,
+            ) -> Control<()> {
+                Control::Continue
+            }
+        }
+        let g = Graph::path(3);
+        let ids = IdAssignment::sequential(3);
+        let err = Executor::local(&g, &ids)
+            .run([Forever, Forever, Forever], 4)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::RoundLimit {
+                limit: 4,
+                still_running: 3
+            }
+        );
+        // Zero-round budgets with live nodes are a limit error, not a panic.
+        let err0 = Executor::local(&g, &ids)
+            .run([Forever, Forever, Forever], 0)
+            .unwrap_err();
+        assert!(matches!(err0, EngineError::RoundLimit { limit: 0, .. }));
+    }
+
+    #[test]
+    fn halting_node_discards_its_writes() {
+        // Node 0 writes a message and halts in the same round; node 1 must
+        // never receive it.
+        #[derive(Debug, Clone)]
+        struct WriteThenHalt;
+        impl BatchProtocol for WriteThenHalt {
+            type Message = u8;
+            type Output = usize;
+            fn start(&mut self, _: &NodeContext, _: &mut Outlet<'_, u8>) {}
+            fn round(
+                &mut self,
+                ctx: &NodeContext,
+                round: u32,
+                inbox: &Inbox<'_, u8>,
+                out: &mut Outlet<'_, u8>,
+            ) -> Control<usize> {
+                if ctx.node == 0 {
+                    out.broadcast(7);
+                    return Control::Halt(0);
+                }
+                if round >= 3 {
+                    return Control::Halt(inbox.iter().count());
+                }
+                Control::Continue
+            }
+        }
+        let g = Graph::path(2);
+        let ids = IdAssignment::sequential(2);
+        let run = Executor::local(&g, &ids)
+            .run([WriteThenHalt, WriteThenHalt], 5)
+            .unwrap();
+        assert_eq!(run.outputs[1], 0);
+        assert_eq!(run.meter.messages, 0);
+    }
+
+    #[test]
+    fn directed_send_overrides_broadcast_slot() {
+        #[derive(Debug, Clone)]
+        struct Sender;
+        impl BatchProtocol for Sender {
+            type Message = u8;
+            type Output = Vec<u8>;
+            fn start(&mut self, ctx: &NodeContext, out: &mut Outlet<'_, u8>) {
+                if ctx.node == 1 {
+                    out.broadcast(1);
+                    out.send(0, 9);
+                }
+            }
+            fn round(
+                &mut self,
+                _: &NodeContext,
+                _: u32,
+                inbox: &Inbox<'_, u8>,
+                _: &mut Outlet<'_, u8>,
+            ) -> Control<Vec<u8>> {
+                Control::Halt(inbox.iter().map(|(_, &m)| m).collect())
+            }
+        }
+        let g = Graph::path(3); // node 1 has ports 0 -> node 0, 1 -> node 2
+        let ids = IdAssignment::sequential(3);
+        let run = Executor::local(&g, &ids)
+            .run([Sender, Sender, Sender], 3)
+            .unwrap();
+        assert_eq!(run.outputs[0], vec![9]);
+        assert_eq!(run.outputs[2], vec![1]);
+        assert_eq!(run.meter.messages, 2);
+    }
+
+    #[test]
+    fn wrong_node_count_detected() {
+        let g = Graph::path(3);
+        let ids = IdAssignment::sequential(3);
+        let err = Executor::local(&g, &ids)
+            .run(flood_protocols(&Graph::path(2), &[], 3), 5)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::WrongNodeCount {
+                got: 2,
+                expected: 3
+            }
+        ));
+    }
+}

@@ -5,10 +5,15 @@
 //! sends one message to each neighbor. In LOCAL messages are unbounded; in
 //! CONGEST they are `O(log n)` bits.
 //!
-//! - [`engine`]: the message-passing engine. Algorithms are per-node state
-//!   machines ([`node::Protocol`]); the engine delivers inboxes round by
-//!   round and meters rounds, messages, bits per message (flagging CONGEST
-//!   violations) and random bits drawn.
+//! - [`executor`]: the arena-backed batched round executor — every directed
+//!   edge owns a fixed slot in a flat message arena laid out by the graph's
+//!   CSR edge index; delivery is a single metering pass that flips the
+//!   read/write arenas (zero per-round allocation), and node steps can be
+//!   chunked across threads with bit-identical results.
+//! - [`engine`]: the message-passing engine (an adapter over the executor).
+//!   Algorithms are per-node state machines ([`node::Protocol`]); the engine
+//!   delivers inboxes round by round and meters rounds, messages, bits per
+//!   message (flagging CONGEST violations) and random bits drawn.
 //! - [`node`]: the protocol trait and node-side context.
 //! - [`wire`]: message bit-size accounting ([`wire::WireSize`]).
 //! - [`cost`]: the [`cost::CostMeter`] accumulator and sequential
@@ -55,6 +60,7 @@
 
 pub mod cost;
 pub mod engine;
+pub mod executor;
 pub mod node;
 pub mod protocols;
 pub mod slocal;
@@ -62,6 +68,7 @@ pub mod wire;
 
 pub use cost::CostMeter;
 pub use engine::{Engine, EngineError, Mode, Run};
+pub use executor::{BatchProtocol, Control, Executor, Inbox, Outlet};
 pub use node::{NodeContext, Outbox, Protocol, Step};
 pub use wire::WireSize;
 
@@ -69,6 +76,7 @@ pub use wire::WireSize;
 pub mod prelude {
     pub use crate::cost::CostMeter;
     pub use crate::engine::{Engine, EngineError, Mode, Run};
+    pub use crate::executor::{BatchProtocol, Control, Executor, Inbox, Outlet};
     pub use crate::node::{NodeContext, Outbox, Protocol, Step};
     pub use crate::slocal::{SlocalRunner, SlocalStats};
     pub use crate::wire::WireSize;

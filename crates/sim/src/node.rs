@@ -1,7 +1,7 @@
 //! Per-node protocol interface.
 
 /// Immutable facts a node knows at the start of a protocol — exactly the
-//  model's initial knowledge, nothing more.
+/// model's initial knowledge, nothing more.
 /// The paper's non-uniform algorithms also receive `n` (or an upper bound).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeContext {

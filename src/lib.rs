@@ -43,6 +43,7 @@ pub use locality_sim as sim;
 
 /// The most frequently used items across the workspace.
 pub mod prelude {
+    pub use locality_core::algorithm::{AlgorithmRun, LocalAlgorithm, RoundStats};
     pub use locality_core::boost::{boosted_decomposition, BoostConfig};
     pub use locality_core::checkers;
     pub use locality_core::coloring;
@@ -57,4 +58,5 @@ pub mod prelude {
     pub use locality_graph::prelude::*;
     pub use locality_rand::prelude::*;
     pub use locality_sim::cost::CostMeter;
+    pub use locality_sim::executor::{BatchProtocol, Control, Executor, Inbox, Outlet};
 }

@@ -9,9 +9,10 @@ use locality::prelude::{
     ball, bfs_distances, boosted_decomposition, bounded_bfs_distances, checkers, coloring,
     connected_components, diameter, eccentricity, elkin_neiman, elkin_neiman_kwise, is_connected,
     mis, multi_source_bfs, power_graph, ruling_set, shared_randomness_decomposition,
-    sparse_randomness_decomposition, splitting, BitSource, BitTape, BoostConfig, ClusterGraph,
-    Clustering, CostMeter, Decomposition, ElkinNeimanConfig, EpsBiasedBits, Exhausted, Graph,
-    GraphBuilder, GraphError, IdAssignment, InducedSubgraph, KWiseBits, Prng, PrngSource,
+    sparse_randomness_decomposition, splitting, AlgorithmRun, BatchProtocol, BitSource, BitTape,
+    BoostConfig, ClusterGraph, Clustering, Control, CostMeter, Decomposition, ElkinNeimanConfig,
+    EpsBiasedBits, Executor, Exhausted, Graph, GraphBuilder, GraphError, IdAssignment, Inbox,
+    InducedSubgraph, KWiseBits, LocalAlgorithm, Outlet, Prng, PrngSource, RoundStats,
     RulingSetParams, SharedDecompConfig, SharedSeed, SparseBits, SparsePipelineConfig, SplitMix64,
     SplittingInstance, Xoshiro256StarStar,
 };
@@ -56,4 +57,20 @@ fn algorithms_are_reachable_from_the_prelude() {
 
     let meter = CostMeter::default();
     assert_eq!(meter.rounds, 0);
+}
+
+#[test]
+fn local_algorithms_are_reachable_from_the_prelude() {
+    use locality::core::coloring::{verify_coloring, TrialColoring};
+    use locality::core::mis::{verify_mis, LubyMis};
+
+    let g = Graph::grid(5, 5);
+    let ids = IdAssignment::sequential(g.node_count());
+    let m = LubyMis::default().run(&g, &ids, 1);
+    verify_mis(&g, &m.labels).unwrap();
+    let c = TrialColoring::default().run(&g, &ids, 1);
+    verify_coloring(&g, &c.labels, g.max_degree() + 1).unwrap();
+    // Uniform stats come from the same engine metering path.
+    assert!(m.stats.meter.messages > 0);
+    assert!(c.stats.meter.messages > 0);
 }
