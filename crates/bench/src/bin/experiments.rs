@@ -3,19 +3,24 @@
 //! ```sh
 //! cargo run -p locality-bench --release --bin experiments -- all
 //! cargo run -p locality-bench --release --bin experiments -- t1 a1 f3
+//! cargo run -p locality-bench --release --bin experiments -- d1 --json bench.json
 //! ```
 
 use locality_bench::experiments;
 
-const USAGE: &str = "usage: experiments <all | t1..t10 a1 f1..f4>...
+const USAGE: &str = "usage: experiments [options] <all | t1..t10 a1 d1 f1..f4>...
 
 Regenerates the theorem-derived tables (T1-T10), the unified
-LocalAlgorithm accounting table (A1), and figures (F1-F4) described in
-DESIGN.md section 3. Pass `all` to run every experiment, or any mix of
-individual ids.
+LocalAlgorithm accounting table (A1), the derandomizer scaling
+benchmark (D1), and figures (F1-F4) described in DESIGN.md section 3.
+Pass `all` to run every experiment, or any mix of individual ids.
 
 options:
-  -h, --help  print this message and exit";
+  --json <path>  write machine-readable results to <path> (currently the
+                 D1 derandomizer rows; the BENCH_derand.json schema)
+  --huge         include the n = 10^5 row in D1 (seconds of compute and
+                 hundreds of MB of memory)
+  -h, --help     print this message and exit";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,11 +28,27 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    if args.is_empty() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut huge = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--huge" => huge = true,
+            other => ids.push(other.to_lowercase()),
+        }
+    }
+    if ids.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
-    let ids: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
     if let Some(bad) = ids
         .iter()
         .find(|id| *id != "all" && !experiments::ALL.contains(&id.as_str()))
@@ -38,10 +59,24 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if ids.iter().any(|id| id == "all") {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    if json_path.is_some() && !ids.iter().any(|id| id == "d1") {
+        eprintln!("--json currently captures the d1 experiment; add d1 (or all) to the ids");
+        std::process::exit(2);
+    }
     for id in &ids {
-        if id == "all" {
-            for e in experiments::ALL {
-                experiments::run(e);
+        if id == "d1" {
+            let rows = experiments::d1_derand_rows(huge);
+            experiments::print_derand_rows(&rows);
+            if let Some(path) = &json_path {
+                let json = experiments::derand_rows_json(&rows);
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("\nwrote {path}");
             }
         } else {
             experiments::run(id);

@@ -29,8 +29,8 @@ use locality_rand::source::PrngSource;
 use locality_rand::sparse::SparseBits;
 
 /// All experiment identifiers, in report order.
-pub const ALL: [&str; 15] = [
-    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "f1", "f2", "f3", "f4",
+pub const ALL: [&str; 16] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "f1", "f2", "f3", "f4",
 ];
 
 /// Dispatch one experiment by id (lowercase). Unknown ids are reported.
@@ -38,6 +38,7 @@ pub fn run(id: &str) {
     match id {
         "t1" => t1_en_baseline(),
         "a1" => a1_local_algorithms(),
+        "d1" => print_derand_rows(&d1_derand_rows(false)),
         "t2" => t2_sparse_bits(),
         "t3" => t3_kwise_independence(),
         "t4" => t4_shared_congest(),
@@ -686,6 +687,163 @@ pub fn t10_extensions() {
         ]);
     }
     t2.print();
+}
+
+/// One row of the D1 derandomizer-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct DerandRow {
+    /// Nodes in the `G(n, 4/n)` instance.
+    pub n: usize,
+    /// Geometric truncation (cluster radius bound is `2·cap`).
+    pub cap: u32,
+    /// Phases the derandomizer used.
+    pub phases: u32,
+    /// Colors of the validated decomposition.
+    pub colors: usize,
+    /// Maximum strong cluster diameter.
+    pub max_diameter: u32,
+    /// Incremental engine wall-clock, milliseconds.
+    pub opt_ms: f64,
+    /// Reference implementation wall-clock, milliseconds (`None` = skipped).
+    pub ref_ms: Option<f64>,
+    /// How the reference number was obtained: `"full"` (complete run),
+    /// `"extrapolated"` (phase-1 fixing probed over a center prefix and
+    /// scaled — a *lower bound* on the full run), or `"skipped"`.
+    pub ref_method: &'static str,
+    /// `ref_ms / opt_ms` when the reference was measured.
+    pub speedup: Option<f64>,
+}
+
+/// D1 — derandomizer scaling on `G(n, 4/n)`: the incremental
+/// conditional-expectations engine versus the retained direct
+/// implementation. The reference is run in full while feasible and probed +
+/// extrapolated above that (per-center phase-1 fixing cost is uniform, so
+/// `time(k centers) · n/k` underestimates the full run — speedups shown are
+/// lower bounds). `huge` adds the `n = 10⁵` row (seconds of work, hundreds
+/// of MB of reach arena) that the committed `BENCH_derand.json` records.
+pub fn d1_derand_rows(huge: bool) -> Vec<DerandRow> {
+    use locality_core::decomposition::{derandomized_decomposition, ReferenceProbe};
+    use std::time::Instant;
+
+    // (n, cap, reference probe centers; 0 = full reference run)
+    let mut plan: Vec<(usize, u32, usize)> =
+        vec![(256, 8, 0), (512, 8, 0), (1024, 8, 8), (4096, 8, 2)];
+    if huge {
+        // cap 4 at n = 10⁵ keeps the ball arena (n · |B(cap)| entries) in
+        // memory; radius guarantee degrades gracefully (diameter ≤ 2·cap).
+        plan.push((100_000, 4, 64));
+    }
+    let mut rows = Vec::new();
+    for (n, cap, probe_centers) in plan {
+        let mut prng = SplitMix64::new(4 + n as u64);
+        let g = Graph::gnp(n, 4.0 / n as f64, &mut prng);
+        let t0 = Instant::now();
+        let r = derandomized_decomposition(&g, cap);
+        let opt_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let q = r.decomposition.validate(&g).expect("valid decomposition");
+        let (ref_ms, ref_method) = if probe_centers == 0 {
+            let t1 = Instant::now();
+            let reference = locality_core::decomposition::reference_decomposition(&g, cap);
+            assert_eq!(
+                reference.decomposition, r.decomposition,
+                "reference and incremental outputs diverged at n = {n}"
+            );
+            (Some(t1.elapsed().as_secs_f64() * 1e3), "full")
+        } else {
+            let probe = ReferenceProbe::prepare(&g, cap, probe_centers);
+            let t1 = Instant::now();
+            std::hint::black_box(probe.fix());
+            let probed_ms = t1.elapsed().as_secs_f64() * 1e3;
+            (Some(probed_ms * probe.scale()), "extrapolated")
+        };
+        rows.push(DerandRow {
+            n,
+            cap,
+            phases: r.phases,
+            colors: q.colors,
+            max_diameter: q.max_diameter,
+            opt_ms,
+            ref_ms,
+            ref_method,
+            speedup: ref_ms.map(|ref_ms| ref_ms / opt_ms.max(1e-9)),
+        });
+    }
+    rows
+}
+
+/// Print the D1 rows as a table.
+pub fn print_derand_rows(rows: &[DerandRow]) {
+    println!("\n== D1: derandomizer scaling on G(n, 4/n) — incremental vs reference ==");
+    println!("reference times marked 'extrapolated' probe phase-1 fixing over a center");
+    println!("prefix and scale linearly: they are lower bounds on the full run\n");
+    let mut t = Table::new(&[
+        "n",
+        "cap",
+        "phases",
+        "colors",
+        "diam",
+        "incremental (ms)",
+        "reference (ms)",
+        "method",
+        "speedup",
+    ]);
+    for r in rows {
+        t.row_owned(vec![
+            r.n.to_string(),
+            r.cap.to_string(),
+            r.phases.to_string(),
+            r.colors.to_string(),
+            r.max_diameter.to_string(),
+            format!("{:.1}", r.opt_ms),
+            r.ref_ms.map_or("-".into(), |m| format!("{m:.0}")),
+            r.ref_method.into(),
+            r.speedup.map_or("-".into(), |s| {
+                // Extrapolated baselines are lower bounds; full runs are
+                // plain measurements.
+                if r.ref_method == "extrapolated" {
+                    format!(">= {s:.0}x")
+                } else {
+                    format!("{s:.0}x")
+                }
+            }),
+        ]);
+    }
+    t.print();
+}
+
+/// Machine-readable form of the D1 rows (the `BENCH_derand.json` schema and
+/// the CI perf artifact).
+pub fn derand_rows_json(rows: &[DerandRow]) -> String {
+    use crate::json::Json;
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    Json::object(vec![
+        ("experiment", Json::Str("d1-derand-scaling".into())),
+        ("family", Json::Str("gnp(n, 4/n)".into())),
+        ("unix_seconds", Json::Int(unix_seconds as i64)),
+        (
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("n", Json::Int(r.n as i64)),
+                            ("cap", Json::Int(i64::from(r.cap))),
+                            ("phases", Json::Int(i64::from(r.phases))),
+                            ("colors", Json::Int(r.colors as i64)),
+                            ("max_diameter", Json::Int(i64::from(r.max_diameter))),
+                            ("opt_ms", Json::Float(r.opt_ms)),
+                            ("ref_ms", r.ref_ms.map_or(Json::Null, Json::Float)),
+                            ("ref_method", Json::Str(r.ref_method.into())),
+                            ("speedup", r.speedup.map_or(Json::Null, Json::Float)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_pretty()
 }
 
 /// F1 — per-phase clustering fraction ([EN16, Claim 6]).

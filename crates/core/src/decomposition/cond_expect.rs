@@ -15,16 +15,28 @@
 //! (a constant fraction), giving a deterministic `(O(log n), O(log n))`
 //! decomposition with no randomness at all.
 //!
-//! The computation is centralized/SLOCAL (it reads balls of radius `cap`);
-//! complexity `O(n² · cap²)` per phase — intended for the polylog-size
-//! cluster graphs where the paper needs a deterministic finisher
-//! (Theorem 4.2), and for derandomization experiments (T7).
+//! The computation is centralized/SLOCAL (it reads balls of radius `cap`).
+//! Two implementations share this module:
+//!
+//! - [`derandomized_decomposition`] — the incremental engine
+//!   (`cond_incremental`, see DESIGN.md §2.2): inverted center→ball index,
+//!   per-`t` partial-product caches and factor tables make fixing one radius
+//!   cost `O(ball · cap)` instead of `O(ball² · cap²)`, which is what lets
+//!   the derandomizer run at `n = 10⁵` instead of hundreds of nodes.
+//! - [`reference_decomposition`] — the retained direct implementation,
+//!   `O(n · cap² · ball²)` per phase, kept as the differential-testing oracle
+//!   and the "before" baseline of the perf record (`BENCH_derand.json`).
+//!
+//! Both make identical greedy decisions, so their outputs coincide — the
+//! proptests in `crates/core/tests/proptest_derand.rs` and a pinned golden
+//! corpus assert it.
 
+use crate::decomposition::cond_incremental;
 use crate::decomposition::types::Decomposition;
 use locality_graph::cluster::Clustering;
-use locality_graph::traversal::bfs_distances_within;
+use locality_graph::traversal::{bfs_visited_within, BfsScratch};
 use locality_graph::Graph;
-use locality_rand::geometric::TruncatedGeometric;
+use locality_rand::geometric::TruncatedGeometricTable;
 
 /// Result of the derandomized construction.
 #[derive(Debug, Clone)]
@@ -38,8 +50,11 @@ pub struct DerandResult {
 }
 
 /// `Pr[X_z ≤ s]` where `X_z = r_z − d` with `r_z ~ TruncatedGeometric(cap)`,
-/// or the indicator when `r_z` is already fixed.
-fn cdf(dist: &TruncatedGeometric, fixed: Option<u32>, d: u32, s: i64) -> f64 {
+/// or the indicator when `r_z` is already fixed. Shared with the incremental
+/// engine's factor tables, so the boundary clamping has a single definition;
+/// the memoized table returns bit-identical values to the formula
+/// distribution (pinned by `locality-rand`'s tests).
+pub(crate) fn cdf(dist: &TruncatedGeometricTable, fixed: Option<u32>, d: u32, s: i64) -> f64 {
     match fixed {
         Some(r) => {
             if (r as i64 - d as i64) <= s {
@@ -62,7 +77,7 @@ fn cdf(dist: &TruncatedGeometric, fixed: Option<u32>, d: u32, s: i64) -> f64 {
 }
 
 /// `Pr[X_z = t]`.
-fn pmf(dist: &TruncatedGeometric, fixed: Option<u32>, d: u32, t: i64) -> f64 {
+pub(crate) fn pmf(dist: &TruncatedGeometricTable, fixed: Option<u32>, d: u32, t: i64) -> f64 {
     match fixed {
         Some(r) => {
             if r as i64 - d as i64 == t {
@@ -90,7 +105,7 @@ fn pmf(dist: &TruncatedGeometric, fixed: Option<u32>, d: u32, t: i64) -> f64 {
 fn p_clustered(
     reach: &[(usize, u32)],
     fixed: &[Option<u32>],
-    dist: &TruncatedGeometric,
+    dist: &TruncatedGeometricTable,
     cap: u32,
 ) -> f64 {
     let mut total = 0.0;
@@ -132,7 +147,9 @@ fn p_clustered(
 }
 
 /// Deterministic `(O(log n), O(log n))` decomposition by derandomizing EN
-/// phases with conditional expectations.
+/// phases with conditional expectations — the incremental engine, using all
+/// available parallelism (outputs are thread-count-invariant; see
+/// [`derandomized_decomposition_threads`]).
 ///
 /// # Example
 /// ```
@@ -146,12 +163,55 @@ fn p_clustered(
 /// ```
 ///
 /// # Panics
-/// Panics if `cap < 2` (the gap rule needs measures ≥ 2), or if progress
-/// stalls (which would contradict the expectation argument — a bug).
+/// Panics if `cap < 2` (the gap rule needs measures ≥ 2), if the graph has
+/// `2^26` nodes or more (the engine packs `(node, dist)` into 32 bits), or
+/// if progress stalls (which would contradict the expectation argument — a
+/// bug).
 pub fn derandomized_decomposition(g: &Graph, cap: u32) -> DerandResult {
+    derandomized_decomposition_threads(g, cap, 0)
+}
+
+/// [`derandomized_decomposition`] with an explicit thread count (`0` = all
+/// available). Per-node state lives in statically bucketed node ranges and
+/// every floating-point reduction happens in fixed bucket order, so the
+/// output is bit-identical for every `threads` value; under the
+/// `determinism-checks` cargo feature each call re-runs single-threaded and
+/// asserts exactly that.
+///
+/// # Panics
+/// Panics if `cap < 2`, if the graph has `2^26` nodes or more, or on an
+/// internal progress failure.
+pub fn derandomized_decomposition_threads(g: &Graph, cap: u32, threads: usize) -> DerandResult {
+    let result = cond_incremental::run(g, cap, threads);
+    #[cfg(feature = "determinism-checks")]
+    {
+        let sequential = cond_incremental::run(g, cap, 1);
+        assert_eq!(
+            result.decomposition, sequential.decomposition,
+            "determinism check: parallel derandomizer diverged from sequential"
+        );
+        assert_eq!(result.phases, sequential.phases);
+        assert_eq!(result.per_phase_fraction, sequential.per_phase_fraction);
+    }
+    result
+}
+
+/// The retained direct implementation: rebuilds every product from scratch
+/// for every `(center, radius)` candidate. `O(n · cap² · ball²)` work per
+/// phase — only viable to around a thousand nodes — but its decision rule is
+/// the specification the incremental engine must reproduce, so it stays as
+/// the differential-testing oracle and the benchmark baseline.
+///
+/// (Reach lists are built with scratch-buffer BFS since the incremental
+/// rewrite — same lists in the same order, without the per-center full-`n`
+/// allocation — so this baseline is not handicapped by its setup phase.)
+///
+/// # Panics
+/// Panics if `cap < 2`, or on an internal progress failure.
+pub fn reference_decomposition(g: &Graph, cap: u32) -> DerandResult {
     assert!(cap >= 2, "cap must be at least 2");
     let n = g.node_count();
-    let dist = TruncatedGeometric::new(cap);
+    let dist = TruncatedGeometricTable::new(cap);
     let mut alive = vec![true; n];
     let mut labels: Vec<Option<usize>> = vec![None; n];
     let mut phase_of: Vec<Option<u32>> = vec![None; n];
@@ -159,20 +219,21 @@ pub fn derandomized_decomposition(g: &Graph, cap: u32) -> DerandResult {
     let mut per_phase_fraction = Vec::new();
     let mut phase = 0u32;
     let phase_limit = 20 * (g.log2_n() + 1);
+    let mut scratch = BfsScratch::new(n);
+    let mut ball = Vec::new();
 
     while remaining > 0 {
         assert!(phase < phase_limit, "phase limit exceeded — progress bug");
         let alive_before = remaining;
 
-        // Reach lists within the alive subgraph, truncated at cap.
+        // Reach lists within the alive subgraph, truncated at cap. Iterating
+        // centers in ascending order keeps each node's list center-sorted.
         let alive_nodes: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
         let mut reach_of: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
         for &z in &alive_nodes {
-            let d = bfs_distances_within(g, z, &alive, cap);
-            for &u in &alive_nodes {
-                if let Some(duz) = d[u] {
-                    reach_of[u].push((z, duz));
-                }
+            bfs_visited_within(g, z, &alive, cap, &mut scratch, &mut ball);
+            for &(u, duz) in &ball {
+                reach_of[u as usize].push((z, duz));
             }
         }
 
@@ -245,6 +306,109 @@ pub fn derandomized_decomposition(g: &Graph, cap: u32) -> DerandResult {
     }
 }
 
+/// A prepared slice of the reference implementation's phase-1 fixing loop,
+/// for benchmarking at sizes where a full [`reference_decomposition`] run is
+/// infeasible.
+///
+/// [`ReferenceProbe::prepare`] builds (outside any timing) the reach lists
+/// the first `centers` alive centers touch; [`ReferenceProbe::fix`] then runs
+/// the reference's radius-fixing loop over exactly those centers. Because the
+/// reference's per-center cost is essentially uniform within a phase, timing
+/// `fix()` and scaling by `n / centers` is an honest estimate of the full
+/// phase-1 fixing cost — the derand bench and the `d1` experiment label such
+/// numbers as extrapolated.
+#[derive(Debug)]
+pub struct ReferenceProbe {
+    cap: u32,
+    dist: TruncatedGeometricTable,
+    centers: Vec<usize>,
+    reach_of: Vec<Vec<(usize, u32)>>,
+    affected_of: Vec<Vec<usize>>,
+    n: usize,
+}
+
+impl ReferenceProbe {
+    /// Build reach lists and affected sets for the first `centers` centers of
+    /// the (all-alive) first phase.
+    ///
+    /// # Panics
+    /// Panics if `cap < 2` or `centers` is zero or exceeds the node count.
+    pub fn prepare(g: &Graph, cap: u32, centers: usize) -> Self {
+        assert!(cap >= 2, "cap must be at least 2");
+        let n = g.node_count();
+        assert!(
+            (1..=n).contains(&centers),
+            "probe needs 1..=n centers, got {centers}"
+        );
+        let alive = vec![true; n];
+        let mut scratch = BfsScratch::new(n);
+        let mut ball = Vec::new();
+        let mut reach_of: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        let mut affected_of = Vec::with_capacity(centers);
+        // The probed centers' affected sets, and — for every node those sets
+        // contain — the node's full reach list (its own ball, center-sorted),
+        // exactly what the reference's fixing loop reads.
+        for z in 0..centers {
+            bfs_visited_within(g, z, &alive, cap, &mut scratch, &mut ball);
+            let mut affected: Vec<usize> = ball.iter().map(|&(u, _)| u as usize).collect();
+            affected.sort_unstable();
+            for &u in &affected {
+                if reach_of[u].is_empty() {
+                    bfs_visited_within(g, u, &alive, cap, &mut scratch, &mut ball);
+                    let mut list: Vec<(usize, u32)> =
+                        ball.iter().map(|&(z, d)| (z as usize, d)).collect();
+                    list.sort_unstable_by_key(|&(z, _)| z);
+                    reach_of[u] = list;
+                }
+            }
+            affected_of.push(affected);
+        }
+        Self {
+            cap,
+            dist: TruncatedGeometricTable::new(cap),
+            centers: (0..centers).collect(),
+            reach_of,
+            affected_of,
+            n,
+        }
+    }
+
+    /// Number of prepared centers.
+    pub fn centers(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Extrapolation factor from the probed slice to a full phase
+    /// (`n / centers`).
+    pub fn scale(&self) -> f64 {
+        self.n as f64 / self.centers.len() as f64
+    }
+
+    /// Run the reference fixing loop over the prepared centers; returns the
+    /// sum of the chosen conditional expectations (a checksum that keeps the
+    /// work observable).
+    pub fn fix(&self) -> f64 {
+        let mut fixed: Vec<Option<u32>> = vec![None; self.n];
+        let mut checksum = 0.0;
+        for (&z, affected) in self.centers.iter().zip(&self.affected_of) {
+            let mut best = (f64::NEG_INFINITY, 1u32);
+            for r in 1..=self.cap {
+                fixed[z] = Some(r);
+                let e: f64 = affected
+                    .iter()
+                    .map(|&u| p_clustered(&self.reach_of[u], &fixed, &self.dist, self.cap))
+                    .sum();
+                if e > best.0 {
+                    best = (e, r);
+                }
+            }
+            fixed[z] = Some(best.1);
+            checksum += best.0;
+        }
+        checksum
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +443,19 @@ mod tests {
         let b = derandomized_decomposition(&g, 6);
         assert_eq!(a.decomposition, b.decomposition);
         assert_eq!(a.phases, b.phases);
+    }
+
+    #[test]
+    fn thread_counts_are_output_invariant() {
+        let mut seed = SplitMix64::new(47);
+        let g = Graph::gnp_connected(60, 0.05, &mut seed);
+        let one = derandomized_decomposition_threads(&g, 6, 1);
+        for threads in [2, 3, 8] {
+            let t = derandomized_decomposition_threads(&g, 6, threads);
+            assert_eq!(t.decomposition, one.decomposition, "threads={threads}");
+            assert_eq!(t.phases, one.phases);
+            assert_eq!(t.per_phase_fraction, one.per_phase_fraction);
+        }
     }
 
     #[test]
@@ -318,7 +495,7 @@ mod tests {
     fn probability_helper_sane() {
         // Single center at distance 0: clustered iff r >= 2:
         // P = 1 - P(r = 1) = 1/2.
-        let dist = TruncatedGeometric::new(10);
+        let dist = TruncatedGeometricTable::new(10);
         let reach = vec![(0usize, 0u32)];
         let fixed = vec![None];
         let p = p_clustered(&reach, &fixed, &dist, 10);
@@ -334,8 +511,32 @@ mod tests {
     }
 
     #[test]
+    fn probe_matches_reference_choices() {
+        // The probe replicates the reference's phase-1 state exactly; its
+        // checksum (sum of best conditional expectations) must be finite and
+        // positive, and preparing all n centers must cover the graph.
+        let g = Graph::grid(4, 4);
+        let probe = ReferenceProbe::prepare(&g, 6, g.node_count());
+        assert_eq!(probe.centers(), 16);
+        assert!((probe.scale() - 1.0).abs() < 1e-12);
+        let checksum = probe.fix();
+        assert!(checksum.is_finite() && checksum > 0.0);
+        // A strict prefix scales accordingly.
+        let prefix = ReferenceProbe::prepare(&g, 6, 4);
+        assert_eq!(prefix.centers(), 4);
+        assert!((prefix.scale() - 4.0).abs() < 1e-12);
+        assert!(prefix.fix() <= checksum + 1e-9);
+    }
+
+    #[test]
     #[should_panic]
     fn tiny_cap_rejected() {
         let _ = derandomized_decomposition(&Graph::path(3), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reference_tiny_cap_rejected() {
+        let _ = reference_decomposition(&Graph::path(3), 1);
     }
 }

@@ -1,0 +1,700 @@
+//! The incremental conditional-expectations engine behind
+//! [`super::cond_expect::derandomized_decomposition`].
+//!
+//! The retained reference implementation
+//! ([`super::cond_expect::reference_decomposition`]) re-evaluates the full
+//! clustering-probability product for every `(center, radius, node, t)`
+//! tuple — `O(n · cap² · ball²)` per phase once reach lists are dense. This
+//! engine computes the *same greedy decisions* from cached per-node state
+//! that is updated, not recomputed, when a center's radius is fixed:
+//!
+//! - **Inverted index.** In an undirected graph `u ∈ B(z, cap) ⇔ z ∈
+//!   B(u, cap)` (within the alive subgraph), so the set of nodes whose
+//!   clustering probability depends on `r_z` is exactly the BFS ball of `z`.
+//!   Balls are produced by scratch-buffer BFS
+//!   ([`locality_graph::traversal::bfs_visited_within`]) and stored once per
+//!   phase in a flat arena, grouped by node bucket (see below) — fixing one
+//!   radius touches only that ball, never the whole graph.
+//! - **Per-`t` partial-product cache.** For node `u` and candidate winning
+//!   measure `t`, the probability contribution is
+//!   `Σ_z pmf_z(t) · Π_{w≠z} cdf_w(t−2)`. Per `(u, t)` the engine caches the
+//!   product of all *nonzero* `cdf` factors, the count of zero factors plus
+//!   the pmf mass sitting on them, and the ratio sum `Σ_w pmf_w/cdf_w` over
+//!   nonzero factors. Evaluating a candidate radius then combines the cached
+//!   aggregates with the one factor the candidate changes — `O(cap)` per
+//!   affected node instead of `O(cap · ball)`.
+//! - **Zero bookkeeping.** `cdf` factors can be exactly zero (an unfixed
+//!   center at distance 0 and `t = 2`; a fixed center whose shifted measure
+//!   exceeds `t − 2`). Zeros cannot live in the product (division would
+//!   poison it), so they are counted aside with their pmf mass: two or more
+//!   zeros kill a term, exactly one zero means only that center can win.
+//! - **Factor tables.** The unfixed marginal's `cdf`/`pmf`/`pmf÷cdf` values
+//!   depend only on `(distance, t)`, a `(cap+1) × (cap−1)` domain computed
+//!   once per run from the memoized
+//!   [`locality_rand::geometric::TruncatedGeometricTable`]. Fixed factors are
+//!   0/1 indicators evaluated inline.
+//! - **Deterministic parallelism.** Node space is statically partitioned into
+//!   [`BUCKETS`] contiguous ranges; every ball is stored grouped by bucket,
+//!   per-node state updates run one bucket at a time, and candidate
+//!   expectations are accumulated per bucket then reduced in bucket order.
+//!   The work distribution over [`std::thread::scope`] threads therefore
+//!   never changes any f64 operation order: outputs are bit-identical for
+//!   every thread count (the `determinism-checks` cargo feature re-runs
+//!   single-threaded and asserts it).
+//!
+//! Floating-point caveat: the cached aggregates are mathematically equal to
+//! the reference products but associate differently (and un-multiply by
+//! division), so individual expectations may differ from the reference by a
+//! few ulps. Greedy decisions compare expectations whose real-valued gaps are
+//! astronomically larger than that on every family we test (the differential
+//! proptests in `crates/core/tests/proptest_derand.rs` pin equality of the
+//! full output).
+
+use crate::decomposition::cond_expect::{self, DerandResult};
+use crate::decomposition::types::Decomposition;
+use locality_graph::cluster::Clustering;
+use locality_graph::traversal::{bfs_visited_within, BfsScratch};
+use locality_graph::Graph;
+use locality_rand::geometric::TruncatedGeometricTable;
+
+/// Number of contiguous node-space buckets; fixed so that bucket boundaries
+/// (and hence all f64 accumulation orders) are independent of thread count.
+const BUCKETS: usize = 64;
+
+/// Below this many ball entries (current + previous center) a center is
+/// processed on the calling thread: scoped-thread setup costs more than the
+/// work it would distribute.
+const PARALLEL_MIN_ENTRIES: usize = 4096;
+
+/// Ball entries are packed `node | dist << NODE_BITS`.
+const NODE_BITS: u32 = 26;
+const NODE_MASK: u32 = (1 << NODE_BITS) - 1;
+
+/// `2^512`: the scaled-product renormalization step (built from bits —
+/// `f64::from_bits` is not const at the workspace MSRV).
+#[inline]
+fn scale_up() -> f64 {
+    f64::from_bits(0x5FF0_0000_0000_0000)
+}
+
+/// `2^−512`, the inverse step and the mantissa-range floor.
+#[inline]
+fn scale_down() -> f64 {
+    f64::from_bits(0x1FF0_0000_0000_0000)
+}
+
+/// Cached aggregates for one `(node, t)` pair over the node's reach list.
+///
+/// The product is kept **scaled**: its true value is `prod · 2^(512·scale)`
+/// with the mantissa renormalized into `[2^−512, 2^512)`. Without this, a
+/// node with ≳1100 reach entries at distance 1 drives the `t = 2` product
+/// below `f64`'s subnormal floor, `prod` collapses to exactly `0.0`, and the
+/// division in [`remove_unfixed`] could never recover it — silently
+/// corrupting every later evaluation for that node. Dense graphs (cliques,
+/// hubs) hit this; the scaled form is exact in the normal regime (the
+/// rescale multiplies by a power of two) and recovers fully on removal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TState {
+    /// Scaled product of the nonzero `cdf_w(t−2)` factors.
+    prod: f64,
+    /// `Σ_w pmf_w(t) / cdf_w(t−2)` over nonzero factors.
+    ratio: f64,
+    /// `Σ_w pmf_w(t)` over the zero-`cdf` factors.
+    zero_pmf: f64,
+    /// Number of zero-`cdf` factors.
+    zeros: u32,
+    /// Power-of-`2^512` scale of `prod` (≤ 0: the true product is ≤ 1).
+    scale: i32,
+}
+
+impl TState {
+    /// The true product value (underflows gracefully when deeply scaled —
+    /// at that magnitude it cannot win an argmax anyway).
+    #[inline]
+    fn prod_value(&self) -> f64 {
+        if self.scale == 0 {
+            self.prod
+        } else {
+            self.prod * 2.0f64.powi(512 * self.scale)
+        }
+    }
+}
+
+const CLEAN: TState = TState {
+    prod: 1.0,
+    ratio: 0.0,
+    zero_pmf: 0.0,
+    zeros: 0,
+    scale: 0,
+};
+
+/// Unfixed-marginal factor tables over the `(dist, t)` domain, flattened as
+/// `d * nt + (t - 2)`.
+struct FactorTables {
+    nt: usize,
+    cdf: Vec<f64>,
+    pmf: Vec<f64>,
+    ratio: Vec<f64>,
+}
+
+impl FactorTables {
+    fn new(cap: u32) -> Self {
+        let table = TruncatedGeometricTable::new(cap);
+        let nt = (cap - 1) as usize;
+        let mut cdf = Vec::with_capacity((cap as usize + 1) * nt);
+        let mut pmf = Vec::with_capacity((cap as usize + 1) * nt);
+        let mut ratio = Vec::with_capacity((cap as usize + 1) * nt);
+        for d in 0..=cap {
+            for ti in 0..nt {
+                let t = ti as i64 + 2;
+                // The reference implementation's own unfixed-marginal
+                // helpers, so the boundary clamping cannot diverge.
+                let c = cond_expect::cdf(&table, None, d, t - 2);
+                let p = cond_expect::pmf(&table, None, d, t);
+                cdf.push(c);
+                pmf.push(p);
+                ratio.push(if c == 0.0 { 0.0 } else { p / c });
+            }
+        }
+        Self {
+            nt,
+            cdf,
+            pmf,
+            ratio,
+        }
+    }
+}
+
+/// Fold the unfixed-marginal factor for a center at distance `d` into a
+/// node's cached aggregates.
+#[inline]
+fn add_unfixed(state: &mut [TState], tables: &FactorTables, d: u32) {
+    let row = d as usize * tables.nt;
+    for (ti, s) in state.iter_mut().enumerate() {
+        let c = tables.cdf[row + ti];
+        if c == 0.0 {
+            s.zeros += 1;
+            s.zero_pmf += tables.pmf[row + ti];
+        } else {
+            s.prod *= c;
+            // Nonzero unfixed cdf values are ≥ 1/2, so one rescale step
+            // suffices to restore the mantissa range.
+            if s.prod < scale_down() {
+                s.prod *= scale_up();
+                s.scale -= 1;
+            }
+            s.ratio += tables.ratio[row + ti];
+        }
+    }
+}
+
+/// Undo [`add_unfixed`] (the center's radius is about to be evaluated).
+#[inline]
+fn remove_unfixed(state: &mut [TState], tables: &FactorTables, d: u32) {
+    let row = d as usize * tables.nt;
+    for (ti, s) in state.iter_mut().enumerate() {
+        let c = tables.cdf[row + ti];
+        if c == 0.0 {
+            s.zeros -= 1;
+            s.zero_pmf -= tables.pmf[row + ti];
+        } else {
+            s.prod /= c;
+            if s.prod >= scale_up() {
+                s.prod *= scale_down();
+                s.scale += 1;
+            }
+            s.ratio -= tables.ratio[row + ti];
+        }
+    }
+}
+
+/// Fold the now-fixed factor `r` for a center at distance `d` into a node's
+/// aggregates. Fixed factors are 0/1 indicators: `cdf = [r − d ≤ t − 2]`,
+/// `pmf = [r − d = t]` — so the nonzero case multiplies by one (a no-op) and
+/// only the zero case mutates state. Exact: no f64 rounding is introduced.
+#[inline]
+fn add_fixed(state: &mut [TState], nt: usize, r: u32, d: u32) {
+    let rd = r as i64 - d as i64;
+    for (ti, s) in state.iter_mut().take(nt).enumerate() {
+        let t = ti as i64 + 2;
+        if rd > t - 2 {
+            s.zeros += 1;
+            if rd == t {
+                s.zero_pmf += 1.0;
+            }
+        }
+    }
+}
+
+/// `Pr[u clustered]` when the current center (at distance `d` from `u`) is
+/// fixed to radius `r` and every other factor is cached in `state`.
+/// `prod_values[ti]` holds `state[ti].prod_value()`, hoisted by the caller so
+/// all `cap` candidate radii share one unscaling pass per node.
+#[inline]
+fn eval_candidate(state: &[TState], prod_values: &[f64], nt: usize, r: u32, d: u32) -> f64 {
+    let rd = r as i64 - d as i64;
+    let mut p = 0.0;
+    for (ti, s) in state.iter().take(nt).enumerate() {
+        let t = ti as i64 + 2;
+        if rd <= t - 2 {
+            // Candidate factor is cdf = 1, pmf = 0: the cached aggregates
+            // carry the whole term.
+            p += match s.zeros {
+                0 => s.ratio * prod_values[ti],
+                1 => s.zero_pmf * prod_values[ti],
+                _ => 0.0,
+            };
+        } else if rd == t && s.zeros == 0 {
+            // Candidate is the unique zero-cdf factor and the only possible
+            // winner at this t; its pmf is one.
+            p += prod_values[ti];
+        }
+    }
+    p
+}
+
+/// Run `f(bucket, state_slice, partial_slice)` for every bucket, splitting
+/// `state` at node boundaries `bucket_lo[b] * nt` and `partials` at `b *
+/// pcap`. `parallel` distributes contiguous bucket ranges over scoped
+/// threads; because every bucket is processed sequentially by exactly one
+/// closure invocation and reductions happen per bucket, results are identical
+/// either way.
+#[allow(clippy::too_many_arguments)]
+fn for_buckets<F>(
+    state: &mut [TState],
+    partials: &mut [f64],
+    bucket_lo: &[usize; BUCKETS + 1],
+    nt: usize,
+    pcap: usize,
+    threads: usize,
+    parallel: bool,
+    f: &F,
+) where
+    F: Fn(usize, &mut [TState], &mut [f64]) + Sync,
+{
+    if !parallel || threads <= 1 {
+        let mut state_rest = state;
+        let mut partial_rest = partials;
+        let mut consumed = 0usize;
+        for (b, lo) in bucket_lo.iter().take(BUCKETS).enumerate() {
+            let _ = lo;
+            let end = bucket_lo[b + 1] * nt;
+            let (s, sr) = state_rest.split_at_mut(end - consumed);
+            let (p, pr) = partial_rest.split_at_mut(pcap);
+            state_rest = sr;
+            partial_rest = pr;
+            consumed = end;
+            f(b, s, p);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut state_rest = state;
+        let mut partial_rest = partials;
+        let mut consumed = 0usize;
+        for w in 0..threads {
+            let b_lo = w * BUCKETS / threads;
+            let b_hi = (w + 1) * BUCKETS / threads;
+            if b_lo == b_hi {
+                continue;
+            }
+            let end = bucket_lo[b_hi] * nt;
+            let (chunk, sr) = state_rest.split_at_mut(end - consumed);
+            let (pchunk, pr) = partial_rest.split_at_mut((b_hi - b_lo) * pcap);
+            state_rest = sr;
+            partial_rest = pr;
+            let base = consumed;
+            consumed = end;
+            scope.spawn(move || {
+                let mut local = chunk;
+                let mut plocal = pchunk;
+                let mut local_base = base;
+                for b in b_lo..b_hi {
+                    let end_b = bucket_lo[b + 1] * nt;
+                    let (s, sr) = local.split_at_mut(end_b - local_base);
+                    let (p, pr) = plocal.split_at_mut(pcap);
+                    local = sr;
+                    plocal = pr;
+                    local_base = end_b;
+                    f(b, s, p);
+                }
+            });
+        }
+    });
+}
+
+struct Engine<'g> {
+    g: &'g Graph,
+    cap: u32,
+    nt: usize,
+    threads: usize,
+    tables: FactorTables,
+    /// `n * nt` cached aggregates, indexed `node * nt + (t - 2)`.
+    state: Vec<TState>,
+    /// Radius chosen for each center this phase (`0` = not yet fixed).
+    radius: Vec<u32>,
+    /// Node-space bucket boundaries (`bucket_lo[b]..bucket_lo[b+1]`).
+    bucket_lo: [usize; BUCKETS + 1],
+    /// Flat per-phase ball arena: packed `(node, dist)` entries, grouped by
+    /// bucket within each center's segment.
+    arena: Vec<u32>,
+    /// `offsets[i * (BUCKETS + 1) + b]`: arena index where alive-center `i`'s
+    /// bucket-`b` group starts.
+    offsets: Vec<usize>,
+    scratch: BfsScratch,
+    ball_buf: Vec<(u32, u32)>,
+    /// Per-bucket candidate-expectation partial sums (`BUCKETS * cap`).
+    partials: Vec<f64>,
+    // Apply-step scratch: the two largest shifted measures per node and the
+    // center achieving the largest.
+    top1: Vec<i64>,
+    top1_center: Vec<u32>,
+    top2: Vec<i64>,
+}
+
+impl<'g> Engine<'g> {
+    fn new(g: &'g Graph, cap: u32, threads: usize) -> Self {
+        let n = g.node_count();
+        let nt = (cap - 1) as usize;
+        let mut bucket_lo = [0usize; BUCKETS + 1];
+        for (b, lo) in bucket_lo.iter_mut().enumerate() {
+            *lo = (b * n).div_ceil(BUCKETS);
+        }
+        Self {
+            g,
+            cap,
+            nt,
+            threads,
+            tables: FactorTables::new(cap),
+            state: vec![CLEAN; n * nt],
+            radius: vec![0; n],
+            bucket_lo,
+            arena: Vec::new(),
+            offsets: Vec::new(),
+            scratch: BfsScratch::new(n),
+            ball_buf: Vec::new(),
+            partials: vec![0.0; BUCKETS * cap as usize],
+            top1: vec![i64::MIN; n],
+            top1_center: vec![0; n],
+            top2: vec![0; n],
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, node: u32) -> usize {
+        node as usize * BUCKETS / self.g.node_count()
+    }
+
+    /// BFS every alive center and store its ball in the arena, bucket-grouped
+    /// (a stable counting sort per center, so within a bucket entries keep
+    /// BFS order).
+    fn build_balls(&mut self, alive_nodes: &[usize], alive: &[bool]) {
+        self.arena.clear();
+        self.offsets.clear();
+        let mut counts = [0usize; BUCKETS];
+        for &z in alive_nodes {
+            bfs_visited_within(
+                self.g,
+                z,
+                alive,
+                self.cap,
+                &mut self.scratch,
+                &mut self.ball_buf,
+            );
+            counts.fill(0);
+            for &(u, _) in &self.ball_buf {
+                counts[self.bucket_of(u)] += 1;
+            }
+            let base = self.arena.len();
+            let mut off = base;
+            for &count in &counts {
+                self.offsets.push(off);
+                off += count;
+            }
+            self.offsets.push(off);
+            self.arena.resize(off, 0);
+            let seg_off_base = self.offsets.len() - (BUCKETS + 1);
+            let mut cursor = [0usize; BUCKETS];
+            for &(u, d) in &self.ball_buf {
+                let b = self.bucket_of(u);
+                let idx = self.offsets[seg_off_base + b] + cursor[b];
+                cursor[b] += 1;
+                self.arena[idx] = u | (d << NODE_BITS);
+            }
+        }
+    }
+
+    /// Reset per-phase per-node scratch for the alive nodes only.
+    fn reset_phase(&mut self, alive_nodes: &[usize]) {
+        for &u in alive_nodes {
+            self.state[u * self.nt..(u + 1) * self.nt].fill(CLEAN);
+            self.radius[u] = 0;
+            self.top1[u] = i64::MIN;
+            self.top1_center[u] = 0;
+            self.top2[u] = 0;
+        }
+    }
+
+    /// Fold the unfixed marginal of every center into every ball node's
+    /// aggregates — one bucket at a time, in parallel when the phase is big.
+    fn init_states(&mut self, centers: usize) {
+        let nt = self.nt;
+        let tables = &self.tables;
+        let arena = &self.arena;
+        let offsets = &self.offsets;
+        let bucket_lo = &self.bucket_lo;
+        let parallel = arena.len() >= PARALLEL_MIN_ENTRIES;
+        for_buckets(
+            &mut self.state,
+            &mut self.partials,
+            bucket_lo,
+            nt,
+            0,
+            self.threads,
+            parallel,
+            &|b, state, _| {
+                let node_base = bucket_lo[b];
+                for i in 0..centers {
+                    let seg = i * (BUCKETS + 1);
+                    for &e in &arena[offsets[seg + b]..offsets[seg + b + 1]] {
+                        let u = (e & NODE_MASK) as usize;
+                        let d = e >> NODE_BITS;
+                        let s = &mut state[(u - node_base) * nt..(u - node_base + 1) * nt];
+                        add_unfixed(s, tables, d);
+                    }
+                }
+            },
+        );
+    }
+
+    /// Fix alive-center `i`'s radius to the conditional-expectation argmax.
+    /// `prev` is the previous center and its chosen radius, whose fixed
+    /// factor is folded in lazily here (fused with this center's removal and
+    /// evaluation pass so each center costs one bucket sweep).
+    fn fix_center(&mut self, i: usize, prev: Option<(usize, u32)>) -> u32 {
+        let cap = self.cap;
+        let nt = self.nt;
+        let tables = &self.tables;
+        let arena = &self.arena;
+        let offsets = &self.offsets;
+        let bucket_lo = &self.bucket_lo;
+        let seg = i * (BUCKETS + 1);
+        let cur_len = offsets[seg + BUCKETS] - offsets[seg];
+        let prev_len = prev.map_or(0, |(pi, _)| {
+            let pseg = pi * (BUCKETS + 1);
+            offsets[pseg + BUCKETS] - offsets[pseg]
+        });
+        let parallel = cur_len + prev_len >= PARALLEL_MIN_ENTRIES;
+        for_buckets(
+            &mut self.state,
+            &mut self.partials,
+            bucket_lo,
+            nt,
+            cap as usize,
+            self.threads,
+            parallel,
+            &|b, state, partial| {
+                let node_base = bucket_lo[b];
+                if let Some((pi, pr)) = prev {
+                    let pseg = pi * (BUCKETS + 1);
+                    for &e in &arena[offsets[pseg + b]..offsets[pseg + b + 1]] {
+                        let u = (e & NODE_MASK) as usize - node_base;
+                        let d = e >> NODE_BITS;
+                        add_fixed(&mut state[u * nt..], nt, pr, d);
+                    }
+                }
+                let entries = &arena[offsets[seg + b]..offsets[seg + b + 1]];
+                for &e in entries {
+                    let u = (e & NODE_MASK) as usize - node_base;
+                    let d = e >> NODE_BITS;
+                    remove_unfixed(&mut state[u * nt..(u + 1) * nt], tables, d);
+                }
+                // Entries outer, candidates inner: each node's cached row is
+                // loaded (and unscaled) once for all `cap` radii. Each
+                // `partial[r]` still accumulates whole per-node probabilities
+                // in entry order, so the sums are bit-identical to the
+                // candidate-outer formulation.
+                partial.fill(0.0);
+                let mut prod_values = [0.0f64; 62];
+                for &e in entries {
+                    let u = (e & NODE_MASK) as usize - node_base;
+                    let d = e >> NODE_BITS;
+                    let row = &state[u * nt..(u + 1) * nt];
+                    for (pv, s) in prod_values.iter_mut().zip(row) {
+                        *pv = s.prod_value();
+                    }
+                    for (ri, slot) in partial.iter_mut().enumerate() {
+                        *slot += eval_candidate(row, &prod_values, nt, ri as u32 + 1, d);
+                    }
+                }
+            },
+        );
+        // Reduce per-bucket partials in bucket order; strict `>` keeps the
+        // smallest radius among ties, as the reference does.
+        let mut best = (f64::NEG_INFINITY, 1u32);
+        for r in 1..=cap {
+            let mut e = 0.0;
+            for b in 0..BUCKETS {
+                e += self.partials[b * cap as usize + (r - 1) as usize];
+            }
+            if e > best.0 {
+                best = (e, r);
+            }
+        }
+        best.1
+    }
+
+    /// Deterministically apply the fully fixed phase: cluster `u` with the
+    /// winning center iff the top shifted measure beats the runner-up
+    /// (floored at zero) by more than one.
+    fn apply(
+        &mut self,
+        alive_nodes: &[usize],
+        phase: u32,
+        labels: &mut [Option<usize>],
+        phase_of: &mut [Option<u32>],
+    ) -> usize {
+        for (i, &z) in alive_nodes.iter().enumerate() {
+            let rz = self.radius[z] as i64;
+            let seg = i * (BUCKETS + 1);
+            for &e in &self.arena[self.offsets[seg]..self.offsets[seg + BUCKETS]] {
+                let u = (e & NODE_MASK) as usize;
+                let m = rz - (e >> NODE_BITS) as i64;
+                if m < 0 {
+                    continue;
+                }
+                if m > self.top1[u] {
+                    if self.top1[u] != i64::MIN {
+                        self.top2[u] = self.top1[u];
+                    }
+                    self.top1[u] = m;
+                    self.top1_center[u] = z as u32;
+                } else if m > self.top2[u] {
+                    self.top2[u] = m;
+                }
+            }
+        }
+        let mut clustered_now = 0usize;
+        for &u in alive_nodes {
+            if self.top1[u] != i64::MIN && self.top1[u] - self.top2[u] > 1 {
+                labels[u] = Some(((phase as usize) << 32) | self.top1_center[u] as usize);
+                phase_of[u] = Some(phase);
+                clustered_now += 1;
+            }
+        }
+        clustered_now
+    }
+}
+
+/// Run the incremental engine; decisions (and therefore outputs) match the
+/// reference implementation.
+pub(crate) fn run(g: &Graph, cap: u32, threads: usize) -> DerandResult {
+    assert!(cap >= 2, "cap must be at least 2");
+    let n = g.node_count();
+    assert!(
+        n < (1usize << NODE_BITS),
+        "derandomizer supports up to 2^26 nodes"
+    );
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    let mut engine = Engine::new(g, cap, threads);
+    let mut alive = vec![true; n];
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut phase_of: Vec<Option<u32>> = vec![None; n];
+    let mut remaining = n;
+    let mut per_phase_fraction = Vec::new();
+    let mut phase = 0u32;
+    let phase_limit = 20 * (g.log2_n() + 1);
+
+    while remaining > 0 {
+        assert!(phase < phase_limit, "phase limit exceeded — progress bug");
+        let alive_before = remaining;
+        let alive_nodes: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+
+        engine.build_balls(&alive_nodes, &alive);
+        engine.reset_phase(&alive_nodes);
+        engine.init_states(alive_nodes.len());
+
+        let mut prev = None;
+        for (i, &z) in alive_nodes.iter().enumerate() {
+            let best = engine.fix_center(i, prev);
+            engine.radius[z] = best;
+            prev = Some((i, best));
+        }
+        // The final center's fixed factor is never folded back in: nothing
+        // evaluates after it, and the apply step reads only `radius`.
+
+        let clustered_now = engine.apply(&alive_nodes, phase, &mut labels, &mut phase_of);
+        assert!(clustered_now > 0, "no progress in phase {phase} — bug");
+        for v in 0..n {
+            if alive[v] && labels[v].is_some() {
+                alive[v] = false;
+                remaining -= 1;
+            }
+        }
+        per_phase_fraction.push(clustered_now as f64 / alive_before as f64);
+        phase += 1;
+    }
+
+    let clustering = Clustering::from_labels(labels);
+    let cluster_colors: Vec<usize> = (0..clustering.cluster_count())
+        .map(|c| {
+            let v = clustering.members(c)[0];
+            phase_of[v].expect("clustered member has a phase") as usize
+        })
+        .collect();
+    let decomposition =
+        Decomposition::new(clustering, cluster_colors).expect("one color per cluster");
+    DerandResult {
+        decomposition,
+        phases: phase,
+        per_phase_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_product_survives_underflow_roundtrip() {
+        // ~1100 distance-1 factors of 1/2 drive the t = 2 product below
+        // f64's subnormal floor; without scaling, prod collapses to exactly
+        // 0.0 and division can never bring it back.
+        assert_eq!(scale_up(), 2.0f64.powi(512));
+        assert_eq!(scale_down(), 2.0f64.powi(-512));
+        let tables = FactorTables::new(8);
+        let mut state = vec![CLEAN; tables.nt];
+        for _ in 0..1300 {
+            add_unfixed(&mut state, &tables, 1);
+        }
+        assert!(state[0].scale < -1, "expected deep scaling: {:?}", state[0]);
+        assert!(state[0].prod > 0.0, "mantissa must stay nonzero");
+        for _ in 0..1300 {
+            remove_unfixed(&mut state, &tables, 1);
+        }
+        for (ti, s) in state.iter().enumerate() {
+            assert_eq!(s.scale, 0, "t-slot {ti} did not rescale back");
+            assert!((s.prod - 1.0).abs() < 1e-9, "t-slot {ti}: prod {}", s.prod);
+            assert!(s.ratio.abs() < 1e-9, "t-slot {ti}: ratio {}", s.ratio);
+            assert_eq!(s.zeros, 0);
+        }
+    }
+
+    #[test]
+    fn eval_is_finite_and_nonnegative_when_deeply_scaled() {
+        let tables = FactorTables::new(8);
+        let mut state = vec![CLEAN; tables.nt];
+        for _ in 0..2000 {
+            add_unfixed(&mut state, &tables, 1);
+        }
+        let prod_values: Vec<f64> = state.iter().map(TState::prod_value).collect();
+        for r in 1..=8 {
+            let p = eval_candidate(&state, &prod_values, tables.nt, r, 1);
+            assert!(p.is_finite() && p >= 0.0, "r = {r}: {p}");
+        }
+    }
+}

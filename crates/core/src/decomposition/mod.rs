@@ -20,6 +20,7 @@
 
 pub mod carving;
 pub mod cond_expect;
+pub(crate) mod cond_incremental;
 pub mod elkin_neiman;
 pub mod mpx;
 pub mod types;
@@ -32,7 +33,10 @@ pub(crate) fn weak_diameter_of(g: &locality_graph::Graph, nodes: &[usize]) -> Op
     locality_graph::metrics::weak_diameter(g, nodes)
 }
 
-pub use cond_expect::{derandomized_decomposition, DerandResult};
+pub use cond_expect::{
+    derandomized_decomposition, derandomized_decomposition_threads, reference_decomposition,
+    DerandResult, ReferenceProbe,
+};
 pub use elkin_neiman::{
     elkin_neiman, elkin_neiman_kwise, elkin_neiman_partial, ElkinNeimanConfig,
     ElkinNeimanDecomposition, EnOutcome,

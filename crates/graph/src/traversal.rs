@@ -114,6 +114,10 @@ pub fn distance(g: &Graph, u: usize, v: usize) -> Option<u32> {
 /// BFS distances within the sub-universe `alive` (nodes outside are
 /// impassable). `src` must be alive.
 ///
+/// Allocates a full-`n` distance vector per call; repeated-source workloads
+/// (one BFS per cluster center) should prefer [`bfs_visited_within`] with a
+/// reused [`BfsScratch`], which touches only the visited ball.
+///
 /// # Panics
 /// Panics if `src` is out of range or not alive.
 pub fn bfs_distances_within(
@@ -139,6 +143,92 @@ pub fn bfs_distances_within(
         }
     }
     dist
+}
+
+/// Reusable working memory for [`bfs_visited_within`].
+///
+/// Holds a distance array (`u32::MAX` = unvisited) and a queue; both are
+/// restored to their clean state at the end of every search by undoing only
+/// the entries the search touched, so a scratch amortizes to `O(ball)` work
+/// per call no matter how large the graph is.
+#[derive(Debug, Clone)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    queue: VecDeque<usize>,
+}
+
+impl BfsScratch {
+    /// Scratch for searches over graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            dist: vec![u32::MAX; n],
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Number of nodes this scratch is sized for.
+    pub fn node_count(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+/// Bounded BFS from `src` within the sub-universe `alive`, reporting **only
+/// the visited ball**: `(node, dist)` pairs in BFS order (ascending distance,
+/// sources first) are appended to `out` after clearing it. Distances agree
+/// exactly with [`bfs_distances_within`]; the difference is cost — no full-`n`
+/// allocation per call, and touched scratch entries are reset on exit.
+///
+/// # Example
+/// ```
+/// use locality_graph::prelude::*;
+/// use locality_graph::traversal::{bfs_visited_within, BfsScratch};
+///
+/// let g = Graph::path(6);
+/// let alive = vec![true; 6];
+/// let mut scratch = BfsScratch::new(6);
+/// let mut ball = Vec::new();
+/// bfs_visited_within(&g, 2, &alive, 1, &mut scratch, &mut ball);
+/// assert_eq!(ball, vec![(2, 0), (1, 1), (3, 1)]);
+/// ```
+///
+/// # Panics
+/// Panics if `src` is out of range or not alive, or if the scratch was built
+/// for a different node count.
+pub fn bfs_visited_within(
+    g: &Graph,
+    src: usize,
+    alive: &[bool],
+    radius: u32,
+    scratch: &mut BfsScratch,
+    out: &mut Vec<(u32, u32)>,
+) {
+    assert!(src < g.node_count() && alive[src], "source must be alive");
+    assert_eq!(
+        scratch.dist.len(),
+        g.node_count(),
+        "scratch sized for a different graph"
+    );
+    out.clear();
+    scratch.dist[src] = 0;
+    scratch.queue.push_back(src);
+    out.push((src as u32, 0));
+    while let Some(u) = scratch.queue.pop_front() {
+        let du = scratch.dist[u];
+        if du >= radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if alive[v] && scratch.dist[v] == u32::MAX {
+                scratch.dist[v] = du + 1;
+                scratch.queue.push_back(v);
+                out.push((v as u32, du + 1));
+            }
+        }
+    }
+    // Undo exactly what this search wrote; the scratch is clean again.
+    for &(v, _) in out.iter() {
+        scratch.dist[v as usize] = u32::MAX;
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +312,41 @@ mod tests {
         let g = Graph::grid(4, 5);
         assert_eq!(distance(&g, 0, 19), distance(&g, 19, 0));
         assert_eq!(distance(&g, 0, 19), Some(7));
+    }
+
+    #[test]
+    fn visited_within_matches_full_bfs_and_reuses_scratch() {
+        let g = Graph::grid(5, 6);
+        let mut alive = vec![true; g.node_count()];
+        alive[7] = false;
+        alive[12] = false;
+        let mut scratch = BfsScratch::new(g.node_count());
+        let mut ball = Vec::new();
+        // Back-to-back searches from every alive source with one scratch must
+        // each agree with the allocating reference.
+        for radius in [0u32, 1, 2, 4, u32::MAX] {
+            for src in g.nodes().filter(|&v| alive[v]) {
+                bfs_visited_within(&g, src, &alive, radius, &mut scratch, &mut ball);
+                let reference = bfs_distances_within(&g, src, &alive, radius);
+                let mut seen = vec![None; g.node_count()];
+                for &(v, d) in &ball {
+                    assert!(seen[v as usize].is_none(), "node visited twice");
+                    seen[v as usize] = Some(d);
+                }
+                assert_eq!(seen, reference, "src {src} radius {radius}");
+                // BFS order: distances are non-decreasing.
+                assert!(ball.windows(2).all(|w| w[0].1 <= w[1].1));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn visited_within_rejects_wrong_scratch_size() {
+        let g = Graph::path(4);
+        let mut scratch = BfsScratch::new(3);
+        let mut out = Vec::new();
+        bfs_visited_within(&g, 0, &[true; 4], 2, &mut scratch, &mut out);
     }
 
     #[test]

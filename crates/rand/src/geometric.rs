@@ -83,6 +83,86 @@ impl TruncatedGeometric {
     pub fn bits_for(&self, k: u32) -> u32 {
         k.min(self.cap)
     }
+
+    /// Memoize this distribution: precompute every pmf/cdf/tail value up to
+    /// the cap so hot paths (the conditional-expectations derandomizer
+    /// evaluates these millions of times with the same small arguments) pay a
+    /// table lookup instead of shifts and divides.
+    pub fn table(&self) -> TruncatedGeometricTable {
+        TruncatedGeometricTable::new(self.cap)
+    }
+}
+
+/// [`TruncatedGeometric`] with every mass memoized.
+///
+/// The support is tiny (`cap ≤ 63` values), so the whole distribution fits in
+/// three small arrays; lookups are bounds-clamped exactly like the formula
+/// versions (`pmf` is zero outside the support, `cdf` saturates at one,
+/// `tail` at zero) and return **bit-identical** `f64`s — each entry is
+/// produced by the corresponding [`TruncatedGeometric`] method, which the
+/// tests pin.
+///
+/// # Example
+/// ```
+/// use locality_rand::geometric::TruncatedGeometric;
+/// let g = TruncatedGeometric::new(8);
+/// let t = g.table();
+/// assert_eq!(t.pmf(3), g.pmf(3));
+/// assert_eq!(t.cdf(20), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedGeometricTable {
+    dist: TruncatedGeometric,
+    /// `pmf[k]` for `k in 0..=cap`.
+    pmf: Vec<f64>,
+    /// `cdf[k]` for `k in 0..=cap`.
+    cdf: Vec<f64>,
+    /// `tail[k]` for `k in 0..=cap`.
+    tail: Vec<f64>,
+}
+
+impl TruncatedGeometricTable {
+    /// Build the memoized distribution truncated at `cap` flips.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` or `cap > 63`, as [`TruncatedGeometric::new`].
+    pub fn new(cap: u32) -> Self {
+        let dist = TruncatedGeometric::new(cap);
+        let pmf = (0..=cap).map(|k| dist.pmf(k)).collect();
+        let cdf = (0..=cap).map(|k| dist.cdf(k)).collect();
+        let tail = (0..=cap).map(|k| dist.tail(k)).collect();
+        Self {
+            dist,
+            pmf,
+            cdf,
+            tail,
+        }
+    }
+
+    /// The truncation point.
+    pub fn cap(&self) -> u32 {
+        self.dist.cap()
+    }
+
+    /// The underlying formula-evaluated distribution.
+    pub fn dist(&self) -> &TruncatedGeometric {
+        &self.dist
+    }
+
+    /// Probability mass at `k` (zero outside the support), via lookup.
+    pub fn pmf(&self, k: u32) -> f64 {
+        *self.pmf.get(k as usize).unwrap_or(&0.0)
+    }
+
+    /// `Pr[X ≤ k]`, via lookup (saturates at one above the cap).
+    pub fn cdf(&self, k: u32) -> f64 {
+        *self.cdf.get(k as usize).unwrap_or(&1.0)
+    }
+
+    /// `Pr[X > k]`, via lookup (saturates at zero above the cap).
+    pub fn tail(&self, k: u32) -> f64 {
+        *self.tail.get(k as usize).unwrap_or(&0.0)
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +228,42 @@ mod tests {
     #[should_panic]
     fn zero_cap_rejected() {
         let _ = TruncatedGeometric::new(0);
+    }
+
+    #[test]
+    fn table_is_bit_identical_to_formulas() {
+        for cap in [1u32, 2, 5, 12, 40, 63] {
+            let g = TruncatedGeometric::new(cap);
+            let t = g.table();
+            assert_eq!(t.cap(), cap);
+            assert_eq!(t.dist(), &g);
+            // Inside the support, at the boundary, and well past it.
+            for k in 0..=(cap + 5) {
+                assert_eq!(
+                    t.pmf(k).to_bits(),
+                    g.pmf(k).to_bits(),
+                    "pmf cap {cap} k {k}"
+                );
+                assert_eq!(
+                    t.cdf(k).to_bits(),
+                    g.cdf(k).to_bits(),
+                    "cdf cap {cap} k {k}"
+                );
+                assert_eq!(
+                    t.tail(k).to_bits(),
+                    g.tail(k).to_bits(),
+                    "tail cap {cap} k {k}"
+                );
+            }
+            assert_eq!(t.pmf(u32::MAX), 0.0);
+            assert_eq!(t.cdf(u32::MAX), 1.0);
+            assert_eq!(t.tail(u32::MAX), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_zero_cap_rejected() {
+        let _ = TruncatedGeometricTable::new(0);
     }
 }
