@@ -4,22 +4,25 @@
 //! cargo run -p locality-bench --release --bin experiments -- all
 //! cargo run -p locality-bench --release --bin experiments -- t1 a1 f3
 //! cargo run -p locality-bench --release --bin experiments -- d1 --json bench.json
+//! cargo run -p locality-bench --release --bin experiments -- p1 --huge --json pipe.json
 //! ```
 
 use locality_bench::experiments;
 
-const USAGE: &str = "usage: experiments [options] <all | t1..t10 a1 d1 f1..f4>...
+const USAGE: &str = "usage: experiments [options] <all | t1..t10 a1 d1 p1 f1..f4>...
 
 Regenerates the theorem-derived tables (T1-T10), the unified
 LocalAlgorithm accounting table (A1), the derandomizer scaling
-benchmark (D1), and figures (F1-F4) described in DESIGN.md section 3.
-Pass `all` to run every experiment, or any mix of individual ids.
+benchmark (D1), the end-to-end pipeline benchmark (P1), and figures
+(F1-F4) described in DESIGN.md section 3. Pass `all` to run every
+experiment, or any mix of individual ids.
 
 options:
-  --json <path>  write machine-readable results to <path> (currently the
-                 D1 derandomizer rows; the BENCH_derand.json schema)
-  --huge         include the n = 10^5 row in D1 (seconds of compute and
-                 hundreds of MB of memory)
+  --json <path>  write machine-readable results to <path> (the D1 or P1
+                 rows — the BENCH_derand.json / BENCH_pipeline.json
+                 schemas; requires exactly one of d1/p1 among the ids)
+  --huge         include the largest rows: n = 10^5 in D1, n = 10^5 and
+                 10^6 in P1 (tens of seconds of compute, GBs of memory)
   -h, --help     print this message and exit";
 
 fn main() {
@@ -62,24 +65,41 @@ fn main() {
     if ids.iter().any(|id| id == "all") {
         ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
     }
-    if json_path.is_some() && !ids.iter().any(|id| id == "d1") {
-        eprintln!("--json currently captures the d1 experiment; add d1 (or all) to the ids");
-        std::process::exit(2);
+    if json_path.is_some() {
+        let recordable = ids.iter().filter(|id| *id == "d1" || *id == "p1").count();
+        if recordable != 1 {
+            eprintln!(
+                "--json captures exactly one machine-readable experiment per run; \
+                 pass d1 or p1 (not both) among the ids — note `all` expands to both, \
+                 so record d1 and p1 in separate runs"
+            );
+            std::process::exit(2);
+        }
     }
+    let write_json = |path: &str, json: String| {
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {path}");
+    };
     for id in &ids {
-        if id == "d1" {
-            let rows = experiments::d1_derand_rows(huge);
-            experiments::print_derand_rows(&rows);
-            if let Some(path) = &json_path {
-                let json = experiments::derand_rows_json(&rows);
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("failed to write {path}: {e}");
-                    std::process::exit(1);
+        match id.as_str() {
+            "d1" => {
+                let rows = experiments::d1_derand_rows(huge);
+                experiments::print_derand_rows(&rows);
+                if let Some(path) = &json_path {
+                    write_json(path, experiments::derand_rows_json(&rows));
                 }
-                println!("\nwrote {path}");
             }
-        } else {
-            experiments::run(id);
+            "p1" => {
+                let rows = experiments::p1_pipeline_rows(huge);
+                experiments::print_pipeline_rows(&rows);
+                if let Some(path) = &json_path {
+                    write_json(path, experiments::pipeline_rows_json(&rows));
+                }
+            }
+            other => experiments::run(other),
         }
     }
 }

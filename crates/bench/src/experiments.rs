@@ -29,8 +29,9 @@ use locality_rand::source::PrngSource;
 use locality_rand::sparse::SparseBits;
 
 /// All experiment identifiers, in report order.
-pub const ALL: [&str; 16] = [
-    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "f1", "f2", "f3", "f4",
+pub const ALL: [&str; 17] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "p1", "f1", "f2",
+    "f3", "f4",
 ];
 
 /// Dispatch one experiment by id (lowercase). Unknown ids are reported.
@@ -39,6 +40,7 @@ pub fn run(id: &str) {
         "t1" => t1_en_baseline(),
         "a1" => a1_local_algorithms(),
         "d1" => print_derand_rows(&d1_derand_rows(false)),
+        "p1" => print_pipeline_rows(&p1_pipeline_rows(false)),
         "t2" => t2_sparse_bits(),
         "t3" => t3_kwise_independence(),
         "t4" => t4_shared_congest(),
@@ -835,6 +837,252 @@ pub fn derand_rows_json(rows: &[DerandRow]) -> String {
                             ("max_diameter", Json::Int(i64::from(r.max_diameter))),
                             ("opt_ms", Json::Float(r.opt_ms)),
                             ("ref_ms", r.ref_ms.map_or(Json::Null, Json::Float)),
+                            ("ref_method", Json::Str(r.ref_method.into())),
+                            ("speedup", r.speedup.map_or(Json::Null, Json::Float)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_pretty()
+}
+
+/// One row of the P1 pipeline-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Nodes in the `G(n, 4/n)` instance (and ≈ the grid instance).
+    pub n: usize,
+    /// Geometric truncation of the derandomized producer.
+    pub cap: u32,
+    /// Producer wall-clock (derandomized decomposition of `G`), ms.
+    pub decomp_ms: f64,
+    /// Colors of the produced decomposition.
+    pub colors: usize,
+    /// Fast deterministic-MIS consumer wall-clock, ms (validation included).
+    pub mis_ms: f64,
+    /// Fast deterministic-coloring consumer wall-clock, ms.
+    pub coloring_ms: f64,
+    /// Side length of the grid the reduction stage runs on (`s×s ≈ n`
+    /// nodes); `None` = reduction skipped for this row.
+    pub grid_side: Option<usize>,
+    /// Fast SLOCAL→LOCAL reduction wall-clock (power graph + greedy-MIS
+    /// reduction over a carving decomposition of `grid³`), ms.
+    pub reduction_ms: Option<f64>,
+    /// Sum of the fast consumer columns, ms.
+    pub consumers_ms: f64,
+    /// Retained reference consumers end-to-end (same scope), ms.
+    pub ref_consumers_ms: Option<f64>,
+    /// `"full"` (complete reference run) or `"skipped"`.
+    pub ref_method: &'static str,
+    /// `ref_consumers_ms / consumers_ms` when measured.
+    pub speedup: Option<f64>,
+}
+
+/// P1 — the "decomposition ⇒ everything" pipeline at scale: the
+/// derandomized producer on `G(n, 4/n)` followed by the deterministic MIS
+/// and (∆+1)-coloring consumers, plus the [GKM17] SLOCAL→LOCAL reduction of
+/// greedy MIS over a carving decomposition of `grid³` on an `s×s ≈ n` grid.
+/// The reference column replays the same consumers through the retained
+/// quadratic implementations (`reference_via_decomposition`,
+/// `reference_run_slocal_via_decomposition` with its materialized
+/// `reference_power_graph`).
+///
+/// The reduction stage deliberately runs on a grid rather than `G(n, 4/n)`:
+/// the reduction's round bill is the exact per-color maximum weak cluster
+/// diameter, and on an expander a near-spanning cluster makes that an exact
+/// graph-diameter computation — `Θ(|C|)` BFS with no known subquadratic
+/// algorithm, a floor *both* paths pay, which would mask the consumer
+/// machinery this experiment measures. On bounded-growth topologies the
+/// fast path's profile-BFS + farthest-first sweeps are genuinely local.
+///
+/// `huge` adds the `n = 10⁵` rows and the first-ever `n = 10⁶` run that the
+/// committed `BENCH_pipeline.json` records (at `10⁶` the reduction is
+/// skipped: its *producer* — sequential ball carving over the materialized
+/// `grid³` — is itself `O(n)` per carved ball, a pre-existing scaling item
+/// outside this consumer pipeline).
+pub fn p1_pipeline_rows(huge: bool) -> Vec<PipelineRow> {
+    use locality_core::slocal::{
+        reference_run_slocal_via_decomposition, run_slocal_via_decomposition,
+    };
+    use locality_graph::power::power_graph;
+    use locality_sim::slocal::BallView;
+    use std::time::Instant;
+
+    let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
+    let greedy = |view: &BallView<'_, bool>| {
+        !view
+            .neighbors(view.center())
+            .any(|u| view.output(u).copied().unwrap_or(false))
+    };
+
+    // (n, cap, run the reference consumers, grid side for the reduction)
+    let mut plan: Vec<(usize, u32, bool, Option<usize>)> = vec![
+        (256, 8, true, Some(16)),
+        (1024, 8, true, Some(32)),
+        (4096, 8, true, Some(64)),
+    ];
+    if huge {
+        plan.push((100_000, 4, false, Some(316)));
+        plan.push((1_000_000, 3, false, None));
+    }
+
+    let mut rows = Vec::new();
+    for (n, cap, reference, grid_side) in plan {
+        let mut prng = SplitMix64::new(4 + n as u64);
+        let g = Graph::gnp(n, 4.0 / n as f64, &mut prng);
+
+        let t0 = Instant::now();
+        let produced = derandomized_decomposition(&g, cap);
+        let decomp_ms = ms(t0);
+        let d = &produced.decomposition;
+
+        let t1 = Instant::now();
+        let m = mis::via_decomposition(&g, d);
+        let mis_ms = ms(t1);
+        mis::verify_mis(&g, &m.in_mis).expect("valid MIS");
+
+        let t2 = Instant::now();
+        let c = coloring::via_decomposition(&g, d);
+        let coloring_ms = ms(t2);
+        coloring::verify_coloring(&g, &c.colors, g.max_degree() + 1).expect("valid coloring");
+
+        // The general reduction on the grid instance: decompose grid³ (ball
+        // carving — shared by both sides, so its cost is excluded), then run
+        // greedy MIS through the reduction.
+        let mut reduction_ms = None;
+        let mut ref_reduction_ms = 0.0;
+        if let Some(s) = grid_side {
+            let grid = Graph::grid(s, s);
+            let t3 = Instant::now();
+            let g3 = power_graph(&grid, 3);
+            let power_ms = ms(t3);
+            let order: Vec<usize> = (0..g3.node_count()).collect();
+            let d3 = ball_carving_decomposition(&g3, &order).decomposition;
+            let t4 = Instant::now();
+            let red = run_slocal_via_decomposition(&grid, 1, &d3, greedy);
+            reduction_ms = Some(power_ms + ms(t4));
+            mis::verify_mis(&grid, &red.outputs).expect("valid reduction MIS");
+            if reference {
+                // The reference reduction materializes grid³ itself (the
+                // quadratic way) and validates against it, so one timed call
+                // covers the whole retained path.
+                let t5 = Instant::now();
+                let red_ref = reference_run_slocal_via_decomposition(&grid, 1, &d3, greedy);
+                ref_reduction_ms = ms(t5);
+                assert_eq!(
+                    red_ref.outputs, red.outputs,
+                    "reduction diverged at s = {s}"
+                );
+            }
+        }
+
+        let consumers_ms = mis_ms + coloring_ms + reduction_ms.unwrap_or(0.0);
+        let (ref_consumers_ms, ref_method) = if reference {
+            let t6 = Instant::now();
+            let m_ref = mis::reference_via_decomposition(&g, d);
+            let c_ref = coloring::reference_via_decomposition(&g, d);
+            let ref_direct_ms = ms(t6);
+            assert_eq!(m_ref.in_mis, m.in_mis, "MIS diverged at n = {n}");
+            assert_eq!(c_ref.colors, c.colors, "coloring diverged at n = {n}");
+            (Some(ref_direct_ms + ref_reduction_ms), "full")
+        } else {
+            (None, "skipped")
+        };
+
+        rows.push(PipelineRow {
+            n,
+            cap,
+            decomp_ms,
+            colors: d.color_count(),
+            mis_ms,
+            coloring_ms,
+            grid_side,
+            reduction_ms,
+            consumers_ms,
+            ref_consumers_ms,
+            ref_method,
+            speedup: ref_consumers_ms.map(|r| r / consumers_ms.max(1e-9)),
+        });
+    }
+    rows
+}
+
+/// Print the P1 rows as a table.
+pub fn print_pipeline_rows(rows: &[PipelineRow]) {
+    println!("\n== P1: decomposition => everything, end to end ==");
+    println!("MIS + (D+1)-coloring consume the derandomized decomposition of G(n, 4/n);");
+    println!("the SLOCAL->LOCAL reduction runs greedy MIS over a carving decomposition of");
+    println!("grid^3 on an s x s ~ n grid (expanders make the exact per-color weak-diameter");
+    println!("bill a graph-diameter computation both paths pay — see the docs).");
+    println!("reference = the retained quadratic consumer path, same scope\n");
+    let mut t = Table::new(&[
+        "n",
+        "cap",
+        "decomp (ms)",
+        "colors",
+        "mis (ms)",
+        "coloring (ms)",
+        "grid",
+        "reduction (ms)",
+        "consumers (ms)",
+        "reference (ms)",
+        "speedup",
+    ]);
+    for r in rows {
+        t.row_owned(vec![
+            r.n.to_string(),
+            r.cap.to_string(),
+            format!("{:.1}", r.decomp_ms),
+            r.colors.to_string(),
+            format!("{:.2}", r.mis_ms),
+            format!("{:.2}", r.coloring_ms),
+            r.grid_side.map_or("-".into(), |s| format!("{s}x{s}")),
+            r.reduction_ms.map_or("-".into(), |m| format!("{m:.1}")),
+            format!("{:.1}", r.consumers_ms),
+            r.ref_consumers_ms.map_or("-".into(), |m| format!("{m:.0}")),
+            r.speedup.map_or("-".into(), |s| format!("{s:.0}x")),
+        ]);
+    }
+    t.print();
+}
+
+/// Machine-readable form of the P1 rows (the `BENCH_pipeline.json` schema
+/// and the CI perf artifact).
+pub fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
+    use crate::json::Json;
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    Json::object(vec![
+        ("experiment", Json::Str("p1-pipeline-scaling".into())),
+        ("family", Json::Str("gnp(n, 4/n)".into())),
+        ("unix_seconds", Json::Int(unix_seconds as i64)),
+        (
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("n", Json::Int(r.n as i64)),
+                            ("cap", Json::Int(i64::from(r.cap))),
+                            ("decomp_ms", Json::Float(r.decomp_ms)),
+                            ("colors", Json::Int(r.colors as i64)),
+                            ("mis_ms", Json::Float(r.mis_ms)),
+                            ("coloring_ms", Json::Float(r.coloring_ms)),
+                            (
+                                "grid_side",
+                                r.grid_side.map_or(Json::Null, |s| Json::Int(s as i64)),
+                            ),
+                            (
+                                "reduction_ms",
+                                r.reduction_ms.map_or(Json::Null, Json::Float),
+                            ),
+                            ("consumers_ms", Json::Float(r.consumers_ms)),
+                            (
+                                "ref_consumers_ms",
+                                r.ref_consumers_ms.map_or(Json::Null, Json::Float),
+                            ),
                             ("ref_method", Json::Str(r.ref_method.into())),
                             ("speedup", r.speedup.map_or(Json::Null, Json::Float)),
                         ])

@@ -21,7 +21,7 @@ use crate::decomposition::carving::ball_carving_decomposition;
 use crate::decomposition::elkin_neiman::{elkin_neiman_partial, ElkinNeimanConfig};
 use crate::decomposition::types::Decomposition;
 use crate::ruling::{ruling_set, RulingSetParams};
-use locality_graph::cluster::Clustering;
+use locality_graph::cluster::{Clustering, LabelCompaction};
 use locality_graph::ids::IdAssignment;
 use locality_graph::traversal::{bfs_distances, multi_source_bfs};
 use locality_graph::Graph;
@@ -105,17 +105,18 @@ pub fn boosted_decomposition(
     let mut final_label: Vec<Option<usize>> = vec![None; g.node_count()];
     let mut cluster_color: Vec<usize> = Vec::new();
     {
-        // Compact EN labels into cluster ids.
-        let mut remap: std::collections::BTreeMap<(u32, u64), usize> =
-            std::collections::BTreeMap::new();
+        // Compact EN labels into cluster ids with the flat sort-based remap
+        // ([`LabelCompaction`]) in place of a tree-map; a cluster's color is
+        // its EN phase, read off the key in id order.
+        let compaction = LabelCompaction::new(
+            g.nodes()
+                .filter_map(|v| en.labels[v].map(|key| (key, v)))
+                .collect(),
+        );
+        cluster_color.extend(compaction.keys().iter().map(|key| key.0 as usize));
         for v in g.nodes() {
             if let Some(key) = en.labels[v] {
-                let next = remap.len();
-                let id = *remap.entry(key).or_insert(next);
-                if id == cluster_color.len() {
-                    cluster_color.push(key.0 as usize);
-                }
-                final_label[v] = Some(id);
+                final_label[v] = Some(compaction.id_of(&key).expect("key present"));
             }
         }
     }
@@ -138,15 +139,17 @@ pub fn boosted_decomposition(
         meter += ruling.meter;
 
         // Each survivor joins its nearest ruling node (paths may route
-        // through clustered nodes — weak diameter, congestion 1).
+        // through clustered nodes — weak diameter, congestion 1). Node ids
+        // are dense `0..n`, so the distinct-center set is a sort + dedup of
+        // a flat `Vec`, not a tree-map.
         let (_, nearest) = multi_source_bfs(g, &ruling.set);
-        let mut center_of: std::collections::BTreeMap<usize, Vec<usize>> =
-            std::collections::BTreeMap::new();
-        for &v in &en.survivors {
-            let c = nearest[v].expect("survivors reach their own ruling set");
-            center_of.entry(c).or_default().push(v);
-        }
-        let centers: Vec<usize> = center_of.keys().copied().collect();
+        let mut centers: Vec<usize> = en
+            .survivors
+            .iter()
+            .map(|&v| nearest[v].expect("survivors reach their own ruling set"))
+            .collect();
+        centers.sort_unstable();
+        centers.dedup();
         let index_of = |c: usize| centers.binary_search(&c).expect("present");
         meter.rounds += 2 * ruling.beta as u64; // BFS growth + report
 

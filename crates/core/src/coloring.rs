@@ -106,10 +106,130 @@ pub fn random_coloring(g: &Graph, src: &mut impl BitSource) -> ColoringOutcome {
 /// clusters, color classes in order — same cost shape as
 /// [`crate::mis::via_decomposition`]).
 ///
+/// As for MIS, same-color clusters are non-adjacent, so each color class's
+/// clusters are processed in parallel over fixed cluster buckets with
+/// bit-identical output for every thread count; the per-node palette scan
+/// uses an epoch-stamped mex buffer (`O(deg + answer)`, allocation-free) in
+/// place of the reference's quadratic `Vec::contains` probe. Equivalent to
+/// the retained [`reference_via_decomposition`].
+///
 /// # Panics
 /// Panics if `d` is not a valid decomposition of `g`.
 pub fn via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutcome {
-    d.validate(g).expect("decomposition must be valid");
+    via_decomposition_threads(g, d, 0)
+}
+
+/// [`via_decomposition`] with an explicit thread count (`0` = all available).
+/// Under the `determinism-checks` cargo feature each call re-runs
+/// single-threaded and asserts bit-identical output.
+///
+/// # Panics
+/// Panics if `d` is not a valid decomposition of `g`.
+pub fn via_decomposition_threads(g: &Graph, d: &Decomposition, threads: usize) -> ColoringOutcome {
+    let result = coloring_consume(g, d, crate::consume::resolve_threads(threads));
+    #[cfg(feature = "determinism-checks")]
+    {
+        let sequential = coloring_consume(g, d, 1);
+        assert_eq!(
+            result.colors, sequential.colors,
+            "determinism check: parallel coloring consumer diverged from sequential"
+        );
+        assert_eq!(result.meter, sequential.meter);
+    }
+    result
+}
+
+/// Per-thread greedy state: an epoch-stamped "color taken" buffer over the
+/// palette, so the mex scan never clears or allocates.
+struct MexBuf {
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl MexBuf {
+    fn new(palette: usize) -> Self {
+        Self {
+            stamp: vec![0; palette],
+            epoch: 0,
+        }
+    }
+}
+
+fn coloring_consume(g: &Graph, d: &Decomposition, threads: usize) -> ColoringOutcome {
+    let plan = crate::consume::plan_consumer(g, d).expect("decomposition must be valid");
+    let clustering = d.clustering();
+    let n = g.node_count();
+    let palette = g.max_degree() + 1;
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    let mut meter = CostMeter::default();
+
+    for (_, clusters) in &plan.classes {
+        let class_diam = clusters
+            .iter()
+            .map(|&c| u64::from(plan.diam[c as usize]))
+            .max()
+            .unwrap_or(0);
+        let members_total: usize = clusters
+            .iter()
+            .map(|&c| clustering.members(c as usize).len())
+            .sum();
+        let parallel = members_total >= crate::consume::PARALLEL_MIN_MEMBERS;
+        let staged = crate::consume::process_clusters(
+            clusters,
+            threads,
+            parallel,
+            || MexBuf::new(palette),
+            &|mex: &mut MexBuf, c, out: &mut Vec<(u32, u32)>| {
+                let base = out.len();
+                for &v in clustering.members(c as usize) {
+                    mex.epoch += 1;
+                    for &u in g.neighbors(v) {
+                        // Final colors of previous classes, or staged colors
+                        // of this cluster's earlier members (same-color
+                        // clusters are non-adjacent, so nothing else counts).
+                        let taken = colors[u].or_else(|| {
+                            out[base..]
+                                .binary_search_by_key(&(u as u32), |&(w, _)| w)
+                                .ok()
+                                .map(|i| out[base + i].1 as usize)
+                        });
+                        if let Some(t) = taken {
+                            mex.stamp[t] = mex.epoch;
+                        }
+                    }
+                    let free = (0..palette)
+                        .find(|&cand| mex.stamp[cand] != mex.epoch)
+                        .expect("palette ∆+1 suffices for greedy");
+                    out.push((v as u32, free as u32));
+                }
+            },
+        );
+        for bucket in staged {
+            for (v, c) in bucket {
+                colors[v as usize] = Some(c as usize);
+            }
+        }
+        meter.rounds += 2 * class_diam + 2;
+    }
+
+    ColoringOutcome {
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all colored"))
+            .collect(),
+        meter,
+    }
+}
+
+/// The pre-optimization deterministic consumer, retained as the differential
+/// oracle for [`via_decomposition`] (sequential sweep, fresh subgraph
+/// diameter per cluster — the pre-rewrite validator's cost, via the
+/// retained reference validate — and linear-scan palette probes).
+///
+/// # Panics
+/// Panics if `d` is not a valid decomposition of `g`.
+pub fn reference_via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutcome {
+    crate::consume::reference_validate(g, d).expect("decomposition must be valid");
     let clustering = d.clustering();
     let mut class_colors: Vec<usize> = (0..clustering.cluster_count())
         .map(|c| d.color_of_cluster(c))
@@ -130,7 +250,7 @@ pub fn via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutcome {
             }
             let members = clustering.members(c);
             class_diam = class_diam.max(
-                locality_graph::metrics::induced_diameter(g, members)
+                locality_graph::metrics::reference_induced_diameter(g, members)
                     .expect("clusters are connected") as u64,
             );
             for &v in members {
@@ -339,6 +459,34 @@ mod tests {
             "rounds {}",
             out.meter.rounds
         );
+    }
+
+    #[test]
+    fn via_decomposition_matches_reference_and_threads() {
+        let mut p = SplitMix64::new(311);
+        for fam in Family::ALL {
+            let g = fam.generate(100, &mut p);
+            let order: Vec<usize> = (0..g.node_count()).collect();
+            let d = ball_carving_decomposition(&g, &order).decomposition;
+            let reference = reference_via_decomposition(&g, &d);
+            for threads in [1usize, 4, 64] {
+                let fast = via_decomposition_threads(&g, &d, threads);
+                assert_eq!(fast.colors, reference.colors, "{}", fam.name());
+                assert_eq!(fast.meter, reference.meter, "{}", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn via_decomposition_parallel_path_engages_and_matches() {
+        let g = Graph::cycle(6000);
+        let order: Vec<usize> = (0..g.node_count()).collect();
+        let d = ball_carving_decomposition(&g, &order).decomposition;
+        let a = via_decomposition_threads(&g, &d, 1);
+        let b = via_decomposition_threads(&g, &d, 3);
+        assert_eq!(a.colors, b.colors);
+        assert_eq!(a.meter, b.meter);
+        verify_coloring(&g, &a.colors, g.max_degree() + 1).unwrap();
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Shared machinery of the decomposition *consumers* (deterministic MIS,
+//! coloring, and the SLOCAL→LOCAL reduction): validation-with-reuse and the
+//! fixed-bucket parallel sweep over one color class's clusters.
+//!
+//! The theorem itself grants the parallelism: same-color clusters of a valid
+//! decomposition are non-adjacent (properness), so processing them
+//! concurrently can never observe each other's writes. As in the
+//! derandomizer (`decomposition::cond_incremental`), the cluster list of a
+//! class is split into [`BUCKETS`] fixed contiguous index ranges; each
+//! bucket's staged outputs are collected separately and merged in bucket
+//! order, so the work distribution over [`std::thread::scope`] threads never
+//! affects any observable value — outputs are bit-identical for every thread
+//! count.
+
+use crate::decomposition::types::{DecompError, Decomposition};
+use locality_graph::metrics::{induced_diameter_with, DiameterScratch};
+use locality_graph::Graph;
+
+/// Number of fixed cluster buckets per color class (bucket boundaries — and
+/// hence staged-output merge order — are independent of thread count).
+pub(crate) const BUCKETS: usize = 64;
+
+/// Below this many member nodes in a color class the clusters are processed
+/// on the calling thread: scoped-thread setup costs more than the work.
+pub(crate) const PARALLEL_MIN_MEMBERS: usize = 4096;
+
+/// Resolve a `threads` argument (`0` = all available cores).
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+}
+
+/// A consumer's view of a validated decomposition: clusters grouped by color
+/// (ascending), plus the per-cluster induced diameter the round accounting
+/// charges.
+#[derive(Debug)]
+pub(crate) struct ConsumerPlan {
+    /// `(color, cluster ids ascending)` in ascending color order.
+    pub classes: Vec<(usize, Vec<u32>)>,
+    /// Induced (strong) diameter per cluster.
+    pub diam: Vec<u32>,
+}
+
+/// Validate `d` against `g` exactly as [`Decomposition::validate`] does,
+/// but keep the per-cluster induced diameters (the consumers charge
+/// `O(max diameter)` rounds per color, so recomputing them would double the
+/// dominant cost) and return the color-grouped cluster lists.
+pub(crate) fn plan_consumer(g: &Graph, d: &Decomposition) -> Result<ConsumerPlan, DecompError> {
+    let clustering = d.clustering();
+    if clustering.node_count() != g.node_count() {
+        return Err(DecompError::WrongGraph {
+            got: clustering.node_count(),
+            expected: g.node_count(),
+        });
+    }
+    if let Some(&node) = clustering.unclustered().first() {
+        return Err(DecompError::UnclusteredNode { node });
+    }
+    let k = clustering.cluster_count();
+    let mut diam = Vec::with_capacity(k);
+    let mut scratch = DiameterScratch::new(g.node_count());
+    for c in 0..k {
+        match induced_diameter_with(g, clustering.members(c), &mut scratch) {
+            Some(x) => diam.push(x),
+            None => return Err(DecompError::DisconnectedCluster { cluster: c }),
+        }
+    }
+    for (u, v) in g.edges() {
+        let (cu, cv) = (
+            clustering.cluster_of(u).expect("total"),
+            clustering.cluster_of(v).expect("total"),
+        );
+        if cu != cv && d.color_of_cluster(cu) == d.color_of_cluster(cv) {
+            return Err(DecompError::AdjacentSameColor {
+                a: cu,
+                b: cv,
+                color: d.color_of_cluster(cu),
+            });
+        }
+    }
+    Ok(ConsumerPlan {
+        classes: group_by_color(d),
+        diam,
+    })
+}
+
+/// The pre-rewrite validator, verbatim in cost and behavior: a fresh
+/// [`InducedSubgraph`](locality_graph::InducedSubgraph)-based diameter per
+/// cluster via [`reference_induced_diameter`] — kept so the retained
+/// `reference_via_decomposition` consumers stay honest baselines instead of
+/// silently inheriting the scratch-BFS metrics.
+pub(crate) fn reference_validate(g: &Graph, d: &Decomposition) -> Result<(), DecompError> {
+    use locality_graph::metrics::reference_induced_diameter;
+    let clustering = d.clustering();
+    if clustering.node_count() != g.node_count() {
+        return Err(DecompError::WrongGraph {
+            got: clustering.node_count(),
+            expected: g.node_count(),
+        });
+    }
+    if let Some(&node) = clustering.unclustered().first() {
+        return Err(DecompError::UnclusteredNode { node });
+    }
+    for c in 0..clustering.cluster_count() {
+        if reference_induced_diameter(g, clustering.members(c)).is_none() {
+            return Err(DecompError::DisconnectedCluster { cluster: c });
+        }
+    }
+    for (u, v) in g.edges() {
+        let (cu, cv) = (
+            clustering.cluster_of(u).expect("total"),
+            clustering.cluster_of(v).expect("total"),
+        );
+        if cu != cv && d.color_of_cluster(cu) == d.color_of_cluster(cv) {
+            return Err(DecompError::AdjacentSameColor {
+                a: cu,
+                b: cv,
+                color: d.color_of_cluster(cu),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Cluster ids grouped by color, both ascending.
+pub(crate) fn group_by_color(d: &Decomposition) -> Vec<(usize, Vec<u32>)> {
+    let k = d.clustering().cluster_count();
+    let mut by_color: Vec<(usize, u32)> =
+        (0..k).map(|c| (d.color_of_cluster(c), c as u32)).collect();
+    by_color.sort_unstable();
+    let mut classes: Vec<(usize, Vec<u32>)> = Vec::new();
+    for (color, c) in by_color {
+        match classes.last_mut() {
+            Some((last, ids)) if *last == color => ids.push(c),
+            _ => classes.push((color, vec![c])),
+        }
+    }
+    classes
+}
+
+/// Sweep one color class's clusters, staging each cluster's outputs into its
+/// bucket's vector. `init` builds one per-thread working state; `f(state,
+/// cluster, staged)` processes one cluster, appending `(node, value)` pairs.
+/// Buckets are fixed contiguous ranges of the cluster list; when `parallel`,
+/// contiguous bucket ranges are distributed over scoped threads. Because a
+/// cluster's staged outputs land in its own bucket's vector and buckets are
+/// merged in index order by the caller, the result is identical either way.
+pub(crate) fn process_clusters<T, S, F>(
+    clusters: &[u32],
+    threads: usize,
+    parallel: bool,
+    init: impl Fn() -> S + Sync,
+    f: &F,
+) -> Vec<Vec<(u32, T)>>
+where
+    T: Send,
+    F: Fn(&mut S, u32, &mut Vec<(u32, T)>) + Sync,
+{
+    let mut out: Vec<Vec<(u32, T)>> = (0..BUCKETS).map(|_| Vec::new()).collect();
+    let len = clusters.len();
+    let lo = |b: usize| b * len / BUCKETS;
+    if !parallel || threads <= 1 {
+        let mut state = init();
+        for (b, bucket) in out.iter_mut().enumerate() {
+            for &c in &clusters[lo(b)..lo(b + 1)] {
+                f(&mut state, c, bucket);
+            }
+        }
+        return out;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = &mut out[..];
+        for w in 0..threads {
+            let b_lo = w * BUCKETS / threads;
+            let b_hi = (w + 1) * BUCKETS / threads;
+            if b_lo == b_hi {
+                continue;
+            }
+            let (chunk, r) = rest.split_at_mut(b_hi - b_lo);
+            rest = r;
+            let init = &init;
+            scope.spawn(move || {
+                let mut state = init();
+                for (i, bucket) in chunk.iter_mut().enumerate() {
+                    let b = b_lo + i;
+                    for &c in &clusters[lo(b)..lo(b + 1)] {
+                        f(&mut state, c, bucket);
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::carving::ball_carving_decomposition;
+    use locality_graph::Graph;
+    use locality_rand::prng::SplitMix64;
+
+    #[test]
+    fn plan_matches_validate() {
+        let mut p = SplitMix64::new(3);
+        let g = Graph::gnp_connected(80, 0.04, &mut p);
+        let order: Vec<usize> = (0..80).collect();
+        let d = ball_carving_decomposition(&g, &order).decomposition;
+        let plan = plan_consumer(&g, &d).expect("valid");
+        let q = d.validate(&g).expect("valid");
+        assert_eq!(plan.diam.len(), q.clusters);
+        assert_eq!(plan.diam.iter().copied().max().unwrap_or(0), q.max_diameter);
+        assert_eq!(plan.classes.len(), q.colors);
+        // Every cluster appears exactly once, under its own color.
+        let mut seen = vec![false; q.clusters];
+        for (color, ids) in &plan.classes {
+            assert!(ids.windows(2).all(|w| w[0] < w[1]));
+            for &c in ids {
+                assert_eq!(d.color_of_cluster(c as usize), *color);
+                assert!(!seen[c as usize]);
+                seen[c as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn plan_rejects_what_validate_rejects() {
+        use locality_graph::cluster::Clustering;
+        let g = Graph::path(3);
+        let c = Clustering::from_assignment(vec![Some(0), Some(1), Some(0)]).unwrap();
+        let d = Decomposition::new(c, vec![0, 1]).unwrap();
+        assert_eq!(
+            plan_consumer(&g, &d).unwrap_err(),
+            d.validate(&g).unwrap_err()
+        );
+        let c2 = Clustering::from_assignment(vec![Some(0), Some(1), None]).unwrap();
+        let d2 = Decomposition::new(c2, vec![0, 1]).unwrap();
+        assert_eq!(
+            plan_consumer(&g, &d2).unwrap_err(),
+            d2.validate(&g).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn bucketed_sweep_is_thread_count_invariant() {
+        let clusters: Vec<u32> = (0..300).collect();
+        let run = |threads: usize, parallel: bool| -> Vec<Vec<(u32, u64)>> {
+            process_clusters(&clusters, threads, parallel, || 0u64, &|state, c, out| {
+                *state += 1;
+                out.push((c, u64::from(c) * 3 + 1));
+            })
+        };
+        let seq = run(1, false);
+        for threads in [2usize, 3, 8, 64, 200] {
+            assert_eq!(run(threads, true), seq, "threads={threads}");
+        }
+    }
+}

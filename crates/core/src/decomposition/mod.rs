@@ -27,12 +27,6 @@ pub mod types;
 
 pub use carving::{ball_carving_decomposition, CarvingResult};
 
-/// Weak diameter of a node set (re-exported convenience over
-/// [`locality_graph::metrics::weak_diameter`]).
-pub(crate) fn weak_diameter_of(g: &locality_graph::Graph, nodes: &[usize]) -> Option<u32> {
-    locality_graph::metrics::weak_diameter(g, nodes)
-}
-
 pub use cond_expect::{
     derandomized_decomposition, derandomized_decomposition_threads, reference_decomposition,
     DerandResult, ReferenceProbe,

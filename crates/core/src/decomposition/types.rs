@@ -1,7 +1,8 @@
 //! The decomposition value type and validator.
 
 use locality_graph::cluster::Clustering;
-use locality_graph::metrics::induced_diameter;
+use locality_graph::metrics::{induced_diameter_with, weak_diameter_with, DiameterScratch};
+use locality_graph::power::PowerView;
 use locality_graph::Graph;
 use std::error::Error;
 use std::fmt;
@@ -162,8 +163,9 @@ impl Decomposition {
             return Err(DecompError::UnclusteredNode { node });
         }
         let mut max_diameter = 0;
+        let mut scratch = DiameterScratch::new(g.node_count());
         for c in 0..self.clustering.cluster_count() {
-            match induced_diameter(g, self.clustering.members(c)) {
+            match induced_diameter_with(g, self.clustering.members(c), &mut scratch) {
                 Some(d) => max_diameter = max_diameter.max(d),
                 None => return Err(DecompError::DisconnectedCluster { cluster: c }),
             }
@@ -210,8 +212,9 @@ impl Decomposition {
             return Err(DecompError::UnclusteredNode { node });
         }
         let mut max_diameter = 0;
+        let mut scratch = DiameterScratch::new(g.node_count());
         for c in 0..self.clustering.cluster_count() {
-            match crate::decomposition::weak_diameter_of(g, self.clustering.members(c)) {
+            match weak_diameter_with(g, self.clustering.members(c), &mut scratch) {
                 Some(d) => max_diameter = max_diameter.max(d),
                 None => return Err(DecompError::DisconnectedCluster { cluster: c }),
             }
@@ -234,6 +237,68 @@ impl Decomposition {
             max_diameter,
             clusters: self.clustering.cluster_count(),
         })
+    }
+
+    /// Validate this decomposition against the power graph `G^k` **without
+    /// materializing it** — equivalent to
+    /// `self.validate_weak(&power_graph(g, k))`, which the SLOCAL→LOCAL
+    /// reduction needs at scales where `G^k`'s edge set no longer fits the
+    /// budget. Weak diameters transfer exactly (`dist_{G^k}(u, v) =
+    /// ⌈dist_G(u, v) / k⌉`, and `⌈·⌉` is monotone, so the weak diameter in
+    /// `G^k` is `⌈weak diameter in G / k⌉`); properness is checked by
+    /// scanning each node's radius-`k` ball through a lazy [`PowerView`].
+    ///
+    /// # Errors
+    /// The same violations [`Decomposition::validate_weak`] on the
+    /// materialized power graph would report (for
+    /// [`DecompError::AdjacentSameColor`] the offending *pair* may differ —
+    /// balls are scanned per node rather than edges in canonical order).
+    pub fn validate_weak_power(&self, g: &Graph, k: u32) -> Result<DecompQuality, DecompError> {
+        if self.clustering.node_count() != g.node_count() {
+            return Err(DecompError::WrongGraph {
+                got: self.clustering.node_count(),
+                expected: g.node_count(),
+            });
+        }
+        if let Some(&node) = self.clustering.unclustered().first() {
+            return Err(DecompError::UnclusteredNode { node });
+        }
+        let mut max_diameter = 0;
+        let mut scratch = DiameterScratch::new(g.node_count());
+        for c in 0..self.clustering.cluster_count() {
+            match weak_diameter_with(g, self.clustering.members(c), &mut scratch) {
+                Some(d) => max_diameter = max_diameter.max(d.div_ceil(k)),
+                None => return Err(DecompError::DisconnectedCluster { cluster: c }),
+            }
+        }
+        self.check_power_properness(g, k)?;
+        Ok(DecompQuality {
+            colors: self.color_count(),
+            max_diameter,
+            clusters: self.clustering.cluster_count(),
+        })
+    }
+
+    /// Properness against `G^k` without materializing it: scan each node's
+    /// lazy radius-`k` ball ([`PowerView`]) and reject the first same-color
+    /// pair of distinct clusters. Shared by [`Decomposition::validate_weak_power`]
+    /// and the SLOCAL→LOCAL reduction's scheduling pass.
+    pub(crate) fn check_power_properness(&self, g: &Graph, k: u32) -> Result<(), DecompError> {
+        let mut view = PowerView::new(g, k);
+        for u in g.nodes() {
+            let cu = self.clustering.cluster_of(u).expect("total");
+            for &(w, _) in view.ball_of(u) {
+                let cw = self.clustering.cluster_of(w as usize).expect("total");
+                if cu != cw && self.colors[cu] == self.colors[cw] {
+                    return Err(DecompError::AdjacentSameColor {
+                        a: cu.min(cw),
+                        b: cu.max(cw),
+                        color: self.colors[cu],
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The trivial decomposition: every node its own cluster, all color 0 is
@@ -344,6 +409,41 @@ mod tests {
     }
 
     use locality_rand::prng::SplitMix64;
+
+    #[test]
+    fn validate_weak_power_matches_materialized() {
+        use crate::decomposition::carving::ball_carving_decomposition;
+        use locality_graph::power::power_graph;
+        let mut p = SplitMix64::new(9);
+        for fam in locality_graph::generators::Family::ALL {
+            let g = fam.generate(48, &mut p);
+            for k in [2u32, 3, 5] {
+                let gp = power_graph(&g, k);
+                let order: Vec<usize> = (0..gp.node_count()).collect();
+                let d = ball_carving_decomposition(&gp, &order).decomposition;
+                assert_eq!(
+                    d.validate_weak_power(&g, k),
+                    d.validate_weak(&gp),
+                    "{} k={k}",
+                    fam.name()
+                );
+            }
+        }
+        // Improper against the power graph: both must reject (pair identity
+        // may differ, so compare the variant shape only).
+        let g = Graph::path(4);
+        let c = Clustering::from_assignment(vec![Some(0), Some(1), Some(2), Some(3)]).unwrap();
+        let d = Decomposition::new(c, vec![0, 1, 0, 1]).unwrap();
+        let gp = power_graph(&g, 2);
+        assert!(matches!(
+            d.validate_weak_power(&g, 2),
+            Err(DecompError::AdjacentSameColor { .. })
+        ));
+        assert!(matches!(
+            d.validate_weak(&gp),
+            Err(DecompError::AdjacentSameColor { .. })
+        ));
+    }
 
     #[test]
     fn errors_display() {

@@ -38,6 +38,7 @@ pub mod boost;
 pub mod cfc;
 pub mod checkers;
 pub mod coloring;
+pub(crate) mod consume;
 pub mod decomposition;
 pub mod derand;
 pub mod mis;

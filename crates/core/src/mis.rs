@@ -70,26 +70,29 @@ pub fn luby(g: &Graph, src: &mut impl BitSource) -> MisOutcome {
     let mut meter = CostMeter::default();
     let mut remaining: usize = n;
 
+    // Explicit alive-node worklist (kept in ascending order, so the draw
+    // sequence — and therefore every output bit — is identical to scanning
+    // `0..n` and skipping dead nodes): each iteration costs
+    // `O(alive + their edges)`, not `O(n + m)`, which matters because the
+    // alive set decays geometrically while the iteration count is `O(log n)`.
+    let mut worklist: Vec<usize> = (0..n).collect();
+    let mut prio = vec![0u64; n];
+
     while remaining > 0 {
         meter.rounds += 2;
         let before = src.bits_drawn();
-        let prio: Vec<u64> = (0..n)
-            .map(|v| {
-                if alive[v] {
-                    src.next_bits(prio_bits).expect("unbounded source")
-                } else {
-                    u64::MAX
-                }
-            })
-            .collect();
+        for &v in &worklist {
+            prio[v] = src.next_bits(prio_bits).expect("unbounded source");
+        }
         meter.random_bits += src.bits_drawn() - before;
 
-        let joins: Vec<usize> = (0..n)
+        let joins: Vec<usize> = worklist
+            .iter()
+            .copied()
             .filter(|&v| {
-                alive[v]
-                    && g.neighbors(v)
-                        .iter()
-                        .all(|&u| !alive[u] || (prio[v], v) < (prio[u], u))
+                g.neighbors(v)
+                    .iter()
+                    .all(|&u| !alive[u] || (prio[v], v) < (prio[u], u))
             })
             .collect();
         for &v in &joins {
@@ -103,6 +106,7 @@ pub fn luby(g: &Graph, src: &mut impl BitSource) -> MisOutcome {
                 }
             }
         }
+        worklist.retain(|&v| alive[v]);
     }
     MisOutcome { in_mis, meter }
 }
@@ -113,11 +117,107 @@ pub fn luby(g: &Graph, src: &mut impl BitSource) -> MisOutcome {
 /// Rounds charged: per color, `2·(max cluster diameter of that color) + 2`
 /// (gather + decide + report), as in the standard completeness argument.
 ///
+/// Same-color clusters are non-adjacent (that is the decomposition's
+/// properness invariant, validated here), so a color class's clusters are
+/// processed in parallel over fixed cluster buckets — exactly the
+/// parallelism the completeness theorem grants — with outputs bit-identical
+/// for every thread count. Equivalent to the retained
+/// [`reference_via_decomposition`], which differential tests pin.
+///
 /// # Panics
 /// Panics if `d` is not a valid decomposition of `g` (checked).
 pub fn via_decomposition(g: &Graph, d: &Decomposition) -> MisOutcome {
-    let quality = d.validate(g).expect("decomposition must be valid");
-    let _ = quality;
+    via_decomposition_threads(g, d, 0)
+}
+
+/// [`via_decomposition`] with an explicit thread count (`0` = all available).
+/// Under the `determinism-checks` cargo feature each call re-runs
+/// single-threaded and asserts bit-identical output.
+///
+/// # Panics
+/// Panics if `d` is not a valid decomposition of `g` (checked).
+pub fn via_decomposition_threads(g: &Graph, d: &Decomposition, threads: usize) -> MisOutcome {
+    let result = mis_consume(g, d, crate::consume::resolve_threads(threads));
+    #[cfg(feature = "determinism-checks")]
+    {
+        let sequential = mis_consume(g, d, 1);
+        assert_eq!(
+            result.in_mis, sequential.in_mis,
+            "determinism check: parallel MIS consumer diverged from sequential"
+        );
+        assert_eq!(result.meter, sequential.meter);
+    }
+    result
+}
+
+fn mis_consume(g: &Graph, d: &Decomposition, threads: usize) -> MisOutcome {
+    let plan = crate::consume::plan_consumer(g, d).expect("decomposition must be valid");
+    let clustering = d.clustering();
+    let n = g.node_count();
+    let mut in_mis = vec![false; n];
+    let mut decided = vec![false; n];
+    let mut meter = CostMeter::default();
+
+    for (_, clusters) in &plan.classes {
+        let color_diam = clusters
+            .iter()
+            .map(|&c| u64::from(plan.diam[c as usize]))
+            .max()
+            .unwrap_or(0);
+        let members_total: usize = clusters
+            .iter()
+            .map(|&c| clustering.members(c as usize).len())
+            .sum();
+        let parallel = members_total >= crate::consume::PARALLEL_MIN_MEMBERS;
+        let staged = crate::consume::process_clusters(
+            clusters,
+            threads,
+            parallel,
+            || (),
+            &|(), c, out: &mut Vec<(u32, bool)>| {
+                // Greedy over the cluster's members in index order. Earlier
+                // members of *this* cluster live in `out[base..]` (sorted —
+                // members ascend); everything else relevant is in the frozen
+                // `decided`/`in_mis` state of previous colors, because
+                // same-color clusters are non-adjacent.
+                let base = out.len();
+                for &v in clustering.members(c as usize) {
+                    let blocked = g.neighbors(v).iter().any(|&u| {
+                        if decided[u] && in_mis[u] {
+                            return true;
+                        }
+                        matches!(
+                            out[base..].binary_search_by_key(&(u as u32), |&(w, _)| w),
+                            Ok(i) if out[base + i].1
+                        )
+                    });
+                    out.push((v as u32, !blocked));
+                }
+            },
+        );
+        for bucket in staged {
+            for (v, joined) in bucket {
+                in_mis[v as usize] = joined;
+                decided[v as usize] = true;
+            }
+        }
+        meter.rounds += 2 * color_diam + 2;
+    }
+    debug_assert!(decided.iter().all(|&x| x));
+    MisOutcome { in_mis, meter }
+}
+
+/// The pre-optimization deterministic consumer, retained as the differential
+/// oracle for [`via_decomposition`]: sequential cluster sweep with a fresh
+/// full-graph induced-subgraph diameter computation per cluster (the
+/// pre-rewrite validator's cost, via the retained reference validate) —
+/// `O(n)`-ish work per cluster that dies at a few thousand nodes, but whose
+/// decision rule is the specification.
+///
+/// # Panics
+/// Panics if `d` is not a valid decomposition of `g` (checked).
+pub fn reference_via_decomposition(g: &Graph, d: &Decomposition) -> MisOutcome {
+    crate::consume::reference_validate(g, d).expect("decomposition must be valid");
     let clustering = d.clustering();
     let mut colors: Vec<usize> = (0..clustering.cluster_count())
         .map(|c| d.color_of_cluster(c))
@@ -138,7 +238,7 @@ pub fn via_decomposition(g: &Graph, d: &Decomposition) -> MisOutcome {
             }
             let members = clustering.members(c);
             color_diam = color_diam.max(
-                locality_graph::metrics::induced_diameter(g, members)
+                locality_graph::metrics::reference_induced_diameter(g, members)
                     .expect("clusters are connected") as u64,
             );
             for &v in members {
@@ -336,6 +436,97 @@ mod tests {
             "rounds {}",
             out.meter.rounds
         );
+    }
+
+    /// The pre-worklist Luby loop (full `0..n` scan per iteration), kept
+    /// verbatim as the bit-for-bit specification of the worklist rewrite.
+    fn scan_luby(g: &Graph, src: &mut impl BitSource) -> MisOutcome {
+        let n = g.node_count();
+        let prio_bits = 4 * g.log2_n();
+        let mut alive = vec![true; n];
+        let mut in_mis = vec![false; n];
+        let mut meter = CostMeter::default();
+        let mut remaining: usize = n;
+        while remaining > 0 {
+            meter.rounds += 2;
+            let before = src.bits_drawn();
+            let prio: Vec<u64> = (0..n)
+                .map(|v| {
+                    if alive[v] {
+                        src.next_bits(prio_bits).expect("unbounded source")
+                    } else {
+                        u64::MAX
+                    }
+                })
+                .collect();
+            meter.random_bits += src.bits_drawn() - before;
+            let joins: Vec<usize> = (0..n)
+                .filter(|&v| {
+                    alive[v]
+                        && g.neighbors(v)
+                            .iter()
+                            .all(|&u| !alive[u] || (prio[v], v) < (prio[u], u))
+                })
+                .collect();
+            for &v in &joins {
+                in_mis[v] = true;
+                alive[v] = false;
+                remaining -= 1;
+                for &u in g.neighbors(v) {
+                    if alive[u] {
+                        alive[u] = false;
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        MisOutcome { in_mis, meter }
+    }
+
+    #[test]
+    fn luby_worklist_is_bit_identical_to_scan() {
+        let mut p = SplitMix64::new(301);
+        for fam in Family::ALL {
+            for seed in 0..4u64 {
+                let g = fam.generate(130, &mut p);
+                let a = luby(&g, &mut PrngSource::seeded(seed * 31 + 1));
+                let b = scan_luby(&g, &mut PrngSource::seeded(seed * 31 + 1));
+                assert_eq!(a.in_mis, b.in_mis, "{} seed {seed}", fam.name());
+                assert_eq!(a.meter.rounds, b.meter.rounds);
+                assert_eq!(a.meter.random_bits, b.meter.random_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn via_decomposition_matches_reference_and_threads() {
+        let mut p = SplitMix64::new(303);
+        for fam in Family::ALL {
+            let g = fam.generate(110, &mut p);
+            let order: Vec<usize> = (0..g.node_count()).collect();
+            let d = ball_carving_decomposition(&g, &order).decomposition;
+            let reference = reference_via_decomposition(&g, &d);
+            for threads in [1usize, 3, 64] {
+                let fast = via_decomposition_threads(&g, &d, threads);
+                assert_eq!(fast.in_mis, reference.in_mis, "{}", fam.name());
+                assert_eq!(fast.meter, reference.meter, "{}", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn via_decomposition_parallel_path_engages_and_matches() {
+        // Large enough that color classes cross the parallel threshold.
+        let g = Graph::cycle(6000);
+        let order: Vec<usize> = (0..g.node_count()).collect();
+        let d = ball_carving_decomposition(&g, &order).decomposition;
+        let a = via_decomposition_threads(&g, &d, 1);
+        for threads in [2usize, 5] {
+            let b = via_decomposition_threads(&g, &d, threads);
+            assert_eq!(a.in_mis, b.in_mis, "threads={threads}");
+            assert_eq!(a.meter, b.meter, "threads={threads}");
+        }
+        verify_mis(&g, &a.in_mis).unwrap();
     }
 
     #[test]

@@ -18,6 +18,46 @@ use locality_rand::source::BitSource;
 use locality_sim::cost::CostMeter;
 use std::collections::VecDeque;
 
+/// Maps an undirected edge `{u, v}` to its index in [`Graph::edges`]
+/// enumeration order using the CSR port structure the graph already stores
+/// (`Graph::port_of`), instead of rebuilding a tree-map of all edges: the
+/// edges before `(u, v)` with `u < v` are every forward edge of smaller
+/// sources plus `u`'s forward ports below `v`'s, so
+/// `index = fwd_base[u] + port_of(u, v) − lower[u]`.
+#[derive(Debug, Clone)]
+struct EdgeIndex {
+    /// Forward (smaller-endpoint) edges of all nodes before `u`.
+    fwd_base: Vec<usize>,
+    /// Number of `u`'s neighbors smaller than `u` (a prefix of its sorted
+    /// neighbor list).
+    lower: Vec<usize>,
+}
+
+impl EdgeIndex {
+    fn new(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut fwd_base = Vec::with_capacity(n);
+        let mut lower = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for u in 0..n {
+            let lt = g.neighbors(u).partition_point(|&w| w < u);
+            fwd_base.push(acc);
+            lower.push(lt);
+            acc += g.degree(u) - lt;
+        }
+        Self { fwd_base, lower }
+    }
+
+    /// Index of `{a, b}` in [`Graph::edges`] order (`O(log deg)`).
+    ///
+    /// # Panics
+    /// Panics if `{a, b}` is not an edge.
+    fn id(&self, g: &Graph, a: usize, b: usize) -> usize {
+        let (u, v) = (a.min(b), a.max(b));
+        self.fwd_base[u] + g.port_of(u, v).expect("edge exists") - self.lower[u]
+    }
+}
+
 /// An orientation: for edge index `e` (in [`Graph::edges`] order), `true`
 /// means the edge points from the smaller to the larger endpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,15 +133,11 @@ pub fn randomized_sinkless(
     src: &mut impl BitSource,
     max_rounds: u32,
 ) -> SinklessOutcome {
-    let edges: Vec<(usize, usize)> = g.edges().collect();
-    let mut edge_index = std::collections::BTreeMap::new();
-    for (e, &(u, v)) in edges.iter().enumerate() {
-        edge_index.insert((u, v), e);
-    }
-    let index_of = |a: usize, b: usize| edge_index[&(a.min(b), a.max(b))];
+    let edge_index = EdgeIndex::new(g);
+    let index_of = |a: usize, b: usize| edge_index.id(g, a, b);
 
     let before = src.bits_drawn();
-    let mut forward: Vec<bool> = (0..edges.len()).map(|_| src.next_bit()).collect();
+    let mut forward: Vec<bool> = (0..g.edge_count()).map(|_| src.next_bit()).collect();
     let mut meter = CostMeter::default();
 
     for _ in 0..max_rounds {
@@ -141,14 +177,10 @@ pub fn randomized_sinkless(
 /// and is exempt). Hence this function always succeeds; the `Option` is kept
 /// for API symmetry and future constrained variants.
 pub fn deterministic_sinkless(g: &Graph) -> Option<SinklessOutcome> {
-    let edges: Vec<(usize, usize)> = g.edges().collect();
-    let mut forward = vec![true; edges.len()];
-    let mut edge_index = std::collections::BTreeMap::new();
-    for (e, &(u, v)) in edges.iter().enumerate() {
-        edge_index.insert((u, v), e);
-    }
+    let mut forward = vec![true; g.edge_count()];
+    let edge_index = EdgeIndex::new(g);
     let orient = |forward: &mut Vec<bool>, from: usize, to: usize| {
-        let e = edge_index[&(from.min(to), from.max(to))];
+        let e = edge_index.id(g, from, to);
         forward[e] = from < to;
     };
 
@@ -340,6 +372,24 @@ mod tests {
         let o = Orientation::new(vec![false; g.edge_count()]);
         assert!(o.is_sinkless(&g));
         assert!(check_sinkless(&g, &o).accepted());
+    }
+
+    #[test]
+    fn edge_index_agrees_with_edges_enumeration() {
+        let mut p = SplitMix64::new(147);
+        for g in [
+            Graph::gnp_connected(60, 0.07, &mut p),
+            Graph::complete(7),
+            Graph::star(9),
+            Graph::path(5),
+            Graph::empty(4),
+        ] {
+            let idx = EdgeIndex::new(&g);
+            for (e, (u, v)) in g.edges().enumerate() {
+                assert_eq!(idx.id(&g, u, v), e);
+                assert_eq!(idx.id(&g, v, u), e);
+            }
+        }
     }
 
     #[test]

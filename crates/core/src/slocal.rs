@@ -13,14 +13,21 @@
 //! "decomposition ⇒ everything in P-SLOCAL (= P-RLOCAL [GHK18])" works; the
 //! consumers in [`crate::mis`]/[`crate::coloring`] are special cases with
 //! `r = 1`. This module implements the general reduction with the cost
-//! accounting of the theorem.
+//! accounting of the theorem — and at the theorem's parallelism: the fast
+//! path never materializes `G^{2r+1}` (validation goes through
+//! [`Decomposition::validate_weak_power`]'s lazy ball scans and scratch-BFS
+//! weak diameters), every SLOCAL step costs `O(ball)` via the arena-backed
+//! [`SlocalRunner`], and [`run_slocal_via_decomposition_threads`] executes
+//! each color class's clusters across scoped threads with bit-identical
+//! outputs. The quadratic original is retained as
+//! [`reference_run_slocal_via_decomposition`] for differential testing.
 
-use crate::decomposition::types::Decomposition;
-use locality_graph::metrics::weak_diameter;
-use locality_graph::power::power_graph;
+use crate::decomposition::types::{DecompError, Decomposition};
+use locality_graph::metrics::{member_distances_with, reference_weak_diameter, DiameterScratch};
+use locality_graph::power::reference_power_graph;
 use locality_graph::Graph;
 use locality_sim::cost::CostMeter;
-use locality_sim::slocal::{BallView, SlocalRunner};
+use locality_sim::slocal::{BallView, SlocalRunner, SlocalScratch};
 
 /// Outcome of the reduction.
 #[derive(Debug, Clone)]
@@ -35,15 +42,145 @@ pub struct SlocalReductionOutcome<T> {
     pub order: Vec<usize>,
 }
 
+/// Everything the reduction derives from the decomposition before any step
+/// runs: the validated schedule and the round bill.
+struct ReductionPlan {
+    order: Vec<usize>,
+    /// `(color, cluster ids ascending)` in ascending color order.
+    classes: Vec<(usize, Vec<u32>)>,
+    rounds: u64,
+}
+
+/// Exact weak diameter of `members` by farthest-first refinement: one BFS
+/// from the first member gives the distance profile and the bound
+/// `W ≤ 2·max d`; members are then swept in descending first-distance order,
+/// stopping once `2·d_i ≤ best` — every unswept pair `{x, y}` has
+/// `d(x, y) ≤ d(x, u₁) + d(u₁, y) ≤ 2·d_i ≤ best`, so `best` is exact. On
+/// low-diameter graphs this is typically 2–3 BFS instead of `|members|`.
+fn exact_weak_diameter(
+    g: &Graph,
+    members: &[usize],
+    scratch: &mut DiameterScratch,
+    profile: &mut Vec<(u32, u32)>,
+    buf: &mut Vec<(u32, u32)>,
+) -> u32 {
+    let e1 = member_distances_with(g, members[0], members, scratch, profile)
+        .expect("validated clusters are weakly connected");
+    let mut best = e1;
+    profile.sort_unstable_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
+    for &(u, dist) in profile.iter() {
+        if 2 * dist <= best {
+            break;
+        }
+        let ecc = member_distances_with(g, u as usize, members, scratch, buf)
+            .expect("validated clusters are weakly connected");
+        best = best.max(ecc);
+    }
+    best
+}
+
+/// Validate `d` against `G^{2r+1}` (lazily — the power graph is never
+/// materialized) and lay out the schedule.
+///
+/// The round bill needs, per color, only the **maximum** weak diameter over
+/// the class's clusters, so the plan computes one member-profile BFS per
+/// cluster (which doubles as the weak-connectivity check) and runs the exact
+/// [`exact_weak_diameter`] sweep only on clusters whose `2·ecc` upper bound
+/// beats the running class maximum — skipped clusters provably cannot raise
+/// it. The resulting rounds equal the reference's member-by-member
+/// computation exactly.
+///
+/// # Panics
+/// Panics if the decomposition is not weak-diameter valid for `G^{2r+1}` —
+/// the same condition the reference path's materialized
+/// `validate_weak(&power_graph(g, 2r+1))` enforces.
+fn plan_reduction(g: &Graph, r: u32, d: &Decomposition) -> ReductionPlan {
+    let k = 2 * r + 1;
+    let clustering = d.clustering();
+    let check: Result<(), DecompError> = (|| {
+        if clustering.node_count() != g.node_count() {
+            return Err(DecompError::WrongGraph {
+                got: clustering.node_count(),
+                expected: g.node_count(),
+            });
+        }
+        if let Some(&node) = clustering.unclustered().first() {
+            return Err(DecompError::UnclusteredNode { node });
+        }
+        // Properness over G^{2r+1} edges, one lazy ball at a time (the same
+        // scan `Decomposition::validate_weak_power` runs; connectivity and
+        // diameters are handled below, fused with the round bill).
+        d.check_power_properness(g, k)
+    })();
+    check.expect("decomposition must be valid for G^(2r+1)");
+
+    // One BFS per cluster: the member distance profile from the first member
+    // (its maximum `ecc1` lower-bounds the weak diameter, `2·ecc1` upper-
+    // bounds it) doubling as the weak-connectivity check.
+    let mut scratch = DiameterScratch::new(g.node_count());
+    let mut profile: Vec<(u32, u32)> = Vec::new();
+    let mut buf: Vec<(u32, u32)> = Vec::new();
+    let ecc1: Vec<u32> = (0..clustering.cluster_count())
+        .map(|c| {
+            let members = clustering.members(c);
+            member_distances_with(g, members[0], members, &mut scratch, &mut profile)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "decomposition must be valid for G^(2r+1): {:?}",
+                        DecompError::DisconnectedCluster { cluster: c }
+                    )
+                })
+        })
+        .collect();
+
+    let mut order: Vec<usize> = g.nodes().collect();
+    order.sort_by_key(|&v| {
+        let c = clustering.cluster_of(v).expect("total");
+        (d.color_of_cluster(c), c, v)
+    });
+
+    let classes = crate::consume::group_by_color(d);
+    let mut rounds = 0u64;
+    for (_, clusters) in &classes {
+        let mut worst = clusters
+            .iter()
+            .map(|&c| ecc1[c as usize])
+            .max()
+            .unwrap_or(0);
+        for &c in clusters {
+            if 2 * ecc1[c as usize] > worst {
+                let w = exact_weak_diameter(
+                    g,
+                    clustering.members(c as usize),
+                    &mut scratch,
+                    &mut profile,
+                    &mut buf,
+                );
+                worst = worst.max(w);
+            }
+        }
+        rounds += u64::from(worst) + 2 * u64::from(r) + 2;
+    }
+
+    ReductionPlan {
+        order,
+        classes,
+        rounds,
+    }
+}
+
 /// Run an SLOCAL algorithm of locality `r` in the LOCAL model using a
 /// decomposition of `G^{2r+1}`.
 ///
 /// `step` is the SLOCAL step function, executed under mechanical locality
-/// enforcement ([`SlocalRunner`]).
+/// enforcement ([`SlocalRunner`]) — sequentially here (the `FnMut` contract
+/// allows stateful steps); [`run_slocal_via_decomposition_threads`] runs the
+/// color classes in parallel for stateless steps, with identical output.
 ///
 /// # Panics
 /// Panics if `decomp_of_power` is not a valid decomposition of `G^{2r+1}`
-/// (weak-diameter validation), or if the SLOCAL step reads outside its ball.
+/// (weak-diameter validation, performed lazily — the power graph is never
+/// materialized), or if the SLOCAL step reads outside its ball.
 ///
 /// # Example
 /// ```
@@ -59,7 +196,6 @@ pub struct SlocalReductionOutcome<T> {
 /// let out = run_slocal_via_decomposition(&g, 1, &d, |view| {
 ///     !view
 ///         .neighbors(view.center())
-///         .into_iter()
 ///         .any(|u| view.output(u).copied().unwrap_or(false))
 /// });
 /// // The output is a valid MIS of g.
@@ -76,9 +212,131 @@ pub fn run_slocal_via_decomposition<T, F>(
 where
     F: FnMut(&BallView<'_, T>) -> T,
 {
-    let gp = power_graph(g, 2 * r + 1);
-    decomp_of_power
-        .validate_weak(&gp)
+    let plan = plan_reduction(g, r, decomp_of_power);
+    let runner = SlocalRunner::new(g, r);
+    let (outputs, _stats) = runner.run(&plan.order, step);
+    SlocalReductionOutcome {
+        outputs,
+        meter: CostMeter::rounds_only(plan.rounds),
+        order: plan.order,
+    }
+}
+
+/// [`run_slocal_via_decomposition`] with each color class's clusters
+/// executed across `threads` scoped threads (`0` = all available) over
+/// fixed cluster buckets. Same-color clusters of a `G^{2r+1}` decomposition
+/// are more than `2r+1` apart in `G`, so their radius-`r` read balls —
+/// and hence their reads and writes — are disjoint: outputs are
+/// bit-identical to the sequential path for every thread count (re-checked
+/// on every call under the `determinism-checks` cargo feature).
+///
+/// The step function must be stateless across calls (`Fn`), and outputs
+/// cross thread boundaries, hence the extra bounds.
+///
+/// # Panics
+/// As [`run_slocal_via_decomposition`].
+pub fn run_slocal_via_decomposition_threads<T, F>(
+    g: &Graph,
+    r: u32,
+    decomp_of_power: &Decomposition,
+    threads: usize,
+    step: F,
+) -> SlocalReductionOutcome<T>
+where
+    T: Send + Sync + PartialEq + std::fmt::Debug,
+    F: Fn(&BallView<'_, T>) -> T + Sync,
+{
+    let result = reduction_parallel(g, r, decomp_of_power, threads, &step);
+    #[cfg(feature = "determinism-checks")]
+    {
+        let sequential = run_slocal_via_decomposition(g, r, decomp_of_power, &step);
+        assert_eq!(
+            result.outputs, sequential.outputs,
+            "determinism check: parallel reduction diverged from sequential"
+        );
+        assert_eq!(result.meter, sequential.meter);
+        assert_eq!(result.order, sequential.order);
+    }
+    result
+}
+
+fn reduction_parallel<T, F>(
+    g: &Graph,
+    r: u32,
+    d: &Decomposition,
+    threads: usize,
+    step: &F,
+) -> SlocalReductionOutcome<T>
+where
+    T: Send + Sync,
+    F: Fn(&BallView<'_, T>) -> T + Sync,
+{
+    let plan = plan_reduction(g, r, d);
+    let threads = crate::consume::resolve_threads(threads);
+    let clustering = d.clustering();
+    let n = g.node_count();
+    let runner = SlocalRunner::new(g, r);
+    let mut outputs: Vec<Option<T>> = (0..n).map(|_| None).collect();
+
+    for (_, clusters) in &plan.classes {
+        let members_total: usize = clusters
+            .iter()
+            .map(|&c| clustering.members(c as usize).len())
+            .sum();
+        let parallel = members_total >= crate::consume::PARALLEL_MIN_MEMBERS;
+        let outputs_ref = &outputs;
+        let staged = crate::consume::process_clusters(
+            clusters,
+            threads,
+            parallel,
+            || SlocalScratch::new(n),
+            &|scratch: &mut SlocalScratch, c, out: &mut Vec<(u32, T)>| {
+                runner.process_span(
+                    scratch,
+                    outputs_ref,
+                    out,
+                    clustering.members(c as usize),
+                    step,
+                );
+            },
+        );
+        for bucket in staged {
+            for (v, value) in bucket {
+                outputs[v as usize] = Some(value);
+            }
+        }
+    }
+
+    SlocalReductionOutcome {
+        outputs: outputs
+            .into_iter()
+            .map(|o| o.expect("every node processed"))
+            .collect(),
+        meter: CostMeter::rounds_only(plan.rounds),
+        order: plan.order,
+    }
+}
+
+/// The pre-optimization reduction, retained as the differential oracle:
+/// materializes `G^{2r+1}` with the quadratic [`reference_power_graph`],
+/// validates against it with one full-`n` BFS per cluster member
+/// ([`reference_weak_diameter`], the pre-rewrite validator's cost), and
+/// charges rounds from full-`n`-BFS weak diameters — `O(n·(n + m_{G^k}))`
+/// before the first step runs.
+///
+/// # Panics
+/// As [`run_slocal_via_decomposition`].
+pub fn reference_run_slocal_via_decomposition<T, F>(
+    g: &Graph,
+    r: u32,
+    decomp_of_power: &Decomposition,
+    step: F,
+) -> SlocalReductionOutcome<T>
+where
+    F: FnMut(&BallView<'_, T>) -> T,
+{
+    let gp = reference_power_graph(g, 2 * r + 1);
+    reference_validate_weak(&gp, decomp_of_power)
         .expect("decomposition must be valid for G^(2r+1)");
     let clustering = decomp_of_power.clustering();
 
@@ -109,7 +367,7 @@ where
             if decomp_of_power.color_of_cluster(c) != color {
                 continue;
             }
-            let diam = weak_diameter(g, clustering.members(c)).unwrap_or(0) as u64;
+            let diam = reference_weak_diameter(g, clustering.members(c)).unwrap_or(0) as u64;
             worst = worst.max(diam);
         }
         rounds += worst + 2 * r as u64 + 2;
@@ -122,12 +380,49 @@ where
     }
 }
 
+/// The pre-rewrite weak validator, verbatim in cost and behavior: one
+/// full-`n` BFS per cluster member via [`reference_weak_diameter`] — kept
+/// here so the retained reference path stays an honest baseline instead of
+/// silently inheriting the scratch-BFS metrics.
+fn reference_validate_weak(gp: &Graph, d: &Decomposition) -> Result<(), DecompError> {
+    let clustering = d.clustering();
+    if clustering.node_count() != gp.node_count() {
+        return Err(DecompError::WrongGraph {
+            got: clustering.node_count(),
+            expected: gp.node_count(),
+        });
+    }
+    if let Some(&node) = clustering.unclustered().first() {
+        return Err(DecompError::UnclusteredNode { node });
+    }
+    for c in 0..clustering.cluster_count() {
+        if reference_weak_diameter(gp, clustering.members(c)).is_none() {
+            return Err(DecompError::DisconnectedCluster { cluster: c });
+        }
+    }
+    for (u, v) in gp.edges() {
+        let (cu, cv) = (
+            clustering.cluster_of(u).expect("total"),
+            clustering.cluster_of(v).expect("total"),
+        );
+        if cu != cv && d.color_of_cluster(cu) == d.color_of_cluster(cv) {
+            return Err(DecompError::AdjacentSameColor {
+                a: cu,
+                b: cv,
+                color: d.color_of_cluster(cu),
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::decomposition::ball_carving_decomposition;
     use crate::mis::verify_mis;
     use locality_graph::generators::Family;
+    use locality_graph::power::power_graph;
     use locality_rand::prng::SplitMix64;
 
     fn power_decomposition(g: &Graph, r: u32) -> Decomposition {
@@ -136,22 +431,63 @@ mod tests {
         ball_carving_decomposition(&gp, &order).decomposition
     }
 
+    fn greedy_mis_step(view: &BallView<'_, bool>) -> bool {
+        !view
+            .neighbors(view.center())
+            .any(|u| view.output(u).copied().unwrap_or(false))
+    }
+
     #[test]
     fn greedy_mis_runs_via_reduction_on_families() {
         let mut p = SplitMix64::new(151);
         for fam in [Family::Cycle, Family::Grid, Family::RandomTree] {
             let g = fam.generate(60, &mut p);
             let d = power_decomposition(&g, 1);
-            let out = run_slocal_via_decomposition(&g, 1, &d, |view| {
-                !view
-                    .neighbors(view.center())
-                    .into_iter()
-                    .any(|u| view.output(u).copied().unwrap_or(false))
-            });
+            let out = run_slocal_via_decomposition(&g, 1, &d, greedy_mis_step);
             verify_mis(&g, &out.outputs).unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
             assert!(out.meter.rounds > 0);
             assert_eq!(out.meter.random_bits, 0, "the reduction is deterministic");
         }
+    }
+
+    #[test]
+    fn fast_reduction_matches_reference() {
+        let mut p = SplitMix64::new(155);
+        for fam in [Family::Cycle, Family::Grid, Family::GnpSparse] {
+            let g = fam.generate(70, &mut p);
+            for r in [1u32, 2] {
+                let d = power_decomposition(&g, r);
+                let reference = reference_run_slocal_via_decomposition(&g, r, &d, greedy_mis_step);
+                let fast = run_slocal_via_decomposition(&g, r, &d, greedy_mis_step);
+                assert_eq!(fast.outputs, reference.outputs, "{} r={r}", fam.name());
+                assert_eq!(fast.meter, reference.meter, "{} r={r}", fam.name());
+                assert_eq!(fast.order, reference.order, "{} r={r}", fam.name());
+                for threads in [1usize, 3, 64] {
+                    let par =
+                        run_slocal_via_decomposition_threads(&g, r, &d, threads, greedy_mis_step);
+                    assert_eq!(
+                        par.outputs,
+                        reference.outputs,
+                        "{} r={r} t={threads}",
+                        fam.name()
+                    );
+                    assert_eq!(par.meter, reference.meter);
+                    assert_eq!(par.order, reference.order);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reduction_engages_threshold_and_matches() {
+        // Large enough that a color class crosses the parallel threshold.
+        let g = Graph::cycle(5000);
+        let d = power_decomposition(&g, 1);
+        let seq = run_slocal_via_decomposition(&g, 1, &d, greedy_mis_step);
+        let par = run_slocal_via_decomposition_threads(&g, 1, &d, 4, greedy_mis_step);
+        assert_eq!(par.outputs, seq.outputs);
+        assert_eq!(par.meter, seq.meter);
+        verify_mis(&g, &seq.outputs).unwrap();
     }
 
     #[test]
@@ -162,7 +498,6 @@ mod tests {
         let out = run_slocal_via_decomposition(&g, 1, &d, |view| {
             let used: Vec<usize> = view
                 .neighbors(view.center())
-                .into_iter()
                 .filter_map(|u| view.output(u).copied())
                 .collect();
             (0..).find(|c| !used.contains(c)).expect("free color")

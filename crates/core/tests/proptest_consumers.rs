@@ -1,0 +1,340 @@
+//! Differential tests for the scaled decomposition *consumers*: the fast
+//! bucket-parallel `via_decomposition` MIS/coloring and the lazy-power
+//! SLOCAL→LOCAL reduction must return results **identical** to the retained
+//! `reference_*` implementations — same labels, same meters, same order —
+//! on every input, for every thread count.
+//!
+//! A pinned golden corpus (captured from the pre-rewrite binary) additionally
+//! guards fast and reference paths against drifting together, and pins the
+//! worklist `luby` to the pre-worklist draw sequence.
+
+use locality_core::coloring;
+use locality_core::decomposition::ball_carving_decomposition;
+use locality_core::decomposition::types::Decomposition;
+use locality_core::mis;
+use locality_core::slocal::{
+    reference_run_slocal_via_decomposition, run_slocal_via_decomposition,
+    run_slocal_via_decomposition_threads,
+};
+use locality_graph::generators::Family;
+use locality_graph::power::power_graph;
+use locality_graph::Graph;
+use locality_rand::prng::SplitMix64;
+use locality_rand::source::PrngSource;
+use locality_sim::slocal::BallView;
+use proptest::prelude::*;
+
+fn carve(g: &Graph) -> Decomposition {
+    let order: Vec<usize> = (0..g.node_count()).collect();
+    ball_carving_decomposition(g, &order).decomposition
+}
+
+fn greedy_mis_step(view: &BallView<'_, bool>) -> bool {
+    !view
+        .neighbors(view.center())
+        .any(|u| view.output(u).copied().unwrap_or(false))
+}
+
+fn assert_consumers_identical(g: &Graph, ctx: &str) {
+    let d = carve(g);
+
+    let mis_ref = mis::reference_via_decomposition(g, &d);
+    let col_ref = coloring::reference_via_decomposition(g, &d);
+    for threads in [1usize, 2, 7] {
+        let m = mis::via_decomposition_threads(g, &d, threads);
+        assert_eq!(m.in_mis, mis_ref.in_mis, "{ctx}: MIS labels (t={threads})");
+        assert_eq!(m.meter, mis_ref.meter, "{ctx}: MIS meter (t={threads})");
+        let c = coloring::via_decomposition_threads(g, &d, threads);
+        assert_eq!(c.colors, col_ref.colors, "{ctx}: colors (t={threads})");
+        assert_eq!(
+            c.meter, col_ref.meter,
+            "{ctx}: coloring meter (t={threads})"
+        );
+    }
+
+    // The SLOCAL reduction over a decomposition of G^3 (locality 1).
+    let d3 = carve(&power_graph(g, 3));
+    let red_ref = reference_run_slocal_via_decomposition(g, 1, &d3, greedy_mis_step);
+    let red = run_slocal_via_decomposition(g, 1, &d3, greedy_mis_step);
+    assert_eq!(red.outputs, red_ref.outputs, "{ctx}: reduction outputs");
+    assert_eq!(red.meter, red_ref.meter, "{ctx}: reduction meter");
+    assert_eq!(red.order, red_ref.order, "{ctx}: reduction order");
+    for threads in [1usize, 3] {
+        let par = run_slocal_via_decomposition_threads(g, 1, &d3, threads, greedy_mis_step);
+        assert_eq!(
+            par.outputs, red_ref.outputs,
+            "{ctx}: parallel (t={threads})"
+        );
+        assert_eq!(par.meter, red_ref.meter, "{ctx}: parallel meter");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn gnp_consumers_match_reference(n in 4usize..60, p_mil in 20u64..300, seed in 0u64..1 << 20) {
+        let mut prng = SplitMix64::new(seed);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        assert_consumers_identical(&g, &format!("gnp n={n} p={p_mil}/1000 seed={seed}"));
+    }
+
+    #[test]
+    fn grid_consumers_match_reference(rows in 1usize..9, cols in 1usize..9) {
+        let g = Graph::grid(rows, cols);
+        assert_consumers_identical(&g, &format!("grid {rows}x{cols}"));
+    }
+
+    #[test]
+    fn ring_of_cliques_consumers_match_reference(k in 3usize..8, s in 1usize..6) {
+        let g = Graph::ring_of_cliques(k, s);
+        assert_consumers_identical(&g, &format!("ring_of_cliques k={k} s={s}"));
+    }
+
+    #[test]
+    fn luby_worklist_matches_across_seeds(n in 4usize..80, p_mil in 20u64..200, seed in 0u64..1 << 16) {
+        // The worklist keeps the draw sequence of the 0..n scan: two runs
+        // from the same source state agree bit for bit, and the bit count is
+        // exactly prio_bits per alive node per iteration.
+        let mut prng = SplitMix64::new(seed);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        let a = mis::luby(&g, &mut PrngSource::seeded(seed));
+        let b = mis::luby(&g, &mut PrngSource::seeded(seed));
+        prop_assert_eq!(&a.in_mis, &b.in_mis);
+        prop_assert_eq!(a.meter, b.meter);
+        mis::verify_mis(&g, &a.in_mis).unwrap();
+    }
+}
+
+/// FNV-1a over a u64 stream.
+fn fp(stream: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in stream {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Pinned corpus: every value below was captured from the **pre-rewrite**
+/// implementations (quadratic consumers, scan-based Luby) at the commit that
+/// introduced the fast paths. Fast and reference paths must both keep
+/// reproducing it exactly: `(name, mis fingerprint, mis rounds, coloring
+/// fingerprint, coloring rounds, luby fingerprint, luby rounds, luby random
+/// bits, reduction fingerprint, reduction rounds)`.
+#[test]
+fn golden_consumer_corpus_is_stable() {
+    #[allow(clippy::type_complexity)]
+    const GOLDEN: [(&str, u64, u64, u64, u64, u64, u64, u64, u64, u64); 11] = [
+        (
+            "gnp",
+            0x2007e5264a700fe5,
+            18,
+            0x6d8bad99b24d4506,
+            18,
+            0xe5a025624d1ea7e5,
+            4,
+            1008,
+            0x2007e5264a700fe5,
+            12,
+        ),
+        (
+            "tree",
+            0x8842717744525324,
+            12,
+            0xbdd36dc8af3b43a4,
+            12,
+            0xc82c618d2bd08145,
+            4,
+            1104,
+            0x8842717744525324,
+            22,
+        ),
+        (
+            "grid",
+            0x6162eaaf8ef90d05,
+            16,
+            0x7f42a465b9f0f9c5,
+            16,
+            0x3b4381afa5660b25,
+            4,
+            936,
+            0x6162eaaf8ef90d05,
+            27,
+        ),
+        (
+            "cycle",
+            0x51604310e8007b65,
+            8,
+            0xcedb61f77c475585,
+            8,
+            0x5620025d0bf69365,
+            4,
+            960,
+            0xa5062a7234b9e324,
+            20,
+        ),
+        (
+            "cliquering",
+            0x8a32fb5b9014e505,
+            14,
+            0x6feb0cbff3fb6645,
+            14,
+            0x3e82129d3f0375c5,
+            2,
+            864,
+            0x8a32fb5b9014e505,
+            14,
+        ),
+        (
+            "reg4",
+            0xb31bb18d4a0a7465,
+            16,
+            0x5d568dce5c8074c7,
+            16,
+            0x773062286f126ba5,
+            4,
+            1008,
+            0xb957533308087fa5,
+            20,
+        ),
+        (
+            "gnp80",
+            0x3cdc87fb90626384,
+            28,
+            0x4be01c7bf5d71127,
+            28,
+            0x2425b8f5debcfb45,
+            6,
+            3192,
+            0x967ccb9cade59285,
+            21,
+        ),
+        (
+            "grid8x8",
+            0x193996b388080725,
+            12,
+            0x0c3711eebc480725,
+            12,
+            0x475929be354c6d84,
+            4,
+            1752,
+            0x193996b388080725,
+            36,
+        ),
+        (
+            "ringcliques6x5",
+            0x49aa81c4e3d96ba5,
+            14,
+            0x1f977ce27475dc25,
+            14,
+            0x2ff3e39d75d51e45,
+            2,
+            600,
+            0x49aa81c4e3d96ba5,
+            14,
+        ),
+        (
+            "path20",
+            0xdcfb95737ee3dc44,
+            6,
+            0x31e1be1d46b9d4a4,
+            6,
+            0x0fdbcfd22a584c84,
+            4,
+            480,
+            0x3671b9c6679f6044,
+            13,
+        ),
+        (
+            "tree60",
+            0x548d3795d69ae424,
+            12,
+            0x7536fc8e250f0924,
+            12,
+            0x3530b0059d396824,
+            4,
+            1656,
+            0x64ee17893cee6464,
+            25,
+        ),
+    ];
+
+    let mut graphs: Vec<(String, Graph)> = Vec::new();
+    let mut seed = SplitMix64::new(41);
+    for fam in Family::ALL {
+        graphs.push((fam.name().to_string(), fam.generate(36, &mut seed)));
+    }
+    let mut p = SplitMix64::new(2024);
+    graphs.push(("gnp80".into(), Graph::gnp_connected(80, 0.04, &mut p)));
+    graphs.push(("grid8x8".into(), Graph::grid(8, 8)));
+    graphs.push(("ringcliques6x5".into(), Graph::ring_of_cliques(6, 5)));
+    graphs.push(("path20".into(), Graph::path(20)));
+    let mut p = SplitMix64::new(7);
+    graphs.push(("tree60".into(), Graph::random_tree(60, &mut p)));
+
+    assert_eq!(graphs.len(), GOLDEN.len());
+    for ((i, (name, g)), expect) in graphs.iter().enumerate().zip(GOLDEN) {
+        assert_eq!(name, expect.0, "corpus order");
+        let d = carve(g);
+
+        for (which, out) in [
+            ("fast", mis::via_decomposition(g, &d)),
+            ("reference", mis::reference_via_decomposition(g, &d)),
+        ] {
+            assert_eq!(
+                fp(out.in_mis.iter().map(|&b| b as u64)),
+                expect.1,
+                "{name} ({which}): MIS fingerprint"
+            );
+            assert_eq!(out.meter.rounds, expect.2, "{name} ({which}): MIS rounds");
+        }
+        for (which, out) in [
+            ("fast", coloring::via_decomposition(g, &d)),
+            ("reference", coloring::reference_via_decomposition(g, &d)),
+        ] {
+            assert_eq!(
+                fp(out.colors.iter().map(|&c| c as u64)),
+                expect.3,
+                "{name} ({which}): coloring fingerprint"
+            );
+            assert_eq!(
+                out.meter.rounds, expect.4,
+                "{name} ({which}): coloring rounds"
+            );
+        }
+
+        let luby = mis::luby(g, &mut PrngSource::seeded(1000 + i as u64));
+        assert_eq!(
+            fp(luby.in_mis.iter().map(|&b| b as u64)),
+            expect.5,
+            "{name}: luby fingerprint"
+        );
+        assert_eq!(luby.meter.rounds, expect.6, "{name}: luby rounds");
+        assert_eq!(luby.meter.random_bits, expect.7, "{name}: luby random bits");
+
+        let d3 = carve(&power_graph(g, 3));
+        for (which, out) in [
+            (
+                "fast",
+                run_slocal_via_decomposition(g, 1, &d3, greedy_mis_step),
+            ),
+            (
+                "reference",
+                reference_run_slocal_via_decomposition(g, 1, &d3, greedy_mis_step),
+            ),
+        ] {
+            assert_eq!(
+                fp(out.outputs.iter().map(|&b| b as u64)),
+                expect.8,
+                "{name} ({which}): reduction fingerprint"
+            );
+            assert_eq!(
+                out.meter.rounds, expect.9,
+                "{name} ({which}): reduction rounds"
+            );
+        }
+    }
+}

@@ -81,17 +81,20 @@ impl Clustering {
     }
 
     /// Build from raw (possibly sparse, arbitrary-id) labels, compacting the
-    /// ids to `0..k` in order of first appearance by smallest node.
+    /// ids to `0..k` in order of first appearance by smallest node
+    /// ([`LabelCompaction`] — flat sort-based remap, no tree-map).
     pub fn from_labels(labels: Vec<Option<usize>>) -> Self {
-        let mut remap = std::collections::BTreeMap::new();
-        let mut assignment = vec![None; labels.len()];
-        for (v, &l) in labels.iter().enumerate() {
-            if let Some(l) = l {
-                let next = remap.len();
-                let id = *remap.entry(l).or_insert(next);
-                assignment[v] = Some(id);
-            }
-        }
+        let compaction = LabelCompaction::new(
+            labels
+                .iter()
+                .enumerate()
+                .filter_map(|(v, &l)| l.map(|l| (l, v)))
+                .collect(),
+        );
+        let assignment: Vec<Option<usize>> = labels
+            .iter()
+            .map(|&l| l.map(|l| compaction.id_of(&l).expect("label present")))
+            .collect();
         Self::from_assignment(assignment).expect("compacted ids are contiguous")
     }
 
@@ -138,6 +141,80 @@ impl Clustering {
     /// The raw assignment slice.
     pub fn assignment(&self) -> &[Option<usize>] {
         &self.assignment
+    }
+}
+
+/// Flat-`Vec` compaction of arbitrary `Ord` labels to dense ids `0..k` in
+/// first-appearance order of an ascending node scan — i.e. a label's id is
+/// the rank of its smallest node among all labels' smallest nodes. Sort +
+/// binary search instead of the tree-map such scans used to rebuild; shared
+/// by [`Clustering::from_labels`] and the boosting pipeline's EN-label remap.
+///
+/// # Example
+/// ```
+/// use locality_graph::cluster::LabelCompaction;
+/// let c = LabelCompaction::new(vec![(17, 0), (5, 1), (17, 2)]);
+/// assert_eq!(c.id_count(), 2);
+/// assert_eq!(c.id_of(&17), Some(0)); // appears first (node 0)
+/// assert_eq!(c.id_of(&5), Some(1));
+/// assert_eq!(c.id_of(&9), None);
+/// assert_eq!(c.keys(), &[17, 5]); // in id order
+/// ```
+#[derive(Debug, Clone)]
+pub struct LabelCompaction<K> {
+    /// Distinct keys, sorted (binary-search domain).
+    sorted_keys: Vec<K>,
+    /// `id_of_sorted[i]` = compact id of `sorted_keys[i]`.
+    id_of_sorted: Vec<usize>,
+    /// Distinct keys in compact-id order.
+    keys_by_id: Vec<K>,
+}
+
+impl<K: Ord + Copy> LabelCompaction<K> {
+    /// Compact the `(key, node)` pairs.
+    pub fn new(mut pairs: Vec<(K, usize)>) -> Self {
+        pairs.sort_unstable();
+        // Distinct keys (sorted) with their smallest node; the smallest node
+        // is the first of each sorted group.
+        let mut sorted_keys: Vec<K> = Vec::new();
+        let mut rep: Vec<usize> = Vec::new();
+        for &(k, v) in &pairs {
+            if sorted_keys.last() != Some(&k) {
+                sorted_keys.push(k);
+                rep.push(v);
+            }
+        }
+        let mut order: Vec<usize> = (0..sorted_keys.len()).collect();
+        order.sort_unstable_by_key(|&i| rep[i]);
+        let mut id_of_sorted = vec![0usize; sorted_keys.len()];
+        let mut keys_by_id = Vec::with_capacity(sorted_keys.len());
+        for (id, &i) in order.iter().enumerate() {
+            id_of_sorted[i] = id;
+            keys_by_id.push(sorted_keys[i]);
+        }
+        Self {
+            sorted_keys,
+            id_of_sorted,
+            keys_by_id,
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn id_count(&self) -> usize {
+        self.sorted_keys.len()
+    }
+
+    /// Compact id of `key` (`O(log k)`), or `None` if it never appeared.
+    pub fn id_of(&self, key: &K) -> Option<usize> {
+        self.sorted_keys
+            .binary_search(key)
+            .ok()
+            .map(|i| self.id_of_sorted[i])
+    }
+
+    /// The distinct keys in compact-id order.
+    pub fn keys(&self) -> &[K] {
+        &self.keys_by_id
     }
 }
 

@@ -215,6 +215,45 @@ impl Graph {
     pub fn port_of(&self, v: usize, u: usize) -> Option<usize> {
         self.neighbors(v).binary_search(&u).ok()
     }
+
+    /// Assemble a graph directly from already-built CSR arrays, skipping the
+    /// builder's edge-list sort/dedup. The caller must supply a *symmetric*
+    /// adjacency with every neighbor list sorted and duplicate-free (checked
+    /// in debug builds). The mirror index is derived in one `O(n + m)` sweep:
+    /// scanning sources in ascending order visits each target `v`'s incoming
+    /// slots exactly in `v`'s own (sorted) port order, so the `k`-th sighting
+    /// of `v` mirrors `v`'s port `k`.
+    pub(crate) fn from_sorted_csr(offsets: Vec<usize>, adjacency: Vec<usize>) -> Self {
+        let n = offsets.len() - 1;
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().expect("nonempty offsets"), adjacency.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..n).all(|v| {
+            adjacency[offsets[v]..offsets[v + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
+        let mut mirror = vec![0usize; adjacency.len()];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for u in 0..n {
+            for s in offsets[u]..offsets[u + 1] {
+                let v = adjacency[s];
+                debug_assert!(v < n && v != u, "CSR entry out of range or self-loop");
+                mirror[s] = cursor[v];
+                cursor[v] += 1;
+            }
+        }
+        debug_assert!(
+            (0..n).all(|v| cursor[v] == offsets[v + 1]),
+            "asymmetric CSR"
+        );
+        debug_assert!((0..adjacency.len()).all(|s| mirror[mirror[s]] == s));
+        Graph {
+            offsets,
+            adjacency,
+            mirror,
+        }
+    }
 }
 
 /// Incremental builder for [`Graph`] (see `C-BUILDER`).

@@ -54,8 +54,12 @@ pub mod prelude {
     pub use crate::components::{connected_components, is_connected};
     pub use crate::graph::{Graph, GraphBuilder, GraphError};
     pub use crate::ids::IdAssignment;
-    pub use crate::metrics::{diameter, eccentricity};
-    pub use crate::power::power_graph;
+    pub use crate::metrics::{
+        diameter, eccentricity, induced_diameter, weak_diameter, DiameterScratch,
+    };
+    pub use crate::power::{power_graph, PowerView};
     pub use crate::subgraph::InducedSubgraph;
-    pub use crate::traversal::{ball, bfs_distances, bounded_bfs_distances, multi_source_bfs};
+    pub use crate::traversal::{
+        ball, bfs_distances, bfs_visited, bounded_bfs_distances, multi_source_bfs, BfsScratch,
+    };
 }

@@ -2,13 +2,23 @@
 //!
 //! `G^k` joins every pair of distinct nodes at distance `≤ k` in `G`. The
 //! derandomization theory of [GKM17, GHK18] runs network decomposition on a
-//! polylogarithmic power of the input graph, so the experiments need this.
+//! polylogarithmic power of the input graph, so the experiments need this —
+//! and the SLOCAL→LOCAL reduction needs it at scale, where materializing
+//! `G^k` by scanning all `n` candidate endpoints per source (the retained
+//! [`reference_power_graph`]) is quadratic. Two scalable forms:
+//!
+//! - [`power_graph`] materializes `G^k` in `O(Σ_v |B(v, k)| · log)` by
+//!   writing each source's BFS ball straight into flat CSR buffers (scratch
+//!   BFS, no per-source full-`n` pass, no edge-list sort);
+//! - [`PowerView`] answers per-node ball queries lazily without building the
+//!   power graph at all — the consumer-side validation of a power-graph
+//!   decomposition only ever needs one ball at a time.
 
 use crate::graph::{Graph, GraphBuilder};
-use crate::traversal::bounded_bfs_distances;
+use crate::traversal::{bfs_visited, bounded_bfs_distances, BfsScratch};
 
-/// Compute `G^k` (BFS from every node with cutoff `k`; `O(n·(n + m))` in the
-/// worst case, intended for the simulation scales of this workspace).
+/// Compute `G^k` (BFS ball from every node with cutoff `k`, written directly
+/// into CSR buffers; `O(Σ_v |B(v, k)| · log |B|)` total).
 ///
 /// # Example
 /// ```
@@ -26,6 +36,36 @@ pub fn power_graph(g: &Graph, k: u32) -> Graph {
     if k == 1 {
         return g.clone();
     }
+    let n = g.node_count();
+    let mut scratch = BfsScratch::new(n);
+    let mut ball: Vec<(u32, u32)> = Vec::new();
+    let mut nbrs: Vec<usize> = Vec::new();
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut adjacency: Vec<usize> = Vec::new();
+    for u in 0..n {
+        bfs_visited(g, u, k, &mut scratch, &mut ball);
+        nbrs.clear();
+        nbrs.extend(ball.iter().map(|&(v, _)| v as usize).filter(|&v| v != u));
+        nbrs.sort_unstable();
+        adjacency.extend_from_slice(&nbrs);
+        offsets.push(adjacency.len());
+    }
+    Graph::from_sorted_csr(offsets, adjacency)
+}
+
+/// The pre-optimization `G^k` construction, retained as the differential
+/// oracle for [`power_graph`]: a bounded BFS from every node followed by a
+/// full `O(n)` endpoint scan — `O(n·(n + m))`, only viable to a few thousand
+/// nodes.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn reference_power_graph(g: &Graph, k: u32) -> Graph {
+    assert!(k >= 1, "power_graph: k must be at least 1");
+    if k == 1 {
+        return g.clone();
+    }
     let mut b = GraphBuilder::new(g.node_count());
     for u in g.nodes() {
         let dist = bounded_bfs_distances(g, u, k);
@@ -38,10 +78,86 @@ pub fn power_graph(g: &Graph, k: u32) -> Graph {
     b.build()
 }
 
+/// A lazy view of `G^k`: per-node capped-`k` ball queries backed by a
+/// reusable [`BfsScratch`], so consumers that only ever walk one power-graph
+/// neighborhood at a time (properness checks, lazy reductions) pay
+/// `O(|B(v, k)|)` per query and never materialize the `O(Σ |B|)` edge set.
+///
+/// # Example
+/// ```
+/// use locality_graph::power::PowerView;
+/// use locality_graph::prelude::*;
+///
+/// let g = Graph::path(5);
+/// let mut view = PowerView::new(&g, 2);
+/// let ball: Vec<(u32, u32)> = view.ball_of(0).to_vec();
+/// assert_eq!(ball, vec![(0, 0), (1, 1), (2, 2)]);
+/// assert_eq!(view.power_degree(2), 4);
+/// ```
+#[derive(Debug)]
+pub struct PowerView<'g> {
+    g: &'g Graph,
+    k: u32,
+    scratch: BfsScratch,
+    ball: Vec<(u32, u32)>,
+}
+
+impl<'g> PowerView<'g> {
+    /// A view of `G^k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(g: &'g Graph, k: u32) -> Self {
+        assert!(k >= 1, "PowerView: k must be at least 1");
+        Self {
+            g,
+            k,
+            scratch: BfsScratch::new(g.node_count()),
+            ball: Vec::new(),
+        }
+    }
+
+    /// The power `k` this view answers for.
+    pub fn power(&self) -> u32 {
+        self.k
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The ball `B_G(v, k)` as `(node, dist)` pairs in BFS order (so `(v, 0)`
+    /// first). The slice borrows the view's internal buffer and is valid
+    /// until the next query.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn ball_of(&mut self, v: usize) -> &[(u32, u32)] {
+        bfs_visited(self.g, v, self.k, &mut self.scratch, &mut self.ball);
+        &self.ball
+    }
+
+    /// Degree of `v` in `G^k` (`|B(v, k)| − 1`).
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn power_degree(&mut self, v: usize) -> usize {
+        self.ball_of(v).len() - 1
+    }
+
+    /// Materialize the full power graph ([`power_graph`]).
+    pub fn materialize(&self) -> Graph {
+        power_graph(self.g, self.k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generators::Family;
     use crate::traversal::distance;
+    use locality_rand::prng::SplitMix64;
 
     #[test]
     fn power_one_is_identity() {
@@ -79,5 +195,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fast_matches_reference_on_families() {
+        let mut p = SplitMix64::new(77);
+        for fam in Family::ALL {
+            let g = fam.generate(40, &mut p);
+            for k in [1u32, 2, 3, 5] {
+                assert_eq!(
+                    power_graph(&g, k),
+                    reference_power_graph(&g, k),
+                    "{} k={k}",
+                    fam.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_view_balls_match_materialized_neighborhoods() {
+        let mut p = SplitMix64::new(79);
+        let g = Graph::gnp_connected(60, 0.05, &mut p);
+        let k = 3;
+        let gk = power_graph(&g, k);
+        let mut view = PowerView::new(&g, k);
+        assert_eq!(view.power(), k);
+        for v in g.nodes() {
+            let mut from_ball: Vec<usize> = view
+                .ball_of(v)
+                .iter()
+                .map(|&(u, _)| u as usize)
+                .filter(|&u| u != v)
+                .collect();
+            from_ball.sort_unstable();
+            assert_eq!(from_ball, gk.neighbors(v).to_vec(), "node {v}");
+            assert_eq!(view.power_degree(v), gk.degree(v));
+            // Distances in the ball are genuine G-distances.
+            for &(u, d) in view.ball_of(v) {
+                assert_eq!(distance(&g, v, u as usize), Some(d));
+            }
+        }
+        assert_eq!(view.materialize(), gk);
+    }
+
+    #[test]
+    #[should_panic]
+    fn power_view_rejects_zero() {
+        let _ = PowerView::new(&Graph::path(2), 0);
     }
 }

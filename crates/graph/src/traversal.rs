@@ -172,6 +172,49 @@ impl BfsScratch {
     }
 }
 
+/// Bounded BFS from `src` over the whole graph, reporting only the visited
+/// ball as `(node, dist)` pairs in BFS order — [`bfs_visited_within`] minus
+/// the alive mask (every node passable). Same scratch discipline: no
+/// full-`n` allocation per call, touched entries restored on exit.
+///
+/// # Panics
+/// Panics if `src` is out of range, or if the scratch was built for a
+/// different node count.
+pub fn bfs_visited(
+    g: &Graph,
+    src: usize,
+    radius: u32,
+    scratch: &mut BfsScratch,
+    out: &mut Vec<(u32, u32)>,
+) {
+    assert!(src < g.node_count(), "bfs source out of range");
+    assert_eq!(
+        scratch.dist.len(),
+        g.node_count(),
+        "scratch sized for a different graph"
+    );
+    out.clear();
+    scratch.dist[src] = 0;
+    scratch.queue.push_back(src);
+    out.push((src as u32, 0));
+    while let Some(u) = scratch.queue.pop_front() {
+        let du = scratch.dist[u];
+        if du >= radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if scratch.dist[v] == u32::MAX {
+                scratch.dist[v] = du + 1;
+                scratch.queue.push_back(v);
+                out.push((v as u32, du + 1));
+            }
+        }
+    }
+    for &(v, _) in out.iter() {
+        scratch.dist[v as usize] = u32::MAX;
+    }
+}
+
 /// Bounded BFS from `src` within the sub-universe `alive`, reporting **only
 /// the visited ball**: `(node, dist)` pairs in BFS order (ascending distance,
 /// sources first) are appended to `out` after clearing it. Distances agree
@@ -336,6 +379,21 @@ mod tests {
                 assert_eq!(seen, reference, "src {src} radius {radius}");
                 // BFS order: distances are non-decreasing.
                 assert!(ball.windows(2).all(|w| w[0].1 <= w[1].1));
+            }
+        }
+    }
+
+    #[test]
+    fn visited_matches_visited_within_all_alive() {
+        let g = Graph::grid(4, 7);
+        let alive = vec![true; g.node_count()];
+        let mut scratch = BfsScratch::new(g.node_count());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for radius in [0u32, 1, 3, u32::MAX] {
+            for src in g.nodes() {
+                bfs_visited(&g, src, radius, &mut scratch, &mut a);
+                bfs_visited_within(&g, src, &alive, radius, &mut scratch, &mut b);
+                assert_eq!(a, b, "src {src} radius {radius}");
             }
         }
     }

@@ -78,6 +78,6 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineError, Mode, Run};
     pub use crate::executor::{BatchProtocol, Control, Executor, Inbox, Outlet};
     pub use crate::node::{NodeContext, Outbox, Protocol, Step};
-    pub use crate::slocal::{SlocalRunner, SlocalStats};
+    pub use crate::slocal::{BallView, SlocalRunner, SlocalScratch, SlocalStats};
     pub use crate::wire::WireSize;
 }

@@ -11,9 +11,19 @@
 //! [`SlocalRunner`] enforces the model mechanically: the per-node closure
 //! receives a [`BallView`] that only exposes nodes within the declared
 //! locality, and the runner records the maximal locality actually used.
+//!
+//! A step costs `O(|ball|)`, not `O(n)`: the runner BFSes into a reusable
+//! [`SlocalScratch`] whose epoch-stamped distance array answers
+//! [`BallView::distance`] in `O(1)` and is invalidated by bumping the epoch —
+//! no per-step allocation, no per-step clearing (the pattern that lets the
+//! decomposition consumers run at `10⁶` nodes). [`SlocalRunner::process_span`]
+//! is the bulk entry point for the [GKM17] reduction: it executes one
+//! cluster's members against a frozen output snapshot, staging the new
+//! outputs in an overlay — same-color clusters have disjoint read balls, so
+//! spans can run in any order (or on different threads) and merge after.
 
-use locality_graph::traversal::bounded_bfs_distances;
 use locality_graph::Graph;
+use std::collections::VecDeque;
 
 /// Statistics of an SLOCAL execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,13 +36,75 @@ pub struct SlocalStats {
     pub steps: usize,
 }
 
+/// Reusable working memory for SLOCAL steps: an epoch-stamped distance
+/// array (bumping the epoch invalidates every entry in `O(1)`), the BFS
+/// queue, and the current ball as packed `(node, dist)` pairs in BFS order.
+#[derive(Debug, Clone)]
+pub struct SlocalScratch {
+    stamp: Vec<u64>,
+    dist: Vec<u32>,
+    epoch: u64,
+    queue: VecDeque<u32>,
+    ball: Vec<(u32, u32)>,
+}
+
+impl SlocalScratch {
+    /// Scratch for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            dist: vec![0; n],
+            epoch: 0,
+            queue: VecDeque::new(),
+            ball: Vec::new(),
+        }
+    }
+
+    /// Number of nodes this scratch is sized for.
+    pub fn node_count(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// BFS the radius-`r` ball around `v`, stamping distances for the
+    /// current epoch and recording the ball in BFS order.
+    fn fill_ball(&mut self, g: &Graph, v: usize, r: u32) {
+        self.epoch += 1;
+        self.ball.clear();
+        self.queue.clear();
+        self.stamp[v] = self.epoch;
+        self.dist[v] = 0;
+        self.ball.push((v as u32, 0));
+        self.queue.push_back(v as u32);
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u as usize];
+            if du >= r {
+                continue;
+            }
+            for &w in g.neighbors(u as usize) {
+                if self.stamp[w] != self.epoch {
+                    self.stamp[w] = self.epoch;
+                    self.dist[w] = du + 1;
+                    self.ball.push((w as u32, du + 1));
+                    self.queue.push_back(w as u32);
+                }
+            }
+        }
+    }
+}
+
 /// Read-only view of the radius-`r` ball around the node being processed.
 #[derive(Debug)]
 pub struct BallView<'a, T> {
     graph: &'a Graph,
     center: usize,
-    dist: Vec<Option<u32>>,
+    stamp: &'a [u64],
+    dist: &'a [u32],
+    epoch: u64,
+    ball: &'a [(u32, u32)],
     outputs: &'a [Option<T>],
+    /// Outputs written by the current span but not yet merged into
+    /// `outputs`, sorted by node (members are processed in ascending order).
+    overlay: &'a [(u32, T)],
 }
 
 impl<'a, T> BallView<'a, T> {
@@ -43,7 +115,11 @@ impl<'a, T> BallView<'a, T> {
 
     /// Distance from the center, if within the locality radius.
     pub fn distance(&self, v: usize) -> Option<u32> {
-        self.dist.get(v).copied().flatten()
+        if v < self.stamp.len() && self.stamp[v] == self.epoch {
+            Some(self.dist[v])
+        } else {
+            None
+        }
     }
 
     /// Whether `v` is visible (within the ball).
@@ -51,27 +127,35 @@ impl<'a, T> BallView<'a, T> {
         self.distance(v).is_some()
     }
 
+    /// Number of nodes in the ball.
+    pub fn ball_size(&self) -> usize {
+        self.ball.len()
+    }
+
+    /// The ball as `(node, dist)` pairs in BFS order, without allocating.
+    pub fn ball_nodes(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.ball.iter().map(|&(v, d)| (v as usize, d))
+    }
+
     /// The nodes of the ball in (distance, index) order.
     pub fn nodes(&self) -> Vec<usize> {
-        let mut nodes: Vec<usize> = (0..self.dist.len())
-            .filter(|&v| self.dist[v].is_some())
-            .collect();
+        let mut nodes: Vec<usize> = self.ball.iter().map(|&(v, _)| v as usize).collect();
         nodes.sort_by_key(|&v| (self.dist[v], v));
         nodes
     }
 
-    /// Neighbors of a visible node `v` that are themselves visible.
+    /// Neighbors of a visible node `v` that are themselves visible, in
+    /// ascending index order, without allocating.
     ///
     /// # Panics
     /// Panics if `v` is outside the ball (reading it would violate SLOCAL).
-    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
         assert!(self.contains(v), "SLOCAL violation: node {v} outside ball");
         self.graph
             .neighbors(v)
             .iter()
             .copied()
             .filter(|&u| self.contains(u))
-            .collect()
     }
 
     /// The already-written output of a visible node, if any.
@@ -80,6 +164,9 @@ impl<'a, T> BallView<'a, T> {
     /// Panics if `v` is outside the ball.
     pub fn output(&self, v: usize) -> Option<&T> {
         assert!(self.contains(v), "SLOCAL violation: node {v} outside ball");
+        if let Ok(i) = self.overlay.binary_search_by_key(&(v as u32), |&(u, _)| u) {
+            return Some(&self.overlay[i].1);
+        }
         self.outputs[v].as_ref()
     }
 }
@@ -99,7 +186,6 @@ impl<'a, T> BallView<'a, T> {
 /// let (colors, stats) = SlocalRunner::new(&g, 1).run(&order, |view| {
 ///     let used: Vec<usize> = view
 ///         .neighbors(view.center())
-///         .into_iter()
 ///         .filter_map(|u| view.output(u).copied())
 ///         .collect();
 ///     (0..).find(|c| !used.contains(c)).expect("some color is free")
@@ -122,6 +208,8 @@ impl<'a> SlocalRunner<'a> {
     }
 
     /// Process every node of `order` once, in order, writing its output.
+    /// One [`SlocalScratch`] is reused across all steps, so the per-step
+    /// cost is `O(|ball|)` with zero allocation inside the loop.
     ///
     /// # Panics
     /// Panics if `order` is not a permutation of the nodes.
@@ -137,6 +225,7 @@ impl<'a> SlocalRunner<'a> {
             seen[v] = true;
         }
 
+        let mut scratch = SlocalScratch::new(n);
         let mut outputs: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let mut stats = SlocalStats {
             locality: self.locality,
@@ -144,15 +233,18 @@ impl<'a> SlocalRunner<'a> {
             steps: 0,
         };
         for &v in order {
-            let dist = bounded_bfs_distances(self.graph, v, self.locality);
-            let ball_size = dist.iter().flatten().count();
-            stats.max_ball_size = stats.max_ball_size.max(ball_size);
+            scratch.fill_ball(self.graph, v, self.locality);
+            stats.max_ball_size = stats.max_ball_size.max(scratch.ball.len());
             stats.steps += 1;
             let view = BallView {
                 graph: self.graph,
                 center: v,
-                dist,
+                stamp: &scratch.stamp,
+                dist: &scratch.dist,
+                epoch: scratch.epoch,
+                ball: &scratch.ball,
                 outputs: &outputs,
+                overlay: &[],
             };
             let out = step(&view);
             outputs[v] = Some(out);
@@ -162,6 +254,64 @@ impl<'a> SlocalRunner<'a> {
             .map(|o| o.expect("every node processed"))
             .collect();
         (outputs, stats)
+    }
+
+    /// Bulk entry point for the [GKM17] reduction: process `members` (one
+    /// cluster, ascending node order) against the frozen snapshot `outputs`,
+    /// appending each new output to `staged` instead of writing it back.
+    /// Later members of the span see earlier ones through the overlay; the
+    /// snapshot is never mutated, so spans whose read balls are disjoint —
+    /// same-color clusters of a `G^{2r+1}` decomposition — can execute in any
+    /// order, or on different threads each with its own scratch, and merge
+    /// their staged outputs afterwards.
+    ///
+    /// Returns the largest ball size any step read.
+    ///
+    /// # Panics
+    /// Panics if `members` is not strictly ascending or a member is out of
+    /// range, or if the scratch was built for a different node count.
+    pub fn process_span<T, F>(
+        &self,
+        scratch: &mut SlocalScratch,
+        outputs: &[Option<T>],
+        staged: &mut Vec<(u32, T)>,
+        members: &[usize],
+        mut step: F,
+    ) -> usize
+    where
+        F: FnMut(&BallView<'_, T>) -> T,
+    {
+        let n = self.graph.node_count();
+        assert_eq!(
+            scratch.node_count(),
+            n,
+            "scratch sized for a different graph"
+        );
+        assert_eq!(outputs.len(), n, "outputs must cover all nodes");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "span members must be strictly ascending"
+        );
+        let staged_base = staged.len();
+        let mut max_ball = 0usize;
+        for &v in members {
+            assert!(v < n, "span member out of range");
+            scratch.fill_ball(self.graph, v, self.locality);
+            max_ball = max_ball.max(scratch.ball.len());
+            let view = BallView {
+                graph: self.graph,
+                center: v,
+                stamp: &scratch.stamp,
+                dist: &scratch.dist,
+                epoch: scratch.epoch,
+                ball: &scratch.ball,
+                outputs,
+                overlay: &staged[staged_base..],
+            };
+            let out = step(&view);
+            staged.push((v as u32, out));
+        }
+        max_ball
     }
 }
 
@@ -175,7 +325,6 @@ mod tests {
             // Join the MIS iff no already-processed neighbor joined.
             !view
                 .neighbors(view.center())
-                .into_iter()
                 .any(|u| view.output(u).copied().unwrap_or(false))
         });
         assert_eq!(stats.locality, 1);
@@ -258,8 +407,62 @@ mod tests {
         let (_, _) = runner.run(&order, |view: &BallView<'_, u8>| {
             if view.center() == 0 {
                 assert_eq!(view.nodes(), vec![0, 1, 2, 3, 4]);
+                assert_eq!(view.ball_size(), 5);
+                assert_eq!(view.ball_nodes().next(), Some((0, 0)));
             }
             0u8
         });
+    }
+
+    #[test]
+    fn distance_out_of_range_is_none() {
+        let g = Graph::path(3);
+        let runner = SlocalRunner::new(&g, 1);
+        let order = vec![0, 1, 2];
+        let (_, _) = runner.run(&order, |view: &BallView<'_, u8>| {
+            assert_eq!(view.distance(99), None);
+            assert!(!view.contains(99));
+            0u8
+        });
+    }
+
+    #[test]
+    fn span_overlay_matches_sequential_run() {
+        // Greedy MIS over a path, processed as two spans whose members
+        // interleave with the frozen snapshot: the staged outputs must give
+        // the same result as the plain sequential run over the same order.
+        let g = Graph::path(8);
+        let order: Vec<usize> = (0..8).collect();
+        let expected = greedy_mis(&g, &order);
+
+        let runner = SlocalRunner::new(&g, 1);
+        let mut scratch = SlocalScratch::new(8);
+        let mut outputs: Vec<Option<bool>> = vec![None; 8];
+        let step = |view: &BallView<'_, bool>| {
+            !view
+                .neighbors(view.center())
+                .any(|u| view.output(u).copied().unwrap_or(false))
+        };
+        for span in [&[0usize, 1, 2, 3][..], &[4, 5, 6, 7][..]] {
+            let mut staged = Vec::new();
+            let max_ball = runner.process_span(&mut scratch, &outputs, &mut staged, span, step);
+            assert!(max_ball <= 3);
+            for (v, out) in staged {
+                outputs[v as usize] = Some(out);
+            }
+        }
+        let got: Vec<bool> = outputs.into_iter().map(|o| o.unwrap()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic]
+    fn span_rejects_unsorted_members() {
+        let g = Graph::path(4);
+        let runner = SlocalRunner::new(&g, 1);
+        let mut scratch = SlocalScratch::new(4);
+        let outputs: Vec<Option<u8>> = vec![None; 4];
+        let mut staged = Vec::new();
+        let _ = runner.process_span(&mut scratch, &outputs, &mut staged, &[2, 1], |_| 0u8);
     }
 }
