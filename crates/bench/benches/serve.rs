@@ -1,0 +1,153 @@
+//! Serving-façade invariants + throughput.
+//!
+//! Like the engine/derand/pipeline benches, this bench *verifies*
+//! invariants besides timing, via the shared counting global allocator:
+//!
+//! - a **warm session serves repeat requests with zero allocations**: after
+//!   one pass over a mixed request set (all five request kinds), replaying
+//!   the set 50× performs no allocation at all — cache lookups compare
+//!   requests in place and answers are returned by reference;
+//! - the warm replay **never recomputes the cached decomposition** (the
+//!   build counter is asserted flat at 1 across the replay);
+//! - `Session::solve_batch` ≡ per-request `solve`, and a `Fleet`'s sharded
+//!   `solve_all` is **thread-count-invariant** (also re-checked on every
+//!   call under the `determinism-checks` feature).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locality_core::serve::{Fleet, MisOptions, Request, Response, Session, SlocalTask, Strategy};
+use locality_graph::Graph;
+use locality_rand::prng::SplitMix64;
+
+#[path = "support/alloc_counter.rs"]
+mod alloc_counter;
+use alloc_counter::allocations_during;
+
+fn mixed_requests(session: &mut Session) -> Vec<Request> {
+    // Solve MIS once so a verify request can carry the session's own answer.
+    let Response::Mis { in_mis, .. } = session.solve(&Request::mis()).expect("mis solves") else {
+        panic!("MIS requests get MIS responses");
+    };
+    let in_mis = in_mis.clone();
+    vec![
+        Request::decompose(),
+        Request::mis(),
+        Request::Mis(
+            MisOptions::new()
+                .with_strategy(Strategy::Direct)
+                .with_seed(3),
+        ),
+        Request::coloring(),
+        Request::slocal(SlocalTask::GreedyMis),
+        Request::verify_mis(in_mis),
+    ]
+}
+
+/// The acceptance check: a warm session answers repeat requests with
+/// literally zero allocations, off one cached decomposition.
+fn assert_warm_session_zero_alloc() {
+    let mut p = SplitMix64::new(31);
+    let g = Graph::gnp_connected(2000, 3.0 / 2000.0, &mut p);
+    let mut session = Session::new(g);
+    let requests = mixed_requests(&mut session);
+    // Warm-up: every distinct request computed (and cached) once.
+    for r in &requests {
+        session.solve(r).expect("warm-up request");
+    }
+    let built = session.stats().decompositions_built;
+    assert_eq!(built, 1, "one decomposition serves the whole mix");
+    let replays = 50usize;
+    let count = allocations_during(|| {
+        for _ in 0..replays {
+            for r in &requests {
+                let resp = session.solve(r).expect("warm request");
+                std::hint::black_box(resp);
+            }
+        }
+    });
+    assert_eq!(
+        count,
+        0,
+        "warm session allocated {count} times across {} repeat requests",
+        replays * requests.len()
+    );
+    assert_eq!(
+        session.stats().decompositions_built,
+        built,
+        "warm replay recomputed the cached decomposition"
+    );
+    println!(
+        "serve: zero steady-state allocations across {} warm requests (1 decomposition built)",
+        replays * requests.len()
+    );
+}
+
+/// Batched and sharded serving is bit-identical to sequential serving.
+fn assert_batch_and_fleet_equivalence() {
+    let mut p = SplitMix64::new(33);
+    let graphs: Vec<Graph> = (0..6)
+        .map(|i| Graph::gnp_connected(150 + 30 * i, 0.04, &mut p))
+        .collect();
+    let workload = vec![
+        Request::mis(),
+        Request::coloring(),
+        Request::slocal(SlocalTask::GreedyColoring),
+        Request::mis(),
+    ];
+    // solve_batch ≡ per-request solve.
+    let mut a = Session::new(graphs[0].clone());
+    let batch = a.solve_batch(&workload);
+    let mut b = Session::new(graphs[0].clone());
+    let singles: Vec<_> = workload.iter().map(|r| b.solve(r).cloned()).collect();
+    assert_eq!(batch, singles, "solve_batch diverged from solve");
+    // Fleet sharding is thread-count-invariant.
+    let workloads: Vec<Vec<Request>> = (0..graphs.len()).map(|_| workload.clone()).collect();
+    let mut sequential = Fleet::new(graphs.clone());
+    let expected = sequential.solve_all(&workloads, 1);
+    for threads in [2usize, 4] {
+        let mut fleet = Fleet::new(graphs.clone());
+        assert_eq!(
+            fleet.solve_all(&workloads, threads),
+            expected,
+            "fleet diverged at threads={threads}"
+        );
+    }
+    println!("serve: batch == sequential, fleet thread-count-invariant");
+}
+
+fn bench_serve(c: &mut Criterion) {
+    assert_warm_session_zero_alloc();
+    assert_batch_and_fleet_equivalence();
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    {
+        let mut p = SplitMix64::new(37);
+        let g = Graph::gnp_connected(4096, 4.0 / 4096.0, &mut p);
+        let mut session = Session::new(g);
+        let requests = mixed_requests(&mut session);
+        for r in &requests {
+            session.solve(r).expect("warm-up");
+        }
+        group.bench_function("warm-mixed-requests", move |b| {
+            b.iter(|| {
+                for r in &requests {
+                    std::hint::black_box(session.solve(r).expect("warm"));
+                }
+            });
+        });
+    }
+    {
+        let mut p = SplitMix64::new(39);
+        let g = Graph::gnp_connected(4096, 4.0 / 4096.0, &mut p);
+        group.bench_function("cold-session-mis", move |b| {
+            b.iter(|| {
+                let mut session = Session::new(g.clone());
+                std::hint::black_box(session.solve(&Request::mis()).expect("solves").clone())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -29,9 +29,9 @@ use locality_rand::source::PrngSource;
 use locality_rand::sparse::SparseBits;
 
 /// All experiment identifiers, in report order.
-pub const ALL: [&str; 17] = [
-    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "p1", "f1", "f2",
-    "f3", "f4",
+pub const ALL: [&str; 18] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "p1", "s1", "f1",
+    "f2", "f3", "f4",
 ];
 
 /// Dispatch one experiment by id (lowercase). Unknown ids are reported.
@@ -41,6 +41,7 @@ pub fn run(id: &str) {
         "a1" => a1_local_algorithms(),
         "d1" => print_derand_rows(&d1_derand_rows(false)),
         "p1" => print_pipeline_rows(&p1_pipeline_rows(false)),
+        "s1" => print_serve_summary(&s1_serve_summary()),
         "t2" => t2_sparse_bits(),
         "t3" => t3_kwise_independence(),
         "t4" => t4_shared_congest(),
@@ -1089,6 +1090,229 @@ pub fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
                     })
                     .collect(),
             ),
+        ),
+    ])
+    .to_pretty()
+}
+
+/// Summary of the S1 serving-workload experiment: one [`Session`] replaying
+/// a 1000-request mixed workload, with the cache-hit breakdown.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Nodes in the pinned `G(n, 4/n)` graph.
+    pub n: usize,
+    /// Requests per replay (the workload is replayed twice: a cold pass
+    /// and a warm pass, each of this many requests).
+    pub requests: usize,
+    /// Distinct requests in the pool (everything else is a cache hit).
+    pub distinct: usize,
+    /// Wall-clock of the first replay (cold caches), milliseconds.
+    pub total_ms: f64,
+    /// Wall-clock of the second replay (all warm), milliseconds.
+    pub warm_ms: f64,
+    /// `requests / total_ms` throughput of the cold pass, per second.
+    pub requests_per_sec: f64,
+    /// `requests / warm_ms` throughput of the warm pass, per second.
+    pub warm_requests_per_sec: f64,
+    /// The session's cache-hit breakdown after both replays (so
+    /// `stats.requests == 2 * requests`).
+    pub stats: locality_core::serve::SessionStats,
+}
+
+/// S1 — the serving façade under a mixed workload: one [`Session`] pins a
+/// `G(n, 4/n)` graph and answers 1000 requests drawn from a pool mixing all
+/// five request kinds (decompose ×2 methods, MIS via-decomposition / direct
+/// across seeds and thread budgets, coloring likewise, three SLOCAL tasks
+/// through the reduction, and verifications of valid and corrupted
+/// artifacts). The point the numbers make: the whole mix costs **two**
+/// decomposition builds and **two** reduction plans, everything else is
+/// served from cache — where the free functions would recompute per call.
+pub fn s1_serve_summary() -> ServeSummary {
+    use locality_core::serve::{
+        ColoringOptions, DecompMethod, DecomposeOptions, MisOptions, Request, Session, SlocalTask,
+        Strategy,
+    };
+    use locality_rand::prng::Prng;
+    use std::time::Instant;
+
+    let n = 8192usize;
+    let mut prng = SplitMix64::new(71);
+    let g = Graph::gnp(n, 4.0 / n as f64, &mut prng);
+
+    // Artifacts for the verify requests, from the direct free functions.
+    let valid_mis = mis::luby(&g, &mut PrngSource::seeded(1)).in_mis;
+    let mut corrupt_mis = valid_mis.clone();
+    if let Some(flag) = corrupt_mis.first_mut() {
+        *flag = !*flag;
+    }
+    let palette = g.max_degree() + 1;
+    let colors = coloring::random_coloring(&g, &mut PrngSource::seeded(2)).colors;
+
+    let mut pool: Vec<Request> = vec![
+        Request::decompose(),
+        Request::Decompose(
+            DecomposeOptions::new()
+                .with_method(DecompMethod::Derandomized)
+                .with_cap(6),
+        ),
+        Request::mis(),
+        Request::Mis(MisOptions::new().with_threads(1)),
+        Request::coloring(),
+        Request::Coloring(ColoringOptions::new().with_threads(1)),
+        Request::slocal(SlocalTask::GreedyMis),
+        Request::slocal(SlocalTask::GreedyColoring),
+        Request::slocal(SlocalTask::DistanceTwoColoring),
+        Request::verify_mis(valid_mis),
+        Request::verify_mis(corrupt_mis),
+        Request::verify_coloring(colors, palette),
+    ];
+    for seed in 0..3u64 {
+        pool.push(Request::Mis(
+            MisOptions::new()
+                .with_strategy(Strategy::Direct)
+                .with_seed(seed),
+        ));
+    }
+    for seed in 0..2u64 {
+        pool.push(Request::Coloring(
+            ColoringOptions::new()
+                .with_strategy(Strategy::Direct)
+                .with_seed(seed),
+        ));
+    }
+
+    let requests = 1000usize;
+    let workload: Vec<&Request> = (0..requests)
+        .map(|_| &pool[prng.next_u64() as usize % pool.len()])
+        .collect();
+
+    let mut session = Session::new(g);
+    let t0 = Instant::now();
+    for r in &workload {
+        session.solve(r).expect("workload request");
+    }
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    for r in &workload {
+        session.solve(r).expect("warm request");
+    }
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    ServeSummary {
+        n,
+        requests,
+        distinct: pool.len(),
+        total_ms,
+        warm_ms,
+        requests_per_sec: requests as f64 / (total_ms / 1e3).max(1e-9),
+        warm_requests_per_sec: requests as f64 / (warm_ms / 1e3).max(1e-9),
+        stats: session.stats(),
+    }
+}
+
+/// Print the S1 summary, the cache-hit breakdown, and the solver registry
+/// (the enumerable capability table behind `Strategy::Auto`).
+pub fn print_serve_summary(s: &ServeSummary) {
+    use locality_core::serve::registry;
+
+    println!("\n== S1: serving facade — 1000-request mixed workload, one session ==");
+    println!(
+        "pool of {} distinct requests over G({}, 4/n); repeats hit the cache\n",
+        s.distinct, s.n
+    );
+    let mut t = Table::new(&["pass", "requests", "elapsed (ms)", "requests/s"]);
+    t.row_owned(vec![
+        "cold (first replay)".into(),
+        s.requests.to_string(),
+        format!("{:.1}", s.total_ms),
+        format!("{:.0}", s.requests_per_sec),
+    ]);
+    t.row_owned(vec![
+        "warm (second replay)".into(),
+        s.requests.to_string(),
+        format!("{:.1}", s.warm_ms),
+        format!("{:.0}", s.warm_requests_per_sec),
+    ]);
+    t.print();
+
+    println!("\ncache-hit breakdown:");
+    let mut b = Table::new(&["counter", "value"]);
+    let st = &s.stats;
+    for (name, v) in [
+        ("requests", st.requests),
+        ("response cache hits", st.response_hits),
+        ("solver runs", st.solver_runs),
+        ("decompositions built", st.decompositions_built),
+        ("decomposition cache hits", st.decomposition_hits),
+        ("reduction plans built", st.power_plans_built),
+        ("reduction plan cache hits", st.power_plan_hits),
+    ] {
+        b.row_owned(vec![name.into(), v.to_string()]);
+    }
+    b.print();
+
+    println!("\nsolver registry (strategy selection is data-driven from this table):");
+    let mut r = Table::new(&[
+        "solver",
+        "strategy",
+        "model",
+        "det",
+        "needs-decomp",
+        "round budget",
+        "budget@n",
+    ]);
+    for e in registry() {
+        r.row_owned(vec![
+            e.name.into(),
+            format!("{:?}", e.strategy),
+            e.model.name().into(),
+            e.deterministic.to_string(),
+            e.needs_decomposition.to_string(),
+            e.budget.into(),
+            (e.round_budget)(s.n).to_string(),
+        ]);
+    }
+    r.print();
+}
+
+/// Machine-readable form of the S1 summary (the CI perf artifact).
+pub fn serve_summary_json(s: &ServeSummary) -> String {
+    use crate::json::Json;
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let st = &s.stats;
+    Json::object(vec![
+        ("experiment", Json::Str("s1-serve-workload".into())),
+        ("family", Json::Str("gnp(n, 4/n)".into())),
+        ("unix_seconds", Json::Int(unix_seconds as i64)),
+        ("n", Json::Int(s.n as i64)),
+        ("requests", Json::Int(s.requests as i64)),
+        ("distinct_requests", Json::Int(s.distinct as i64)),
+        ("total_ms", Json::Float(s.total_ms)),
+        ("warm_ms", Json::Float(s.warm_ms)),
+        ("requests_per_sec", Json::Float(s.requests_per_sec)),
+        (
+            "warm_requests_per_sec",
+            Json::Float(s.warm_requests_per_sec),
+        ),
+        (
+            "cache",
+            Json::object(vec![
+                ("requests", Json::Int(st.requests as i64)),
+                ("response_hits", Json::Int(st.response_hits as i64)),
+                ("solver_runs", Json::Int(st.solver_runs as i64)),
+                (
+                    "decompositions_built",
+                    Json::Int(st.decompositions_built as i64),
+                ),
+                (
+                    "decomposition_hits",
+                    Json::Int(st.decomposition_hits as i64),
+                ),
+                ("power_plans_built", Json::Int(st.power_plans_built as i64)),
+                ("power_plan_hits", Json::Int(st.power_plan_hits as i64)),
+            ]),
         ),
     ])
     .to_pretty()

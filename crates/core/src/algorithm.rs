@@ -35,6 +35,10 @@ use locality_sim::executor::{BatchProtocol, Executor};
 use std::fmt;
 
 /// Uniform cost accounting for one [`LocalAlgorithm`] execution.
+///
+/// `#[non_exhaustive]`: future engines may add cost dimensions; construct
+/// through the ports, match with a `..` rest pattern.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundStats {
     /// The algorithm's name (as reported by [`LocalAlgorithm::name`]).

@@ -7,11 +7,88 @@
 //! definition mechanical: tests mutate valid solutions and assert that some
 //! node within the prescribed radius notices.
 
-use crate::decomposition::types::Decomposition;
+use crate::decomposition::types::{DecompError, Decomposition};
 use crate::splitting::SplittingInstance;
 use locality_graph::metrics::induced_diameter;
 use locality_graph::traversal::bounded_bfs_distances;
 use locality_graph::Graph;
+use std::fmt;
+
+/// The violation class of a [`VerifyError`].
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// The output vector's length differs from the node count.
+    WrongLength,
+    /// A color lies outside the allowed palette.
+    OutsidePalette,
+    /// An edge's endpoints share a color.
+    MonochromaticEdge,
+    /// Two adjacent nodes are both in the independent set.
+    AdjacentInSet,
+    /// A node is neither in the set nor dominated by a set neighbor.
+    Undominated,
+    /// The artifact is not a valid decomposition (see the wrapped
+    /// [`DecompError`] message in `detail`).
+    Decomposition,
+}
+
+/// Structured verifier failure: the first violation a solution verifier
+/// found, with the node it is visible at (when the violation is localized),
+/// its class, and the human-readable message the stringly-typed verifiers
+/// used to return.
+///
+/// Callers that still want the old `Result<(), String>` shape convert via
+/// `From`: `verify_mis(&g, &s).map_err(String::from)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// A node at which the violation is visible, when localized (length
+    /// mismatches, for example, are global).
+    pub node: Option<usize>,
+    /// The violation class.
+    pub kind: VerifyErrorKind,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl VerifyError {
+    /// Assemble a verifier failure.
+    pub fn new(kind: VerifyErrorKind, node: Option<usize>, detail: impl Into<String>) -> Self {
+        Self {
+            node,
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Migration shim: the pre-typed verifiers returned `Result<(), String>`.
+impl From<VerifyError> for String {
+    fn from(e: VerifyError) -> Self {
+        e.detail
+    }
+}
+
+/// Decomposition validation failures verify-report as
+/// [`VerifyErrorKind::Decomposition`], localized where the variant names a
+/// node.
+impl From<DecompError> for VerifyError {
+    fn from(e: DecompError) -> Self {
+        let node = match e {
+            DecompError::UnclusteredNode { node } => Some(node),
+            _ => None,
+        };
+        Self::new(VerifyErrorKind::Decomposition, node, e.to_string())
+    }
+}
 
 /// A local check: per-node verdicts plus the radius the checker needed.
 #[derive(Debug, Clone, PartialEq, Eq)]

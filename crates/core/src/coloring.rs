@@ -9,6 +9,7 @@
 //! does.
 
 use crate::algorithm::{node_seed, run_congest_protocol, AlgorithmRun, LocalAlgorithm};
+use crate::checkers::{VerifyError, VerifyErrorKind};
 use crate::decomposition::types::Decomposition;
 use locality_graph::ids::IdAssignment;
 use locality_graph::Graph;
@@ -18,17 +19,31 @@ use locality_sim::executor::{BatchProtocol, Control, Inbox, Outlet};
 use locality_sim::node::NodeContext;
 use locality_sim::wire::{Compact, WireSize};
 
-/// Verify a proper coloring with at most `palette` colors.
-pub fn verify_coloring(g: &Graph, colors: &[usize], palette: usize) -> Result<(), String> {
+/// Verify a proper coloring with at most `palette` colors; returns the first
+/// violation as a typed [`VerifyError`] (convert with
+/// `map_err(String::from)` for the old stringly shape).
+pub fn verify_coloring(g: &Graph, colors: &[usize], palette: usize) -> Result<(), VerifyError> {
     if colors.len() != g.node_count() {
-        return Err("wrong vector length".into());
+        return Err(VerifyError::new(
+            VerifyErrorKind::WrongLength,
+            None,
+            "wrong vector length",
+        ));
     }
-    if let Some(&c) = colors.iter().find(|&&c| c >= palette) {
-        return Err(format!("color {c} outside palette of {palette}"));
+    if let Some(v) = (0..colors.len()).find(|&v| colors[v] >= palette) {
+        return Err(VerifyError::new(
+            VerifyErrorKind::OutsidePalette,
+            Some(v),
+            format!("color {} outside palette of {palette}", colors[v]),
+        ));
     }
     for (u, v) in g.edges() {
         if colors[u] == colors[v] {
-            return Err(format!("edge ({u},{v}) is monochromatic ({})", colors[u]));
+            return Err(VerifyError::new(
+                VerifyErrorKind::MonochromaticEdge,
+                Some(u),
+                format!("edge ({u},{v}) is monochromatic ({})", colors[u]),
+            ));
         }
     }
     Ok(())
@@ -157,6 +172,19 @@ impl MexBuf {
 
 fn coloring_consume(g: &Graph, d: &Decomposition, threads: usize) -> ColoringOutcome {
     let plan = crate::consume::plan_consumer(g, d).expect("decomposition must be valid");
+    consume_with_plan(g, d, &plan, threads)
+}
+
+/// The plan-reusing form of the deterministic consumer (see
+/// [`crate::mis::consume_with_plan`]): the serving session validates the
+/// decomposition once and replays the cached plan across requests.
+/// Bit-identical to [`via_decomposition_threads`] by construction.
+pub(crate) fn consume_with_plan(
+    g: &Graph,
+    d: &Decomposition,
+    plan: &crate::consume::ConsumerPlan,
+    threads: usize,
+) -> ColoringOutcome {
     let clustering = d.clustering();
     let n = g.node_count();
     let palette = g.max_degree() + 1;

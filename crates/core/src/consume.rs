@@ -36,7 +36,7 @@ pub(crate) fn resolve_threads(threads: usize) -> usize {
 /// A consumer's view of a validated decomposition: clusters grouped by color
 /// (ascending), plus the per-cluster induced diameter the round accounting
 /// charges.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct ConsumerPlan {
     /// `(color, cluster ids ascending)` in ascending color order.
     pub classes: Vec<(usize, Vec<u32>)>,
@@ -49,6 +49,17 @@ pub(crate) struct ConsumerPlan {
 /// `O(max diameter)` rounds per color, so recomputing them would double the
 /// dominant cost) and return the color-grouped cluster lists.
 pub(crate) fn plan_consumer(g: &Graph, d: &Decomposition) -> Result<ConsumerPlan, DecompError> {
+    plan_consumer_with(g, d, &mut DiameterScratch::new(g.node_count()))
+}
+
+/// [`plan_consumer`] over a caller-owned [`DiameterScratch`], so a serving
+/// session planning many decompositions on one pinned graph reuses a single
+/// scratch arena instead of allocating one per plan.
+pub(crate) fn plan_consumer_with(
+    g: &Graph,
+    d: &Decomposition,
+    scratch: &mut DiameterScratch,
+) -> Result<ConsumerPlan, DecompError> {
     let clustering = d.clustering();
     if clustering.node_count() != g.node_count() {
         return Err(DecompError::WrongGraph {
@@ -61,9 +72,8 @@ pub(crate) fn plan_consumer(g: &Graph, d: &Decomposition) -> Result<ConsumerPlan
     }
     let k = clustering.cluster_count();
     let mut diam = Vec::with_capacity(k);
-    let mut scratch = DiameterScratch::new(g.node_count());
     for c in 0..k {
-        match induced_diameter_with(g, clustering.members(c), &mut scratch) {
+        match induced_diameter_with(g, clustering.members(c), scratch) {
             Some(x) => diam.push(x),
             None => return Err(DecompError::DisconnectedCluster { cluster: c }),
         }

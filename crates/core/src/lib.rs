@@ -26,6 +26,12 @@
 //! labeling + [`algorithm::RoundStats`] out): MIS, trial coloring and the
 //! Elkin–Neiman decomposition run as engine protocols, so their round,
 //! message and random-bit budgets are measured by one metering path.
+//!
+//! The [`serve`] subsystem is the production façade over all of the above:
+//! typed [`serve::Request`]/[`serve::Response`] problems, a data-driven
+//! solver [`serve::registry`], a caching [`serve::Session`] that pins one
+//! graph and amortizes its decomposition and scratch arenas across requests,
+//! and a [`serve::Fleet`] that shards sessions across threads.
 
 // Bracketed citation keys ([EN16], [GKM17], ...) are bibliography
 // references, not intra-doc links.
@@ -43,6 +49,7 @@ pub mod decomposition;
 pub mod derand;
 pub mod mis;
 pub mod ruling;
+pub mod serve;
 pub mod shared;
 pub mod sinkless;
 pub mod slocal;

@@ -11,6 +11,7 @@
 //!   outputs in `O(diameter)` rounds and extends greedily.
 
 use crate::algorithm::{node_seed, run_congest_protocol, AlgorithmRun, LocalAlgorithm};
+use crate::checkers::{VerifyError, VerifyErrorKind};
 use crate::decomposition::types::Decomposition;
 use locality_graph::ids::IdAssignment;
 use locality_graph::Graph;
@@ -20,19 +21,33 @@ use locality_sim::executor::{BatchProtocol, Control, Inbox, Outlet};
 use locality_sim::node::NodeContext;
 use locality_sim::wire::{Compact, WireSize};
 
-/// Verify the MIS property; returns the first violation as text.
-pub fn verify_mis(g: &Graph, in_mis: &[bool]) -> Result<(), String> {
+/// Verify the MIS property; returns the first violation as a typed
+/// [`VerifyError`] (convert with `map_err(String::from)` for the old
+/// stringly shape).
+pub fn verify_mis(g: &Graph, in_mis: &[bool]) -> Result<(), VerifyError> {
     if in_mis.len() != g.node_count() {
-        return Err("wrong vector length".into());
+        return Err(VerifyError::new(
+            VerifyErrorKind::WrongLength,
+            None,
+            "wrong vector length",
+        ));
     }
     for (u, v) in g.edges() {
         if in_mis[u] && in_mis[v] {
-            return Err(format!("adjacent nodes {u},{v} both in MIS"));
+            return Err(VerifyError::new(
+                VerifyErrorKind::AdjacentInSet,
+                Some(u),
+                format!("adjacent nodes {u},{v} both in MIS"),
+            ));
         }
     }
     for v in g.nodes() {
         if !in_mis[v] && !g.neighbors(v).iter().any(|&u| in_mis[u]) {
-            return Err(format!("node {v} is undominated"));
+            return Err(VerifyError::new(
+                VerifyErrorKind::Undominated,
+                Some(v),
+                format!("node {v} is undominated"),
+            ));
         }
     }
     Ok(())
@@ -152,6 +167,20 @@ pub fn via_decomposition_threads(g: &Graph, d: &Decomposition, threads: usize) -
 
 fn mis_consume(g: &Graph, d: &Decomposition, threads: usize) -> MisOutcome {
     let plan = crate::consume::plan_consumer(g, d).expect("decomposition must be valid");
+    consume_with_plan(g, d, &plan, threads)
+}
+
+/// The plan-reusing form of the deterministic consumer: callers that already
+/// hold a validated [`ConsumerPlan`](crate::consume::ConsumerPlan) (the
+/// serving [`Session`](crate::serve::Session), which validates once and
+/// amortizes it across requests) skip re-validating the decomposition.
+/// Bit-identical to [`via_decomposition_threads`] by construction.
+pub(crate) fn consume_with_plan(
+    g: &Graph,
+    d: &Decomposition,
+    plan: &crate::consume::ConsumerPlan,
+    threads: usize,
+) -> MisOutcome {
     let clustering = d.clustering();
     let n = g.node_count();
     let mut in_mis = vec![false; n];

@@ -1,0 +1,200 @@
+//! A [`Fleet`] shards independent [`Session`]s across threads.
+//!
+//! Sessions are fully independent (each pins its own graph and owns its own
+//! caches), so the only thing the fleet has to guarantee is *placement
+//! determinism*: sessions are split into contiguous chunks, each chunk's
+//! sessions run their workloads in order on one scoped thread, and results
+//! are reassembled in session order. No value ever depends on which thread
+//! ran what, so outputs are bit-identical for every thread count — the same
+//! argument as the consumer bucket sweep, re-checked end-to-end under the
+//! `determinism-checks` cargo feature (the fleet re-runs the whole workload
+//! sequentially on pristine session clones and asserts equality).
+
+use super::request::{Request, Response, SolveError};
+use super::session::Session;
+use locality_graph::Graph;
+
+/// A set of independent serving sessions, one per graph, with a batched
+/// multi-threaded solve.
+///
+/// # Example
+/// ```
+/// use locality_core::serve::{Fleet, Request};
+/// use locality_graph::Graph;
+///
+/// let mut fleet = Fleet::new([Graph::cycle(16), Graph::grid(4, 4)]);
+/// let workloads = vec![vec![Request::mis()], vec![Request::coloring()]];
+/// let results = fleet.solve_all(&workloads, 2);
+/// assert_eq!(results.len(), 2);
+/// assert!(results.iter().flatten().all(Result::is_ok));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    sessions: Vec<Session>,
+}
+
+impl Fleet {
+    /// One session per graph, in order.
+    pub fn new(graphs: impl IntoIterator<Item = Graph>) -> Self {
+        Self {
+            sessions: graphs.into_iter().map(Session::new).collect(),
+        }
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The `i`-th session (for direct, single-graph interaction).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn session_mut(&mut self, i: usize) -> &mut Session {
+        &mut self.sessions[i]
+    }
+
+    /// The sessions, in construction order.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Run `workloads[i]` against session `i`, sharding sessions across up
+    /// to `threads` scoped threads (`0` = all cores). Results are indexed
+    /// `[session][request]` and are bit-identical to running every workload
+    /// sequentially, for every thread count.
+    ///
+    /// # Panics
+    /// Panics if `workloads.len()` differs from the session count, or if a
+    /// worker thread panics.
+    pub fn solve_all(
+        &mut self,
+        workloads: &[Vec<Request>],
+        threads: usize,
+    ) -> Vec<Vec<Result<Response, SolveError>>> {
+        assert_eq!(
+            workloads.len(),
+            self.sessions.len(),
+            "one workload per session"
+        );
+        #[cfg(feature = "determinism-checks")]
+        let pristine = self.sessions.clone();
+
+        let threads = crate::consume::resolve_threads(threads).max(1);
+        let chunk = self.sessions.len().div_ceil(threads).max(1);
+        let mut results: Vec<Vec<Result<Response, SolveError>>> =
+            Vec::with_capacity(self.sessions.len());
+        if threads <= 1 || self.sessions.len() <= 1 {
+            for (s, w) in self.sessions.iter_mut().zip(workloads) {
+                results.push(s.solve_batch(w));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .sessions
+                    .chunks_mut(chunk)
+                    .zip(workloads.chunks(chunk))
+                    .map(|(sessions, work)| {
+                        scope.spawn(move || {
+                            sessions
+                                .iter_mut()
+                                .zip(work)
+                                .map(|(s, w)| s.solve_batch(w))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.extend(h.join().expect("fleet worker panicked"));
+                }
+            });
+        }
+
+        #[cfg(feature = "determinism-checks")]
+        {
+            let mut sequential = pristine;
+            let seq_results: Vec<Vec<Result<Response, SolveError>>> = sequential
+                .iter_mut()
+                .zip(workloads)
+                .map(|(s, w)| s.solve_batch(w))
+                .collect();
+            assert_eq!(
+                results, seq_results,
+                "determinism check: sharded fleet diverged from sequential replay"
+            );
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::request::SlocalTask;
+    use locality_rand::prng::SplitMix64;
+
+    fn graphs(k: usize) -> Vec<Graph> {
+        let mut p = SplitMix64::new(5);
+        (0..k)
+            .map(|i| Graph::gnp_connected(40 + 7 * i, 0.08, &mut p))
+            .collect()
+    }
+
+    fn workload() -> Vec<Request> {
+        vec![
+            Request::decompose(),
+            Request::mis(),
+            Request::coloring(),
+            Request::slocal(SlocalTask::GreedyMis),
+            Request::mis(), // a repeat: exercised as a cache hit per session
+        ]
+    }
+
+    #[test]
+    fn sharded_results_are_thread_count_invariant() {
+        let gs = graphs(7);
+        let workloads: Vec<Vec<Request>> = (0..gs.len()).map(|_| workload()).collect();
+        let mut sequential = Fleet::new(gs.clone());
+        let expected = sequential.solve_all(&workloads, 1);
+        for threads in [2usize, 3, 16] {
+            let mut fleet = Fleet::new(gs.clone());
+            let got = fleet.solve_all(&workloads, threads);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn per_session_caches_stay_independent() {
+        let gs = graphs(3);
+        let workloads: Vec<Vec<Request>> = (0..3).map(|_| workload()).collect();
+        let mut fleet = Fleet::new(gs);
+        fleet.solve_all(&workloads, 2);
+        for s in fleet.sessions() {
+            assert_eq!(s.stats().decompositions_built, 1);
+            assert_eq!(s.stats().response_hits, 1, "the repeated MIS request");
+        }
+    }
+
+    #[test]
+    fn empty_fleet_and_empty_workloads() {
+        let mut fleet = Fleet::new([]);
+        assert!(fleet.is_empty());
+        assert!(fleet.solve_all(&[], 4).is_empty());
+        let mut one = Fleet::new([Graph::path(3)]);
+        assert_eq!(one.len(), 1);
+        let out = one.solve_all(&[vec![]], 4);
+        assert_eq!(out, vec![vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload per session")]
+    fn workload_arity_is_checked() {
+        let mut fleet = Fleet::new([Graph::path(3)]);
+        let _ = fleet.solve_all(&[], 1);
+    }
+}

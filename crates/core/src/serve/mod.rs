@@ -1,0 +1,42 @@
+//! The serving façade: typed problems, reusable sessions, and a batched
+//! multi-graph API in front of the paper's algorithms.
+//!
+//! The paper's central move is that **one network decomposition answers many
+//! problems** — MIS, (∆+1)-coloring, any SLOCAL(r) task, derandomization
+//! itself. The free functions (`mis::via_decomposition`,
+//! `coloring::via_decomposition`, `run_slocal_via_decomposition`, …) each
+//! take their own parameters, re-validate the decomposition per call, and
+//! rebuild every scratch arena; serving N requests that way costs N
+//! validations and N arena warm-ups. This module is the production shape of
+//! the same theorem:
+//!
+//! - [`request`]: the typed problem layer — a [`Request`]/[`Response`] enum
+//!   pair whose variants carry `#[non_exhaustive]` option structs, plus the
+//!   structured [`SolveError`] (no stringly errors on the solver path);
+//! - [`registry`]: one [`SolverEntry`] of capability metadata per algorithm
+//!   (model, determinism, round-budget formula, needs-decomposition), so
+//!   [`Strategy`] selection is data-driven and the whole surface is
+//!   enumerable;
+//! - [`session`]: a [`Session`] pins one graph and lazily caches the
+//!   decomposition(s), the power-graph reduction plans, the PR 3/4 scratch
+//!   arenas, and the responses themselves — N mixed requests cost one
+//!   decomposition and zero steady-state allocations;
+//! - [`fleet`]: a [`Fleet`] shards independent sessions across
+//!   [`std::thread::scope`] threads with bit-identical outputs per request.
+//!
+//! The pre-existing free functions remain as thin entry points over the same
+//! machinery; everything a session answers is bit-identical to the
+//! corresponding direct call (differential proptests pin this).
+
+pub mod fleet;
+pub mod registry;
+pub mod request;
+pub mod session;
+
+pub use fleet::Fleet;
+pub use registry::{registry, resolve, Model, SolverEntry};
+pub use request::{
+    ColoringOptions, DecompMethod, DecomposeOptions, MisOptions, ProblemKind, Request, Response,
+    SlocalOptions, SlocalOutput, SlocalTask, SolveError, Strategy, VerifyReport, VerifyRequest,
+};
+pub use session::{Session, SessionStats};

@@ -1,0 +1,308 @@
+//! The solver registry: one [`SolverEntry`] of capability metadata per
+//! algorithm the serving layer can run, so strategy selection is
+//! data-driven and the whole surface is enumerable (the `experiments` bin's
+//! `s1` prints this table).
+//!
+//! Entries are listed in preference order per problem; [`resolve`] maps
+//! [`Strategy::Auto`] to the problem's first non-reference entry (the
+//! deterministic decomposition-backed solver where one exists — a session
+//! amortizes the decomposition across requests, so it is the serving
+//! default).
+
+use super::request::{DecompMethod, ProblemKind, Strategy};
+
+/// Communication model a solver is accounted under.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// LOCAL: unbounded messages, rounds are the cost.
+    Local,
+    /// CONGEST: `O(log n)`-bit messages.
+    Congest,
+    /// SLOCAL: sequential processing with bounded read locality.
+    Slocal,
+}
+
+impl Model {
+    /// Short stable name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Local => "LOCAL",
+            Model::Congest => "CONGEST",
+            Model::Slocal => "SLOCAL",
+        }
+    }
+}
+
+/// Capability metadata for one registered solver.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy)]
+pub struct SolverEntry {
+    /// The problem this solver answers.
+    pub problem: ProblemKind,
+    /// The strategy that selects it.
+    pub strategy: Strategy,
+    /// For decomposition constructions, which method this row describes.
+    pub method: Option<DecompMethod>,
+    /// Short stable name (`problem/solver`).
+    pub name: &'static str,
+    /// Communication model the costs are billed in.
+    pub model: Model,
+    /// Whether the solver is deterministic (no random bits).
+    pub deterministic: bool,
+    /// Whether it consumes a network decomposition (which a session caches).
+    pub needs_decomposition: bool,
+    /// Analytic round-budget formula, evaluable at any `n`.
+    pub round_budget: fn(usize) -> u64,
+    /// The same formula, human-readable.
+    pub budget: &'static str,
+}
+
+/// `⌈log2 n⌉` (0 for `n ≤ 1`) — the budget formulas' logarithm.
+fn lg(n: usize) -> u64 {
+    let mut b = 0u64;
+    while (1usize << b) < n {
+        b += 1;
+    }
+    b
+}
+
+fn budget_consumer(n: usize) -> u64 {
+    // Σ_colors (2·diam + 2) with O(log n) colors and O(log n) diameters.
+    let l = lg(n);
+    4 * l * (2 * l + 2) + 2 * l
+}
+
+fn budget_luby(n: usize) -> u64 {
+    8 * lg(n)
+}
+
+fn budget_trial(n: usize) -> u64 {
+    10 * lg(n)
+}
+
+fn budget_carving(n: usize) -> u64 {
+    // Sequential: Σ_balls O(radius + 1), radius ≤ log2 n, ≤ n balls.
+    (n as u64) * (lg(n) + 1)
+}
+
+fn budget_en(n: usize) -> u64 {
+    // 10·log n phases, O(cap) rounds each, cap ≤ 10·log n.
+    let l = lg(n);
+    10 * l * (2 * l.min(6) + 2)
+}
+
+fn budget_derand(n: usize) -> u64 {
+    // O(log n) phases of centralized conditional-expectations fixing.
+    lg(n) * 18
+}
+
+fn budget_reduction(n: usize) -> u64 {
+    // Σ_colors (weak diameter + 2r + 2), both O(log n) per color.
+    let l = lg(n);
+    4 * l * (2 * l + 4)
+}
+
+fn budget_verify(_n: usize) -> u64 {
+    // Local checkability: a radius-O(d) gather; constant for MIS/coloring.
+    2
+}
+
+/// The registry, in preference order per problem.
+pub fn registry() -> &'static [SolverEntry] {
+    const REGISTRY: &[SolverEntry] = &[
+        SolverEntry {
+            problem: ProblemKind::Mis,
+            strategy: Strategy::ViaDecomposition,
+            method: None,
+            name: "mis/via-decomposition",
+            model: Model::Local,
+            deterministic: true,
+            needs_decomposition: true,
+            round_budget: budget_consumer,
+            budget: "sum_colors (2*diam + 2) = O(log^2 n)",
+        },
+        SolverEntry {
+            problem: ProblemKind::Mis,
+            strategy: Strategy::Direct,
+            method: None,
+            name: "mis/luby",
+            model: Model::Congest,
+            deterministic: false,
+            needs_decomposition: false,
+            round_budget: budget_luby,
+            budget: "8*log2 n w.h.p.",
+        },
+        SolverEntry {
+            problem: ProblemKind::Mis,
+            strategy: Strategy::Reference,
+            method: None,
+            name: "mis/reference",
+            model: Model::Local,
+            deterministic: true,
+            needs_decomposition: true,
+            round_budget: budget_consumer,
+            budget: "as via-decomposition (quadratic work)",
+        },
+        SolverEntry {
+            problem: ProblemKind::Coloring,
+            strategy: Strategy::ViaDecomposition,
+            method: None,
+            name: "coloring/via-decomposition",
+            model: Model::Local,
+            deterministic: true,
+            needs_decomposition: true,
+            round_budget: budget_consumer,
+            budget: "sum_colors (2*diam + 2) = O(log^2 n)",
+        },
+        SolverEntry {
+            problem: ProblemKind::Coloring,
+            strategy: Strategy::Direct,
+            method: None,
+            name: "coloring/trial",
+            model: Model::Congest,
+            deterministic: false,
+            needs_decomposition: false,
+            round_budget: budget_trial,
+            budget: "10*log2 n w.h.p.",
+        },
+        SolverEntry {
+            problem: ProblemKind::Coloring,
+            strategy: Strategy::Reference,
+            method: None,
+            name: "coloring/reference",
+            model: Model::Local,
+            deterministic: true,
+            needs_decomposition: true,
+            round_budget: budget_consumer,
+            budget: "as via-decomposition (quadratic work)",
+        },
+        SolverEntry {
+            problem: ProblemKind::Decompose,
+            strategy: Strategy::Direct,
+            method: Some(DecompMethod::BallCarving),
+            name: "decompose/ball-carving",
+            model: Model::Slocal,
+            deterministic: true,
+            needs_decomposition: false,
+            round_budget: budget_carving,
+            budget: "sum_balls O(radius + 1) sequential",
+        },
+        SolverEntry {
+            problem: ProblemKind::Decompose,
+            strategy: Strategy::Direct,
+            method: Some(DecompMethod::ElkinNeiman),
+            name: "decompose/elkin-neiman",
+            model: Model::Congest,
+            deterministic: false,
+            needs_decomposition: false,
+            round_budget: budget_en,
+            budget: "O(phases * cap) = O(log^2 n) w.h.p.",
+        },
+        SolverEntry {
+            problem: ProblemKind::Decompose,
+            strategy: Strategy::Direct,
+            method: Some(DecompMethod::Derandomized),
+            name: "decompose/derandomized",
+            model: Model::Slocal,
+            deterministic: true,
+            needs_decomposition: false,
+            round_budget: budget_derand,
+            budget: "O(log n) phases of cond.-expectation fixing",
+        },
+        SolverEntry {
+            problem: ProblemKind::Slocal,
+            strategy: Strategy::ViaDecomposition,
+            method: None,
+            name: "slocal/reduction",
+            model: Model::Local,
+            deterministic: true,
+            needs_decomposition: true,
+            round_budget: budget_reduction,
+            budget: "sum_colors (weak-diam + 2r + 2)",
+        },
+        SolverEntry {
+            problem: ProblemKind::Slocal,
+            strategy: Strategy::Reference,
+            method: None,
+            name: "slocal/reference",
+            model: Model::Local,
+            deterministic: true,
+            needs_decomposition: true,
+            round_budget: budget_reduction,
+            budget: "as slocal/reduction (materialized G^k)",
+        },
+        SolverEntry {
+            problem: ProblemKind::Verify,
+            strategy: Strategy::Direct,
+            method: None,
+            name: "verify/checkers",
+            model: Model::Local,
+            deterministic: true,
+            needs_decomposition: false,
+            round_budget: budget_verify,
+            budget: "radius-O(d) gather (Def. 2.2)",
+        },
+    ];
+    REGISTRY
+}
+
+/// Resolve a `(problem, strategy)` pair against the registry. `Auto` picks
+/// the problem's first non-reference entry; explicit strategies must match
+/// an entry exactly. `None` means the pair is unsupported (the session maps
+/// it to [`SolveError::UnsupportedStrategy`](super::SolveError)).
+pub fn resolve(problem: ProblemKind, strategy: Strategy) -> Option<&'static SolverEntry> {
+    let mut entries = registry().iter().filter(|e| e.problem == problem);
+    match strategy {
+        Strategy::Auto => entries.find(|e| e.strategy != Strategy::Reference),
+        s => entries.find(|e| e.strategy == s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_prefers_the_deterministic_consumer() {
+        let e = resolve(ProblemKind::Mis, Strategy::Auto).unwrap();
+        assert_eq!(e.strategy, Strategy::ViaDecomposition);
+        assert!(e.deterministic);
+        assert!(e.needs_decomposition);
+        let c = resolve(ProblemKind::Coloring, Strategy::Auto).unwrap();
+        assert_eq!(c.strategy, Strategy::ViaDecomposition);
+    }
+
+    #[test]
+    fn explicit_strategies_resolve_or_reject() {
+        assert!(resolve(ProblemKind::Mis, Strategy::Direct).is_some());
+        assert!(resolve(ProblemKind::Mis, Strategy::Reference).is_some());
+        assert!(resolve(ProblemKind::Slocal, Strategy::Direct).is_none());
+        assert!(resolve(ProblemKind::Slocal, Strategy::ViaDecomposition).is_some());
+    }
+
+    #[test]
+    fn budgets_are_monotone_enough() {
+        for e in registry() {
+            assert!(
+                (e.round_budget)(1 << 16) >= (e.round_budget)(16),
+                "{}",
+                e.name
+            );
+            assert!(!e.name.is_empty() && !e.budget.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_decompose_method_has_a_row() {
+        for m in [
+            DecompMethod::BallCarving,
+            DecompMethod::ElkinNeiman,
+            DecompMethod::Derandomized,
+        ] {
+            assert!(registry()
+                .iter()
+                .any(|e| e.problem == ProblemKind::Decompose && e.method == Some(m)));
+        }
+    }
+}

@@ -1,0 +1,774 @@
+//! A [`Session`] pins one graph and serves typed [`Request`]s against it,
+//! caching everything reusable along the way.
+//!
+//! What a session caches, and why it pays:
+//!
+//! 1. **Responses.** Solvers are deterministic functions of
+//!    `(graph, request)` (randomized ones are seeded through the request),
+//!    so a repeated request is answered from the cache by reference —
+//!    zero work, zero allocation (`benches/serve.rs` asserts this with the
+//!    counting allocator).
+//! 2. **Decompositions + consumer plans.** The paper's central object: one
+//!    decomposition answers MIS, coloring and every SLOCAL task. The free
+//!    functions re-validate it (per-cluster diameter BFS, the dominant cost)
+//!    on every call; a session validates once per [`DecomposeOptions`] and
+//!    replays the cached consumer plan.
+//! 3. **Power-graph reduction plans.** An SLOCAL request of locality `r`
+//!    needs a decomposition of `G^{2r+1}`; the session materializes, carves
+//!    and plans it once per `r`.
+//! 4. **Scratch arenas.** The PR 3/4 arenas ([`DiameterScratch`],
+//!    [`SlocalScratch`]) are owned by the session and reused across plan
+//!    builds and sequential SLOCAL runs instead of being reallocated per
+//!    call.
+//!
+//! Every cached path is bit-identical to the corresponding free function
+//! (`crates/core/tests/proptest_serve.rs` pins this differentially).
+
+use super::registry;
+use super::request::{
+    ColoringOptions, DecompMethod, DecomposeOptions, MisOptions, ProblemKind, Request, Response,
+    SlocalOptions, SlocalOutput, SlocalTask, SolveError, Strategy, VerifyReport, VerifyRequest,
+};
+use crate::checkers::VerifyError;
+use crate::decomposition::types::{DecompQuality, Decomposition};
+use crate::decomposition::{ball_carving_decomposition, derandomized_decomposition};
+use crate::decomposition::{elkin_neiman, ElkinNeimanConfig};
+use crate::{coloring, consume, mis, slocal};
+use locality_graph::metrics::DiameterScratch;
+use locality_graph::power::power_graph;
+use locality_graph::Graph;
+use locality_rand::source::PrngSource;
+use locality_sim::cost::CostMeter;
+use locality_sim::slocal::{BallView, SlocalRunner, SlocalScratch};
+
+/// The SLOCAL step of [`SlocalTask::GreedyMis`]: join iff no
+/// already-processed neighbor joined (locality 1).
+pub fn greedy_mis_step(view: &BallView<'_, bool>) -> bool {
+    !view
+        .neighbors(view.center())
+        .any(|u| view.output(u).copied().unwrap_or(false))
+}
+
+/// The SLOCAL step of [`SlocalTask::GreedyColoring`]: smallest color no
+/// already-processed neighbor holds (locality 1).
+pub fn greedy_coloring_step(view: &BallView<'_, usize>) -> usize {
+    let used: Vec<usize> = view
+        .neighbors(view.center())
+        .filter_map(|u| view.output(u).copied())
+        .collect();
+    (0..).find(|c| !used.contains(c)).expect("some color free")
+}
+
+/// The SLOCAL step of [`SlocalTask::DistanceTwoColoring`]: smallest color
+/// not held within distance 2 (locality 2).
+pub fn distance_two_coloring_step(view: &BallView<'_, usize>) -> usize {
+    let center = view.center();
+    let used: Vec<usize> = view
+        .ball_nodes()
+        .filter(|&(u, d)| u != center && d <= 2)
+        .filter_map(|(u, _)| view.output(u).copied())
+        .collect();
+    (0..).find(|c| !used.contains(c)).expect("some color free")
+}
+
+/// Cache-hit / build counters of one session (the `s1` experiment reports
+/// these as the cache-hit breakdown).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests received by [`Session::solve`].
+    pub requests: u64,
+    /// Requests answered from the response cache (no solver ran).
+    pub response_hits: u64,
+    /// Requests that ran a solver.
+    pub solver_runs: u64,
+    /// Decompositions constructed (validated + planned once each).
+    pub decompositions_built: u64,
+    /// Consumer requests that reused a cached decomposition + plan.
+    pub decomposition_hits: u64,
+    /// Power-graph reduction plans constructed (one per locality `r`).
+    pub power_plans_built: u64,
+    /// SLOCAL requests that reused a cached reduction plan.
+    pub power_plan_hits: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DecompSlot {
+    options: DecomposeOptions,
+    decomposition: Decomposition,
+    quality: DecompQuality,
+    meter: CostMeter,
+    plan: consume::ConsumerPlan,
+}
+
+#[derive(Debug, Clone)]
+struct PowerSlot {
+    r: u32,
+    decomposition: Decomposition,
+    /// Built lazily: only the fast reduction path consults it — a
+    /// `Reference`-only session never pays the plan's weak-diameter sweeps.
+    plan: Option<slocal::ReductionPlan>,
+}
+
+/// A serving session: one pinned [`Graph`], lazily cached decompositions /
+/// plans / scratch arenas, and a response cache keyed on the typed
+/// [`Request`]s (see the module docs for the full caching story).
+///
+/// The response cache is scoped to the session's working set: it grows by
+/// one entry per *distinct* request and is probed by a linear structural
+/// compare (which is what keeps the warm path allocation-free). A session
+/// is meant to serve a bounded pool of request shapes against one graph —
+/// callers replaying unbounded streams of one-off requests (e.g. verifying
+/// ever-changing artifacts) should drop the session periodically rather
+/// than let the cache grow without limit.
+///
+/// # Example
+/// ```
+/// use locality_core::serve::{Request, Response, Session};
+/// use locality_graph::Graph;
+///
+/// let mut session = Session::new(Graph::grid(8, 8));
+/// let Response::Mis { in_mis, .. } = session.solve(&Request::mis()).unwrap() else {
+///     unreachable!("MIS requests get MIS responses");
+/// };
+/// assert_eq!(in_mis.len(), 64);
+/// // The same request again is a cache hit: no solver runs.
+/// let in_mis = in_mis.clone();
+/// session.solve(&Request::mis()).unwrap();
+/// assert_eq!(session.stats().response_hits, 1);
+/// # let _ = in_mis;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    graph: Graph,
+    palette: usize,
+    decomps: Vec<DecompSlot>,
+    powers: Vec<PowerSlot>,
+    responses: Vec<(Request, Result<Response, SolveError>)>,
+    diam_scratch: DiameterScratch,
+    slocal_scratch: SlocalScratch,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Pin `graph` and start with cold caches. `∆` is scanned once here so
+    /// per-request paths never pay the `O(n)` `max_degree` pass.
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count();
+        let palette = graph.max_degree() + 1;
+        Self {
+            graph,
+            palette,
+            decomps: Vec::new(),
+            powers: Vec::new(),
+            responses: Vec::new(),
+            diam_scratch: DiameterScratch::new(n),
+            slocal_scratch: SlocalScratch::new(n),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The pinned graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The coloring palette bound `∆ + 1` (cached at construction).
+    pub fn palette(&self) -> usize {
+        self.palette
+    }
+
+    /// Cache-hit / build counters so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Answer one request, from the response cache when it repeats.
+    ///
+    /// The returned reference borrows the session's cache; clone it (or use
+    /// [`Session::solve_batch`]) for an owned answer.
+    ///
+    /// # Errors
+    /// A typed [`SolveError`] when the request is unsupported or its
+    /// decomposition cannot be built; verification *failures* are successful
+    /// [`Response::Verify`] answers, not errors. Solvers are deterministic
+    /// functions of `(graph, request)`, so errors are cached exactly like
+    /// answers — a deterministically failing request never re-runs its
+    /// construction.
+    pub fn solve(&mut self, request: &Request) -> Result<&Response, SolveError> {
+        self.stats.requests += 1;
+        let i = match self.responses.iter().position(|(r, _)| r == request) {
+            Some(i) => {
+                self.stats.response_hits += 1;
+                i
+            }
+            None => {
+                let result = self.compute(request);
+                self.responses.push((request.clone(), result));
+                self.responses.len() - 1
+            }
+        };
+        match &self.responses[i].1 {
+            Ok(response) => Ok(response),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Answer a batch in order, returning owned responses. Exactly
+    /// equivalent to calling [`Session::solve`] per request (and the
+    /// [`Fleet`](super::Fleet) extends this across graphs and threads).
+    pub fn solve_batch(&mut self, requests: &[Request]) -> Vec<Result<Response, SolveError>> {
+        let mut out = Vec::with_capacity(requests.len());
+        for r in requests {
+            out.push(self.solve(r).cloned());
+        }
+        out
+    }
+
+    /// The cached decomposition for `options`, building it on first use
+    /// (consumer requests naming the same options will reuse it).
+    ///
+    /// # Errors
+    /// As [`Session::solve`] for a [`Request::Decompose`].
+    pub fn decomposition(
+        &mut self,
+        options: &DecomposeOptions,
+    ) -> Result<&Decomposition, SolveError> {
+        let i = self.ensure_decomposition(options)?;
+        Ok(&self.decomps[i].decomposition)
+    }
+
+    fn compute(&mut self, request: &Request) -> Result<Response, SolveError> {
+        self.stats.solver_runs += 1;
+        match request {
+            Request::Mis(opts) => self.compute_mis(opts),
+            Request::Coloring(opts) => self.compute_coloring(opts),
+            Request::Decompose(opts) => {
+                let i = self.ensure_decomposition(opts)?;
+                let slot = &self.decomps[i];
+                Ok(Response::Decompose {
+                    quality: slot.quality,
+                    meter: slot.meter,
+                })
+            }
+            Request::Slocal(opts) => self.compute_slocal(opts),
+            Request::Verify(v) => Ok(self.compute_verify(v)),
+        }
+    }
+
+    fn compute_mis(&mut self, opts: &MisOptions) -> Result<Response, SolveError> {
+        let entry = registry::resolve(ProblemKind::Mis, opts.strategy).ok_or(
+            SolveError::UnsupportedStrategy {
+                problem: ProblemKind::Mis,
+                strategy: opts.strategy,
+            },
+        )?;
+        let out = match entry.strategy {
+            Strategy::Direct => mis::luby(&self.graph, &mut PrngSource::seeded(opts.seed)),
+            Strategy::ViaDecomposition => {
+                let i = self.ensure_decomposition(&opts.decomposition)?;
+                let slot = &self.decomps[i];
+                mis::consume_with_plan(
+                    &self.graph,
+                    &slot.decomposition,
+                    &slot.plan,
+                    consume::resolve_threads(opts.threads),
+                )
+            }
+            Strategy::Reference => {
+                let i = self.ensure_decomposition(&opts.decomposition)?;
+                mis::reference_via_decomposition(&self.graph, &self.decomps[i].decomposition)
+            }
+            Strategy::Auto => unreachable!("resolve never returns Auto"),
+        };
+        Ok(Response::Mis {
+            in_mis: out.in_mis,
+            meter: out.meter,
+        })
+    }
+
+    fn compute_coloring(&mut self, opts: &ColoringOptions) -> Result<Response, SolveError> {
+        let entry = registry::resolve(ProblemKind::Coloring, opts.strategy).ok_or(
+            SolveError::UnsupportedStrategy {
+                problem: ProblemKind::Coloring,
+                strategy: opts.strategy,
+            },
+        )?;
+        let out = match entry.strategy {
+            Strategy::Direct => {
+                coloring::random_coloring(&self.graph, &mut PrngSource::seeded(opts.seed))
+            }
+            Strategy::ViaDecomposition => {
+                let i = self.ensure_decomposition(&opts.decomposition)?;
+                let slot = &self.decomps[i];
+                coloring::consume_with_plan(
+                    &self.graph,
+                    &slot.decomposition,
+                    &slot.plan,
+                    consume::resolve_threads(opts.threads),
+                )
+            }
+            Strategy::Reference => {
+                let i = self.ensure_decomposition(&opts.decomposition)?;
+                coloring::reference_via_decomposition(&self.graph, &self.decomps[i].decomposition)
+            }
+            Strategy::Auto => unreachable!("resolve never returns Auto"),
+        };
+        Ok(Response::Coloring {
+            colors: out.colors,
+            palette: self.palette,
+            meter: out.meter,
+        })
+    }
+
+    fn compute_slocal(&mut self, opts: &SlocalOptions) -> Result<Response, SolveError> {
+        let entry = registry::resolve(ProblemKind::Slocal, opts.strategy).ok_or(
+            SolveError::UnsupportedStrategy {
+                problem: ProblemKind::Slocal,
+                strategy: opts.strategy,
+            },
+        )?;
+        let r = opts.task.locality();
+        let reference = entry.strategy == Strategy::Reference;
+        let pi = self.ensure_power(r, !reference)?;
+        let (output, rounds) = match opts.task {
+            SlocalTask::GreedyMis => {
+                let (out, rounds) =
+                    self.run_reduction(pi, r, opts.threads, reference, greedy_mis_step);
+                (SlocalOutput::Flags(out), rounds)
+            }
+            SlocalTask::GreedyColoring => {
+                let (out, rounds) =
+                    self.run_reduction(pi, r, opts.threads, reference, greedy_coloring_step);
+                (SlocalOutput::Colors(out), rounds)
+            }
+            SlocalTask::DistanceTwoColoring => {
+                let (out, rounds) =
+                    self.run_reduction(pi, r, opts.threads, reference, distance_two_coloring_step);
+                (SlocalOutput::Colors(out), rounds)
+            }
+        };
+        Ok(Response::Slocal {
+            output,
+            meter: CostMeter::rounds_only(rounds),
+        })
+    }
+
+    fn compute_verify(&self, v: &VerifyRequest) -> Response {
+        let detail = match v {
+            VerifyRequest::Mis { in_mis } => mis::verify_mis(&self.graph, in_mis).err(),
+            VerifyRequest::Coloring { colors, palette } => {
+                coloring::verify_coloring(&self.graph, colors, *palette).err()
+            }
+            VerifyRequest::Decomposition { decomposition } => decomposition
+                .validate(&self.graph)
+                .map(|_| ())
+                .map_err(VerifyError::from)
+                .err(),
+        };
+        Response::Verify(VerifyReport {
+            ok: detail.is_none(),
+            detail,
+        })
+    }
+
+    /// Run one reduction over the cached plan `pi`. `threads == 1` (the
+    /// default) executes sequentially over the session's own scratch arena;
+    /// larger budgets delegate to the bucket-parallel sweep; both are
+    /// bit-identical to the free functions (and to each other).
+    fn run_reduction<T, F>(
+        &mut self,
+        pi: usize,
+        r: u32,
+        threads: usize,
+        reference: bool,
+        step: F,
+    ) -> (Vec<T>, u64)
+    where
+        T: Send + Sync,
+        F: Fn(&BallView<'_, T>) -> T + Sync,
+    {
+        let Session {
+            graph,
+            powers,
+            slocal_scratch,
+            ..
+        } = self;
+        let slot = &powers[pi];
+        if reference {
+            let out =
+                slocal::reference_run_slocal_via_decomposition(graph, r, &slot.decomposition, step);
+            return (out.outputs, out.meter.rounds);
+        }
+        let plan = slot
+            .plan
+            .as_ref()
+            .expect("ensure_power builds the plan for non-reference runs");
+        if consume::resolve_threads(threads) <= 1 {
+            let runner = SlocalRunner::new(graph, r);
+            let (outputs, _stats) = runner.run_with(slocal_scratch, &plan.order, step);
+            (outputs, plan.rounds)
+        } else {
+            let outputs =
+                slocal::reduction_with_plan(graph, r, &slot.decomposition, plan, threads, &step);
+            (outputs, plan.rounds)
+        }
+    }
+
+    /// The decomposition-cache key for `opts`: knobs the selected method
+    /// ignores are normalized away, so requests differing only in an
+    /// irrelevant field (a seed for the deterministic constructions, a cap
+    /// for the non-truncated ones) share one cached build.
+    fn canonical_decomp_options(opts: &DecomposeOptions) -> DecomposeOptions {
+        let mut c = *opts;
+        match c.method {
+            DecompMethod::BallCarving => {
+                c.seed = 0;
+                c.cap = 0;
+            }
+            DecompMethod::ElkinNeiman => c.cap = 0,
+            DecompMethod::Derandomized => {
+                c.seed = 0;
+                // The build clamps `cap` to at least 1; key on the clamped
+                // value so cap = 0 and cap = 1 share the build.
+                c.cap = c.cap.max(1);
+            }
+        }
+        c
+    }
+
+    fn ensure_decomposition(&mut self, opts: &DecomposeOptions) -> Result<usize, SolveError> {
+        let key = Self::canonical_decomp_options(opts);
+        if let Some(i) = self.decomps.iter().position(|s| s.options == key) {
+            self.stats.decomposition_hits += 1;
+            return Ok(i);
+        }
+        let (decomposition, meter) = match opts.method {
+            DecompMethod::BallCarving => {
+                let order: Vec<usize> = (0..self.graph.node_count()).collect();
+                let r = ball_carving_decomposition(&self.graph, &order);
+                (r.decomposition, CostMeter::rounds_only(r.sequential_rounds))
+            }
+            DecompMethod::ElkinNeiman => {
+                let cfg = ElkinNeimanConfig::for_graph(&self.graph);
+                let out = elkin_neiman(&self.graph, &cfg, &mut PrngSource::seeded(opts.seed));
+                match out.decomposition {
+                    Some(d) => (d, out.meter),
+                    None => {
+                        return Err(SolveError::ConstructionFailed {
+                            method: DecompMethod::ElkinNeiman,
+                            detail: format!(
+                                "{} nodes survived the phase budget",
+                                out.survivors.len()
+                            ),
+                        })
+                    }
+                }
+            }
+            DecompMethod::Derandomized => {
+                let r = derandomized_decomposition(&self.graph, opts.cap.max(1));
+                (r.decomposition, CostMeter::rounds_only(u64::from(r.phases)))
+            }
+        };
+        let plan =
+            consume::plan_consumer_with(&self.graph, &decomposition, &mut self.diam_scratch)?;
+        let quality = DecompQuality {
+            colors: plan.classes.len(),
+            max_diameter: plan.diam.iter().copied().max().unwrap_or(0),
+            clusters: plan.diam.len(),
+        };
+        self.stats.decompositions_built += 1;
+        self.decomps.push(DecompSlot {
+            options: key,
+            decomposition,
+            quality,
+            meter,
+            plan,
+        });
+        Ok(self.decomps.len() - 1)
+    }
+
+    /// The cached power-graph slot for locality `r`, carving `G^{2r+1}` on
+    /// first use. The reduction plan — the expensive weak-diameter sweep —
+    /// is built only when `need_plan` (the fast path consults it; the
+    /// reference path re-derives everything internally).
+    fn ensure_power(&mut self, r: u32, need_plan: bool) -> Result<usize, SolveError> {
+        let Session {
+            graph,
+            powers,
+            diam_scratch,
+            stats,
+            ..
+        } = self;
+        let idx = match powers.iter().position(|s| s.r == r) {
+            Some(i) => i,
+            None => {
+                let gp = power_graph(graph, 2 * r + 1);
+                let order: Vec<usize> = (0..gp.node_count()).collect();
+                let decomposition = ball_carving_decomposition(&gp, &order).decomposition;
+                powers.push(PowerSlot {
+                    r,
+                    decomposition,
+                    plan: None,
+                });
+                powers.len() - 1
+            }
+        };
+        if need_plan {
+            let slot = &mut powers[idx];
+            if slot.plan.is_some() {
+                stats.power_plan_hits += 1;
+            } else {
+                let plan =
+                    slocal::plan_reduction_with(graph, r, &slot.decomposition, diam_scratch)?;
+                slot.plan = Some(plan);
+                stats.power_plans_built += 1;
+            }
+        }
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_rand::prng::SplitMix64;
+
+    fn small_graph() -> Graph {
+        let mut p = SplitMix64::new(77);
+        Graph::gnp_connected(80, 0.05, &mut p)
+    }
+
+    #[test]
+    fn all_five_request_kinds_solve() {
+        let g = small_graph();
+        let mut s = Session::new(g.clone());
+        let reqs = [
+            Request::decompose(),
+            Request::mis(),
+            Request::coloring(),
+            Request::slocal(SlocalTask::GreedyMis),
+        ];
+        for r in &reqs {
+            s.solve(r).unwrap();
+        }
+        // Verify the MIS answer through a Verify request.
+        let Response::Mis { in_mis, .. } = s.solve(&Request::mis()).unwrap().clone() else {
+            panic!("MIS response expected");
+        };
+        let Response::Verify(report) = s.solve(&Request::verify_mis(in_mis)).unwrap() else {
+            panic!("Verify response expected");
+        };
+        assert!(report.ok, "{:?}", report.detail);
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache_and_share_one_decomposition() {
+        let mut s = Session::new(small_graph());
+        let reqs = [
+            Request::mis(),
+            Request::coloring(),
+            Request::decompose(),
+            Request::slocal(SlocalTask::GreedyColoring),
+        ];
+        for r in &reqs {
+            s.solve(r).unwrap();
+        }
+        let after_warmup = s.stats();
+        assert_eq!(after_warmup.decompositions_built, 1, "one shared build");
+        assert_eq!(after_warmup.power_plans_built, 1);
+        for _ in 0..3 {
+            for r in &reqs {
+                s.solve(r).unwrap();
+            }
+        }
+        let st = s.stats();
+        assert_eq!(st.response_hits, 12, "all repeats were cache hits");
+        assert_eq!(st.solver_runs, after_warmup.solver_runs);
+        assert_eq!(st.decompositions_built, 1);
+        assert_eq!(st.power_plans_built, 1);
+    }
+
+    #[test]
+    fn session_answers_match_free_functions() {
+        let g = small_graph();
+        let mut s = Session::new(g.clone());
+
+        let order: Vec<usize> = (0..g.node_count()).collect();
+        let d = ball_carving_decomposition(&g, &order).decomposition;
+        let mis_direct = mis::via_decomposition(&g, &d);
+        let Response::Mis { in_mis, meter } = s.solve(&Request::mis()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(*in_mis, mis_direct.in_mis);
+        assert_eq!(*meter, mis_direct.meter);
+
+        let col_direct = coloring::via_decomposition(&g, &d);
+        let Response::Coloring {
+            colors, palette, ..
+        } = s.solve(&Request::coloring()).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(*colors, col_direct.colors);
+        assert_eq!(*palette, g.max_degree() + 1);
+
+        let luby_direct = mis::luby(&g, &mut PrngSource::seeded(9));
+        let req = Request::Mis(
+            MisOptions::new()
+                .with_strategy(Strategy::Direct)
+                .with_seed(9),
+        );
+        let Response::Mis { in_mis, .. } = s.solve(&req).unwrap() else {
+            panic!()
+        };
+        assert_eq!(*in_mis, luby_direct.in_mis);
+    }
+
+    #[test]
+    fn reference_strategy_is_bit_identical() {
+        let g = small_graph();
+        let mut s = Session::new(g);
+        let fast = s.solve(&Request::Mis(MisOptions::new())).unwrap().clone();
+        let reference = s
+            .solve(&Request::Mis(
+                MisOptions::new().with_strategy(Strategy::Reference),
+            ))
+            .unwrap();
+        assert_eq!(&fast, reference);
+    }
+
+    #[test]
+    fn unsupported_strategy_is_a_typed_error_and_errors_are_cached() {
+        let mut s = Session::new(Graph::path(4));
+        let bad = Request::Slocal(
+            SlocalOptions::new(SlocalTask::GreedyMis).with_strategy(Strategy::Direct),
+        );
+        let err = s.solve(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::UnsupportedStrategy {
+                problem: ProblemKind::Slocal,
+                strategy: Strategy::Direct,
+            }
+        );
+        assert!(err.to_string().contains("slocal"));
+        // Solvers are deterministic, so the failure is cached like an
+        // answer: repeating the request re-reports it without re-running.
+        let runs = s.stats().solver_runs;
+        assert_eq!(s.solve(&bad).unwrap_err(), err);
+        assert_eq!(s.stats().solver_runs, runs, "failing request re-ran");
+        assert_eq!(s.stats().response_hits, 1);
+    }
+
+    #[test]
+    fn reference_only_slocal_skips_the_reduction_plan() {
+        let mut s = Session::new(Graph::grid(6, 6));
+        s.solve(&Request::Slocal(
+            SlocalOptions::new(SlocalTask::GreedyMis).with_strategy(Strategy::Reference),
+        ))
+        .unwrap();
+        assert_eq!(
+            s.stats().power_plans_built,
+            0,
+            "the reference oracle never consults the fast-path plan"
+        );
+        // A fast request on the same locality reuses the carved power
+        // decomposition and builds the plan exactly once.
+        s.solve(&Request::slocal(SlocalTask::GreedyMis)).unwrap();
+        assert_eq!(s.stats().power_plans_built, 1);
+    }
+
+    #[test]
+    fn verify_failures_are_answers_not_errors() {
+        let mut s = Session::new(Graph::path(3));
+        let Response::Verify(report) = s
+            .solve(&Request::verify_mis(vec![true, true, false]))
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(!report.ok);
+        assert!(report.detail.is_some());
+        // Wrong length is also a verification failure, not a SolveError.
+        let Response::Verify(report) = s.solve(&Request::verify_coloring(vec![0], 2)).unwrap()
+        else {
+            panic!()
+        };
+        assert!(!report.ok);
+    }
+
+    #[test]
+    fn ignored_option_knobs_share_one_cached_decomposition() {
+        let mut s = Session::new(small_graph());
+        // Ball carving ignores the seed and the cap: ten variants, one build.
+        for seed in 0..10u64 {
+            s.solve(&Request::Decompose(
+                DecomposeOptions::new()
+                    .with_seed(seed)
+                    .with_cap(seed as u32),
+            ))
+            .unwrap();
+        }
+        assert_eq!(s.stats().decompositions_built, 1);
+        // A genuinely different construction is a second build.
+        s.solve(&Request::Decompose(
+            DecomposeOptions::new().with_method(DecompMethod::Derandomized),
+        ))
+        .unwrap();
+        assert_eq!(s.stats().decompositions_built, 2);
+        // The derandomized construction ignores the seed but not the cap.
+        s.solve(&Request::Decompose(
+            DecomposeOptions::new()
+                .with_method(DecompMethod::Derandomized)
+                .with_seed(5),
+        ))
+        .unwrap();
+        assert_eq!(s.stats().decompositions_built, 2);
+    }
+
+    #[test]
+    fn decomposition_accessor_returns_the_cached_object() {
+        let g = small_graph();
+        let mut s = Session::new(g.clone());
+        s.solve(&Request::mis()).unwrap();
+        let built = s.stats().decompositions_built;
+        let d = s.decomposition(&DecomposeOptions::new()).unwrap().clone();
+        assert_eq!(s.stats().decompositions_built, built, "accessor reused it");
+        d.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn slocal_threads_and_strategies_agree() {
+        let g = Graph::grid(9, 9);
+        let mut s = Session::new(g);
+        let base = s
+            .solve(&Request::slocal(SlocalTask::GreedyMis))
+            .unwrap()
+            .clone();
+        for req in [
+            Request::Slocal(SlocalOptions::new(SlocalTask::GreedyMis).with_threads(4)),
+            Request::Slocal(
+                SlocalOptions::new(SlocalTask::GreedyMis).with_strategy(Strategy::Reference),
+            ),
+        ] {
+            let got = s.solve(&req).unwrap();
+            assert_eq!(&base, got);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_serve() {
+        for g in [Graph::empty(0), Graph::empty(1), Graph::path(2)] {
+            let mut s = Session::new(g);
+            for r in [
+                Request::mis(),
+                Request::coloring(),
+                Request::decompose(),
+                Request::slocal(SlocalTask::GreedyMis),
+            ] {
+                s.solve(&r).unwrap();
+            }
+        }
+    }
+}

@@ -43,12 +43,15 @@ pub struct SlocalReductionOutcome<T> {
 }
 
 /// Everything the reduction derives from the decomposition before any step
-/// runs: the validated schedule and the round bill.
-struct ReductionPlan {
-    order: Vec<usize>,
+/// runs: the validated schedule and the round bill. Cacheable — the serving
+/// [`Session`](crate::serve::Session) computes it once per `(graph, r)` and
+/// replays it across requests.
+#[derive(Debug, Clone)]
+pub(crate) struct ReductionPlan {
+    pub(crate) order: Vec<usize>,
     /// `(color, cluster ids ascending)` in ascending color order.
-    classes: Vec<(usize, Vec<u32>)>,
-    rounds: u64,
+    pub(crate) classes: Vec<(usize, Vec<u32>)>,
+    pub(crate) rounds: u64,
 }
 
 /// Exact weak diameter of `members` by farthest-first refinement: one BFS
@@ -90,48 +93,56 @@ fn exact_weak_diameter(
 /// it. The resulting rounds equal the reference's member-by-member
 /// computation exactly.
 ///
-/// # Panics
-/// Panics if the decomposition is not weak-diameter valid for `G^{2r+1}` —
-/// the same condition the reference path's materialized
-/// `validate_weak(&power_graph(g, 2r+1))` enforces.
-fn plan_reduction(g: &Graph, r: u32, d: &Decomposition) -> ReductionPlan {
+/// # Errors
+/// The first violated invariant, as a [`DecompError`] — the same conditions
+/// the reference path's materialized `validate_weak(&power_graph(g, 2r+1))`
+/// enforces. The panicking entry points `expect` it; the serving session
+/// maps it into its typed `SolveError`.
+pub(crate) fn plan_reduction(
+    g: &Graph,
+    r: u32,
+    d: &Decomposition,
+) -> Result<ReductionPlan, DecompError> {
+    plan_reduction_with(g, r, d, &mut DiameterScratch::new(g.node_count()))
+}
+
+/// [`plan_reduction`] over a caller-owned [`DiameterScratch`] (the serving
+/// session reuses one scratch arena across plan builds on its pinned graph).
+pub(crate) fn plan_reduction_with(
+    g: &Graph,
+    r: u32,
+    d: &Decomposition,
+    scratch: &mut DiameterScratch,
+) -> Result<ReductionPlan, DecompError> {
     let k = 2 * r + 1;
     let clustering = d.clustering();
-    let check: Result<(), DecompError> = (|| {
-        if clustering.node_count() != g.node_count() {
-            return Err(DecompError::WrongGraph {
-                got: clustering.node_count(),
-                expected: g.node_count(),
-            });
-        }
-        if let Some(&node) = clustering.unclustered().first() {
-            return Err(DecompError::UnclusteredNode { node });
-        }
-        // Properness over G^{2r+1} edges, one lazy ball at a time (the same
-        // scan `Decomposition::validate_weak_power` runs; connectivity and
-        // diameters are handled below, fused with the round bill).
-        d.check_power_properness(g, k)
-    })();
-    check.expect("decomposition must be valid for G^(2r+1)");
+    if clustering.node_count() != g.node_count() {
+        return Err(DecompError::WrongGraph {
+            got: clustering.node_count(),
+            expected: g.node_count(),
+        });
+    }
+    if let Some(&node) = clustering.unclustered().first() {
+        return Err(DecompError::UnclusteredNode { node });
+    }
+    // Properness over G^{2r+1} edges, one lazy ball at a time (the same
+    // scan `Decomposition::validate_weak_power` runs; connectivity and
+    // diameters are handled below, fused with the round bill).
+    d.check_power_properness(g, k)?;
 
     // One BFS per cluster: the member distance profile from the first member
     // (its maximum `ecc1` lower-bounds the weak diameter, `2·ecc1` upper-
     // bounds it) doubling as the weak-connectivity check.
-    let mut scratch = DiameterScratch::new(g.node_count());
     let mut profile: Vec<(u32, u32)> = Vec::new();
     let mut buf: Vec<(u32, u32)> = Vec::new();
-    let ecc1: Vec<u32> = (0..clustering.cluster_count())
-        .map(|c| {
-            let members = clustering.members(c);
-            member_distances_with(g, members[0], members, &mut scratch, &mut profile)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "decomposition must be valid for G^(2r+1): {:?}",
-                        DecompError::DisconnectedCluster { cluster: c }
-                    )
-                })
-        })
-        .collect();
+    let mut ecc1: Vec<u32> = Vec::with_capacity(clustering.cluster_count());
+    for c in 0..clustering.cluster_count() {
+        let members = clustering.members(c);
+        match member_distances_with(g, members[0], members, scratch, &mut profile) {
+            Some(e) => ecc1.push(e),
+            None => return Err(DecompError::DisconnectedCluster { cluster: c }),
+        }
+    }
 
     let mut order: Vec<usize> = g.nodes().collect();
     order.sort_by_key(|&v| {
@@ -152,7 +163,7 @@ fn plan_reduction(g: &Graph, r: u32, d: &Decomposition) -> ReductionPlan {
                 let w = exact_weak_diameter(
                     g,
                     clustering.members(c as usize),
-                    &mut scratch,
+                    scratch,
                     &mut profile,
                     &mut buf,
                 );
@@ -162,11 +173,11 @@ fn plan_reduction(g: &Graph, r: u32, d: &Decomposition) -> ReductionPlan {
         rounds += u64::from(worst) + 2 * u64::from(r) + 2;
     }
 
-    ReductionPlan {
+    Ok(ReductionPlan {
         order,
         classes,
         rounds,
-    }
+    })
 }
 
 /// Run an SLOCAL algorithm of locality `r` in the LOCAL model using a
@@ -212,7 +223,8 @@ pub fn run_slocal_via_decomposition<T, F>(
 where
     F: FnMut(&BallView<'_, T>) -> T,
 {
-    let plan = plan_reduction(g, r, decomp_of_power);
+    let plan =
+        plan_reduction(g, r, decomp_of_power).expect("decomposition must be valid for G^(2r+1)");
     let runner = SlocalRunner::new(g, r);
     let (outputs, _stats) = runner.run(&plan.order, step);
     SlocalReductionOutcome {
@@ -271,7 +283,33 @@ where
     T: Send + Sync,
     F: Fn(&BallView<'_, T>) -> T + Sync,
 {
-    let plan = plan_reduction(g, r, d);
+    let plan = plan_reduction(g, r, d).expect("decomposition must be valid for G^(2r+1)");
+    let outputs = reduction_with_plan(g, r, d, &plan, threads, step);
+    SlocalReductionOutcome {
+        outputs,
+        meter: CostMeter::rounds_only(plan.rounds),
+        order: plan.order,
+    }
+}
+
+/// The plan-reusing form of the parallel reduction: execute one color class
+/// at a time over fixed cluster buckets against a cached [`ReductionPlan`]
+/// (the serving session validates and plans once per `(graph, r)`), and
+/// return just the per-node outputs — the caller already holds the plan's
+/// round bill and order. Bit-identical to
+/// [`run_slocal_via_decomposition_threads`] by construction.
+pub(crate) fn reduction_with_plan<T, F>(
+    g: &Graph,
+    r: u32,
+    d: &Decomposition,
+    plan: &ReductionPlan,
+    threads: usize,
+    step: &F,
+) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(&BallView<'_, T>) -> T + Sync,
+{
     let threads = crate::consume::resolve_threads(threads);
     let clustering = d.clustering();
     let n = g.node_count();
@@ -307,14 +345,10 @@ where
         }
     }
 
-    SlocalReductionOutcome {
-        outputs: outputs
-            .into_iter()
-            .map(|o| o.expect("every node processed"))
-            .collect(),
-        meter: CostMeter::rounds_only(plan.rounds),
-        order: plan.order,
-    }
+    outputs
+        .into_iter()
+        .map(|o| o.expect("every node processed"))
+        .collect()
 }
 
 /// The pre-optimization reduction, retained as the differential oracle:

@@ -1,0 +1,199 @@
+//! Differential tests for the serving façade: every answer a [`Session`]
+//! serves must be **bit-identical** to the corresponding direct
+//! free-function call — same labels, same meters — on every input, for
+//! every request order (caching must never change an answer), and a
+//! sharded [`Fleet`] must agree with sequential serving.
+
+use locality_core::coloring;
+use locality_core::decomposition::ball_carving_decomposition;
+use locality_core::mis;
+use locality_core::serve::session::{greedy_coloring_step, greedy_mis_step};
+use locality_core::serve::{
+    ColoringOptions, Fleet, MisOptions, Request, Response, Session, SlocalOptions, SlocalOutput,
+    SlocalTask, Strategy,
+};
+use locality_core::slocal::run_slocal_via_decomposition;
+use locality_graph::power::power_graph;
+use locality_graph::Graph;
+use locality_rand::prng::SplitMix64;
+use locality_rand::source::PrngSource;
+use proptest::prelude::*;
+
+/// The mixed request pool the order-permutation tests draw from.
+fn request_pool(direct_seed: u64) -> Vec<Request> {
+    vec![
+        Request::decompose(),
+        Request::mis(),
+        Request::Mis(
+            MisOptions::new()
+                .with_strategy(Strategy::Direct)
+                .with_seed(direct_seed),
+        ),
+        Request::coloring(),
+        Request::Coloring(ColoringOptions::new().with_threads(1)),
+        Request::slocal(SlocalTask::GreedyMis),
+        Request::slocal(SlocalTask::GreedyColoring),
+        Request::Slocal(SlocalOptions::new(SlocalTask::GreedyMis).with_threads(3)),
+    ]
+}
+
+/// Session answers ≡ direct free-function calls, request by request.
+fn assert_session_matches_free_functions(g: &Graph, ctx: &str) {
+    let mut session = Session::new(g.clone());
+    let order: Vec<usize> = (0..g.node_count()).collect();
+    let d = ball_carving_decomposition(g, &order).decomposition;
+
+    // MIS via decomposition (the Auto default).
+    let direct = mis::via_decomposition(g, &d);
+    let Response::Mis { in_mis, meter } = session.solve(&Request::mis()).unwrap() else {
+        panic!("{ctx}: MIS response expected");
+    };
+    assert_eq!(in_mis, &direct.in_mis, "{ctx}: MIS labels");
+    assert_eq!(meter, &direct.meter, "{ctx}: MIS meter");
+
+    // MIS direct (seeded Luby).
+    let luby = mis::luby(g, &mut PrngSource::seeded(17));
+    let req = Request::Mis(
+        MisOptions::new()
+            .with_strategy(Strategy::Direct)
+            .with_seed(17),
+    );
+    let Response::Mis { in_mis, meter } = session.solve(&req).unwrap() else {
+        panic!("{ctx}: MIS response expected");
+    };
+    assert_eq!(in_mis, &luby.in_mis, "{ctx}: Luby labels");
+    assert_eq!(meter, &luby.meter, "{ctx}: Luby meter");
+
+    // Coloring via decomposition, across thread budgets.
+    let direct = coloring::via_decomposition(g, &d);
+    for threads in [0usize, 1, 5] {
+        let req = Request::Coloring(ColoringOptions::new().with_threads(threads));
+        let Response::Coloring { colors, meter, .. } = session.solve(&req).unwrap() else {
+            panic!("{ctx}: coloring response expected");
+        };
+        assert_eq!(colors, &direct.colors, "{ctx}: colors (t={threads})");
+        assert_eq!(meter, &direct.meter, "{ctx}: coloring meter (t={threads})");
+    }
+
+    // SLOCAL greedy MIS / greedy coloring through the reduction.
+    let d3 = ball_carving_decomposition(&power_graph(g, 3), &order).decomposition;
+    let red = run_slocal_via_decomposition(g, 1, &d3, greedy_mis_step);
+    for threads in [1usize, 4] {
+        let req = Request::Slocal(SlocalOptions::new(SlocalTask::GreedyMis).with_threads(threads));
+        let Response::Slocal { output, meter } = session.solve(&req).unwrap() else {
+            panic!("{ctx}: slocal response expected");
+        };
+        assert_eq!(
+            output,
+            &SlocalOutput::Flags(red.outputs.clone()),
+            "{ctx}: reduction outputs (t={threads})"
+        );
+        assert_eq!(meter.rounds, red.meter.rounds, "{ctx}: reduction rounds");
+    }
+    let red_col = run_slocal_via_decomposition(g, 1, &d3, greedy_coloring_step);
+    let Response::Slocal { output, .. } = session
+        .solve(&Request::slocal(SlocalTask::GreedyColoring))
+        .unwrap()
+    else {
+        panic!("{ctx}: slocal response expected");
+    };
+    assert_eq!(
+        output,
+        &SlocalOutput::Colors(red_col.outputs),
+        "{ctx}: greedy-coloring reduction"
+    );
+}
+
+/// The same requests in a different order give byte-identical responses
+/// (caching is invisible in the answers).
+fn assert_order_invariance(g: &Graph, perm_seed: u64, ctx: &str) {
+    let pool = request_pool(perm_seed);
+    let mut shuffled = pool.clone();
+    // Fisher–Yates with a deterministic PRNG.
+    let mut prng = SplitMix64::new(perm_seed);
+    use locality_rand::prng::Prng;
+    for i in (1..shuffled.len()).rev() {
+        let j = (prng.next_u64() % (i as u64 + 1)) as usize;
+        shuffled.swap(i, j);
+    }
+
+    let mut a = Session::new(g.clone());
+    let mut base: Vec<(Request, Response)> = Vec::new();
+    for r in &pool {
+        base.push((r.clone(), a.solve(r).unwrap().clone()));
+    }
+    let mut b = Session::new(g.clone());
+    for r in &shuffled {
+        let got = b.solve(r).unwrap();
+        let expected = &base.iter().find(|(req, _)| req == r).unwrap().1;
+        assert_eq!(got, expected, "{ctx}: order-dependent answer for {r:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn gnp_session_matches_free_functions(n in 4usize..50, p_mil in 20u64..300, seed in 0u64..1 << 20) {
+        let mut prng = SplitMix64::new(seed);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        assert_session_matches_free_functions(&g, &format!("gnp n={n} p={p_mil}/1000 seed={seed}"));
+    }
+
+    #[test]
+    fn grid_session_matches_free_functions(rows in 1usize..8, cols in 1usize..8) {
+        let g = Graph::grid(rows, cols);
+        assert_session_matches_free_functions(&g, &format!("grid {rows}x{cols}"));
+    }
+
+    #[test]
+    fn request_order_never_changes_answers(n in 4usize..40, p_mil in 30u64..250, seed in 0u64..1 << 20) {
+        let mut prng = SplitMix64::new(seed ^ 0xabcd);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        assert_order_invariance(&g, seed, &format!("gnp n={n} seed={seed}"));
+    }
+
+    #[test]
+    fn fleet_sharding_matches_sequential(k in 1usize..5, seed in 0u64..1 << 16) {
+        let mut prng = SplitMix64::new(seed);
+        let graphs: Vec<Graph> = (0..k)
+            .map(|i| Graph::gnp(10 + 6 * i, 0.15, &mut prng))
+            .collect();
+        let workloads: Vec<Vec<Request>> = (0..k).map(|i| request_pool(i as u64)).collect();
+        let mut sequential = Fleet::new(graphs.clone());
+        let expected = sequential.solve_all(&workloads, 1);
+        for threads in [2usize, 8] {
+            let mut fleet = Fleet::new(graphs.clone());
+            prop_assert_eq!(&fleet.solve_all(&workloads, threads), &expected);
+        }
+    }
+}
+
+/// The serving answers are not just internally consistent — they verify:
+/// the session's own `Verify` requests accept its MIS and coloring answers.
+#[test]
+fn session_answers_verify_through_the_session() {
+    let mut p = SplitMix64::new(99);
+    for _ in 0..4 {
+        let g = Graph::gnp_connected(70, 0.05, &mut p);
+        let mut s = Session::new(g);
+        let Response::Mis { in_mis, .. } = s.solve(&Request::mis()).unwrap().clone() else {
+            panic!()
+        };
+        let Response::Coloring {
+            colors, palette, ..
+        } = s.solve(&Request::coloring()).unwrap().clone()
+        else {
+            panic!()
+        };
+        let Response::Verify(rep) = s.solve(&Request::verify_mis(in_mis)).unwrap() else {
+            panic!()
+        };
+        assert!(rep.ok, "{:?}", rep.detail);
+        let Response::Verify(rep) = s.solve(&Request::verify_coloring(colors, palette)).unwrap()
+        else {
+            panic!()
+        };
+        assert!(rep.ok, "{:?}", rep.detail);
+    }
+}

@@ -213,19 +213,45 @@ impl<'a> SlocalRunner<'a> {
     ///
     /// # Panics
     /// Panics if `order` is not a permutation of the nodes.
-    pub fn run<T, F>(&self, order: &[usize], mut step: F) -> (Vec<T>, SlocalStats)
+    pub fn run<T, F>(&self, order: &[usize], step: F) -> (Vec<T>, SlocalStats)
+    where
+        F: FnMut(&BallView<'_, T>) -> T,
+    {
+        let mut scratch = SlocalScratch::new(self.graph.node_count());
+        self.run_with(&mut scratch, order, step)
+    }
+
+    /// [`SlocalRunner::run`] over a caller-owned [`SlocalScratch`]: a serving
+    /// layer that pins one graph and replays many SLOCAL executions reuses a
+    /// single scratch arena instead of allocating one per run. Outputs are
+    /// identical to [`SlocalRunner::run`] — the scratch is epoch-stamped, so
+    /// stale state from previous runs is invisible.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of the nodes or the scratch was
+    /// built for a different node count.
+    pub fn run_with<T, F>(
+        &self,
+        scratch: &mut SlocalScratch,
+        order: &[usize],
+        mut step: F,
+    ) -> (Vec<T>, SlocalStats)
     where
         F: FnMut(&BallView<'_, T>) -> T,
     {
         let n = self.graph.node_count();
         assert_eq!(order.len(), n, "order must cover all nodes");
+        assert_eq!(
+            scratch.node_count(),
+            n,
+            "scratch sized for a different graph"
+        );
         let mut seen = vec![false; n];
         for &v in order {
             assert!(v < n && !seen[v], "order must be a permutation");
             seen[v] = true;
         }
 
-        let mut scratch = SlocalScratch::new(n);
         let mut outputs: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let mut stats = SlocalStats {
             locality: self.locality,

@@ -1,5 +1,5 @@
-//! Quickstart: build a graph, run the randomized Elkin–Neiman network
-//! decomposition, validate it, and inspect the cost meters.
+//! Quickstart: pin a graph in a serving [`Session`], decompose it once, and
+//! answer MIS / coloring / verification requests off the shared cache.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -8,7 +8,7 @@
 use locality::prelude::*;
 
 fn main() {
-    // A sparse connected random graph on 400 nodes.
+    // A sparse connected random graph on 400 nodes, pinned in a session.
     let mut seed = SplitMix64::new(2024);
     let g = Graph::gnp_connected(400, 3.0 / 400.0, &mut seed);
     println!(
@@ -17,47 +17,84 @@ fn main() {
         g.edge_count(),
         g.max_degree()
     );
+    let mut session = Session::new(g);
 
-    // The standard randomized regime: unbounded private coins.
-    let cfg = ElkinNeimanConfig::for_graph(&g);
-    let mut coins = PrngSource::seeded(7);
-    let run = elkin_neiman(&g, &cfg, &mut coins);
-
-    let d = run
-        .decomposition
-        .as_ref()
-        .expect("w.h.p. the construction succeeds");
-    let q = d.validate(&g).expect("the validator agrees");
+    // Decompose once. The session validates the decomposition a single time
+    // and every later request reuses it.
+    let Response::Decompose { quality, meter } = session
+        .solve(&Request::decompose())
+        .expect("decomposes")
+        .clone()
+    else {
+        unreachable!("Decompose requests get Decompose responses");
+    };
     println!(
-        "decomposition: {} clusters, {} colors, max strong diameter {}",
-        q.clusters, q.colors, q.max_diameter
-    );
-    println!(
-        "cost: {} CONGEST rounds, {} messages, max message {} bits, {} random bits",
-        run.meter.rounds, run.meter.messages, run.meter.max_message_bits, run.meter.random_bits
-    );
-    assert!(
-        run.meter.congest_clean(),
-        "every message fits O(log n) bits"
+        "decomposition: {} clusters, {} colors, max strong diameter {} ({} sequential rounds)",
+        quality.clusters, quality.colors, quality.max_diameter, meter.rounds
     );
 
-    // Per-phase clustering fractions — the [EN16, Claim 6] constant.
-    let fractions: Vec<String> = run
-        .per_phase_fractions()
-        .iter()
-        .map(|f| format!("{f:.2}"))
-        .collect();
-    println!("per-phase clustered fractions: {}", fractions.join(" "));
-
-    // The same construction under Θ(log² n)-wise independent radii
-    // (Theorem 3.5): only the seed is truly random.
-    let k = (g.log2_n() * g.log2_n()) as usize;
-    let kw = KWiseBits::from_source(k, &mut PrngSource::seeded(99)).expect("seed fits");
-    let run_kw = elkin_neiman_kwise(&g, &cfg, &kw);
-    let d_kw = run_kw.decomposition.expect("limited independence suffices");
-    let q_kw = d_kw.validate(&g).expect("valid");
+    // MIS and (∆+1)-coloring consume that same cached decomposition — the
+    // paper's "decomposition ⇒ everything", served as typed requests.
+    let Response::Mis { in_mis, meter } = session.solve(&Request::mis()).expect("solves").clone()
+    else {
+        unreachable!("Mis requests get Mis responses");
+    };
     println!(
-        "k-wise regime (k = {k}): {} colors, diameter {}, total true randomness {} bits",
-        q_kw.colors, q_kw.max_diameter, run_kw.meter.random_bits
+        "deterministic MIS: {} members, {} LOCAL rounds, {} random bits",
+        in_mis.iter().filter(|&&x| x).count(),
+        meter.rounds,
+        meter.random_bits
+    );
+    let Response::Coloring {
+        colors,
+        palette,
+        meter,
+    } = session.solve(&Request::coloring()).expect("solves").clone()
+    else {
+        unreachable!("Coloring requests get Coloring responses");
+    };
+    println!(
+        "deterministic (∆+1)-coloring: {} colors used of palette {}, {} LOCAL rounds",
+        colors.iter().max().map_or(0, |c| c + 1),
+        palette,
+        meter.rounds
+    );
+
+    // Both answers verify — through the same request API.
+    for (name, req) in [
+        ("MIS", Request::verify_mis(in_mis)),
+        ("coloring", Request::verify_coloring(colors, palette)),
+    ] {
+        let Response::Verify(report) = session.solve(&req).expect("verifies") else {
+            unreachable!("Verify requests get Verify responses");
+        };
+        assert!(report.ok, "{name} must verify: {:?}", report.detail);
+        println!("{name} verified: ok");
+    }
+
+    // A randomized baseline rides the same session (strategy = Direct), and
+    // repeating any request is a cache hit.
+    let luby = Request::Mis(
+        MisOptions::new()
+            .with_strategy(Strategy::Direct)
+            .with_seed(7),
+    );
+    let Response::Mis { meter, .. } = session.solve(&luby).expect("solves") else {
+        unreachable!("Mis requests get Mis responses");
+    };
+    println!(
+        "randomized Luby baseline: {} CONGEST rounds, {} random bits",
+        meter.rounds, meter.random_bits
+    );
+    session.solve(&Request::mis()).expect("cache hit");
+
+    let stats = session.stats();
+    println!(
+        "session stats: {} requests, {} cache hits, {} solver runs, {} decomposition built",
+        stats.requests, stats.response_hits, stats.solver_runs, stats.decompositions_built
+    );
+    assert_eq!(
+        stats.decompositions_built, 1,
+        "one decomposition served everything"
     );
 }

@@ -16,7 +16,9 @@
 //!   problem (Lemma 3.4), conflict-free hypergraph multicoloring
 //!   (Theorem 3.5), error boosting by shattering (Theorem 4.2), and
 //!   brute-force/threshold derandomization (Lemma 4.1, Theorems 4.3/4.6) —
-//!   along with the consumers (MIS, (∆+1)-coloring) and local checkers.
+//!   along with the consumers (MIS, (∆+1)-coloring), local checkers, and the
+//!   `serve` façade (typed requests, caching sessions, sharded fleets) in
+//!   front of all of them.
 //!
 //! # Quickstart
 //!
@@ -52,6 +54,11 @@ pub mod prelude {
     };
     pub use locality_core::mis;
     pub use locality_core::ruling::{ruling_set, RulingSetParams};
+    pub use locality_core::serve::{
+        ColoringOptions, DecompMethod, DecomposeOptions, Fleet, MisOptions, ProblemKind, Request,
+        Response, Session, SessionStats, SlocalOptions, SlocalOutput, SlocalTask, SolveError,
+        SolverEntry, Strategy, VerifyReport, VerifyRequest,
+    };
     pub use locality_core::shared::{shared_randomness_decomposition, SharedDecompConfig};
     pub use locality_core::sparse::{sparse_randomness_decomposition, SparsePipelineConfig};
     pub use locality_core::splitting::{self, SplittingInstance};

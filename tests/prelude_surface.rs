@@ -10,11 +10,14 @@ use locality::prelude::{
     connected_components, diameter, eccentricity, elkin_neiman, elkin_neiman_kwise, is_connected,
     mis, multi_source_bfs, power_graph, ruling_set, shared_randomness_decomposition,
     sparse_randomness_decomposition, splitting, AlgorithmRun, BatchProtocol, BitSource, BitTape,
-    BoostConfig, ClusterGraph, Clustering, Control, CostMeter, Decomposition, ElkinNeimanConfig,
-    EpsBiasedBits, Executor, Exhausted, Graph, GraphBuilder, GraphError, IdAssignment, Inbox,
-    InducedSubgraph, KWiseBits, LocalAlgorithm, Outlet, Prng, PrngSource, RoundStats,
-    RulingSetParams, SharedDecompConfig, SharedSeed, SparseBits, SparsePipelineConfig, SplitMix64,
-    SplittingInstance, Xoshiro256StarStar,
+    BoostConfig, ClusterGraph, Clustering, ColoringOptions, Control, CostMeter, DecompMethod,
+    DecomposeOptions, Decomposition, ElkinNeimanConfig, EpsBiasedBits, Executor, Exhausted, Fleet,
+    Graph, GraphBuilder, GraphError, IdAssignment, Inbox, InducedSubgraph, KWiseBits,
+    LocalAlgorithm, MisOptions, Outlet, Prng, PrngSource, ProblemKind, Request, Response,
+    RoundStats, RulingSetParams, Session, SessionStats, SharedDecompConfig, SharedSeed,
+    SlocalOptions, SlocalOutput, SlocalTask, SolveError, SolverEntry, SparseBits,
+    SparsePipelineConfig, SplitMix64, SplittingInstance, Strategy, VerifyReport, VerifyRequest,
+    Xoshiro256StarStar,
 };
 
 #[test]
@@ -57,6 +60,66 @@ fn algorithms_are_reachable_from_the_prelude() {
 
     let meter = CostMeter::default();
     assert_eq!(meter.rounds, 0);
+}
+
+#[test]
+fn serving_facade_is_reachable_from_the_prelude() {
+    // One session, all five request kinds, answered and cached.
+    let g = Graph::gnp_connected(60, 0.06, &mut SplitMix64::new(11));
+    let mut session = Session::new(g);
+    let requests = [
+        Request::decompose(),
+        Request::mis(),
+        Request::Mis(
+            MisOptions::new()
+                .with_strategy(Strategy::Direct)
+                .with_seed(5),
+        ),
+        Request::coloring(),
+        Request::slocal(SlocalTask::GreedyMis),
+    ];
+    for r in &requests {
+        session.solve(r).expect("request solves");
+    }
+    let Response::Mis { in_mis, .. } = session.solve(&Request::mis()).expect("cached") else {
+        panic!("MIS requests get MIS responses");
+    };
+    let in_mis = in_mis.clone();
+    let Response::Verify(report) = session
+        .solve(&Request::verify_mis(in_mis))
+        .expect("verify solves")
+    else {
+        panic!("Verify requests get Verify responses");
+    };
+    assert!(report.ok);
+    let stats: SessionStats = session.stats();
+    assert_eq!(stats.decompositions_built, 1);
+    assert!(stats.response_hits >= 1);
+
+    // The registry is enumerable through the prelude types.
+    let entries: Vec<&SolverEntry> = locality::core::serve::registry().iter().collect();
+    assert!(entries.iter().any(|e| e.problem == ProblemKind::Mis));
+
+    // A fleet shards sessions with bit-identical results.
+    let graphs = [Graph::cycle(20), Graph::grid(5, 4)];
+    let workloads = vec![vec![Request::mis()], vec![Request::coloring()]];
+    let mut fleet = Fleet::new(graphs.clone());
+    let sharded = fleet.solve_all(&workloads, 2);
+    let mut sequential = Fleet::new(graphs);
+    assert_eq!(sharded, sequential.solve_all(&workloads, 1));
+}
+
+#[test]
+fn typed_verify_errors_flow_through_the_prelude() {
+    // The typed checkers keep the old call shapes working...
+    let g = Graph::path(3);
+    assert!(mis::verify_mis(&g, &[true, false, true]).is_ok());
+    let err = mis::verify_mis(&g, &[true, true, false]).unwrap_err();
+    // ...while exposing structure and converting to the legacy String shim.
+    assert_eq!(err.kind, checkers::VerifyErrorKind::AdjacentInSet);
+    assert_eq!(err.node, Some(0));
+    let legacy: String = err.into();
+    assert!(legacy.contains("adjacent"));
 }
 
 #[test]

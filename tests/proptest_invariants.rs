@@ -5,6 +5,9 @@ use locality::core::ruling::{ruling_set, verify_ruling_set, RulingSetParams};
 use locality::core::splitting::{solve_kwise, SplittingInstance};
 use locality::prelude::*;
 use proptest::prelude::*;
+// Both preludes export a `Strategy` (the serving façade's strategy enum vs
+// proptest's generator trait); the generator trait is the one meant here.
+use proptest::strategy::Strategy;
 
 /// Arbitrary sparse graph: node count and an edge list over it.
 fn arb_graph() -> impl Strategy<Value = Graph> {
