@@ -9,22 +9,24 @@
 
 use locality_bench::experiments;
 
-const USAGE: &str = "usage: experiments [options] <all | t1..t10 a1 d1 p1 s1 f1..f4>...
+const USAGE: &str = "usage: experiments [options] <all | t1..t10 a1 d1 p1 s1 e1 f1..f4>...
 
 Regenerates the theorem-derived tables (T1-T10), the unified
 LocalAlgorithm accounting table (A1), the derandomizer scaling
 benchmark (D1), the end-to-end pipeline benchmark (P1), the serving
-facade workload benchmark (S1), and figures (F1-F4) described in
-DESIGN.md section 3. Pass `all` to run every experiment, or any mix
-of individual ids.
+facade workload benchmark (S1), the dynamic-edit repair benchmark
+(E1), and figures (F1-F4) described in DESIGN.md section 3. Pass
+`all` to run every experiment, or any mix of individual ids.
 
 options:
-  --json <path>  write machine-readable results to <path> (the D1/P1 rows
-                 or the S1 summary — the BENCH_derand.json /
-                 BENCH_pipeline.json / BENCH_serve.json schemas; requires
-                 exactly one of d1/p1/s1 among the ids)
+  --json <path>  write machine-readable results to <path> (the D1/P1/E1
+                 rows or the S1 summary — the BENCH_derand.json /
+                 BENCH_pipeline.json / BENCH_serve.json /
+                 BENCH_edits.json schemas; requires exactly one of
+                 d1/p1/s1/e1 among the ids)
   --huge         include the largest rows: n = 10^5 in D1, n = 10^5 and
-                 10^6 in P1 (tens of seconds of compute, GBs of memory)
+                 10^6 in P1 and E1 (tens of seconds of compute, GBs of
+                 memory)
   -h, --help     print this message and exit";
 
 fn main() {
@@ -70,12 +72,12 @@ fn main() {
     if json_path.is_some() {
         let recordable = ids
             .iter()
-            .filter(|id| *id == "d1" || *id == "p1" || *id == "s1")
+            .filter(|id| *id == "d1" || *id == "p1" || *id == "s1" || *id == "e1")
             .count();
         if recordable != 1 {
             eprintln!(
                 "--json captures exactly one machine-readable experiment per run; \
-                 pass exactly one of d1/p1/s1 among the ids — note `all` expands \
+                 pass exactly one of d1/p1/s1/e1 among the ids — note `all` expands \
                  to all of them, so record them in separate runs"
             );
             std::process::exit(2);
@@ -109,6 +111,13 @@ fn main() {
                 experiments::print_serve_summary(&summary);
                 if let Some(path) = &json_path {
                     write_json(path, experiments::serve_summary_json(&summary));
+                }
+            }
+            "e1" => {
+                let rows = experiments::e1_edit_rows(huge);
+                experiments::print_edit_rows(&rows);
+                if let Some(path) = &json_path {
+                    write_json(path, experiments::edit_rows_json(&rows));
                 }
             }
             other => experiments::run(other),

@@ -29,9 +29,9 @@ use locality_rand::source::PrngSource;
 use locality_rand::sparse::SparseBits;
 
 /// All experiment identifiers, in report order.
-pub const ALL: [&str; 18] = [
-    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "p1", "s1", "f1",
-    "f2", "f3", "f4",
+pub const ALL: [&str; 19] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "p1", "s1", "e1",
+    "f1", "f2", "f3", "f4",
 ];
 
 /// Dispatch one experiment by id (lowercase). Unknown ids are reported.
@@ -42,6 +42,7 @@ pub fn run(id: &str) {
         "d1" => print_derand_rows(&d1_derand_rows(false)),
         "p1" => print_pipeline_rows(&p1_pipeline_rows(false)),
         "s1" => print_serve_summary(&s1_serve_summary()),
+        "e1" => print_edit_rows(&e1_edit_rows(false)),
         "t2" => t2_sparse_bits(),
         "t3" => t3_kwise_independence(),
         "t4" => t4_shared_congest(),
@@ -837,9 +838,18 @@ pub fn derand_rows_json(rows: &[DerandRow]) -> String {
                             ("colors", Json::Int(r.colors as i64)),
                             ("max_diameter", Json::Int(i64::from(r.max_diameter))),
                             ("opt_ms", Json::Float(r.opt_ms)),
-                            ("ref_ms", r.ref_ms.map_or(Json::Null, Json::Float)),
+                            (
+                                "ref_ms",
+                                Json::float_or_skipped(
+                                    r.ref_ms,
+                                    "reference decomposition too slow at this n",
+                                ),
+                            ),
                             ("ref_method", Json::Str(r.ref_method.into())),
-                            ("speedup", r.speedup.map_or(Json::Null, Json::Float)),
+                            (
+                                "speedup",
+                                Json::float_or_skipped(r.speedup, "no reference measurement"),
+                            ),
                         ])
                     })
                     .collect(),
@@ -1073,19 +1083,31 @@ pub fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
                             ("coloring_ms", Json::Float(r.coloring_ms)),
                             (
                                 "grid_side",
-                                r.grid_side.map_or(Json::Null, |s| Json::Int(s as i64)),
+                                Json::int_or_skipped(
+                                    r.grid_side.map(|s| s as i64),
+                                    "reduction stage skipped at this n",
+                                ),
                             ),
                             (
                                 "reduction_ms",
-                                r.reduction_ms.map_or(Json::Null, Json::Float),
+                                Json::float_or_skipped(
+                                    r.reduction_ms,
+                                    "reduction stage skipped at this n",
+                                ),
                             ),
                             ("consumers_ms", Json::Float(r.consumers_ms)),
                             (
                                 "ref_consumers_ms",
-                                r.ref_consumers_ms.map_or(Json::Null, Json::Float),
+                                Json::float_or_skipped(
+                                    r.ref_consumers_ms,
+                                    "reference consumers too slow at this n",
+                                ),
                             ),
                             ("ref_method", Json::Str(r.ref_method.into())),
-                            ("speedup", r.speedup.map_or(Json::Null, Json::Float)),
+                            (
+                                "speedup",
+                                Json::float_or_skipped(r.speedup, "no reference measurement"),
+                            ),
                         ])
                     })
                     .collect(),
@@ -1313,6 +1335,199 @@ pub fn serve_summary_json(s: &ServeSummary) -> String {
                 ("power_plans_built", Json::Int(st.power_plans_built as i64)),
                 ("power_plan_hits", Json::Int(st.power_plan_hits as i64)),
             ]),
+        ),
+    ])
+    .to_pretty()
+}
+
+/// One row of the E1 dynamic-edits experiment: sustained single-edge
+/// toggle batches against one serving session, versus a full rebuild.
+#[derive(Debug, Clone)]
+pub struct EditRow {
+    /// Nodes in the `G(n, 4/n)` instance.
+    pub n: usize,
+    /// Diameter cap of the derandomized decomposition being repaired (and
+    /// the dirty-ball radius of the repair).
+    pub cap: u32,
+    /// Single-edge toggle batches applied (each timed individually).
+    pub batches: usize,
+    /// Median repair latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile repair latency, ms.
+    pub p99_ms: f64,
+    /// Mean clusters invalidated per batch.
+    pub mean_dirty_clusters: f64,
+    /// Mean nodes re-derandomized per batch.
+    pub mean_region_nodes: f64,
+    /// Batches repaired incrementally (dirty region spliced).
+    pub incremental: usize,
+    /// Batches that fell back to a whole-decomposition rebuild.
+    pub full_rebuilds: usize,
+    /// One timed full derandomized decomposition of the final edited
+    /// graph — the cost every edit paid before repair existed.
+    pub rebuild_ms: f64,
+    /// `rebuild_ms / p50_ms`.
+    pub speedup_p50: f64,
+}
+
+/// E1 — dynamic graphs: a [`Session`](locality_core::serve::Session) pins a
+/// `G(n, 4/n)` graph, builds one derandomized decomposition (plus its
+/// consumer plan), then absorbs a stream of single-edge toggle batches
+/// through `Session::apply_edits`, which repairs the cached decomposition
+/// via the dirty-ball splice instead of rebuilding it. Each batch is timed;
+/// the baseline column is a full `derandomized_decomposition` of the final
+/// graph — exactly what every edit cost before the repair path existed.
+///
+/// `huge` adds the `n = 10⁵` and `n = 10⁶` rows the committed
+/// `BENCH_edits.json` records (the acceptance bar: median single-edge
+/// repair ≥ 10× faster than the full rebuild at `n = 10⁵`).
+pub fn e1_edit_rows(huge: bool) -> Vec<EditRow> {
+    use locality_core::serve::{DecompMethod, DecomposeOptions, Request, Session};
+    use locality_graph::edits::EditBatch;
+    use locality_rand::prng::Prng;
+    use std::time::Instant;
+
+    let mut plan: Vec<(usize, u32, usize)> = vec![(10_000, 4, 40)];
+    if huge {
+        plan.push((100_000, 4, 40));
+        plan.push((1_000_000, 3, 12));
+    }
+    let mut rows = Vec::with_capacity(plan.len());
+    for (n, cap, batches) in plan {
+        let mut prng = SplitMix64::new(0xED17 + n as u64);
+        let g = Graph::gnp(n, 4.0 / n as f64, &mut prng);
+        let opts = DecomposeOptions::new()
+            .with_method(DecompMethod::Derandomized)
+            .with_cap(cap);
+        let mut session = Session::new(g);
+        session
+            .solve(&Request::Decompose(opts))
+            .expect("decomposition builds");
+
+        let mut times_ms = Vec::with_capacity(batches);
+        let (mut dirty, mut region) = (0u64, 0u64);
+        let (mut incremental, mut full_rebuilds) = (0usize, 0usize);
+        for _ in 0..batches {
+            // Toggle one uniformly random pair: remove it if present, add
+            // it otherwise (against the session's *current* graph).
+            let mut batch = EditBatch::new();
+            loop {
+                let u = prng.uniform_below(n as u64) as usize;
+                let v = prng.uniform_below(n as u64) as usize;
+                if u == v {
+                    continue;
+                }
+                if session.graph().has_edge(u, v) {
+                    batch.remove_edge(u, v).expect("valid pair");
+                } else {
+                    batch.add_edge(u, v).expect("valid pair");
+                }
+                break;
+            }
+            let t0 = Instant::now();
+            let stats = session.apply_edits(batch).expect("repair succeeds");
+            times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            dirty += stats.dirty_clusters;
+            region += stats.region_nodes;
+            incremental += stats.decomps_repaired as usize;
+            full_rebuilds += stats.decomps_rebuilt as usize;
+        }
+        times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p50_ms = times_ms[times_ms.len() / 2];
+        let p99_ms = times_ms[(times_ms.len() * 99 / 100).min(times_ms.len() - 1)];
+
+        let t0 = Instant::now();
+        let rebuilt = derandomized_decomposition(session.graph(), cap);
+        let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            rebuilt.decomposition.clustering().cluster_count() > 0,
+            "baseline rebuild produced clusters"
+        );
+
+        rows.push(EditRow {
+            n,
+            cap,
+            batches,
+            p50_ms,
+            p99_ms,
+            mean_dirty_clusters: dirty as f64 / batches as f64,
+            mean_region_nodes: region as f64 / batches as f64,
+            incremental,
+            full_rebuilds,
+            rebuild_ms,
+            speedup_p50: rebuild_ms / p50_ms.max(1e-9),
+        });
+    }
+    rows
+}
+
+/// Print the E1 rows as the report table.
+pub fn print_edit_rows(rows: &[EditRow]) {
+    println!("\n== E1: dynamic edits — incremental decomposition repair vs full rebuild ==");
+    println!("single-edge toggle batches on G(n, 4/n) through Session::apply_edits\n");
+    let mut t = Table::new(&[
+        "n",
+        "cap",
+        "batches",
+        "p50 (ms)",
+        "p99 (ms)",
+        "dirty/batch",
+        "region/batch",
+        "incr",
+        "full",
+        "rebuild (ms)",
+        "speedup@p50",
+    ]);
+    for r in rows {
+        t.row_owned(vec![
+            r.n.to_string(),
+            r.cap.to_string(),
+            r.batches.to_string(),
+            format!("{:.2}", r.p50_ms),
+            format!("{:.2}", r.p99_ms),
+            format!("{:.1}", r.mean_dirty_clusters),
+            format!("{:.0}", r.mean_region_nodes),
+            r.incremental.to_string(),
+            r.full_rebuilds.to_string(),
+            format!("{:.1}", r.rebuild_ms),
+            format!("{:.0}x", r.speedup_p50),
+        ]);
+    }
+    t.print();
+}
+
+/// Machine-readable form of the E1 rows (the `BENCH_edits.json` schema and
+/// the CI perf artifact).
+pub fn edit_rows_json(rows: &[EditRow]) -> String {
+    use crate::json::Json;
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    Json::object(vec![
+        ("experiment", Json::Str("e1-edit-repair".into())),
+        ("family", Json::Str("gnp(n, 4/n)".into())),
+        ("unix_seconds", Json::Int(unix_seconds as i64)),
+        (
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("n", Json::Int(r.n as i64)),
+                            ("cap", Json::Int(i64::from(r.cap))),
+                            ("batches", Json::Int(r.batches as i64)),
+                            ("p50_ms", Json::Float(r.p50_ms)),
+                            ("p99_ms", Json::Float(r.p99_ms)),
+                            ("mean_dirty_clusters", Json::Float(r.mean_dirty_clusters)),
+                            ("mean_region_nodes", Json::Float(r.mean_region_nodes)),
+                            ("incremental", Json::Int(r.incremental as i64)),
+                            ("full_rebuilds", Json::Int(r.full_rebuilds as i64)),
+                            ("rebuild_ms", Json::Float(r.rebuild_ms)),
+                            ("speedup_p50", Json::Float(r.speedup_p50)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
     .to_pretty()

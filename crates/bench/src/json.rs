@@ -33,6 +33,30 @@ impl Json {
         Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
+    /// A self-describing marker for a measurement a row intentionally did
+    /// not take: `{"skipped": "<reason>"}`. Bare `null` told readers of the
+    /// committed BENCH artifacts nothing; this says *why* the field is
+    /// absent (e.g. `"reference run too slow at this n"`).
+    pub fn skipped(reason: &str) -> Json {
+        Json::object(vec![("skipped", Json::Str(reason.to_string()))])
+    }
+
+    /// `value` as a float, or a [`Json::skipped`] marker with `reason`.
+    pub fn float_or_skipped(value: Option<f64>, reason: &str) -> Json {
+        match value {
+            Some(v) => Json::Float(v),
+            None => Json::skipped(reason),
+        }
+    }
+
+    /// `value` as an int, or a [`Json::skipped`] marker with `reason`.
+    pub fn int_or_skipped(value: Option<i64>, reason: &str) -> Json {
+        match value {
+            Some(v) => Json::Int(v),
+            None => Json::skipped(reason),
+        }
+    }
+
     /// Serialize with two-space indentation and a trailing newline.
     pub fn to_pretty(&self) -> String {
         let mut out = String::new();
@@ -138,6 +162,18 @@ mod tests {
         // Balanced braces/brackets.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn skipped_markers_are_self_describing() {
+        let j = Json::object(vec![
+            ("speedup", Json::float_or_skipped(None, "no reference run")),
+            ("grid_side", Json::int_or_skipped(Some(32), "unused")),
+        ]);
+        let s = j.to_pretty();
+        assert!(s.contains("\"skipped\": \"no reference run\""));
+        assert!(s.contains("\"grid_side\": 32"));
+        assert!(!s.contains("null"));
     }
 
     #[test]

@@ -31,15 +31,20 @@ pub enum VerifyErrorKind {
     /// The artifact is not a valid decomposition (see the wrapped
     /// [`DecompError`] message in `detail`).
     Decomposition,
+    /// The set is not a valid (α, β)-ruling set: nodes too close, a node
+    /// too far, or a node that cannot reach the set.
+    RulingSet,
 }
 
 /// Structured verifier failure: the first violation a solution verifier
 /// found, with the node it is visible at (when the violation is localized),
-/// its class, and the human-readable message the stringly-typed verifiers
-/// used to return.
+/// its class, and a human-readable message.
 ///
-/// Callers that still want the old `Result<(), String>` shape convert via
-/// `From`: `verify_mis(&g, &s).map_err(String::from)`.
+/// [`VerifyError`] is the only error type on the verify path — every
+/// verifier in the crate (`verify_mis`, `verify_coloring`,
+/// `verify_ruling_set`, the decomposition validators through their `From`
+/// conversion) returns it. Render it with [`Display`](fmt::Display); the
+/// legacy `String` conversion is a deprecated migration shim.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
     /// A node at which the violation is visible, when localized (length
@@ -71,6 +76,11 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 /// Migration shim: the pre-typed verifiers returned `Result<(), String>`.
+///
+/// **Deprecated** (kept for one release): match on
+/// [`VerifyError::kind`] or render via [`Display`](fmt::Display) instead
+/// of flattening to a `String`. `#[deprecated]` cannot be attached to a
+/// trait impl, so this deprecation is by documentation only.
 impl From<VerifyError> for String {
     fn from(e: VerifyError) -> Self {
         e.detail

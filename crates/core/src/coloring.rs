@@ -20,8 +20,8 @@ use locality_sim::node::NodeContext;
 use locality_sim::wire::{Compact, WireSize};
 
 /// Verify a proper coloring with at most `palette` colors; returns the first
-/// violation as a typed [`VerifyError`] (convert with
-/// `map_err(String::from)` for the old stringly shape).
+/// violation as a typed [`VerifyError`] — match on its `kind`/`node` or
+/// render via `Display`.
 pub fn verify_coloring(g: &Graph, colors: &[usize], palette: usize) -> Result<(), VerifyError> {
     if colors.len() != g.node_count() {
         return Err(VerifyError::new(

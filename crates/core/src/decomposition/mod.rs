@@ -16,13 +16,16 @@
 //!   substitute documented in DESIGN.md §4);
 //! - [`cond_expect`]: a *derandomized* Elkin–Neiman phase via the method of
 //!   conditional expectations — the paper's `P-RLOCAL = P-SLOCAL` mechanism
-//!   [GHK18] made concrete.
+//!   [GHK18] made concrete;
+//! - [`repair`]: incremental repair of a decomposition after a batch of
+//!   edge edits, re-derandomizing only the dirty BFS-ball region.
 
 pub mod carving;
 pub mod cond_expect;
 pub(crate) mod cond_incremental;
 pub mod elkin_neiman;
 pub mod mpx;
+pub mod repair;
 pub mod types;
 
 pub use carving::{ball_carving_decomposition, CarvingResult};
@@ -35,4 +38,5 @@ pub use elkin_neiman::{
     elkin_neiman, elkin_neiman_kwise, elkin_neiman_partial, ElkinNeimanConfig,
     ElkinNeimanDecomposition, EnOutcome,
 };
+pub use repair::{repair_decomposition, RepairOptions, RepairOutcome, RepairPath};
 pub use types::{DecompError, DecompQuality, Decomposition};

@@ -22,8 +22,7 @@ use locality_sim::node::NodeContext;
 use locality_sim::wire::{Compact, WireSize};
 
 /// Verify the MIS property; returns the first violation as a typed
-/// [`VerifyError`] (convert with `map_err(String::from)` for the old
-/// stringly shape).
+/// [`VerifyError`] — match on its `kind`/`node` or render via `Display`.
 pub fn verify_mis(g: &Graph, in_mis: &[bool]) -> Result<(), VerifyError> {
     if in_mis.len() != g.node_count() {
         return Err(VerifyError::new(

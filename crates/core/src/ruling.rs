@@ -14,6 +14,7 @@
 //! checks are multi-source BFS to depth `α`, a textbook CONGEST primitive);
 //! the round cost `O(α·B)` is charged on the returned meter.
 
+use crate::checkers::{VerifyError, VerifyErrorKind};
 use locality_graph::ids::IdAssignment;
 use locality_graph::traversal::multi_source_bfs;
 use locality_graph::Graph;
@@ -135,18 +136,23 @@ fn rule_recursive(
 
 /// Verify the ruling-set property (used by tests and the checkers module).
 ///
-/// Returns `Ok(())` or a description of the first violation.
+/// # Errors
+/// The first violation as a typed [`VerifyError`] of kind
+/// [`VerifyErrorKind::RulingSet`], localized at a violating node.
 pub fn verify_ruling_set(
     g: &Graph,
     subset: &[usize],
     set: &[usize],
     alpha: u32,
     beta: u32,
-) -> Result<(), String> {
+) -> Result<(), VerifyError> {
+    let ruling_err = |node: usize, detail: String| {
+        VerifyError::new(VerifyErrorKind::RulingSet, Some(node), detail)
+    };
     let member: std::collections::BTreeSet<usize> = set.iter().copied().collect();
     for &s in set {
         if !subset.contains(&s) {
-            return Err(format!("ruling node {s} not in the subset"));
+            return Err(ruling_err(s, format!("ruling node {s} not in the subset")));
         }
     }
     // Pairwise distance ≥ α.
@@ -156,7 +162,10 @@ pub fn verify_ruling_set(
             if t != s {
                 match dist[t] {
                     Some(d) if d < alpha => {
-                        return Err(format!("ruling nodes {s},{t} at distance {d} < {alpha}"));
+                        return Err(ruling_err(
+                            s,
+                            format!("ruling nodes {s},{t} at distance {d} < {alpha}"),
+                        ));
                     }
                     _ => {}
                 }
@@ -169,12 +178,20 @@ pub fn verify_ruling_set(
     for &u in subset {
         match dist[u] {
             Some(d) if d <= beta => {}
-            Some(d) => return Err(format!("node {u} at distance {d} > β = {beta}")),
+            Some(d) => {
+                return Err(ruling_err(
+                    u,
+                    format!("node {u} at distance {d} > β = {beta}"),
+                ))
+            }
             None => {
                 if !member.contains(&u) {
                     // Unreachable from any ruling node: only legal if u's
                     // component has no subset nodes... but u itself is one.
-                    return Err(format!("node {u} cannot reach the ruling set"));
+                    return Err(ruling_err(
+                        u,
+                        format!("node {u} cannot reach the ruling set"),
+                    ));
                 }
             }
         }

@@ -34,9 +34,9 @@ pub mod request;
 pub mod session;
 
 pub use fleet::Fleet;
-pub use registry::{registry, resolve, Model, SolverEntry};
+pub use registry::{entries, registry, resolve, Model, SolverEntry};
 pub use request::{
     ColoringOptions, DecompMethod, DecomposeOptions, MisOptions, ProblemKind, Request, Response,
     SlocalOptions, SlocalOutput, SlocalTask, SolveError, Strategy, VerifyReport, VerifyRequest,
 };
-pub use session::{Session, SessionStats};
+pub use session::{RepairStats, Session, SessionStats};

@@ -108,6 +108,23 @@ fn budget_verify(_n: usize) -> u64 {
     2
 }
 
+/// Enumerate the registry — every registered solver, in preference order
+/// per problem. The iterator shape keeps callers decoupled from the
+/// backing storage (today a static slice).
+///
+/// # Example
+/// ```
+/// use locality_core::serve::{entries, ProblemKind};
+///
+/// let mis_strategies = entries()
+///     .filter(|e| e.problem == ProblemKind::Mis)
+///     .count();
+/// assert!(mis_strategies >= 2);
+/// ```
+pub fn entries() -> impl Iterator<Item = &'static SolverEntry> {
+    registry().iter()
+}
+
 /// The registry, in preference order per problem.
 pub fn registry() -> &'static [SolverEntry] {
     const REGISTRY: &[SolverEntry] = &[

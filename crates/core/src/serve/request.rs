@@ -11,6 +11,7 @@
 
 use crate::checkers::VerifyError;
 use crate::decomposition::types::{DecompError, DecompQuality, Decomposition};
+use locality_graph::edits::EditError;
 use locality_sim::cost::CostMeter;
 use std::error::Error;
 use std::fmt;
@@ -508,6 +509,9 @@ pub enum SolveError {
         /// The strategy that has no entry.
         strategy: Strategy,
     },
+    /// An edit batch handed to [`Session::apply_edits`](super::Session)
+    /// was rejected by the graph.
+    InvalidEdits(EditError),
 }
 
 impl fmt::Display for SolveError {
@@ -524,6 +528,7 @@ impl fmt::Display for SolveError {
                     problem.name()
                 )
             }
+            SolveError::InvalidEdits(e) => write!(f, "invalid edit batch: {e}"),
         }
     }
 }
@@ -532,6 +537,7 @@ impl Error for SolveError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SolveError::InvalidDecomposition(e) => Some(e),
+            SolveError::InvalidEdits(e) => Some(e),
             _ => None,
         }
     }
@@ -540,6 +546,12 @@ impl Error for SolveError {
 impl From<DecompError> for SolveError {
     fn from(e: DecompError) -> Self {
         SolveError::InvalidDecomposition(e)
+    }
+}
+
+impl From<EditError> for SolveError {
+    fn from(e: EditError) -> Self {
+        SolveError::InvalidEdits(e)
     }
 }
 

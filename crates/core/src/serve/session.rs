@@ -21,6 +21,15 @@
 //!    builds and sequential SLOCAL runs instead of being reallocated per
 //!    call.
 //!
+//! The graph is no longer frozen for the session's lifetime:
+//! [`Session::apply_edits`] takes a typed [`EditBatch`] and *repairs* the
+//! caches
+//! instead of dropping them — each cached decomposition is spliced through
+//! [`repair_decomposition`], consumer plans migrate their per-cluster
+//! diameters along the repair's provenance map, power-graph slots are
+//! marked stale and revalidated lazily, and only graph-dependent response
+//! cache entries are invalidated (see DESIGN.md §2.6 for the inventory).
+//!
 //! Every cached path is bit-identical to the corresponding free function
 //! (`crates/core/tests/proptest_serve.rs` pins this differentially).
 
@@ -30,11 +39,13 @@ use super::request::{
     SlocalOptions, SlocalOutput, SlocalTask, SolveError, Strategy, VerifyReport, VerifyRequest,
 };
 use crate::checkers::VerifyError;
-use crate::decomposition::types::{DecompQuality, Decomposition};
+use crate::decomposition::repair::{repair_decomposition, RepairOptions, RepairPath};
+use crate::decomposition::types::{DecompError, DecompQuality, Decomposition};
 use crate::decomposition::{ball_carving_decomposition, derandomized_decomposition};
 use crate::decomposition::{elkin_neiman, ElkinNeimanConfig};
 use crate::{coloring, consume, mis, slocal};
-use locality_graph::metrics::DiameterScratch;
+use locality_graph::edits::EditBatch;
+use locality_graph::metrics::{induced_diameter_with, DiameterScratch};
 use locality_graph::power::power_graph;
 use locality_graph::Graph;
 use locality_rand::source::PrngSource;
@@ -92,6 +103,30 @@ pub struct SessionStats {
     pub power_plan_hits: u64,
 }
 
+/// What one [`Session::apply_edits`] call did: which repair paths ran and
+/// exactly how much cached state it invalidated versus carried over.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Edits in the applied batch.
+    pub edits: u64,
+    /// Cached decompositions repaired incrementally (dirty region spliced).
+    pub decomps_repaired: u64,
+    /// Cached decompositions rebuilt whole (dirty region past threshold).
+    pub decomps_rebuilt: u64,
+    /// Old clusters invalidated across all repaired decompositions.
+    pub dirty_clusters: u64,
+    /// Nodes re-derandomized across all repaired decompositions.
+    pub region_nodes: u64,
+    /// Response-cache entries dropped because they depended on the graph.
+    pub responses_invalidated: u64,
+    /// Response-cache entries kept (graph-independent, e.g. unsupported
+    /// strategy errors).
+    pub responses_retained: u64,
+    /// Power-graph slots marked stale for lazy revalidation.
+    pub power_slots_stale: u64,
+}
+
 #[derive(Debug, Clone)]
 struct DecompSlot {
     options: DecomposeOptions,
@@ -108,6 +143,10 @@ struct PowerSlot {
     /// Built lazily: only the fast reduction path consults it — a
     /// `Reference`-only session never pays the plan's weak-diameter sweeps.
     plan: Option<slocal::ReductionPlan>,
+    /// Set by [`Session::apply_edits`]: the carved power decomposition may
+    /// no longer be valid for the edited graph's power, so the next use
+    /// revalidates it (and re-carves only if revalidation fails).
+    stale: bool,
 }
 
 /// A serving session: one pinned [`Graph`], lazily cached decompositions /
@@ -236,6 +275,137 @@ impl Session {
     ) -> Result<&Decomposition, SolveError> {
         let i = self.ensure_decomposition(options)?;
         Ok(&self.decomps[i].decomposition)
+    }
+
+    /// Apply a batch of edge edits to the pinned graph, repairing the
+    /// session's caches instead of dropping them (default
+    /// [`RepairOptions`]; see [`Session::apply_edits_with`]).
+    ///
+    /// # Errors
+    /// [`SolveError::InvalidEdits`] if the graph rejects the batch;
+    /// [`SolveError::InvalidDecomposition`] if a cached decomposition
+    /// cannot be repaired. Either way the session is unchanged.
+    pub fn apply_edits(&mut self, batch: EditBatch) -> Result<RepairStats, SolveError> {
+        self.apply_edits_with(batch, &RepairOptions::default())
+    }
+
+    /// [`Session::apply_edits`] with explicit repair knobs.
+    ///
+    /// What happens, in order (and atomically — any error leaves the
+    /// session untouched):
+    ///
+    /// 1. the edited graph is built via
+    ///    [`Graph::apply_edits`](locality_graph::Graph::apply_edits);
+    /// 2. every cached decomposition is repaired through
+    ///    [`repair_decomposition`] — only the dirty BFS-ball region is
+    ///    re-derandomized unless it crosses the fallback threshold. The
+    ///    repair cap always tracks the cap each slot was *built* with
+    ///    (`opts.cap` is ignored here): repairing a cap-4 decomposition
+    ///    with cap-8 balls would both dirty a far larger region and, on
+    ///    fallback, rebuild a decomposition that no longer matches the
+    ///    slot's own options;
+    /// 3. each consumer plan migrates: kept clusters keep their measured
+    ///    induced diameters (via the repair's provenance map), only new
+    ///    clusters pay a diameter sweep;
+    /// 4. power-graph slots are marked stale; the next SLOCAL request
+    ///    revalidates their decomposition against the new power graph and
+    ///    re-carves only on failure (reduction plans always rebuild — they
+    ///    encode graph distances);
+    /// 5. graph-dependent response-cache entries are dropped;
+    ///    graph-independent ones (unsupported-strategy errors) survive.
+    ///
+    /// The returned [`RepairStats`] itemizes all of the above.
+    ///
+    /// # Errors
+    /// As [`Session::apply_edits`].
+    pub fn apply_edits_with(
+        &mut self,
+        batch: EditBatch,
+        opts: &RepairOptions,
+    ) -> Result<RepairStats, SolveError> {
+        let mut stats = RepairStats {
+            edits: batch.len() as u64,
+            ..RepairStats::default()
+        };
+        if batch.is_empty() {
+            return Ok(stats);
+        }
+        let new_graph = self.graph.apply_edits(&batch)?;
+
+        // Fallible phase: repair every cached decomposition against the
+        // edited graph before any session state changes.
+        let Session {
+            decomps,
+            diam_scratch,
+            ..
+        } = self;
+        let mut repaired: Vec<DecompSlot> = Vec::with_capacity(decomps.len());
+        for slot in decomps.iter() {
+            // Per-slot cap: Elkin–Neiman slots canonicalize cap to 0, which
+            // the repair engine clamps to its minimum of 2.
+            let slot_opts = RepairOptions {
+                cap: slot.options.cap,
+                ..*opts
+            };
+            let out = repair_decomposition(&new_graph, &slot.decomposition, &batch, &slot_opts)?;
+            match out.path {
+                RepairPath::Incremental => stats.decomps_repaired += 1,
+                RepairPath::FullRebuild => stats.decomps_rebuilt += 1,
+            }
+            stats.dirty_clusters += out.dirty_clusters as u64;
+            stats.region_nodes += out.region_nodes as u64;
+            let d = &out.decomposition;
+            let k = d.clustering().cluster_count();
+            let mut diam = Vec::with_capacity(k);
+            for c in 0..k {
+                let x = match out.provenance[c] {
+                    // Kept clusters are untouched by construction: their
+                    // induced subgraph — hence diameter — is unchanged.
+                    Some(old_id) => slot.plan.diam[old_id],
+                    None => {
+                        induced_diameter_with(&new_graph, d.clustering().members(c), diam_scratch)
+                            .ok_or(SolveError::InvalidDecomposition(
+                            DecompError::DisconnectedCluster { cluster: c },
+                        ))?
+                    }
+                };
+                diam.push(x);
+            }
+            let plan = consume::ConsumerPlan {
+                classes: consume::group_by_color(d),
+                diam,
+            };
+            let quality = DecompQuality {
+                colors: plan.classes.len(),
+                max_diameter: plan.diam.iter().copied().max().unwrap_or(0),
+                clusters: plan.diam.len(),
+            };
+            repaired.push(DecompSlot {
+                options: slot.options,
+                decomposition: out.decomposition,
+                quality,
+                // The meter recorded the original construction; repairs
+                // are maintenance, not a protocol run.
+                meter: slot.meter,
+                plan,
+            });
+        }
+
+        // Infallible commit.
+        self.palette = new_graph.max_degree() + 1;
+        self.graph = new_graph;
+        self.decomps = repaired;
+        for slot in &mut self.powers {
+            slot.stale = true;
+            slot.plan = None;
+            stats.power_slots_stale += 1;
+        }
+        let before = self.responses.len();
+        self.responses
+            .retain(|(_, r)| matches!(r, Err(SolveError::UnsupportedStrategy { .. })));
+        stats.responses_retained = self.responses.len() as u64;
+        stats.responses_invalidated = (before - self.responses.len()) as u64;
+        Ok(stats)
     }
 
     fn compute(&mut self, request: &Request) -> Result<Response, SolveError> {
@@ -510,10 +680,28 @@ impl Session {
                     r,
                     decomposition,
                     plan: None,
+                    stale: false,
                 });
                 powers.len() - 1
             }
         };
+        let slot = &mut powers[idx];
+        if slot.stale {
+            // The graph changed under this slot: keep the carved power
+            // decomposition if it is still a weak decomposition of the new
+            // `G^{2r+1}` (edits far from its clusters usually leave it
+            // valid), otherwise carve afresh.
+            if slot
+                .decomposition
+                .validate_weak_power(graph, 2 * r + 1)
+                .is_err()
+            {
+                let gp = power_graph(graph, 2 * r + 1);
+                let order: Vec<usize> = (0..gp.node_count()).collect();
+                slot.decomposition = ball_carving_decomposition(&gp, &order).decomposition;
+            }
+            slot.stale = false;
+        }
         if need_plan {
             let slot = &mut powers[idx];
             if slot.plan.is_some() {
@@ -755,6 +943,144 @@ mod tests {
             let got = s.solve(&req).unwrap();
             assert_eq!(&base, got);
         }
+    }
+
+    /// A batch toggling one absent and one present edge of `g`.
+    fn toggle_batch(g: &Graph) -> EditBatch {
+        let mut batch = EditBatch::new();
+        let (u, v) = g.edges().next().expect("graph has edges");
+        batch.remove_edge(u, v).unwrap();
+        let absent = (0..g.node_count())
+            .flat_map(|a| (a + 1..g.node_count()).map(move |b| (a, b)))
+            .find(|&(a, b)| !g.has_edge(a, b) && (a, b) != (u, v))
+            .expect("graph is not complete");
+        batch.add_edge(absent.0, absent.1).unwrap();
+        batch
+    }
+
+    #[test]
+    fn apply_edits_keeps_answers_consistent_with_free_functions() {
+        let g = small_graph();
+        let mut s = Session::new(g.clone());
+        s.solve(&Request::mis()).unwrap();
+        s.solve(&Request::coloring()).unwrap();
+
+        let batch = toggle_batch(&g);
+        let h = g.apply_edits(&batch).unwrap();
+        let stats = s.apply_edits(batch).unwrap();
+        assert_eq!(stats.edits, 2);
+        assert_eq!(stats.decomps_repaired + stats.decomps_rebuilt, 1);
+
+        assert_eq!(s.graph(), &h, "session now pins the edited graph");
+        assert_eq!(s.palette(), h.max_degree() + 1);
+        // The repaired decomposition is valid for the edited graph and the
+        // cached consumer path matches the free functions on it.
+        let d = s.decomposition(&DecomposeOptions::new()).unwrap().clone();
+        d.validate(&h).expect("repaired decomposition is valid");
+        let Response::Mis { in_mis, .. } = s.solve(&Request::mis()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(*in_mis, mis::via_decomposition(&h, &d).in_mis);
+        let Response::Coloring { colors, .. } = s.solve(&Request::coloring()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(*colors, coloring::via_decomposition(&h, &d).colors);
+    }
+
+    #[test]
+    fn apply_edits_invalidates_only_graph_dependent_responses() {
+        let mut s = Session::new(small_graph());
+        let bad = Request::Slocal(
+            SlocalOptions::new(SlocalTask::GreedyMis).with_strategy(Strategy::Direct),
+        );
+        s.solve(&bad).unwrap_err();
+        s.solve(&Request::mis()).unwrap();
+        s.solve(&Request::decompose()).unwrap();
+
+        let batch = toggle_batch(s.graph());
+        let stats = s.apply_edits(batch).unwrap();
+        assert_eq!(stats.responses_retained, 1, "the typed error survives");
+        assert_eq!(stats.responses_invalidated, 2, "graph answers dropped");
+
+        // The retained error is still a cache hit; the solver never re-runs.
+        let hits = s.stats().response_hits;
+        s.solve(&bad).unwrap_err();
+        assert_eq!(s.stats().response_hits, hits + 1);
+    }
+
+    #[test]
+    fn apply_edits_marks_power_slots_stale_and_revalidates_lazily() {
+        let g = Graph::grid(7, 7);
+        let mut s = Session::new(g.clone());
+        let base = s
+            .solve(&Request::slocal(SlocalTask::GreedyMis))
+            .unwrap()
+            .clone();
+        assert_eq!(s.stats().power_plans_built, 1);
+
+        let batch = toggle_batch(&g);
+        let h = g.apply_edits(&batch).unwrap();
+        let stats = s.apply_edits(batch).unwrap();
+        assert_eq!(stats.power_slots_stale, 1);
+
+        // The next SLOCAL request revalidates the stale slot, rebuilds the
+        // reduction plan (it encodes graph distances), and agrees with the
+        // free function on the edited graph.
+        let got = s
+            .solve(&Request::slocal(SlocalTask::GreedyMis))
+            .unwrap()
+            .clone();
+        assert_eq!(s.stats().power_plans_built, 2);
+        let Response::Slocal {
+            output: SlocalOutput::Flags(flags),
+            ..
+        } = &got
+        else {
+            panic!()
+        };
+        let free = slocal::run_slocal_via_decomposition(
+            &h,
+            1,
+            &s.powers[0].decomposition,
+            greedy_mis_step,
+        );
+        assert_eq!(flags, &free.outputs);
+        // The answer is allowed to differ from the pre-edit one (different
+        // graph), but must have the same shape.
+        let Response::Slocal {
+            output: SlocalOutput::Flags(old_flags),
+            ..
+        } = &base
+        else {
+            panic!()
+        };
+        assert_eq!(flags.len(), old_flags.len());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut s = Session::new(small_graph());
+        s.solve(&Request::mis()).unwrap();
+        let responses_before = s.responses.len();
+        let stats = s.apply_edits(EditBatch::new()).unwrap();
+        assert_eq!(stats, RepairStats::default());
+        assert_eq!(s.responses.len(), responses_before, "cache untouched");
+    }
+
+    #[test]
+    fn rejected_batch_leaves_the_session_unchanged() {
+        let g = small_graph();
+        let mut s = Session::new(g.clone());
+        s.solve(&Request::mis()).unwrap();
+        let (u, v) = g.edges().next().unwrap();
+        let mut batch = EditBatch::new();
+        batch.add_edge(u, v).unwrap(); // already present: rejected at apply
+        let err = s.apply_edits(batch).unwrap_err();
+        assert!(matches!(err, SolveError::InvalidEdits(_)));
+        assert_eq!(s.graph(), &g);
+        let hits = s.stats().response_hits;
+        s.solve(&Request::mis()).unwrap();
+        assert_eq!(s.stats().response_hits, hits + 1, "cache intact");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Differential tests for dynamic edits: a [`Session`] that lives through
+//! [`Session::apply_edits`] must answer exactly like the free functions on
+//! its repaired decomposition, the repaired decomposition must validate on
+//! the edited graph, a forced fallback must equal a from-scratch rebuild,
+//! and every repair must be bit-identical across thread counts.
+
+use locality_core::coloring;
+use locality_core::decomposition::{
+    derandomized_decomposition, repair_decomposition, RepairOptions, RepairPath,
+};
+use locality_core::mis;
+use locality_core::serve::{
+    DecompMethod, DecomposeOptions, Request, Response, Session, SlocalOptions, SlocalOutput,
+    SlocalTask,
+};
+use locality_graph::prelude::random_edit_script;
+use locality_graph::Graph;
+use locality_rand::prng::SplitMix64;
+use proptest::prelude::*;
+
+/// A non-empty random edit script for `g`, or `None` when `g` admits no
+/// toggle at all (only possible on tiny degenerate graphs).
+fn script(g: &Graph, len: usize, seed: u64) -> Option<locality_graph::EditBatch> {
+    let mut prng = SplitMix64::new(seed);
+    let batch = random_edit_script(g, len, g.node_count(), &mut prng);
+    if batch.is_empty() {
+        None
+    } else {
+        Some(batch)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// After a random edit script, the session pins the edited graph, its
+    /// repaired decompositions validate there, and MIS/coloring answers are
+    /// bit-identical to the free functions on the repaired decomposition.
+    #[test]
+    fn session_after_edits_matches_free_functions(
+        n in 8usize..60,
+        p_mil in 30u64..200,
+        len in 1usize..6,
+        seed in 0u64..1 << 20,
+    ) {
+        let mut prng = SplitMix64::new(seed);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        if let Some(batch) = script(&g, len, seed ^ 0x5eed) {
+            let derand = DecomposeOptions::new()
+                .with_method(DecompMethod::Derandomized)
+                .with_cap(4);
+            let mut s = Session::new(g.clone());
+            s.solve(&Request::mis()).unwrap();
+            s.solve(&Request::coloring()).unwrap();
+            s.solve(&Request::Decompose(derand)).unwrap();
+
+            let h = g.apply_edits(&batch).unwrap();
+            let stats = s.apply_edits(batch).unwrap();
+            prop_assert_eq!(s.graph(), &h, "session pins the edited graph");
+            prop_assert_eq!(
+                stats.decomps_repaired + stats.decomps_rebuilt, 2,
+                "both cached decompositions went through repair"
+            );
+
+            for opts in [DecomposeOptions::new(), derand] {
+                let d = s.decomposition(&opts).unwrap().clone();
+                d.validate(&h).expect("repaired decomposition is valid on the edited graph");
+            }
+            let d = s.decomposition(&DecomposeOptions::new()).unwrap().clone();
+            let Response::Mis { in_mis, meter } = s.solve(&Request::mis()).unwrap() else {
+                panic!("MIS response expected");
+            };
+            let direct = mis::via_decomposition(&h, &d);
+            prop_assert_eq!(in_mis, &direct.in_mis);
+            prop_assert_eq!(meter, &direct.meter);
+            let Response::Coloring { colors, .. } = s.solve(&Request::coloring()).unwrap() else {
+                panic!("coloring response expected");
+            };
+            prop_assert_eq!(colors, &coloring::via_decomposition(&h, &d).colors);
+
+            // The post-edit answers verify through the session itself.
+            let flags = direct.in_mis.clone();
+            let Response::Verify(rep) = s.solve(&Request::verify_mis(flags)).unwrap() else {
+                panic!("verify response expected");
+            };
+            prop_assert!(rep.ok, "{:?}", rep.detail);
+        }
+    }
+
+    /// Stale power slots heal on the next SLOCAL request: the answer is a
+    /// valid MIS of the edited graph and agrees across thread budgets.
+    #[test]
+    fn slocal_after_edits_is_valid_and_thread_invariant(
+        n in 10usize..45,
+        p_mil in 40u64..160,
+        seed in 0u64..1 << 20,
+    ) {
+        let mut prng = SplitMix64::new(seed ^ 0x510);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        if let Some(batch) = script(&g, 3, seed ^ 0xbead) {
+            let mut s = Session::new(g.clone());
+            s.solve(&Request::slocal(SlocalTask::GreedyMis)).unwrap();
+            s.apply_edits(batch).unwrap();
+
+            let base = s.solve(&Request::slocal(SlocalTask::GreedyMis)).unwrap().clone();
+            let Response::Slocal { output: SlocalOutput::Flags(flags), .. } = &base else {
+                panic!("slocal flags expected");
+            };
+            let Response::Verify(rep) = s.solve(&Request::verify_mis(flags.clone())).unwrap()
+            else {
+                panic!("verify response expected");
+            };
+            prop_assert!(rep.ok, "SLOCAL greedy MIS verifies on the edited graph: {:?}", rep.detail);
+            let req = Request::Slocal(SlocalOptions::new(SlocalTask::GreedyMis).with_threads(4));
+            prop_assert_eq!(s.solve(&req).unwrap(), &base, "thread budget never changes the answer");
+        }
+    }
+
+    /// Forcing the fallback (max_region_fraction 0) must reproduce the
+    /// from-scratch derandomized decomposition bit for bit.
+    #[test]
+    fn forced_fallback_equals_scratch_rebuild(
+        n in 8usize..50,
+        p_mil in 30u64..180,
+        seed in 0u64..1 << 20,
+    ) {
+        let mut prng = SplitMix64::new(seed ^ 0xfa11);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        if let Some(batch) = script(&g, 2, seed ^ 0x0fb) {
+            let old = derandomized_decomposition(&g, 4).decomposition;
+            let h = g.apply_edits(&batch).unwrap();
+            let opts = RepairOptions::new().with_cap(4).with_max_region_fraction(0.0);
+            let out = repair_decomposition(&h, &old, &batch, &opts).unwrap();
+            prop_assert_eq!(out.path, RepairPath::FullRebuild);
+            prop_assert_eq!(out.decomposition, derandomized_decomposition(&h, 4).decomposition);
+        }
+    }
+
+    /// Repair is deterministic in the thread count, on both paths.
+    #[test]
+    fn repair_is_bit_identical_across_thread_counts(
+        n in 8usize..50,
+        p_mil in 30u64..180,
+        len in 1usize..5,
+        seed in 0u64..1 << 20,
+    ) {
+        let mut prng = SplitMix64::new(seed ^ 0x7d5);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        if let Some(batch) = script(&g, len, seed ^ 0x7417) {
+            let old = derandomized_decomposition(&g, 4).decomposition;
+            let h = g.apply_edits(&batch).unwrap();
+            let base_opts = RepairOptions::new().with_cap(4).with_threads(1);
+            let base = repair_decomposition(&h, &old, &batch, &base_opts).unwrap();
+            for threads in [2usize, 4] {
+                let opts = RepairOptions::new().with_cap(4).with_threads(threads);
+                let out = repair_decomposition(&h, &old, &batch, &opts).unwrap();
+                prop_assert_eq!(&out.decomposition, &base.decomposition);
+                prop_assert_eq!(&out.provenance, &base.provenance);
+            }
+        }
+    }
+}
+
+/// A session surviving several successive edit batches keeps serving
+/// answers that validate — the repaired state never drifts off the graph.
+#[test]
+fn sessions_survive_successive_edit_batches() {
+    let mut prng = SplitMix64::new(0xd1f);
+    let g = Graph::gnp_connected(80, 0.05, &mut prng);
+    let mut s = Session::new(g.clone());
+    s.solve(&Request::mis()).unwrap();
+    for round in 0..6u64 {
+        if let Some(batch) = script(s.graph(), 3, 100 + round) {
+            let h = s.graph().apply_edits(&batch).unwrap();
+            s.apply_edits(batch).unwrap();
+            assert_eq!(s.graph(), &h, "round {round}: graph advanced");
+            let d = s.decomposition(&DecomposeOptions::new()).unwrap().clone();
+            d.validate(&h).expect("repaired decomposition stays valid");
+            let Response::Mis { in_mis, .. } = s.solve(&Request::mis()).unwrap() else {
+                panic!("MIS response expected");
+            };
+            assert_eq!(
+                *in_mis,
+                mis::via_decomposition(&h, &d).in_mis,
+                "round {round}"
+            );
+        }
+    }
+}

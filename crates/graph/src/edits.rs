@@ -1,0 +1,532 @@
+//! Typed, validated edge-edit batches and the CSR rebuild that applies them.
+//!
+//! [`Graph`] is immutable; dynamic-graph workloads mutate it by submitting an
+//! [`EditBatch`] and receiving a fresh CSR graph from
+//! [`Graph::apply_edits`]. The batch is the *typed* mutation surface:
+//! self-loops are rejected at push time, `(u, v)`/`(v, u)` are canonicalized
+//! to one undirected edge, duplicate edits are deduplicated, and an add and a
+//! remove of the same edge in one batch is a hard [`EditError::Conflicting`]
+//! — so a validated batch always describes one well-defined symmetric
+//! difference on the edge set. The rebuild merges each node's sorted
+//! neighbor list with its adds/removes in one linear sweep and reassembles
+//! through the same sorted-CSR fast path the generators use, deriving the
+//! mirror-slot index in `O(n + m)`.
+
+use crate::graph::{Graph, GraphError};
+use locality_rand::prng::Prng;
+use std::error::Error;
+use std::fmt;
+
+/// One edge mutation. Endpoints are unordered: `AddEdge(u, v)` and
+/// `AddEdge(v, u)` denote the same edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Edit {
+    /// Insert the undirected edge `{u, v}`.
+    AddEdge(usize, usize),
+    /// Delete the undirected edge `{u, v}`.
+    RemoveEdge(usize, usize),
+}
+
+impl Edit {
+    /// The edit's endpoints, canonicalized `(min, max)`.
+    pub fn endpoints(self) -> (usize, usize) {
+        match self {
+            Edit::AddEdge(u, v) | Edit::RemoveEdge(u, v) => (u.min(v), u.max(v)),
+        }
+    }
+}
+
+/// Why an [`EditBatch`] was rejected (at push or apply time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// An edit endpoint referenced a node `>= n` of the target graph.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+        /// Number of nodes in the target graph.
+        n: usize,
+    },
+    /// A self-loop edit was supplied (the graphs are simple).
+    SelfLoop {
+        /// The node with the loop.
+        node: usize,
+    },
+    /// The batch both adds and removes the same edge.
+    Conflicting {
+        /// Smaller endpoint.
+        u: usize,
+        /// Larger endpoint.
+        v: usize,
+    },
+    /// An `AddEdge` names an edge the graph already has (and
+    /// [`EditOptions::ignore_redundant`] is off).
+    AddExisting {
+        /// Smaller endpoint.
+        u: usize,
+        /// Larger endpoint.
+        v: usize,
+    },
+    /// A `RemoveEdge` names an edge the graph does not have (and
+    /// [`EditOptions::ignore_redundant`] is off).
+    RemoveMissing {
+        /// Smaller endpoint.
+        u: usize,
+        /// Larger endpoint.
+        v: usize,
+    },
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::NodeOutOfRange { node, n } => {
+                write!(f, "edit endpoint {node} out of range for {n} nodes")
+            }
+            EditError::SelfLoop { node } => write!(f, "self-loop edit at node {node}"),
+            EditError::Conflicting { u, v } => {
+                write!(
+                    f,
+                    "edge {{{u}, {v}}} is both added and removed in one batch"
+                )
+            }
+            EditError::AddExisting { u, v } => {
+                write!(f, "cannot add edge {{{u}, {v}}}: it already exists")
+            }
+            EditError::RemoveMissing { u, v } => {
+                write!(f, "cannot remove edge {{{u}, {v}}}: it does not exist")
+            }
+        }
+    }
+}
+
+impl Error for EditError {}
+
+impl From<GraphError> for EditError {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::NodeOutOfRange { node, n } => EditError::NodeOutOfRange { node, n },
+            GraphError::SelfLoop { node } => EditError::SelfLoop { node },
+        }
+    }
+}
+
+/// Apply-time policy knobs for an [`EditBatch`], built via `Default` +
+/// `with_*` like the serving layer's request option structs.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EditOptions {
+    /// Silently skip redundant edits (adding a present edge, removing an
+    /// absent one) instead of failing the whole batch. Off by default: a
+    /// redundant edit usually means the caller's view of the graph is stale.
+    pub ignore_redundant: bool,
+}
+
+impl EditOptions {
+    /// Defaults: redundant edits are errors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set [`EditOptions::ignore_redundant`].
+    pub fn with_ignore_redundant(mut self, ignore: bool) -> Self {
+        self.ignore_redundant = ignore;
+        self
+    }
+}
+
+/// A validated, deduplicated batch of edge edits.
+///
+/// Edits are canonicalized (`{u, v}` with `u < v`) and kept sorted; pushing
+/// the same edit twice is a no-op, pushing the *opposite* edit for the same
+/// pair is [`EditError::Conflicting`]. Node-range validation happens at
+/// [`Graph::apply_edits`] time, when the target graph is known.
+///
+/// # Example
+/// ```
+/// use locality_graph::prelude::*;
+///
+/// let g = Graph::path(4); // 0-1-2-3
+/// let mut batch = EditBatch::new();
+/// batch.add_edge(3, 0).unwrap().remove_edge(1, 2).unwrap();
+/// let h = g.apply_edits(&batch).unwrap();
+/// assert!(h.has_edge(0, 3) && !h.has_edge(1, 2));
+/// assert_eq!(h.edge_count(), g.edge_count());
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EditBatch {
+    /// Canonicalized edits, sorted and duplicate-free.
+    edits: Vec<Edit>,
+    options: EditOptions,
+}
+
+impl EditBatch {
+    /// An empty batch with default [`EditOptions`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with explicit options.
+    pub fn with_options(options: EditOptions) -> Self {
+        Self {
+            edits: Vec::new(),
+            options,
+        }
+    }
+
+    /// The batch's apply-time options.
+    pub fn options(&self) -> EditOptions {
+        self.options
+    }
+
+    /// The canonicalized edits, sorted.
+    pub fn edits(&self) -> &[Edit] {
+        &self.edits
+    }
+
+    /// Number of (distinct) edits in the batch.
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Every node an edit touches, sorted and deduplicated (the seed set for
+    /// incremental decomposition repair).
+    pub fn touched_nodes(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self
+            .edits
+            .iter()
+            .flat_map(|e| {
+                let (u, v) = e.endpoints();
+                [u, v]
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Queue `edit` (validated and canonicalized; duplicates are dropped).
+    ///
+    /// # Errors
+    /// [`EditError::SelfLoop`] if the endpoints coincide;
+    /// [`EditError::Conflicting`] if the opposite edit for the same pair is
+    /// already queued.
+    pub fn push(&mut self, edit: Edit) -> Result<&mut Self, EditError> {
+        let (u, v) = edit.endpoints();
+        if u == v {
+            return Err(EditError::SelfLoop { node: u });
+        }
+        let canonical = match edit {
+            Edit::AddEdge(..) => Edit::AddEdge(u, v),
+            Edit::RemoveEdge(..) => Edit::RemoveEdge(u, v),
+        };
+        let opposite = match canonical {
+            Edit::AddEdge(u, v) => Edit::RemoveEdge(u, v),
+            Edit::RemoveEdge(u, v) => Edit::AddEdge(u, v),
+        };
+        if self.edits.binary_search(&opposite).is_ok() {
+            return Err(EditError::Conflicting { u, v });
+        }
+        if let Err(i) = self.edits.binary_search(&canonical) {
+            self.edits.insert(i, canonical);
+        }
+        Ok(self)
+    }
+
+    /// Queue an [`Edit::AddEdge`] (see [`EditBatch::push`]).
+    ///
+    /// # Errors
+    /// As [`EditBatch::push`].
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, EditError> {
+        self.push(Edit::AddEdge(u, v))
+    }
+
+    /// Queue an [`Edit::RemoveEdge`] (see [`EditBatch::push`]).
+    ///
+    /// # Errors
+    /// As [`EditBatch::push`].
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, EditError> {
+        self.push(Edit::RemoveEdge(u, v))
+    }
+}
+
+impl Graph {
+    /// Apply a validated [`EditBatch`], returning the edited graph (the
+    /// original is untouched). Neighbor lists are merged with the batch's
+    /// per-node adds/removes in one linear sweep and reassembled through the
+    /// sorted-CSR fast path, so the cost is `O(n + m + k log k)` for `k`
+    /// edits — independent of how the graph was first built.
+    ///
+    /// # Errors
+    /// [`EditError::NodeOutOfRange`] / [`EditError::SelfLoop`] for malformed
+    /// endpoints, and — unless [`EditOptions::ignore_redundant`] is set —
+    /// [`EditError::AddExisting`] / [`EditError::RemoveMissing`] for edits
+    /// that disagree with the current edge set. On error the batch is
+    /// rejected atomically: no partial graph is produced.
+    pub fn apply_edits(&self, batch: &EditBatch) -> Result<Graph, EditError> {
+        let n = self.node_count();
+        let ignore = batch.options().ignore_redundant;
+        // Directed views of the effective edits: for each endpoint, the
+        // sorted list of neighbors to add / drop.
+        let mut adds: Vec<(usize, usize)> = Vec::new();
+        let mut removes: Vec<(usize, usize)> = Vec::new();
+        for &edit in batch.edits() {
+            let (u, v) = edit.endpoints();
+            if u >= n || v >= n {
+                return Err(EditError::NodeOutOfRange { node: u.max(v), n });
+            }
+            match edit {
+                Edit::AddEdge(..) => {
+                    if self.has_edge(u, v) {
+                        if !ignore {
+                            return Err(EditError::AddExisting { u, v });
+                        }
+                    } else {
+                        adds.push((u, v));
+                        adds.push((v, u));
+                    }
+                }
+                Edit::RemoveEdge(..) => {
+                    if !self.has_edge(u, v) {
+                        if !ignore {
+                            return Err(EditError::RemoveMissing { u, v });
+                        }
+                    } else {
+                        removes.push((u, v));
+                        removes.push((v, u));
+                    }
+                }
+            }
+        }
+        adds.sort_unstable();
+        removes.sort_unstable();
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut adjacency =
+            Vec::with_capacity(self.directed_edge_count() + adds.len() - removes.len());
+        let (mut ai, mut ri) = (0usize, 0usize);
+        for u in 0..n {
+            let old = self.neighbors(u);
+            let mut oi = 0usize;
+            // Three-way sorted merge: old neighbors minus removes, union adds.
+            // Adds are validated absent from `old`, so the interleave is
+            // strict — an add is never equal to the current old entry.
+            loop {
+                let next_add = (ai < adds.len() && adds[ai].0 == u).then(|| adds[ai].1);
+                let next_old = old.get(oi).copied();
+                let take_old = match (next_old, next_add) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (Some(w), Some(a)) => w < a,
+                };
+                if take_old {
+                    let w = old[oi];
+                    oi += 1;
+                    if ri < removes.len() && removes[ri] == (u, w) {
+                        ri += 1; // dropped
+                    } else {
+                        adjacency.push(w);
+                    }
+                } else {
+                    adjacency.push(adds[ai].1);
+                    ai += 1;
+                }
+            }
+            offsets.push(adjacency.len());
+        }
+        debug_assert_eq!(ai, adds.len());
+        debug_assert_eq!(ri, removes.len());
+        Ok(Graph::from_sorted_csr(offsets, adjacency))
+    }
+}
+
+/// A seeded random edit script against `g`: `len` edit attempts that toggle
+/// uniformly sampled node pairs — removing present edges, adding absent ones
+/// — while keeping the graph simple and every degree at most
+/// `degree_bound`. Pairs already touched by the script are skipped (a batch
+/// may not add and remove the same edge), as are adds that would push either
+/// endpoint past the bound, so the returned batch may hold fewer than `len`
+/// edits. Deterministic in `(g, len, degree_bound, prng)`; shared by the
+/// repair proptests and any future dynamic-graph test.
+pub fn random_edit_script(
+    g: &Graph,
+    len: usize,
+    degree_bound: usize,
+    prng: &mut impl Prng,
+) -> EditBatch {
+    let n = g.node_count();
+    let mut batch = EditBatch::new();
+    if n < 2 {
+        return batch;
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    // Bounded attempts so scripts on tiny/saturated graphs terminate.
+    for _ in 0..len.saturating_mul(4) {
+        if batch.len() >= len {
+            break;
+        }
+        let u = prng.uniform_below(n as u64) as usize;
+        let v = prng.uniform_below(n as u64) as usize;
+        if u == v {
+            continue;
+        }
+        let (u, v) = (u.min(v), u.max(v));
+        let touched = batch.edits().iter().any(|e| e.endpoints() == (u, v));
+        if touched {
+            continue;
+        }
+        if g.has_edge(u, v) {
+            batch.remove_edge(u, v).expect("validated pair");
+            degree[u] -= 1;
+            degree[v] -= 1;
+        } else if degree[u] < degree_bound && degree[v] < degree_bound {
+            batch.add_edge(u, v).expect("validated pair");
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_rand::prng::SplitMix64;
+
+    #[test]
+    fn batch_canonicalizes_and_dedups() {
+        let mut b = EditBatch::new();
+        b.add_edge(3, 1).unwrap();
+        b.add_edge(1, 3).unwrap();
+        b.push(Edit::AddEdge(1, 3)).unwrap();
+        b.remove_edge(0, 2).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.edits(), &[Edit::AddEdge(1, 3), Edit::RemoveEdge(0, 2)]);
+        assert_eq!(b.touched_nodes(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn self_loops_and_conflicts_rejected_at_push() {
+        let mut b = EditBatch::new();
+        assert_eq!(
+            b.add_edge(2, 2).unwrap_err(),
+            EditError::SelfLoop { node: 2 }
+        );
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(
+            b.remove_edge(1, 0).unwrap_err(),
+            EditError::Conflicting { u: 0, v: 1 }
+        );
+        assert_eq!(b.len(), 1, "failed pushes leave the batch unchanged");
+    }
+
+    #[test]
+    fn apply_validates_against_the_graph() {
+        let g = Graph::path(4);
+        let mut b = EditBatch::new();
+        b.add_edge(0, 9).unwrap();
+        assert_eq!(
+            g.apply_edits(&b).unwrap_err(),
+            EditError::NodeOutOfRange { node: 9, n: 4 }
+        );
+        let mut b = EditBatch::new();
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(
+            g.apply_edits(&b).unwrap_err(),
+            EditError::AddExisting { u: 0, v: 1 }
+        );
+        let mut b = EditBatch::new();
+        b.remove_edge(0, 3).unwrap();
+        assert_eq!(
+            g.apply_edits(&b).unwrap_err(),
+            EditError::RemoveMissing { u: 0, v: 3 }
+        );
+    }
+
+    #[test]
+    fn ignore_redundant_skips_instead_of_failing() {
+        let g = Graph::path(4);
+        let mut b = EditBatch::with_options(EditOptions::new().with_ignore_redundant(true));
+        b.add_edge(0, 1).unwrap(); // present: skipped
+        b.remove_edge(0, 3).unwrap(); // absent: skipped
+        b.add_edge(0, 2).unwrap(); // effective
+        let h = g.apply_edits(&b).unwrap();
+        assert_eq!(h.edge_count(), g.edge_count() + 1);
+        assert!(h.has_edge(0, 2));
+    }
+
+    #[test]
+    fn apply_matches_rebuild_from_edge_list() {
+        let mut p = SplitMix64::new(41);
+        let g = Graph::gnp(60, 0.08, &mut p);
+        let mut b = EditBatch::new();
+        // Toggle a handful of specific pairs.
+        let mut want: Vec<(usize, usize)> = g.edges().collect();
+        for (u, v) in [(0usize, 1usize), (5, 9), (10, 59), (3, 4)] {
+            if g.has_edge(u, v) {
+                b.remove_edge(u, v).unwrap();
+                want.retain(|&e| e != (u.min(v), u.max(v)));
+            } else {
+                b.add_edge(u, v).unwrap();
+                want.push((u.min(v), u.max(v)));
+            }
+        }
+        let h = g.apply_edits(&b).unwrap();
+        let rebuilt = Graph::from_edges(60, want).unwrap();
+        assert_eq!(h, rebuilt, "apply_edits must equal a from-scratch build");
+    }
+
+    #[test]
+    fn mirror_index_survives_edits() {
+        let g = Graph::grid(4, 4);
+        let mut b = EditBatch::new();
+        b.add_edge(0, 15).unwrap();
+        b.remove_edge(0, 1).unwrap();
+        let h = g.apply_edits(&b).unwrap();
+        for v in h.nodes() {
+            for port in 0..h.degree(v) {
+                let s = h.slot_of(v, port);
+                let m = h.mirror_slot(s);
+                assert_eq!(h.slot_neighbor(m), v);
+                assert_eq!(h.mirror_slot(m), s);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        let g = Graph::cycle(7);
+        let h = g.apply_edits(&EditBatch::new()).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn random_scripts_respect_bounds_and_apply() {
+        let mut p = SplitMix64::new(77);
+        let g = Graph::gnp(50, 0.1, &mut p);
+        for len in [0usize, 1, 5, 20] {
+            let bound = g.max_degree().max(2);
+            let batch = random_edit_script(&g, len, bound, &mut p);
+            assert!(batch.len() <= len);
+            let h = g.apply_edits(&batch).unwrap();
+            assert!(h.max_degree() <= bound.max(g.max_degree()));
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(EditError::Conflicting { u: 1, v: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(EditError::AddExisting { u: 0, v: 3 }
+            .to_string()
+            .contains("already"));
+    }
+}

@@ -11,6 +11,7 @@
 //! - [`components`]: connected components;
 //! - [`power`]: the power graph `G^k`;
 //! - [`cluster`]: quotient/cluster graphs with member maps;
+//! - [`edits`]: typed edge-edit batches and `Graph::apply_edits`;
 //! - [`subgraph`]: induced subgraphs with index mappings;
 //! - [`metrics`]: diameters, eccentricities, degeneracy;
 //! - [`ids`]: `Θ(log n)`-bit unique identifier assignments.
@@ -35,6 +36,7 @@
 pub mod cluster;
 pub mod components;
 pub mod dot;
+pub mod edits;
 pub mod generators;
 pub mod graph;
 pub mod ids;
@@ -44,6 +46,7 @@ pub mod subgraph;
 pub mod traversal;
 
 pub use cluster::{ClusterGraph, Clustering};
+pub use edits::{Edit, EditBatch, EditError, EditOptions};
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use ids::IdAssignment;
 pub use subgraph::InducedSubgraph;
@@ -52,6 +55,7 @@ pub use subgraph::InducedSubgraph;
 pub mod prelude {
     pub use crate::cluster::{ClusterGraph, Clustering};
     pub use crate::components::{connected_components, is_connected};
+    pub use crate::edits::{random_edit_script, Edit, EditBatch, EditError, EditOptions};
     pub use crate::graph::{Graph, GraphBuilder, GraphError};
     pub use crate::ids::IdAssignment;
     pub use crate::metrics::{

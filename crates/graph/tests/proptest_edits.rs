@@ -1,0 +1,97 @@
+//! Property tests for typed edit batches: `Graph::apply_edits` must agree
+//! with rebuilding the edited edge list from scratch, and the shared random
+//! edit-script generator must respect its contracts.
+
+use locality_graph::prelude::*;
+use locality_rand::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn seeded_gnp(seed: u64, n: usize, p: f64) -> Graph {
+    Graph::gnp(n, p, &mut SplitMix64::new(seed))
+}
+
+/// The model: apply the batch to a plain sorted edge set and rebuild.
+fn model_apply(g: &Graph, batch: &EditBatch) -> Graph {
+    let mut edges: BTreeSet<(usize, usize)> = g.edges().collect();
+    for &e in batch.edits() {
+        let (u, v) = e.endpoints();
+        match e {
+            Edit::AddEdge(..) => {
+                edges.insert((u, v));
+            }
+            Edit::RemoveEdge(..) => {
+                edges.remove(&(u, v));
+            }
+        }
+    }
+    Graph::from_edges(g.node_count(), edges).expect("model edges valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apply_edits_matches_model_rebuild(seed in 0u64..1 << 20, n in 2usize..60, len in 0usize..40) {
+        let g = seeded_gnp(seed, n, 0.08);
+        let mut prng = SplitMix64::new(seed ^ 0x9e37);
+        let batch = random_edit_script(&g, len, n, &mut prng);
+        let h = g.apply_edits(&batch).expect("script edits are valid");
+        let model = model_apply(&g, &batch);
+        prop_assert_eq!(&h, &model, "CSR merge must equal from-scratch rebuild");
+        // Applying the batch is pure: the source graph is untouched and a
+        // second application gives the same answer.
+        prop_assert_eq!(&g.apply_edits(&batch).expect("pure"), &model);
+    }
+
+    #[test]
+    fn edited_graphs_keep_csr_invariants(seed in 0u64..1 << 20, len in 1usize..30) {
+        let g = seeded_gnp(seed, 40, 0.1);
+        let mut prng = SplitMix64::new(seed.wrapping_mul(0xabcd) | 1);
+        let batch = random_edit_script(&g, len, 40, &mut prng);
+        let h = g.apply_edits(&batch).expect("script edits are valid");
+        // Symmetry, sortedness, mirror involution.
+        prop_assert_eq!(h.directed_edge_count(), 2 * h.edge_count());
+        for v in h.nodes() {
+            let nb = h.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+            for (port, &u) in nb.iter().enumerate() {
+                prop_assert!(u != v, "no self-loops");
+                prop_assert!(h.has_edge(u, v), "symmetric");
+                let m = h.mirror_slot(h.slot_of(v, port));
+                prop_assert_eq!(h.slot_neighbor(m), v);
+            }
+        }
+    }
+
+    #[test]
+    fn scripts_keep_degree_bounds(seed in 0u64..1 << 20, len in 0usize..50, bound in 2usize..8) {
+        let g = Graph::grid(5, 6);
+        let mut prng = SplitMix64::new(seed);
+        let batch = random_edit_script(&g, len, bound, &mut prng);
+        prop_assert!(batch.len() <= len);
+        let h = g.apply_edits(&batch).expect("script edits are valid");
+        let cap = bound.max(g.max_degree());
+        for v in h.nodes() {
+            prop_assert!(h.degree(v) <= cap, "degree bound respected");
+        }
+    }
+
+    #[test]
+    fn remove_then_add_round_trips(seed in 0u64..1 << 20) {
+        let g = seeded_gnp(seed, 30, 0.15);
+        let first = g.edges().next();
+        if let Some((u, v)) = first {
+            let mut del = EditBatch::new();
+            del.remove_edge(u, v).expect("valid");
+            let mut put = EditBatch::new();
+            put.add_edge(u, v).expect("valid");
+            let back = g
+                .apply_edits(&del)
+                .expect("edge present")
+                .apply_edits(&put)
+                .expect("edge absent");
+            prop_assert_eq!(back, g);
+        }
+    }
+}

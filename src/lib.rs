@@ -52,12 +52,15 @@ pub mod prelude {
     pub use locality_core::decomposition::{
         elkin_neiman, elkin_neiman_kwise, Decomposition, ElkinNeimanConfig,
     };
+    pub use locality_core::decomposition::{
+        repair_decomposition, RepairOptions, RepairOutcome, RepairPath,
+    };
     pub use locality_core::mis;
     pub use locality_core::ruling::{ruling_set, RulingSetParams};
     pub use locality_core::serve::{
-        ColoringOptions, DecompMethod, DecomposeOptions, Fleet, MisOptions, ProblemKind, Request,
-        Response, Session, SessionStats, SlocalOptions, SlocalOutput, SlocalTask, SolveError,
-        SolverEntry, Strategy, VerifyReport, VerifyRequest,
+        entries, ColoringOptions, DecompMethod, DecomposeOptions, Fleet, MisOptions, ProblemKind,
+        RepairStats, Request, Response, Session, SessionStats, SlocalOptions, SlocalOutput,
+        SlocalTask, SolveError, SolverEntry, Strategy, VerifyReport, VerifyRequest,
     };
     pub use locality_core::shared::{shared_randomness_decomposition, SharedDecompConfig};
     pub use locality_core::sparse::{sparse_randomness_decomposition, SparsePipelineConfig};

@@ -7,17 +7,18 @@
 #[allow(unused_imports)]
 use locality::prelude::{
     ball, bfs_distances, boosted_decomposition, bounded_bfs_distances, checkers, coloring,
-    connected_components, diameter, eccentricity, elkin_neiman, elkin_neiman_kwise, is_connected,
-    mis, multi_source_bfs, power_graph, ruling_set, shared_randomness_decomposition,
-    sparse_randomness_decomposition, splitting, AlgorithmRun, BatchProtocol, BitSource, BitTape,
-    BoostConfig, ClusterGraph, Clustering, ColoringOptions, Control, CostMeter, DecompMethod,
-    DecomposeOptions, Decomposition, ElkinNeimanConfig, EpsBiasedBits, Executor, Exhausted, Fleet,
-    Graph, GraphBuilder, GraphError, IdAssignment, Inbox, InducedSubgraph, KWiseBits,
-    LocalAlgorithm, MisOptions, Outlet, Prng, PrngSource, ProblemKind, Request, Response,
-    RoundStats, RulingSetParams, Session, SessionStats, SharedDecompConfig, SharedSeed,
-    SlocalOptions, SlocalOutput, SlocalTask, SolveError, SolverEntry, SparseBits,
-    SparsePipelineConfig, SplitMix64, SplittingInstance, Strategy, VerifyReport, VerifyRequest,
-    Xoshiro256StarStar,
+    connected_components, diameter, eccentricity, elkin_neiman, elkin_neiman_kwise, entries,
+    is_connected, mis, multi_source_bfs, power_graph, random_edit_script, repair_decomposition,
+    ruling_set, shared_randomness_decomposition, sparse_randomness_decomposition, splitting,
+    AlgorithmRun, BatchProtocol, BitSource, BitTape, BoostConfig, ClusterGraph, Clustering,
+    ColoringOptions, Control, CostMeter, DecompMethod, DecomposeOptions, Decomposition, Edit,
+    EditBatch, EditError, EditOptions, ElkinNeimanConfig, EpsBiasedBits, Executor, Exhausted,
+    Fleet, Graph, GraphBuilder, GraphError, IdAssignment, Inbox, InducedSubgraph, KWiseBits,
+    LocalAlgorithm, MisOptions, Outlet, Prng, PrngSource, ProblemKind, RepairOptions,
+    RepairOutcome, RepairPath, RepairStats, Request, Response, RoundStats, RulingSetParams,
+    Session, SessionStats, SharedDecompConfig, SharedSeed, SlocalOptions, SlocalOutput, SlocalTask,
+    SolveError, SolverEntry, SparseBits, SparsePipelineConfig, SplitMix64, SplittingInstance,
+    Strategy, VerifyReport, VerifyRequest, Xoshiro256StarStar,
 };
 
 #[test]
@@ -96,9 +97,11 @@ fn serving_facade_is_reachable_from_the_prelude() {
     assert_eq!(stats.decompositions_built, 1);
     assert!(stats.response_hits >= 1);
 
-    // The registry is enumerable through the prelude types.
-    let entries: Vec<&SolverEntry> = locality::core::serve::registry().iter().collect();
-    assert!(entries.iter().any(|e| e.problem == ProblemKind::Mis));
+    // The registry is enumerable through the prelude types, both via the
+    // raw table and the `entries()` iterator.
+    let table: Vec<&SolverEntry> = locality::core::serve::registry().iter().collect();
+    assert!(table.iter().any(|e| e.problem == ProblemKind::Mis));
+    assert_eq!(entries().count(), table.len());
 
     // A fleet shards sessions with bit-identical results.
     let graphs = [Graph::cycle(20), Graph::grid(5, 4)];
@@ -107,6 +110,40 @@ fn serving_facade_is_reachable_from_the_prelude() {
     let sharded = fleet.solve_all(&workloads, 2);
     let mut sequential = Fleet::new(graphs);
     assert_eq!(sharded, sequential.solve_all(&workloads, 1));
+}
+
+#[test]
+fn dynamic_edits_are_reachable_from_the_prelude() {
+    // Typed edit batches, graph-level application, decomposition repair and
+    // session-level repair all round-trip through the prelude names.
+    let g = Graph::gnp_connected(50, 0.08, &mut SplitMix64::new(23));
+    let mut batch = EditBatch::with_options(EditOptions::new().with_ignore_redundant(false));
+    let (u, v) = g.edges().next().expect("graph has edges");
+    batch.remove_edge(u, v).expect("edge present");
+    assert_eq!(batch.edits(), [Edit::RemoveEdge(u, v)]);
+    let h = g.apply_edits(&batch).expect("valid batch");
+    assert_eq!(h.edge_count(), g.edge_count() - 1);
+    let dup: Result<Graph, EditError> = h.apply_edits(&batch);
+    assert!(dup.is_err(), "removing a removed edge is a typed error");
+
+    let old = locality::core::decomposition::derandomized_decomposition(&g, 4).decomposition;
+    let out: RepairOutcome =
+        repair_decomposition(&h, &old, &batch, &RepairOptions::new().with_cap(4))
+            .expect("repair succeeds");
+    assert!(matches!(
+        out.path,
+        RepairPath::Incremental | RepairPath::FullRebuild
+    ));
+    out.decomposition
+        .validate(&h)
+        .expect("valid on edited graph");
+
+    let mut session = Session::new(g.clone());
+    session.solve(&Request::mis()).expect("warm");
+    let script = random_edit_script(&g, 3, g.node_count(), &mut SplitMix64::new(31));
+    let stats: RepairStats = session.apply_edits(script).expect("session repair");
+    assert!(stats.edits >= 1);
+    session.solve(&Request::mis()).expect("still serves");
 }
 
 #[test]
