@@ -98,6 +98,73 @@ fn assert_speedup() {
     );
 }
 
+/// The committed pre-rewrite producer time at `n = 4096`, cap 8 (the
+/// `BENCH_derand.json` `opt_ms` recorded at commit 8f8cbc5, measured on this
+/// hardware). The PR-7 hot-loop + scheduling rewrite must beat it by ≥ 3×.
+const PRE_REWRITE_N4096_MS: f64 = 5215.096;
+
+/// The acceptance check for the PR-7 rewrite: ≥ 3× over the committed
+/// pre-rewrite engine on the exact `BENCH_derand.json` instance (same
+/// graph seed as the `d1` experiment row the constant was taken from).
+fn assert_speedup_vs_committed_baseline() {
+    let n = 4096;
+    let g = gnp4(n, 4 + n as u64);
+    let cap = 8;
+    // Minimum of three: the ~1.7 s window is long enough that scheduler
+    // noise only ever slows a run down.
+    let mut opt = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        std::hint::black_box(derandomized_decomposition(&g, cap));
+        opt = opt.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let speedup = PRE_REWRITE_N4096_MS / opt.max(1e-9);
+    println!(
+        "G(4096, 4/n) cap {cap}: committed pre-rewrite {PRE_REWRITE_N4096_MS:.0} ms, \
+         rewritten {opt:.0} ms -> {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 3.0,
+        "rewritten producer is only {speedup:.2}x over the committed baseline \
+         ({opt:.0} ms vs {PRE_REWRITE_N4096_MS:.0} ms)"
+    );
+}
+
+/// Allocation discipline for the work-stealing path: on a star every
+/// radius-2 ball is the whole graph, so with `threads = 2` every one of the
+/// `n + 1` center fixes takes the chunk-stealing eval + pipelined-carve
+/// route. The count must stay deterministic and bounded *per fix* (the
+/// scoped worker threads themselves cost a couple dozen allocations per
+/// fix): the stealing loop publishes partials into one preallocated atomic
+/// array, so nothing may allocate per chunk, per entry, or per candidate —
+/// any of which would blow the per-fix bound by orders of magnitude
+/// (star(5000) visits ~5000 entries × 3 candidates per fix).
+fn assert_work_stealing_allocation_discipline() {
+    let n = 5000;
+    let g = Graph::star(n);
+    derandomized_decomposition_threads(&g, 3, 2); // warm up lazy runtime state
+    let first = allocations_during(|| {
+        derandomized_decomposition_threads(&g, 3, 2);
+    });
+    let second = allocations_during(|| {
+        derandomized_decomposition_threads(&g, 3, 2);
+    });
+    assert_eq!(
+        first, second,
+        "work-stealing allocation count must be deterministic"
+    );
+    let per_fix = first as f64 / (n + 1) as f64;
+    assert!(
+        per_fix < 40.0,
+        "work-stealing path allocated {first} times on star({n}) \
+         ({per_fix:.1} per fix) — the stealing loop is allocating per chunk or entry"
+    );
+    println!(
+        "work-stealing allocation discipline holds: {first} allocations \
+         ({per_fix:.1} per fix), deterministic"
+    );
+}
+
 /// Extrapolated comparison at n = 1024 (reference phase-1 fixing cost probed
 /// over a center prefix; a lower bound on the full reference run).
 fn report_extrapolated_1024() {
@@ -124,7 +191,9 @@ fn report_extrapolated_1024() {
 
 fn bench_derand(c: &mut Criterion) {
     assert_allocation_discipline();
+    assert_work_stealing_allocation_discipline();
     assert_speedup();
+    assert_speedup_vs_committed_baseline();
     report_extrapolated_1024();
 
     let mut group = c.benchmark_group("derand");

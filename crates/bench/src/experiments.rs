@@ -29,9 +29,9 @@ use locality_rand::source::PrngSource;
 use locality_rand::sparse::SparseBits;
 
 /// All experiment identifiers, in report order.
-pub const ALL: [&str; 19] = [
-    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "p1", "s1", "e1",
-    "f1", "f2", "f3", "f4",
+pub const ALL: [&str; 20] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "d2", "p1", "s1",
+    "e1", "f1", "f2", "f3", "f4",
 ];
 
 /// Dispatch one experiment by id (lowercase). Unknown ids are reported.
@@ -40,6 +40,7 @@ pub fn run(id: &str) {
         "t1" => t1_en_baseline(),
         "a1" => a1_local_algorithms(),
         "d1" => print_derand_rows(&d1_derand_rows(false)),
+        "d2" => print_producer_rows(&d2_producer_rows(false)),
         "p1" => print_pipeline_rows(&p1_pipeline_rows(false)),
         "s1" => print_serve_summary(&s1_serve_summary()),
         "e1" => print_edit_rows(&e1_edit_rows(false)),
@@ -850,6 +851,261 @@ pub fn derand_rows_json(rows: &[DerandRow]) -> String {
                                 "speedup",
                                 Json::float_or_skipped(r.speedup, "no reference measurement"),
                             ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_pretty()
+}
+
+/// One cell of the D2 producer matrix: one decomposition construction at
+/// one scale.
+#[derive(Debug, Clone)]
+pub struct ProducerRow {
+    /// Nodes in the `G(n, 4/n)` instance.
+    pub n: usize,
+    /// Which producer ran: `"deterministic"` (the incremental
+    /// conditional-expectations engine), `"mpx"` (exponential shifts +
+    /// greedy cluster-graph coloring), or `"elkin-neiman"` (the phase-based
+    /// CONGEST construction, simulated).
+    pub producer: &'static str,
+    /// Radius truncation of the deterministic producer (`0` where the
+    /// producer takes no cap — MPX and EN derive their radii internally).
+    pub cap: u32,
+    /// Producer wall-clock, milliseconds (`None` = cell skipped or the
+    /// construction failed; see `note`).
+    pub time_ms: Option<f64>,
+    /// Colors of the validated decomposition.
+    pub colors: Option<usize>,
+    /// Certified *upper* bound on the maximum strong cluster diameter
+    /// (exact — equal to `max_diameter_lower` — whenever every cluster fits
+    /// the exact-scan limit; the randomized producers' giant clusters get
+    /// double-sweep bounds instead, see `Decomposition::validate_bounded`).
+    pub max_diameter: Option<u32>,
+    /// Certified lower bound on the maximum strong cluster diameter.
+    pub max_diameter_lower: Option<u32>,
+    /// Cluster count.
+    pub clusters: Option<usize>,
+    /// `"ok"`, or why the cell is empty.
+    pub note: &'static str,
+}
+
+/// D2 — the producer matrix on `G(n, 4/n)`: the deterministic incremental
+/// engine versus the two randomized tiers now served by `Strategy::Auto`
+/// (MPX at the session's β = 0.4, and seeded Elkin–Neiman). Every produced
+/// decomposition is validated; the row records its quality (colors, max
+/// strong diameter, clusters) next to the wall-clock so the
+/// determinism-for-speed trade is visible in one table. Elkin–Neiman is a
+/// simulated CONGEST algorithm — its cell is skipped above
+/// `n = 2 × 10⁴` where the per-phase sweeps dominate the matrix. `huge`
+/// adds `n = 10⁶` and the first `n = 10⁷` decomposition rows that the
+/// committed `BENCH_producers.json` records.
+pub fn d2_producer_rows(huge: bool) -> Vec<ProducerRow> {
+    use locality_core::decomposition::mpx::mpx_partition;
+    use locality_core::decomposition::{elkin_neiman, ElkinNeimanConfig};
+    use locality_rand::source::PrngSource;
+    use std::time::Instant;
+
+    // The serving layer's Auto randomized tier rate (serve::session).
+    const BETA: f64 = 0.4;
+    const EN_MAX_N: usize = 20_000;
+    // Clusters up to this size get the exact per-member diameter scan;
+    // larger ones (MPX swallows most of the giant component once its shift
+    // radius passes the graph's own ~log n diameter) get certified
+    // double-sweep bounds — the exact scan on a 5×10⁵-node cluster is
+    // ~10¹¹ node visits.
+    const EXACT_DIAMETER_LIMIT: usize = 10_000;
+
+    // Caps shrink with n (the ball arena is `n · |B(cap−1)|` and `G(n,4/n)`
+    // balls grow ~4^r): the guarantee degrades gracefully (diameter ≤ 2·cap)
+    // and the smoke tier stays CI-sized.
+    let mut plan: Vec<(usize, u32)> = vec![(1024, 8), (16_384, 6), (100_000, 4)];
+    if huge {
+        plan.push((1_000_000, 3));
+        plan.push((10_000_000, 3));
+    }
+    let mut rows = Vec::new();
+    for (n, cap) in plan {
+        let mut prng = SplitMix64::new(4 + n as u64);
+        let g = Graph::gnp(n, 4.0 / n as f64, &mut prng);
+
+        let t0 = Instant::now();
+        let det = derandomized_decomposition(&g, cap);
+        let det_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let q = det
+            .decomposition
+            .validate_bounded(&g, EXACT_DIAMETER_LIMIT)
+            .expect("valid deterministic decomposition");
+        rows.push(ProducerRow {
+            n,
+            producer: "deterministic",
+            cap,
+            time_ms: Some(det_ms),
+            colors: Some(q.colors),
+            max_diameter: Some(q.max_diameter_upper),
+            max_diameter_lower: Some(q.max_diameter_lower),
+            clusters: Some(q.clusters),
+            note: "ok",
+        });
+
+        let t1 = Instant::now();
+        let mpx = mpx_partition(&g, BETA, &mut SplitMix64::new(7 + n as u64));
+        let mpx_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let q = mpx
+            .decomposition
+            .validate_bounded(&g, EXACT_DIAMETER_LIMIT)
+            .expect("valid MPX decomposition");
+        rows.push(ProducerRow {
+            n,
+            producer: "mpx",
+            cap: 0,
+            time_ms: Some(mpx_ms),
+            colors: Some(q.colors),
+            max_diameter: Some(q.max_diameter_upper),
+            max_diameter_lower: Some(q.max_diameter_lower),
+            clusters: Some(q.clusters),
+            note: "ok",
+        });
+
+        if n <= EN_MAX_N {
+            let cfg = ElkinNeimanConfig::for_graph(&g);
+            let t2 = Instant::now();
+            let out = elkin_neiman(&g, &cfg, &mut PrngSource::seeded(7 + n as u64));
+            let en_ms = t2.elapsed().as_secs_f64() * 1e3;
+            match out.decomposition {
+                Some(d) => {
+                    let q = d
+                        .validate_bounded(&g, EXACT_DIAMETER_LIMIT)
+                        .expect("valid EN decomposition");
+                    rows.push(ProducerRow {
+                        n,
+                        producer: "elkin-neiman",
+                        cap: 0,
+                        time_ms: Some(en_ms),
+                        colors: Some(q.colors),
+                        max_diameter: Some(q.max_diameter_upper),
+                        max_diameter_lower: Some(q.max_diameter_lower),
+                        clusters: Some(q.clusters),
+                        note: "ok",
+                    });
+                }
+                None => rows.push(ProducerRow {
+                    n,
+                    producer: "elkin-neiman",
+                    cap: 0,
+                    time_ms: None,
+                    colors: None,
+                    max_diameter: None,
+                    max_diameter_lower: None,
+                    clusters: None,
+                    note: "construction failed (nodes survived the phase budget)",
+                }),
+            }
+        } else {
+            rows.push(ProducerRow {
+                n,
+                producer: "elkin-neiman",
+                cap: 0,
+                time_ms: None,
+                colors: None,
+                max_diameter: None,
+                max_diameter_lower: None,
+                clusters: None,
+                note: "CONGEST-simulation producer skipped at this n",
+            });
+        }
+    }
+    rows
+}
+
+/// Print the D2 rows as a table.
+pub fn print_producer_rows(rows: &[ProducerRow]) {
+    println!("\n== D2: producer matrix on G(n, 4/n) — deterministic vs randomized tiers ==");
+    println!("every produced decomposition is validated; mpx runs at the serving layer's");
+    println!("beta = 0.4; elkin-neiman is a simulated CONGEST algorithm and is skipped");
+    println!("at large n; a diam cell `a..b` is a certified bound pair (clusters too");
+    println!("large for the exact per-member scan)\n");
+    let mut t = Table::new(&[
+        "n",
+        "producer",
+        "cap",
+        "time (ms)",
+        "colors",
+        "diam",
+        "clusters",
+        "note",
+    ]);
+    for r in rows {
+        t.row_owned(vec![
+            r.n.to_string(),
+            r.producer.into(),
+            if r.cap == 0 {
+                "-".into()
+            } else {
+                r.cap.to_string()
+            },
+            r.time_ms.map_or("-".into(), |m| format!("{m:.1}")),
+            r.colors.map_or("-".into(), |c| c.to_string()),
+            match (r.max_diameter_lower, r.max_diameter) {
+                (Some(lo), Some(hi)) if lo == hi => hi.to_string(),
+                (Some(lo), Some(hi)) => format!("{lo}..{hi}"),
+                _ => "-".into(),
+            },
+            r.clusters.map_or("-".into(), |c| c.to_string()),
+            r.note.into(),
+        ]);
+    }
+    t.print();
+}
+
+/// Machine-readable form of the D2 rows (the `BENCH_producers.json` schema
+/// and the CI perf artifact).
+pub fn producer_rows_json(rows: &[ProducerRow]) -> String {
+    use crate::json::Json;
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    Json::object(vec![
+        ("experiment", Json::Str("d2-producer-matrix".into())),
+        ("family", Json::Str("gnp(n, 4/n)".into())),
+        ("mpx_beta", Json::Float(0.4)),
+        ("unix_seconds", Json::Int(unix_seconds as i64)),
+        (
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("n", Json::Int(r.n as i64)),
+                            ("producer", Json::Str(r.producer.into())),
+                            ("cap", Json::Int(i64::from(r.cap))),
+                            ("time_ms", Json::float_or_skipped(r.time_ms, r.note)),
+                            (
+                                "colors",
+                                Json::int_or_skipped(r.colors.map(|c| c as i64), r.note),
+                            ),
+                            (
+                                "max_diameter",
+                                Json::int_or_skipped(r.max_diameter.map(i64::from), r.note),
+                            ),
+                            (
+                                "max_diameter_lower",
+                                Json::int_or_skipped(r.max_diameter_lower.map(i64::from), r.note),
+                            ),
+                            (
+                                "diameter_exact",
+                                Json::Bool(
+                                    r.max_diameter.is_some()
+                                        && r.max_diameter == r.max_diameter_lower,
+                                ),
+                            ),
+                            (
+                                "clusters",
+                                Json::int_or_skipped(r.clusters.map(|c| c as i64), r.note),
+                            ),
+                            ("note", Json::Str(r.note.into())),
                         ])
                     })
                     .collect(),

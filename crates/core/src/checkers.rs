@@ -43,8 +43,7 @@ pub enum VerifyErrorKind {
 /// [`VerifyError`] is the only error type on the verify path — every
 /// verifier in the crate (`verify_mis`, `verify_coloring`,
 /// `verify_ruling_set`, the decomposition validators through their `From`
-/// conversion) returns it. Render it with [`Display`](fmt::Display); the
-/// legacy `String` conversion is a deprecated migration shim.
+/// conversion) returns it. Render it with [`Display`](fmt::Display).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
     /// A node at which the violation is visible, when localized (length
@@ -74,18 +73,6 @@ impl fmt::Display for VerifyError {
 }
 
 impl std::error::Error for VerifyError {}
-
-/// Migration shim: the pre-typed verifiers returned `Result<(), String>`.
-///
-/// **Deprecated** (kept for one release): match on
-/// [`VerifyError::kind`] or render via [`Display`](fmt::Display) instead
-/// of flattening to a `String`. `#[deprecated]` cannot be attached to a
-/// trait impl, so this deprecation is by documentation only.
-impl From<VerifyError> for String {
-    fn from(e: VerifyError) -> Self {
-        e.detail
-    }
-}
 
 /// Decomposition validation failures verify-report as
 /// [`VerifyErrorKind::Decomposition`], localized where the variant names a

@@ -172,9 +172,11 @@ pub fn derandomized_decomposition(g: &Graph, cap: u32) -> DerandResult {
 }
 
 /// [`derandomized_decomposition`] with an explicit thread count (`0` = all
-/// available). Per-node state lives in statically bucketed node ranges and
-/// every floating-point reduction happens in fixed bucket order, so the
-/// output is bit-identical for every `threads` value; under the
+/// available). Candidate evaluation work-steals over fixed-size ball
+/// chunks whose partials are reduced in chunk-ascending order, state
+/// updates are owned by contiguous node ranges, and the pipelined carve
+/// replays fixing order exactly, so the output is bit-identical for every
+/// `threads` value; under the
 /// `determinism-checks` cargo feature each call re-runs single-threaded and
 /// asserts exactly that.
 ///
@@ -452,6 +454,24 @@ mod tests {
         let one = derandomized_decomposition_threads(&g, 6, 1);
         for threads in [2, 3, 8] {
             let t = derandomized_decomposition_threads(&g, 6, threads);
+            assert_eq!(t.decomposition, one.decomposition, "threads={threads}");
+            assert_eq!(t.phases, one.phases);
+            assert_eq!(t.per_phase_fraction, one.per_phase_fraction);
+        }
+    }
+
+    #[test]
+    fn work_stealing_and_pipelined_paths_are_output_invariant() {
+        // A star's balls cover the whole graph, so every center clears the
+        // engine's (test-lowered) parallel threshold and spans many (test-
+        // shrunk) chunks: multi-threaded runs exercise chunk-stealing
+        // evaluation, node-range state ownership, AND the pipelined carver
+        // (threads >= 2), not just the sequential fallback the small
+        // invariance test hits.
+        let g = Graph::star(800);
+        let one = derandomized_decomposition_threads(&g, 3, 1);
+        for threads in [2, 8] {
+            let t = derandomized_decomposition_threads(&g, 3, threads);
             assert_eq!(t.decomposition, one.decomposition, "threads={threads}");
             assert_eq!(t.phases, one.phases);
             assert_eq!(t.per_phase_fraction, one.per_phase_fraction);

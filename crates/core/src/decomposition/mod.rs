@@ -39,4 +39,4 @@ pub use elkin_neiman::{
     ElkinNeimanDecomposition, EnOutcome,
 };
 pub use repair::{repair_decomposition, RepairOptions, RepairOutcome, RepairPath};
-pub use types::{DecompError, DecompQuality, Decomposition};
+pub use types::{DecompError, DecompQuality, DecompQualityBounds, Decomposition};

@@ -1,7 +1,9 @@
 //! The decomposition value type and validator.
 
 use locality_graph::cluster::Clustering;
-use locality_graph::metrics::{induced_diameter_with, weak_diameter_with, DiameterScratch};
+use locality_graph::metrics::{
+    induced_diameter_bounds_with, induced_diameter_with, weak_diameter_with, DiameterScratch,
+};
 use locality_graph::power::PowerView;
 use locality_graph::Graph;
 use std::error::Error;
@@ -44,6 +46,25 @@ pub struct DecompQuality {
     pub max_diameter: u32,
     /// Number of clusters.
     pub clusters: usize,
+}
+
+/// Quality report of [`Decomposition::validate_bounded`]: the maximum strong
+/// cluster diameter is certified to lie in
+/// `[max_diameter_lower, max_diameter_upper]`; `exact` says the two
+/// coincide (every cluster either took the exact scan or its double-sweep
+/// bounds collapsed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompQualityBounds {
+    /// Number of distinct colors used.
+    pub colors: usize,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Certified lower bound on the maximum strong cluster diameter.
+    pub max_diameter_lower: u32,
+    /// Certified upper bound on the maximum strong cluster diameter.
+    pub max_diameter_upper: u32,
+    /// Whether the bounds pin the diameter exactly.
+    pub exact: bool,
 }
 
 /// Validation failure for a [`Decomposition`].
@@ -187,6 +208,76 @@ impl Decomposition {
             colors: self.color_count(),
             max_diameter,
             clusters: self.clustering.cluster_count(),
+        })
+    }
+
+    /// Like [`Decomposition::validate`], but clusters larger than
+    /// `exact_limit` nodes get certified diameter *bounds* (a three-BFS
+    /// double sweep, `O(vol(C))`) instead of the exact per-member scan
+    /// (`O(|C| · vol(C))`). That keeps validation near-linear on
+    /// decompositions with giant clusters — the randomized producers build
+    /// Ω(n)-node clusters once their shift radius passes the graph's own
+    /// diameter, where the exact scan is quadratic and hopeless at
+    /// `n = 10⁶⁺`. All structural invariants (totality, connectivity,
+    /// properness) are still checked exactly; only the diameter *report*
+    /// relaxes to an interval.
+    ///
+    /// # Errors
+    /// The first violated invariant, as a [`DecompError`].
+    pub fn validate_bounded(
+        &self,
+        g: &Graph,
+        exact_limit: usize,
+    ) -> Result<DecompQualityBounds, DecompError> {
+        if self.clustering.node_count() != g.node_count() {
+            return Err(DecompError::WrongGraph {
+                got: self.clustering.node_count(),
+                expected: g.node_count(),
+            });
+        }
+        if let Some(&node) = self.clustering.unclustered().first() {
+            return Err(DecompError::UnclusteredNode { node });
+        }
+        let mut lower = 0u32;
+        let mut upper = 0u32;
+        let mut exact = true;
+        let mut scratch = DiameterScratch::new(g.node_count());
+        for c in 0..self.clustering.cluster_count() {
+            let members = self.clustering.members(c);
+            let (lo, hi) = if members.len() <= exact_limit {
+                match induced_diameter_with(g, members, &mut scratch) {
+                    Some(d) => (d, d),
+                    None => return Err(DecompError::DisconnectedCluster { cluster: c }),
+                }
+            } else {
+                match induced_diameter_bounds_with(g, members, &mut scratch) {
+                    Some(b) => b,
+                    None => return Err(DecompError::DisconnectedCluster { cluster: c }),
+                }
+            };
+            exact &= lo == hi;
+            lower = lower.max(lo);
+            upper = upper.max(hi);
+        }
+        for (u, v) in g.edges() {
+            let (cu, cv) = (
+                self.clustering.cluster_of(u).expect("total"),
+                self.clustering.cluster_of(v).expect("total"),
+            );
+            if cu != cv && self.colors[cu] == self.colors[cv] {
+                return Err(DecompError::AdjacentSameColor {
+                    a: cu,
+                    b: cv,
+                    color: self.colors[cu],
+                });
+            }
+        }
+        Ok(DecompQualityBounds {
+            colors: self.color_count(),
+            clusters: self.clustering.cluster_count(),
+            max_diameter_lower: lower,
+            max_diameter_upper: upper,
+            exact: exact || lower == upper,
         })
     }
 
@@ -378,6 +469,48 @@ mod tests {
         let d = Decomposition::new(c, vec![7, 7]).unwrap();
         assert!(matches!(
             d.validate(&g).unwrap_err(),
+            DecompError::AdjacentSameColor { color: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn validate_bounded_agrees_with_exact_validate() {
+        let mut p = SplitMix64::new(23);
+        for fam in locality_graph::generators::Family::ALL {
+            let g = fam.generate(60, &mut p);
+            let d = Decomposition::singletons_greedy(&g);
+            let exact = d.validate(&g).unwrap();
+            // Exact path for every cluster: identical report.
+            let q = d.validate_bounded(&g, usize::MAX).unwrap();
+            assert_eq!(q.colors, exact.colors);
+            assert_eq!(q.clusters, exact.clusters);
+            assert_eq!(q.max_diameter_lower, exact.max_diameter);
+            assert_eq!(q.max_diameter_upper, exact.max_diameter);
+            assert!(q.exact);
+            // Bounds path for every cluster: the interval must bracket it.
+            let b = d.validate_bounded(&g, 0).unwrap();
+            assert!(b.max_diameter_lower <= exact.max_diameter);
+            assert!(exact.max_diameter <= b.max_diameter_upper);
+        }
+    }
+
+    #[test]
+    fn validate_bounded_rejects_what_validate_rejects() {
+        let g = Graph::path(3);
+        let c = Clustering::from_assignment(vec![Some(0), Some(1), Some(0)]).unwrap();
+        let d = Decomposition::new(c, vec![0, 1]).unwrap();
+        // Disconnection is caught on both the exact and the bounds path.
+        for limit in [usize::MAX, 0] {
+            assert_eq!(
+                d.validate_bounded(&g, limit).unwrap_err(),
+                DecompError::DisconnectedCluster { cluster: 0 }
+            );
+        }
+        let g = Graph::path(4);
+        let c = Clustering::from_assignment(vec![Some(0), Some(0), Some(1), Some(1)]).unwrap();
+        let d = Decomposition::new(c, vec![7, 7]).unwrap();
+        assert!(matches!(
+            d.validate_bounded(&g, usize::MAX).unwrap_err(),
             DecompError::AdjacentSameColor { color: 7, .. }
         ));
     }

@@ -86,6 +86,12 @@ fn budget_carving(n: usize) -> u64 {
     (n as u64) * (lg(n) + 1)
 }
 
+fn budget_mpx(n: usize) -> u64 {
+    // One exponential shift per node, then a single BFS sweep: O(n + m)
+    // work, O(log n / beta) rounds distributed.
+    8 * lg(n)
+}
+
 fn budget_en(n: usize) -> u64 {
     // 10·log n phases, O(cap) rounds each, cap ≤ 10·log n.
     let l = lg(n);
@@ -208,6 +214,17 @@ pub fn registry() -> &'static [SolverEntry] {
         SolverEntry {
             problem: ProblemKind::Decompose,
             strategy: Strategy::Direct,
+            method: Some(DecompMethod::Mpx),
+            name: "decompose/mpx",
+            model: Model::Congest,
+            deterministic: false,
+            needs_decomposition: false,
+            round_budget: budget_mpx,
+            budget: "O(log n / beta) w.h.p. (one shifted BFS sweep)",
+        },
+        SolverEntry {
+            problem: ProblemKind::Decompose,
+            strategy: Strategy::Direct,
             method: Some(DecompMethod::ElkinNeiman),
             name: "decompose/elkin-neiman",
             model: Model::Congest,
@@ -311,9 +328,23 @@ mod tests {
     }
 
     #[test]
+    fn mpx_is_the_first_randomized_decompose_row() {
+        // The Auto tier with `require_deterministic = false` lowers to the
+        // first non-deterministic decompose entry, which must be MPX (it
+        // always succeeds; Elkin-Neiman can fail and retries).
+        let first_rand = registry()
+            .iter()
+            .filter(|e| e.problem == ProblemKind::Decompose)
+            .find(|e| !e.deterministic)
+            .unwrap();
+        assert_eq!(first_rand.method, Some(DecompMethod::Mpx));
+    }
+
+    #[test]
     fn every_decompose_method_has_a_row() {
         for m in [
             DecompMethod::BallCarving,
+            DecompMethod::Mpx,
             DecompMethod::ElkinNeiman,
             DecompMethod::Derandomized,
         ] {

@@ -70,9 +70,17 @@ pub enum Strategy {
 #[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecompMethod {
+    /// Let the session pick based on
+    /// [`DecomposeOptions::require_deterministic`]: [`Self::BallCarving`]
+    /// when determinism is required (the default), the fast randomized
+    /// [`Self::Mpx`] tier when it is not. The request default.
+    Auto,
     /// Deterministic sequential ball carving (`(O(log n), O(log n))`,
-    /// always succeeds — the serving default).
+    /// always succeeds).
     BallCarving,
+    /// The randomized Miller–Peng–Xu exponential-shift partition (seeded,
+    /// always succeeds; the Auto randomized tier — near-linear time).
+    Mpx,
     /// The randomized Elkin–Neiman construction (may fail; seeded).
     ElkinNeiman,
     /// The derandomized conditional-expectations construction
@@ -89,27 +97,38 @@ pub enum DecompMethod {
 #[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecomposeOptions {
-    /// The construction to run.
+    /// The construction to run ([`DecompMethod::Auto`] lets
+    /// `require_deterministic` decide).
     pub method: DecompMethod,
     /// Seed for randomized constructions (ignored by deterministic ones).
     pub seed: u64,
     /// Geometric radius truncation for [`DecompMethod::Derandomized`]
     /// (ignored by the others).
     pub cap: u32,
+    /// Whether [`DecompMethod::Auto`] must resolve to a deterministic
+    /// construction (`true`, the default — repeat requests are
+    /// bit-identical). Set `false` to let Auto take the fast randomized
+    /// tier: a cold solve drops from the deterministic producer's seconds
+    /// to near-linear milliseconds, and answers still verify — they are
+    /// just seed-dependent. Ignored when `method` names a concrete
+    /// construction.
+    pub require_deterministic: bool,
 }
 
 impl Default for DecomposeOptions {
     fn default() -> Self {
         Self {
-            method: DecompMethod::BallCarving,
+            method: DecompMethod::Auto,
             seed: 0,
             cap: 8,
+            require_deterministic: true,
         }
     }
 }
 
 impl DecomposeOptions {
-    /// The defaults: deterministic ball carving.
+    /// The defaults: `Auto` with determinism required (resolves to ball
+    /// carving).
     pub fn new() -> Self {
         Self::default()
     }
@@ -129,6 +148,13 @@ impl DecomposeOptions {
     /// Radius truncation for the derandomized construction.
     pub fn with_cap(mut self, cap: u32) -> Self {
         self.cap = cap;
+        self
+    }
+
+    /// Whether [`DecompMethod::Auto`] may pick a randomized construction
+    /// (`require_deterministic = false`) or must stay deterministic.
+    pub fn with_require_deterministic(mut self, require_deterministic: bool) -> Self {
+        self.require_deterministic = require_deterministic;
         self
     }
 }

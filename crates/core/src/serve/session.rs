@@ -39,6 +39,7 @@ use super::request::{
     SlocalOptions, SlocalOutput, SlocalTask, SolveError, Strategy, VerifyReport, VerifyRequest,
 };
 use crate::checkers::VerifyError;
+use crate::decomposition::mpx::mpx_partition;
 use crate::decomposition::repair::{repair_decomposition, RepairOptions, RepairPath};
 use crate::decomposition::types::{DecompError, DecompQuality, Decomposition};
 use crate::decomposition::{ball_carving_decomposition, derandomized_decomposition};
@@ -51,6 +52,12 @@ use locality_graph::Graph;
 use locality_rand::source::PrngSource;
 use locality_sim::cost::CostMeter;
 use locality_sim::slocal::{BallView, SlocalRunner, SlocalScratch};
+
+/// Shift rate for the randomized MPX tier: cluster radius `O(log n / β)`
+/// against an `O(β)` edge-cut probability. 0.4 keeps diameters close to the
+/// deterministic producer's on the benchmark families while cutting few
+/// enough edges that the greedy cluster-graph coloring stays small.
+const MPX_BETA: f64 = 0.4;
 
 /// The SLOCAL step of [`SlocalTask::GreedyMis`]: join iff no
 /// already-processed neighbor joined (locality 1).
@@ -585,17 +592,34 @@ impl Session {
         }
     }
 
-    /// The decomposition-cache key for `opts`: knobs the selected method
-    /// ignores are normalized away, so requests differing only in an
+    /// The decomposition-cache key for `opts`: [`DecompMethod::Auto`] is
+    /// lowered to the concrete method it selects, and knobs the selected
+    /// method ignores are normalized away, so requests differing only in an
     /// irrelevant field (a seed for the deterministic constructions, a cap
-    /// for the non-truncated ones) share one cached build.
+    /// for the non-truncated ones, the determinism knob once the method is
+    /// fixed) share one cached build.
     fn canonical_decomp_options(opts: &DecomposeOptions) -> DecomposeOptions {
         let mut c = *opts;
+        if c.method == DecompMethod::Auto {
+            // Mirrors the registry's preference order: the deterministic
+            // ball carving is the default tier; callers that waive
+            // determinism get the near-linear randomized MPX tier (the
+            // first `deterministic: false` decompose row).
+            c.method = if c.require_deterministic {
+                DecompMethod::BallCarving
+            } else {
+                DecompMethod::Mpx
+            };
+        }
+        // Once the method is concrete the knob carries no information.
+        c.require_deterministic = true;
         match c.method {
+            DecompMethod::Auto => unreachable!("Auto was lowered above"),
             DecompMethod::BallCarving => {
                 c.seed = 0;
                 c.cap = 0;
             }
+            DecompMethod::Mpx => c.cap = 0,
             DecompMethod::ElkinNeiman => c.cap = 0,
             DecompMethod::Derandomized => {
                 c.seed = 0;
@@ -613,11 +637,27 @@ impl Session {
             self.stats.decomposition_hits += 1;
             return Ok(i);
         }
-        let (decomposition, meter) = match opts.method {
+        let (decomposition, meter) = match key.method {
+            DecompMethod::Auto => unreachable!("canonical_decomp_options lowers Auto"),
             DecompMethod::BallCarving => {
                 let order: Vec<usize> = (0..self.graph.node_count()).collect();
                 let r = ball_carving_decomposition(&self.graph, &order);
                 (r.decomposition, CostMeter::rounds_only(r.sequential_rounds))
+            }
+            DecompMethod::Mpx => {
+                if self.graph.node_count() == 0 {
+                    // MPX requires a nonempty graph; the empty decomposition
+                    // is unique, so build it through the carving path.
+                    let r = ball_carving_decomposition(&self.graph, &[]);
+                    (r.decomposition, CostMeter::rounds_only(0))
+                } else {
+                    let out =
+                        mpx_partition(&self.graph, MPX_BETA, &mut PrngSource::seeded(opts.seed));
+                    // One shifted BFS sweep: rounds ~ the largest shift
+                    // (the cluster-radius scale), plus the final gather.
+                    let rounds = out.max_shift.ceil().max(0.0) as u64 + 1;
+                    (out.decomposition, CostMeter::rounds_only(rounds))
+                }
             }
             DecompMethod::ElkinNeiman => {
                 let cfg = ElkinNeimanConfig::for_graph(&self.graph);

@@ -1,0 +1,192 @@
+//! Producer-tier tests for the randomized decomposition constructions now
+//! wired into the serving layer (PR 7): `mpx_partition` and Elkin–Neiman
+//! outputs validate on arbitrary random graphs, a fixed seed reproduces
+//! their labels exactly, and a [`Session`] whose `Strategy::Auto` waives
+//! determinism (`require_deterministic = false`) resolves to the randomized
+//! MPX tier while its MIS/coloring answers still pass the session's own
+//! `Verify` requests.
+
+use locality_core::decomposition::mpx::mpx_partition;
+use locality_core::decomposition::{elkin_neiman, ElkinNeimanConfig};
+use locality_core::serve::{
+    registry, ColoringOptions, DecompMethod, DecomposeOptions, MisOptions, ProblemKind, Request,
+    Response, Session,
+};
+use locality_graph::Graph;
+use locality_rand::prng::SplitMix64;
+use locality_rand::source::PrngSource;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// MPX outputs are valid decompositions on arbitrary G(n, p) graphs for
+    /// any rate, and a fixed seed reproduces the labels bit-exactly.
+    #[test]
+    fn mpx_validates_and_a_fixed_seed_reproduces(
+        n in 1usize..90,
+        p_mil in 10u64..300,
+        beta_pct in 10u64..120,
+        seed in 0u64..1 << 20,
+    ) {
+        let mut prng = SplitMix64::new(seed);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        let beta = beta_pct as f64 / 100.0;
+        let a = mpx_partition(&g, beta, &mut SplitMix64::new(seed ^ 0xa5a5));
+        a.decomposition.validate(&g).unwrap();
+        let b = mpx_partition(&g, beta, &mut SplitMix64::new(seed ^ 0xa5a5));
+        prop_assert_eq!(a.decomposition, b.decomposition, "same seed, same labels");
+    }
+
+    /// Elkin–Neiman, when it succeeds, produces a valid decomposition, and
+    /// a fixed seed reproduces the outcome (including failure) exactly.
+    #[test]
+    fn elkin_neiman_validates_and_a_fixed_seed_reproduces(
+        n in 1usize..70,
+        p_mil in 10u64..250,
+        seed in 0u64..1 << 20,
+    ) {
+        let mut prng = SplitMix64::new(seed);
+        let g = Graph::gnp(n, p_mil as f64 / 1000.0, &mut prng);
+        let cfg = ElkinNeimanConfig::for_graph(&g);
+        let a = elkin_neiman(&g, &cfg, &mut PrngSource::seeded(seed ^ 0x5a5a));
+        if let Some(d) = &a.decomposition {
+            d.validate(&g).unwrap();
+        }
+        let b = elkin_neiman(&g, &cfg, &mut PrngSource::seeded(seed ^ 0x5a5a));
+        prop_assert_eq!(a.decomposition, b.decomposition, "same seed, same outcome");
+    }
+
+    /// The session's MPX tier is seed-keyed: same seed hits the cache,
+    /// different seeds are distinct builds.
+    #[test]
+    fn session_mpx_cache_is_seed_keyed(n in 2usize..60, seed in 0u64..1 << 16) {
+        let mut prng = SplitMix64::new(seed);
+        let g = Graph::gnp_connected(n, 0.08, &mut prng);
+        let mut s = Session::new(g);
+        let mpx = |sd: u64| {
+            Request::Decompose(
+                DecomposeOptions::new()
+                    .with_method(DecompMethod::Mpx)
+                    .with_seed(sd),
+            )
+        };
+        s.solve(&mpx(seed)).unwrap();
+        s.solve(&mpx(seed)).unwrap();
+        prop_assert_eq!(s.stats().decompositions_built, 1);
+        s.solve(&mpx(seed ^ 1)).unwrap();
+        prop_assert_eq!(s.stats().decompositions_built, 2);
+    }
+}
+
+/// The registry's randomized decompose tier — the rows `Strategy::Auto`
+/// may lower to when determinism is waived — leads with MPX, and both
+/// randomized rows are marked `deterministic: false`.
+#[test]
+fn registry_randomized_tier_leads_with_mpx() {
+    let rand_rows: Vec<_> = registry()
+        .iter()
+        .filter(|e| e.problem == ProblemKind::Decompose && !e.deterministic)
+        .collect();
+    assert_eq!(
+        rand_rows.first().map(|e| e.method),
+        Some(Some(DecompMethod::Mpx))
+    );
+    assert!(rand_rows
+        .iter()
+        .any(|e| e.method == Some(DecompMethod::ElkinNeiman)));
+}
+
+/// The differential acceptance test for the Auto tier: with
+/// `require_deterministic = false` the session lowers Auto to the
+/// randomized MPX producer (same cached build as an explicit MPX request),
+/// and MIS/coloring answers consumed through that randomized decomposition
+/// still verify through the session's own `Verify` requests. With the
+/// default `require_deterministic = true`, Auto stays on the deterministic
+/// ball-carving build.
+#[test]
+fn auto_waiving_determinism_takes_the_randomized_tier_and_answers_verify() {
+    let mut p = SplitMix64::new(7);
+    for seed in 0u64..4 {
+        let g = Graph::gnp_connected(80, 0.06, &mut p);
+        let fast = DecomposeOptions::new()
+            .with_require_deterministic(false)
+            .with_seed(seed);
+        let mut s = Session::new(g);
+
+        s.solve(&Request::Decompose(fast)).unwrap();
+        assert_eq!(s.stats().decompositions_built, 1);
+        // Auto(non-deterministic) and explicit MPX share one canonical build.
+        let explicit = DecomposeOptions::new()
+            .with_method(DecompMethod::Mpx)
+            .with_seed(seed);
+        s.solve(&Request::Decompose(explicit)).unwrap();
+        assert_eq!(
+            s.stats().decompositions_built,
+            1,
+            "Auto with determinism waived is the MPX build"
+        );
+        // The deterministic default is a different build (ball carving).
+        s.solve(&Request::Decompose(DecomposeOptions::new().with_seed(seed)))
+            .unwrap();
+        assert_eq!(
+            s.stats().decompositions_built,
+            2,
+            "Auto with determinism required stays deterministic"
+        );
+
+        // Consumers on the randomized decomposition: answers still verify.
+        let Response::Mis { in_mis, .. } = s
+            .solve(&Request::Mis(MisOptions::new().with_decomposition(fast)))
+            .unwrap()
+            .clone()
+        else {
+            panic!("MIS response expected");
+        };
+        let Response::Verify(rep) = s.solve(&Request::verify_mis(in_mis)).unwrap() else {
+            panic!("verify response expected");
+        };
+        assert!(rep.ok, "MIS on the MPX decomposition verifies: {rep:?}");
+
+        let Response::Coloring {
+            colors, palette, ..
+        } = s
+            .solve(&Request::Coloring(
+                ColoringOptions::new().with_decomposition(fast),
+            ))
+            .unwrap()
+            .clone()
+        else {
+            panic!("coloring response expected");
+        };
+        let Response::Verify(rep) = s.solve(&Request::verify_coloring(colors, palette)).unwrap()
+        else {
+            panic!("verify response expected");
+        };
+        assert!(
+            rep.ok,
+            "coloring on the MPX decomposition verifies: {rep:?}"
+        );
+    }
+}
+
+/// Elkin–Neiman through the session: a successful seeded build validates
+/// and is reproduced by a second session with the same seed.
+#[test]
+fn session_elkin_neiman_build_is_reproducible() {
+    let mut p = SplitMix64::new(41);
+    let g = Graph::gnp_connected(60, 0.08, &mut p);
+    let opts = DecomposeOptions::new()
+        .with_method(DecompMethod::ElkinNeiman)
+        .with_seed(3);
+    // EN may fail for an unlucky seed; both sessions must agree either way.
+    let run = |g: &Graph| {
+        let mut s = Session::new(g.clone());
+        s.solve(&Request::Decompose(opts)).cloned()
+    };
+    match (run(&g), run(&g)) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "same seed, same quality/meter"),
+        (Err(_), Err(_)) => {}
+        (a, b) => panic!("seeded EN diverged across sessions: {a:?} vs {b:?}"),
+    }
+}

@@ -158,6 +158,97 @@ pub fn induced_diameter_with(
     Some(best)
 }
 
+/// Run one member-restricted BFS from `src` under the scratch's current
+/// member stamps. Returns `(reached, eccentricity, farthest)` — ties for the
+/// farthest member break toward BFS (CSR) order, so the result is
+/// deterministic. Leaves `scratch.dist` valid for the reached members until
+/// the next epoch bump.
+fn restricted_bfs(g: &Graph, src: usize, scratch: &mut DiameterScratch) -> (usize, u32, usize) {
+    scratch.visit_epoch += 1;
+    scratch.visit_stamp[src] = scratch.visit_epoch;
+    scratch.dist[src] = 0;
+    scratch.queue.clear();
+    scratch.queue.push_back(src as u32);
+    let mut seen = 1usize;
+    let mut ecc = 0u32;
+    let mut far = src;
+    while let Some(u) = scratch.queue.pop_front() {
+        let du = scratch.dist[u as usize];
+        for &v in g.neighbors(u as usize) {
+            if scratch.is_member(v) && scratch.visit_stamp[v] != scratch.visit_epoch {
+                scratch.visit_stamp[v] = scratch.visit_epoch;
+                scratch.dist[v] = du + 1;
+                if du + 1 > ecc {
+                    ecc = du + 1;
+                    far = v;
+                }
+                seen += 1;
+                scratch.queue.push_back(v as u32);
+            }
+        }
+    }
+    (seen, ecc, far)
+}
+
+/// Certified bounds on the strong diameter of the subgraph induced by
+/// `nodes`: `Some((lower, upper))` with `lower ≤ diameter ≤ upper`, or
+/// `None` if the induced subgraph is disconnected.
+///
+/// Three member-restricted BFS runs — a double sweep (arbitrary member, then
+/// the farthest member found) plus one from the midpoint of the sweep path.
+/// The lower bound is the largest eccentricity observed; the upper bound is
+/// twice the smallest (for any `x`, `diam ≤ 2·ecc(x)`, and midpoints of long
+/// paths have small eccentricity, so the two usually land close). Cost is
+/// `O(vol(S))`, independent of `|S|` — the scalable alternative to
+/// [`induced_diameter_with`]'s exact `O(|S| · vol(S))` scan when clusters
+/// grow to a constant fraction of the graph.
+///
+/// # Panics
+/// Panics if a node is out of range or the scratch was built for a different
+/// node count.
+pub fn induced_diameter_bounds_with(
+    g: &Graph,
+    nodes: &[usize],
+    scratch: &mut DiameterScratch,
+) -> Option<(u32, u32)> {
+    assert_eq!(
+        scratch.node_count(),
+        g.node_count(),
+        "scratch sized for a different graph"
+    );
+    scratch.stamp_members(nodes);
+    let count = scratch.members.len();
+    if count <= 1 {
+        return Some((0, 0));
+    }
+    let start = scratch.members[0] as usize;
+    let (seen, ecc0, a) = restricted_bfs(g, start, scratch);
+    if seen < count {
+        return None;
+    }
+    let (_, ecc_a, b) = restricted_bfs(g, a, scratch);
+    // Walk halfway back along the BFS tree path from `b` toward `a`
+    // (scratch.dist still holds `a`'s distances for the current epoch).
+    let mut mid = b;
+    let mut d = ecc_a;
+    while d > ecc_a / 2 {
+        mid = *g
+            .neighbors(mid)
+            .iter()
+            .find(|&&v| {
+                scratch.is_member(v)
+                    && scratch.visit_stamp[v] == scratch.visit_epoch
+                    && scratch.dist[v] == d - 1
+            })
+            .expect("BFS tree path steps down by one");
+        d -= 1;
+    }
+    let (_, ecc_m, _) = restricted_bfs(g, mid, scratch);
+    let lower = ecc0.max(ecc_a).max(ecc_m);
+    let upper = 2 * ecc0.min(ecc_a).min(ecc_m);
+    Some((lower, upper))
+}
+
 /// Weak diameter of `nodes`: max over pairs of their distance in the *whole*
 /// graph `g`. `None` if some pair is disconnected in `g`.
 ///
@@ -495,6 +586,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn diameter_bounds_bracket_the_exact_diameter() {
+        use crate::generators::Family;
+        use locality_rand::prng::{Prng, SplitMix64};
+        let mut p = SplitMix64::new(41);
+        for fam in Family::ALL {
+            let g = fam.generate(48, &mut p);
+            let n = g.node_count();
+            let mut scratch = DiameterScratch::new(n);
+            let mut pick = SplitMix64::new(fam as u64 + 9);
+            for trial in 0..30 {
+                let size = 1 + (pick.next_u64() % 16) as usize;
+                let nodes: Vec<usize> = (0..size)
+                    .map(|_| (pick.next_u64() % n as u64) as usize)
+                    .collect();
+                let exact = induced_diameter_with(&g, &nodes, &mut scratch);
+                let bounds = induced_diameter_bounds_with(&g, &nodes, &mut scratch);
+                match (exact, bounds) {
+                    (Some(d), Some((lo, hi))) => {
+                        assert!(
+                            lo <= d && d <= hi,
+                            "{} trial {trial}: exact {d} outside [{lo}, {hi}] for {nodes:?}",
+                            fam.name()
+                        );
+                    }
+                    (None, None) => {}
+                    (e, b) => panic!(
+                        "{} trial {trial}: connectivity disagreement exact {e:?} bounds {b:?}",
+                        fam.name()
+                    ),
+                }
+            }
+            // The whole node set and a path: on a path the double sweep is
+            // exact (both bounds collapse onto the true diameter).
+            let all: Vec<usize> = g.nodes().collect();
+            let exact = induced_diameter_with(&g, &all, &mut scratch);
+            let bounds = induced_diameter_bounds_with(&g, &all, &mut scratch);
+            assert_eq!(exact.is_some(), bounds.is_some());
+        }
+        let path = Graph::path(17);
+        let all: Vec<usize> = path.nodes().collect();
+        let mut scratch = DiameterScratch::new(17);
+        assert_eq!(
+            induced_diameter_bounds_with(&path, &all, &mut scratch),
+            Some((16, 16))
+        );
     }
 
     #[test]

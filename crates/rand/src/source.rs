@@ -194,6 +194,27 @@ impl BitSource for PrngSource {
     }
 }
 
+/// A metered source is also a word generator: a 64-bit draw consumes 64
+/// metered bits (any buffered remainder first, preserving bit order), so
+/// word-oriented seeded constructions — the MPX exponential shifts — share
+/// the same accounting as the bit-at-a-time phase algorithms.
+impl Prng for PrngSource {
+    fn next_u64(&mut self) -> u64 {
+        self.drawn += 64;
+        let k = self.buffered;
+        if k == 0 {
+            return self.prng.next_u64();
+        }
+        // `k` leftover bits become the low bits of the word; a fresh word
+        // supplies the rest and leaves its own top `k` bits buffered.
+        let low = self.buffer & ((1u64 << k) - 1);
+        let fresh = self.prng.next_u64();
+        self.buffer = fresh >> (64 - k);
+        self.buffered = k;
+        low | (fresh << k)
+    }
+}
+
 /// A finite tape of pre-committed bits.
 ///
 /// This is the mechanical form of "node v holds b bits of randomness": once
@@ -386,7 +407,7 @@ mod tests {
         let mut s = PrngSource::seeded(6);
         for n in 1..=9u64 {
             for _ in 0..200 {
-                assert!(s.uniform_below(n) < n);
+                assert!(BitSource::uniform_below(&mut s, n) < n);
             }
         }
     }
@@ -413,5 +434,26 @@ mod tests {
     fn tape_from_iterator() {
         let t: BitTape = [true, false].into_iter().collect();
         assert_eq!(t.capacity(), 2);
+    }
+
+    #[test]
+    fn prng_words_are_the_bit_stream_lsb_first() {
+        // Drawing a word via `Prng` must consume exactly the next 64 bits
+        // of the metered stream, LSB-first — including when a partial
+        // buffer is left over from a preceding bit draw.
+        let mut bits = PrngSource::seeded(11);
+        let mut words = PrngSource::seeded(11);
+        assert_eq!(bits.next_bit(), words.next_bit());
+        let w = Prng::next_u64(&mut words);
+        let mut expect = 0u64;
+        for i in 0..64 {
+            if bits.next_bit() {
+                expect |= 1 << i;
+            }
+        }
+        assert_eq!(w, expect);
+        assert_eq!(words.bits_drawn(), 65);
+        // The leftover buffer keeps the streams aligned afterwards.
+        assert_eq!(bits.next_bit(), words.next_bit());
     }
 }

@@ -93,7 +93,7 @@ mod tests {
         let mut src = PrngSource::seeded(2);
         let mut counts = [0u64; 16];
         for _ in 0..32_000 {
-            counts[src.uniform_below(16) as usize] += 1;
+            counts[BitSource::uniform_below(&mut src, 16) as usize] += 1;
         }
         let stat = chi_square_uniform(&counts);
         assert!(stat < chi_square_threshold(16), "chi2 {stat}");

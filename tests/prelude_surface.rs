@@ -152,11 +152,10 @@ fn typed_verify_errors_flow_through_the_prelude() {
     let g = Graph::path(3);
     assert!(mis::verify_mis(&g, &[true, false, true]).is_ok());
     let err = mis::verify_mis(&g, &[true, true, false]).unwrap_err();
-    // ...while exposing structure and converting to the legacy String shim.
+    // ...while exposing structure and a human-readable Display rendering.
     assert_eq!(err.kind, checkers::VerifyErrorKind::AdjacentInSet);
     assert_eq!(err.node, Some(0));
-    let legacy: String = err.into();
-    assert!(legacy.contains("adjacent"));
+    assert!(err.to_string().contains("adjacent"));
 }
 
 #[test]
