@@ -29,9 +29,9 @@ use locality_rand::source::PrngSource;
 use locality_rand::sparse::SparseBits;
 
 /// All experiment identifiers, in report order.
-pub const ALL: [&str; 20] = [
+pub const ALL: [&str; 21] = [
     "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "d2", "p1", "s1",
-    "e1", "f1", "f2", "f3", "f4",
+    "e1", "r1", "f1", "f2", "f3", "f4",
 ];
 
 /// Dispatch one experiment by id (lowercase). Unknown ids are reported.
@@ -44,6 +44,7 @@ pub fn run(id: &str) {
         "p1" => print_pipeline_rows(&p1_pipeline_rows(false)),
         "s1" => print_serve_summary(&s1_serve_summary()),
         "e1" => print_edit_rows(&e1_edit_rows(false)),
+        "r1" => print_fault_rows(&r1_fault_rows(false)),
         "t2" => t2_sparse_bits(),
         "t3" => t3_kwise_independence(),
         "t4" => t4_shared_congest(),
@@ -1780,6 +1781,323 @@ pub fn edit_rows_json(rows: &[EditRow]) -> String {
                             ("full_rebuilds", Json::Int(r.full_rebuilds as i64)),
                             ("rebuild_ms", Json::Float(r.rebuild_ms)),
                             ("speedup_p50", Json::Float(r.speedup_p50)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_pretty()
+}
+
+/// One row of the R1 chaos matrix: a fault-injected CONGEST execution plus
+/// a persist → corrupt → restore → serve cycle at one `(drop, crash,
+/// corruption)` point.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Nodes in the `G(n, 4/n)` instance.
+    pub n: usize,
+    /// Per-message drop rate, basis points.
+    pub drop_bp: u32,
+    /// Crash-stop rate, basis points (crashes scheduled at round 3).
+    pub crash_bp: u32,
+    /// Snapshot corruption applied before restore: `none` / `bitflip` /
+    /// `truncate`.
+    pub corruption: &'static str,
+    /// Nodes that crash-stopped in the faulty execution.
+    pub crashed_nodes: usize,
+    /// Messages dropped by the fault plan.
+    pub dropped: u64,
+    /// Extra deliveries injected by duplication.
+    pub duplicated: u64,
+    /// Deliveries deferred by the bounded-delay fault.
+    pub delayed: u64,
+    /// Whether two identical faulty runs were bit-identical (outcomes and
+    /// meter) — the determinism contract under faults.
+    pub exec_deterministic: bool,
+    /// How the fleet came back from the (possibly corrupted) snapshot:
+    /// `restored` / `rebuilt` / `fresh`.
+    pub restore: &'static str,
+    /// Requests served after restore.
+    pub requests: usize,
+    /// Responses that passed independent verification.
+    pub verified: usize,
+    /// Requests answered with a typed `SolveError` (never a panic).
+    pub typed_errors: usize,
+    /// Decompose responses whose provenance records deadline degradation.
+    pub degraded: usize,
+    /// Responses that verified **wrong** — the one count that must be zero.
+    pub silently_wrong: usize,
+}
+
+/// R1 — chaos matrix: every `(drop rate × crash rate × snapshot
+/// corruption)` cell runs two probes on one `G(n, 4/n)` instance.
+///
+/// **Probe A (fault-model execution).** Luby's MIS protocol runs twice
+/// under an identical [`FaultPlan`](locality_sim::FaultPlan) (the cell's
+/// drop/crash rates plus fixed 5% duplication and 5% bounded delay ≤ 2
+/// rounds); the row records the fault counters and pins that both runs are
+/// bit-identical. Under message loss Luby's *output* may be a globally
+/// inconsistent MIS — that is correct fault behavior, so the contract
+/// checked here is determinism, not validity.
+///
+/// **Probe B (crash-safe store + degradation).** A session builds a mixed
+/// decomposition cache — including one deadline-degraded request forced by
+/// a pessimistic cost probe — persists it, the snapshot is corrupted per
+/// the cell's mode, and a [`Fleet`](locality_core::serve::Fleet) restores
+/// with bounded retries. The restored fleet then serves a mixed workload;
+/// every answer is re-verified independently (MIS/coloring verifiers,
+/// decomposition validation). Corruption must surface as a typed restore
+/// outcome (`rebuilt`), never as a wrong answer: the function asserts
+/// `silently_wrong == 0` in every cell.
+///
+/// `huge` raises `n` from 240 to 2 000.
+pub fn r1_fault_rows(huge: bool) -> Vec<FaultRow> {
+    use locality_core::mis::LubyProtocol;
+    use locality_core::serve::{
+        CostProbe, DecomposeOptions, Fleet, Request, Response, RestoreOutcome, RetryPolicy,
+        Session, SlocalOutput, SlocalTask,
+    };
+    use locality_sim::{Executor, FaultPlan};
+
+    let n = if huge { 2_000 } else { 240 };
+    let drops: [u32; 3] = [0, 1_000, 2_500];
+    let crashes: [u32; 2] = [0, 1_000];
+    let corruptions: [&str; 3] = ["none", "bitflip", "truncate"];
+
+    let mut rows = Vec::with_capacity(drops.len() * crashes.len() * corruptions.len());
+    for (ci, &corruption) in corruptions.iter().enumerate() {
+        for &drop_bp in &drops {
+            for &crash_bp in &crashes {
+                let cell_seed = 0xFA01u64
+                    .wrapping_mul(1 + ci as u64)
+                    .wrapping_add((drop_bp as u64) << 20)
+                    .wrapping_add(crash_bp as u64);
+                let mut prng = SplitMix64::new(cell_seed);
+                let g = Graph::gnp(n, 4.0 / n as f64, &mut prng);
+                let ids = IdAssignment::sequential(n);
+
+                // Probe A: faulty execution, twice; identical plans must be
+                // bit-identical. Each Luby iteration halts at least the
+                // globally minimal live node, so 2n + 16 rounds always
+                // suffice regardless of drops and crashes.
+                let plan = FaultPlan::new(cell_seed ^ 0xDEAD)
+                    .with_drop(drop_bp)
+                    .with_duplication(500)
+                    .with_delay(500, 2)
+                    .with_crashes(crash_bp, 3);
+                let max_rounds = 2 * n as u32 + 16;
+                let faulty_run = || {
+                    Executor::congest(&g, &ids)
+                        .run_with_faults(
+                            (0..n).map(|v| LubyProtocol::new(&g, &ids, v, 7)),
+                            max_rounds,
+                            &plan,
+                        )
+                        .expect("luby terminates under the fault plan")
+                };
+                let run1 = faulty_run();
+                let run2 = faulty_run();
+                let exec_deterministic = run1 == run2;
+
+                // Probe B: build (with one forced degradation), persist,
+                // corrupt, restore with retries, serve, re-verify.
+                let pessimistic = CostProbe::fixed(1e9); // ~1 s/node: always blows 50 ms
+                let degraded_opts = DecomposeOptions::new().with_deadline_ms(50);
+                let workload = vec![
+                    Request::decompose(),
+                    Request::Decompose(degraded_opts),
+                    Request::mis(),
+                    Request::coloring(),
+                    Request::slocal(SlocalTask::GreedyMis),
+                    Request::slocal(SlocalTask::GreedyColoring),
+                ];
+                let mut origin = Session::new(g.clone());
+                origin.set_cost_probe(pessimistic);
+                for req in &workload {
+                    origin.solve(req).expect("origin session serves cleanly");
+                }
+                let path = std::env::temp_dir().join(format!(
+                    "locality-r1-{}-{n}-{drop_bp}-{crash_bp}-{corruption}.snap",
+                    std::process::id()
+                ));
+                origin.persist(&path).expect("snapshot writes");
+                match corruption {
+                    "bitflip" => {
+                        let mut bytes = std::fs::read(&path).expect("snapshot readable");
+                        let pos = (cell_seed as usize) % bytes.len();
+                        bytes[pos] ^= 1 << (cell_seed % 8);
+                        std::fs::write(&path, bytes).expect("corrupted snapshot writes");
+                    }
+                    "truncate" => {
+                        let bytes = std::fs::read(&path).expect("snapshot readable");
+                        let keep = bytes.len() * 3 / 5;
+                        std::fs::write(&path, &bytes[..keep]).expect("truncated snapshot writes");
+                    }
+                    _ => {}
+                }
+
+                let (mut fleet, outcomes) =
+                    Fleet::restore_or_new([g.clone()], &[Some(&path)], RetryPolicy::new(2, 0));
+                let _ = std::fs::remove_file(&path);
+                let restore = match &outcomes[0] {
+                    RestoreOutcome::Restored { .. } => "restored",
+                    RestoreOutcome::Rebuilt { .. } => "rebuilt",
+                    _ => "fresh",
+                };
+                // The cost probe is per-process tuning, deliberately not
+                // persisted; re-arm it so the degraded request resolves the
+                // same way it did in the origin session.
+                fleet.session_mut(0).set_cost_probe(pessimistic);
+
+                let results = fleet.solve_all(std::slice::from_ref(&workload), 1);
+                let (mut verified, mut typed_errors) = (0usize, 0usize);
+                let (mut degraded, mut silently_wrong) = (0usize, 0usize);
+                for (req, res) in workload.iter().zip(&results[0]) {
+                    let resp = match res {
+                        Ok(resp) => resp,
+                        Err(_) => {
+                            typed_errors += 1;
+                            continue;
+                        }
+                    };
+                    let ok = match resp {
+                        Response::Mis { in_mis, .. } => mis::verify_mis(&g, in_mis).is_ok(),
+                        Response::Coloring {
+                            colors, palette, ..
+                        } => coloring::verify_coloring(&g, colors, *palette).is_ok(),
+                        Response::Decompose { provenance, .. } => {
+                            if provenance.degraded {
+                                degraded += 1;
+                            }
+                            let Request::Decompose(opts) = req else {
+                                unreachable!("decompose response to a decompose request")
+                            };
+                            fleet
+                                .session_mut(0)
+                                .decomposition(opts)
+                                .cloned()
+                                .is_ok_and(|d| d.validate(&g).is_ok())
+                        }
+                        Response::Slocal { output, .. } => match output {
+                            SlocalOutput::Flags(flags) => mis::verify_mis(&g, flags).is_ok(),
+                            SlocalOutput::Colors(colors) => {
+                                coloring::verify_coloring(&g, colors, n.max(1)).is_ok()
+                            }
+                            _ => true,
+                        },
+                        _ => true,
+                    };
+                    if ok {
+                        verified += 1;
+                    } else {
+                        silently_wrong += 1;
+                    }
+                }
+                assert_eq!(
+                    silently_wrong, 0,
+                    "cell (drop {drop_bp}bp, crash {crash_bp}bp, {corruption}) \
+                     served a wrong answer"
+                );
+
+                rows.push(FaultRow {
+                    n,
+                    drop_bp,
+                    crash_bp,
+                    corruption,
+                    crashed_nodes: run1.crashed_count(),
+                    dropped: run1.meter.dropped,
+                    duplicated: run1.meter.duplicated,
+                    delayed: run1.meter.delayed,
+                    exec_deterministic,
+                    restore,
+                    requests: workload.len(),
+                    verified,
+                    typed_errors,
+                    degraded,
+                    silently_wrong,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Print the R1 rows as the report table.
+pub fn print_fault_rows(rows: &[FaultRow]) {
+    println!("\n== R1: chaos matrix — faulty execution + corrupted-store restore ==");
+    println!("G(n, 4/n); Luby under drop/dup/delay/crash faults; persist -> corrupt -> restore -> serve\n");
+    let mut t = Table::new(&[
+        "n",
+        "drop",
+        "crash",
+        "corruption",
+        "crashed",
+        "dropped",
+        "dup",
+        "delayed",
+        "det",
+        "restore",
+        "req",
+        "ok",
+        "err",
+        "degraded",
+        "wrong",
+    ]);
+    for r in rows {
+        t.row_owned(vec![
+            r.n.to_string(),
+            format!("{}bp", r.drop_bp),
+            format!("{}bp", r.crash_bp),
+            r.corruption.to_string(),
+            r.crashed_nodes.to_string(),
+            r.dropped.to_string(),
+            r.duplicated.to_string(),
+            r.delayed.to_string(),
+            if r.exec_deterministic { "yes" } else { "NO" }.to_string(),
+            r.restore.to_string(),
+            r.requests.to_string(),
+            r.verified.to_string(),
+            r.typed_errors.to_string(),
+            r.degraded.to_string(),
+            r.silently_wrong.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// Machine-readable form of the R1 rows (the `BENCH_faults.json` schema and
+/// the CI chaos artifact).
+pub fn fault_rows_json(rows: &[FaultRow]) -> String {
+    use crate::json::Json;
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    Json::object(vec![
+        ("experiment", Json::Str("r1-chaos-matrix".into())),
+        ("family", Json::Str("gnp(n, 4/n)".into())),
+        ("unix_seconds", Json::Int(unix_seconds as i64)),
+        (
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("n", Json::Int(r.n as i64)),
+                            ("drop_bp", Json::Int(i64::from(r.drop_bp))),
+                            ("crash_bp", Json::Int(i64::from(r.crash_bp))),
+                            ("corruption", Json::Str(r.corruption.into())),
+                            ("crashed_nodes", Json::Int(r.crashed_nodes as i64)),
+                            ("dropped", Json::Int(r.dropped as i64)),
+                            ("duplicated", Json::Int(r.duplicated as i64)),
+                            ("delayed", Json::Int(r.delayed as i64)),
+                            ("exec_deterministic", Json::Bool(r.exec_deterministic)),
+                            ("restore", Json::Str(r.restore.into())),
+                            ("requests", Json::Int(r.requests as i64)),
+                            ("verified", Json::Int(r.verified as i64)),
+                            ("typed_errors", Json::Int(r.typed_errors as i64)),
+                            ("degraded", Json::Int(r.degraded as i64)),
+                            ("silently_wrong", Json::Int(r.silently_wrong as i64)),
                         ])
                     })
                     .collect(),

@@ -12,7 +12,82 @@
 
 use super::request::{Request, Response, SolveError};
 use super::session::Session;
+use super::store::StoreError;
 use locality_graph::Graph;
+use std::path::Path;
+
+/// Bounded retry-with-backoff for [`Fleet::restore_or_new`]: how many
+/// times to re-attempt a failed snapshot read before falling back to a
+/// fresh session.
+///
+/// Only *transient* failures are retried — I/O errors and integrity
+/// failures a concurrent writer could explain (truncation, checksum or
+/// magic mismatches from reading mid-replace on a non-atomic filesystem).
+/// Version skew, graph mismatches and structurally malformed content are
+/// permanent for a given file, so those rebuild immediately.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (min 1).
+    pub attempts: u32,
+    /// Base backoff between attempts, in milliseconds; attempt `i` waits
+    /// `i × backoff_ms` (linear backoff, `0` = no waiting).
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            backoff_ms: 10,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with explicit attempt and backoff knobs.
+    pub fn new(attempts: u32, backoff_ms: u64) -> Self {
+        Self {
+            attempts: attempts.max(1),
+            backoff_ms,
+        }
+    }
+}
+
+/// How each session of a [`Fleet::restore_or_new`] call came to be. A
+/// corrupt or unreadable snapshot is a *recoverable* condition — the fleet
+/// rebuilds a cold session and reports what happened here instead of
+/// surfacing an error.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreOutcome {
+    /// The snapshot decoded and verified; the session starts warm.
+    Restored {
+        /// Cached decomposition slots recovered from the snapshot.
+        slots: usize,
+    },
+    /// Every attempt failed; a cold session was built instead.
+    Rebuilt {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last error seen.
+        error: StoreError,
+    },
+    /// No snapshot path was given for this graph.
+    Fresh,
+}
+
+/// Whether a retry could plausibly see a different result (the file may be
+/// mid-replace or the I/O error momentary).
+fn is_transient(e: &StoreError) -> bool {
+    matches!(
+        e,
+        StoreError::Io { .. }
+            | StoreError::Truncated { .. }
+            | StoreError::ChecksumMismatch { .. }
+            | StoreError::BadMagic
+    )
+}
 
 /// A set of independent serving sessions, one per graph, with a batched
 /// multi-threaded solve.
@@ -39,6 +114,58 @@ impl Fleet {
         Self {
             sessions: graphs.into_iter().map(Session::new).collect(),
         }
+    }
+
+    /// One session per graph, restoring each from its snapshot when one is
+    /// given and it decodes cleanly, with bounded retry-with-backoff for
+    /// transient failures. A snapshot that stays unreadable or corrupt is
+    /// never an error: the fleet falls back to a cold session and records
+    /// the fallback (and its last error) in the returned outcomes, aligned
+    /// with the sessions.
+    ///
+    /// `paths[i]` is the optional snapshot for graph `i`; missing entries
+    /// (shorter slice or `None`) mean "start fresh".
+    pub fn restore_or_new<P: AsRef<Path>>(
+        graphs: impl IntoIterator<Item = Graph>,
+        paths: &[Option<P>],
+        policy: RetryPolicy,
+    ) -> (Self, Vec<RestoreOutcome>) {
+        let mut sessions = Vec::new();
+        let mut outcomes = Vec::new();
+        for (i, graph) in graphs.into_iter().enumerate() {
+            let Some(Some(path)) = paths.get(i).map(|p| p.as_ref().map(|p| p.as_ref())) else {
+                outcomes.push(RestoreOutcome::Fresh);
+                sessions.push(Session::new(graph));
+                continue;
+            };
+            let attempts_allowed = policy.attempts.max(1);
+            let mut attempts = 0;
+            let (session, outcome) = loop {
+                attempts += 1;
+                match Session::restore(graph.clone(), path) {
+                    Ok(s) => {
+                        let slots = s.decomp_slots().len();
+                        break (s, RestoreOutcome::Restored { slots });
+                    }
+                    Err(e) if attempts < attempts_allowed && is_transient(&e) => {
+                        if policy.backoff_ms > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(
+                                policy.backoff_ms * u64::from(attempts),
+                            ));
+                        }
+                    }
+                    Err(e) => {
+                        break (
+                            Session::new(graph),
+                            RestoreOutcome::Rebuilt { attempts, error: e },
+                        )
+                    }
+                }
+            };
+            outcomes.push(outcome);
+            sessions.push(session);
+        }
+        (Self { sessions }, outcomes)
     }
 
     /// Number of sessions.
@@ -110,7 +237,14 @@ impl Fleet {
                     })
                     .collect();
                 for h in handles {
-                    results.extend(h.join().expect("fleet worker panicked"));
+                    // Re-raise a worker's panic payload verbatim instead of
+                    // wrapping it in a second panic here (serve code keeps
+                    // its release paths free of panic tokens —
+                    // `tests/serve_no_panics.rs` pins this).
+                    match h.join() {
+                        Ok(chunk) => results.extend(chunk),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
             });
         }
@@ -196,5 +330,96 @@ mod tests {
     fn workload_arity_is_checked() {
         let mut fleet = Fleet::new([Graph::path(3)]);
         let _ = fleet.solve_all(&[], 1);
+    }
+
+    #[test]
+    fn restore_or_new_recovers_rebuilds_and_freshens() {
+        let gs = graphs(3);
+        let dir = std::env::temp_dir();
+        let tag = std::process::id();
+        let good_path = dir.join(format!("locality-fleet-good-{tag}.bin"));
+        let corrupt_path = dir.join(format!("locality-fleet-corrupt-{tag}.bin"));
+
+        // Session 0: a warm snapshot. Session 1: the same bytes with a bit
+        // flipped mid-file. Session 2: no snapshot at all.
+        let mut warm = Session::new(gs[0].clone());
+        warm.solve_batch(&workload());
+        warm.persist(&good_path).unwrap();
+        let mut bytes = std::fs::read(&good_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&corrupt_path, &bytes).unwrap();
+
+        let paths = [Some(good_path.clone()), Some(corrupt_path.clone()), None];
+        let (mut fleet, outcomes) =
+            Fleet::restore_or_new(gs.clone(), &paths, RetryPolicy::new(2, 0));
+        let _ = std::fs::remove_file(&good_path);
+        let _ = std::fs::remove_file(&corrupt_path);
+
+        assert!(
+            matches!(outcomes[0], RestoreOutcome::Restored { slots } if slots > 0),
+            "got {:?}",
+            outcomes[0]
+        );
+        assert!(
+            matches!(
+                &outcomes[1],
+                RestoreOutcome::Rebuilt {
+                    attempts: 2,
+                    error: StoreError::ChecksumMismatch { .. }
+                }
+            ),
+            "corruption is transient: retried to the attempt cap, then rebuilt cold; got {:?}",
+            outcomes[1]
+        );
+        assert_eq!(outcomes[2], RestoreOutcome::Fresh);
+
+        // Recoverable cases never surface errors: the whole fleet serves,
+        // and the restored session answers exactly like a freshly built one.
+        let workloads: Vec<Vec<Request>> = (0..3).map(|_| workload()).collect();
+        let results = fleet.solve_all(&workloads, 2);
+        assert!(results.iter().flatten().all(Result::is_ok));
+        let mut fresh = Fleet::new(gs);
+        assert_eq!(results, fresh.solve_all(&workloads, 1));
+        assert_eq!(
+            fleet.sessions()[0].stats().decompositions_built,
+            0,
+            "the restored snapshot served every request"
+        );
+    }
+
+    #[test]
+    fn restore_or_new_rebuilds_immediately_on_permanent_errors() {
+        let gs = graphs(2);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "locality-fleet-mismatch-{}.bin",
+            std::process::id()
+        ));
+        // A valid snapshot of graph 0 offered for graph 1: GraphMismatch is
+        // permanent, so no retries happen even with a generous policy.
+        let mut warm = Session::new(gs[0].clone());
+        warm.solve(&Request::decompose()).unwrap();
+        warm.persist(&path).unwrap();
+
+        let paths = [Some(path.clone())];
+        let (fleet, outcomes) = Fleet::restore_or_new(
+            [gs[1].clone()],
+            &paths,
+            RetryPolicy::new(5, 1_000), // 5 s of backoff if retries ran
+        );
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            matches!(
+                &outcomes[0],
+                RestoreOutcome::Rebuilt {
+                    attempts: 1,
+                    error: StoreError::GraphMismatch { .. }
+                }
+            ),
+            "got {:?}",
+            outcomes[0]
+        );
+        assert_eq!(fleet.len(), 1);
     }
 }

@@ -32,11 +32,14 @@ pub mod fleet;
 pub mod registry;
 pub mod request;
 pub mod session;
+pub mod store;
 
-pub use fleet::Fleet;
+pub use fleet::{Fleet, RestoreOutcome, RetryPolicy};
 pub use registry::{entries, registry, resolve, Model, SolverEntry};
 pub use request::{
-    ColoringOptions, DecompMethod, DecomposeOptions, MisOptions, ProblemKind, Request, Response,
-    SlocalOptions, SlocalOutput, SlocalTask, SolveError, Strategy, VerifyReport, VerifyRequest,
+    ColoringOptions, DecompMethod, DecompProvenance, DecomposeOptions, DegradePolicy, MisOptions,
+    ProblemKind, Request, Response, SlocalOptions, SlocalOutput, SlocalTask, SolveError, Strategy,
+    VerifyReport, VerifyRequest,
 };
-pub use session::{RepairStats, Session, SessionStats};
+pub use session::{CostProbe, RepairStats, Session, SessionStats};
+pub use store::StoreError;

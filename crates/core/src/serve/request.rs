@@ -88,6 +88,51 @@ pub enum DecompMethod {
     Derandomized,
 }
 
+/// What [`DecompMethod::Auto`] may do when the deterministic construction's
+/// estimated build time blows a request's soft deadline
+/// ([`DecomposeOptions::deadline_ms`]).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DegradePolicy {
+    /// Degrade to the fast randomized MPX tier and record the downgrade in
+    /// the response's [`DecompProvenance`] (the default: a caller that sets
+    /// a deadline is asking for latency; `Strict` is the opt-out). The
+    /// degraded answer is still a valid decomposition — it is merely
+    /// seed-dependent instead of deterministic.
+    #[default]
+    Randomized,
+    /// Never change tiers: run the deterministic construction even if the
+    /// estimate says the deadline will be missed.
+    Strict,
+}
+
+/// How a served decomposition was actually produced — carried on
+/// [`Response::Decompose`] so a caller can tell a deadline-degraded answer
+/// from the tier it asked for.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompProvenance {
+    /// The concrete construction that ran (never [`DecompMethod::Auto`]).
+    pub method: DecompMethod,
+    /// Whether [`DecompMethod::Auto`] downgraded the deterministic tier to
+    /// MPX because the cost estimate blew the soft deadline.
+    pub degraded: bool,
+    /// The estimated deterministic build time (milliseconds) that drove the
+    /// degradation decision; `0` when no deadline was in force.
+    pub estimated_ms: u64,
+}
+
+impl DecompProvenance {
+    /// Provenance for a non-degraded build of `method`.
+    pub fn direct(method: DecompMethod) -> Self {
+        Self {
+            method,
+            degraded: false,
+            estimated_ms: 0,
+        }
+    }
+}
+
 /// Options for a [`Request::Decompose`] (and for the decomposition consumed
 /// by `ViaDecomposition` strategies). A session keys its decomposition
 /// cache on these options after normalizing the knobs the selected method
@@ -113,6 +158,14 @@ pub struct DecomposeOptions {
     /// just seed-dependent. Ignored when `method` names a concrete
     /// construction.
     pub require_deterministic: bool,
+    /// Soft deadline for the construction, in milliseconds (`0` = none).
+    /// When [`DecompMethod::Auto`] would pick the deterministic tier and
+    /// the session's calibrated cost probe estimates the build past this
+    /// deadline, the [`DegradePolicy`] decides what happens. Only the Auto
+    /// method resolution consults it — a concrete `method` always runs.
+    pub deadline_ms: u64,
+    /// What Auto may do when the estimate blows the deadline.
+    pub degrade: DegradePolicy,
 }
 
 impl Default for DecomposeOptions {
@@ -122,6 +175,8 @@ impl Default for DecomposeOptions {
             seed: 0,
             cap: 8,
             require_deterministic: true,
+            deadline_ms: 0,
+            degrade: DegradePolicy::default(),
         }
     }
 }
@@ -155,6 +210,19 @@ impl DecomposeOptions {
     /// (`require_deterministic = false`) or must stay deterministic.
     pub fn with_require_deterministic(mut self, require_deterministic: bool) -> Self {
         self.require_deterministic = require_deterministic;
+        self
+    }
+
+    /// Soft deadline in milliseconds for the Auto method resolution
+    /// (`0` = none).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// What Auto may do when the cost estimate blows the deadline.
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
         self
     }
 }
@@ -489,6 +557,9 @@ pub enum Response {
         quality: DecompQuality,
         /// Construction cost accounting.
         meter: CostMeter,
+        /// Which construction actually ran and whether a soft deadline
+        /// degraded the requested tier.
+        provenance: DecompProvenance,
     },
     /// Answer to [`Request::Slocal`].
     Slocal {
@@ -538,6 +609,13 @@ pub enum SolveError {
     /// An edit batch handed to [`Session::apply_edits`](super::Session)
     /// was rejected by the graph.
     InvalidEdits(EditError),
+    /// A solver-internal invariant did not hold. Reaching this variant is a
+    /// bug in the serve layer, but it is reported as a typed error instead
+    /// of a panic so a long-lived service degrades instead of aborting.
+    Internal {
+        /// Which invariant was violated.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -555,6 +633,9 @@ impl fmt::Display for SolveError {
                 )
             }
             SolveError::InvalidEdits(e) => write!(f, "invalid edit batch: {e}"),
+            SolveError::Internal { context } => {
+                write!(f, "internal solver invariant violated: {context}")
+            }
         }
     }
 }

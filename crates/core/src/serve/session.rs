@@ -35,8 +35,9 @@
 
 use super::registry;
 use super::request::{
-    ColoringOptions, DecompMethod, DecomposeOptions, MisOptions, ProblemKind, Request, Response,
-    SlocalOptions, SlocalOutput, SlocalTask, SolveError, Strategy, VerifyReport, VerifyRequest,
+    ColoringOptions, DecompMethod, DecompProvenance, DecomposeOptions, DegradePolicy, MisOptions,
+    ProblemKind, Request, Response, SlocalOptions, SlocalOutput, SlocalTask, SolveError, Strategy,
+    VerifyReport, VerifyRequest,
 };
 use crate::checkers::VerifyError;
 use crate::decomposition::mpx::mpx_partition;
@@ -67,6 +68,19 @@ pub fn greedy_mis_step(view: &BallView<'_, bool>) -> bool {
         .any(|u| view.output(u).copied().unwrap_or(false))
 }
 
+/// The smallest color absent from `used`. Infallible by pigeonhole: among
+/// the `used.len() + 1` candidates `0..=used.len()` at least one is free,
+/// so the scan stops at `c <= used.len()` — bounded, no overflow, no panic
+/// path (the previous `(0..).find(..).expect(..)` encoded the same bound
+/// but as an unbounded search ending in a panic token).
+fn smallest_free_color(used: &[usize]) -> usize {
+    let mut c = 0;
+    while used.contains(&c) {
+        c += 1;
+    }
+    c
+}
+
 /// The SLOCAL step of [`SlocalTask::GreedyColoring`]: smallest color no
 /// already-processed neighbor holds (locality 1).
 pub fn greedy_coloring_step(view: &BallView<'_, usize>) -> usize {
@@ -74,7 +88,7 @@ pub fn greedy_coloring_step(view: &BallView<'_, usize>) -> usize {
         .neighbors(view.center())
         .filter_map(|u| view.output(u).copied())
         .collect();
-    (0..).find(|c| !used.contains(c)).expect("some color free")
+    smallest_free_color(&used)
 }
 
 /// The SLOCAL step of [`SlocalTask::DistanceTwoColoring`]: smallest color
@@ -86,7 +100,7 @@ pub fn distance_two_coloring_step(view: &BallView<'_, usize>) -> usize {
         .filter(|&(u, d)| u != center && d <= 2)
         .filter_map(|(u, _)| view.output(u).copied())
         .collect();
-    (0..).find(|c| !used.contains(c)).expect("some color free")
+    smallest_free_color(&used)
 }
 
 /// Cache-hit / build counters of one session (the `s1` experiment reports
@@ -134,13 +148,73 @@ pub struct RepairStats {
     pub power_slots_stale: u64,
 }
 
+/// A per-node cost rate for the deterministic decomposition tier, used by
+/// [`DecompMethod::Auto`] to decide whether a soft deadline
+/// ([`DecomposeOptions::deadline_ms`]) would be blown before paying for the
+/// build.
+///
+/// The deterministic producer is near-linear with a large constant, so
+/// `rate × node count` is a serviceable estimate. The default probe times
+/// one small deterministic build **once per process** and shares the
+/// measured rate globally — every session (including the pristine replicas
+/// the `determinism-checks` feature replays) sees the same numbers and
+/// makes the same degradation decision. Tests and benchmarks pin behavior
+/// exactly with [`CostProbe::fixed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProbe {
+    ns_per_node: f64,
+}
+
+impl CostProbe {
+    /// A probe with a fixed per-node cost in nanoseconds, bypassing
+    /// calibration. Fully deterministic: `fixed(0.0)` never degrades,
+    /// `fixed(f64::INFINITY)` always does (when a deadline is set).
+    pub fn fixed(ns_per_node: f64) -> Self {
+        Self {
+            ns_per_node: ns_per_node.max(0.0),
+        }
+    }
+
+    /// The process-wide calibrated probe: times one deterministic
+    /// ball-carving build on a small benchmark grid, once, and caches the
+    /// per-node rate for the life of the process.
+    pub fn calibrated() -> Self {
+        use std::sync::OnceLock;
+        static NS_PER_NODE: OnceLock<f64> = OnceLock::new();
+        let ns_per_node = *NS_PER_NODE.get_or_init(|| {
+            let g = Graph::grid(32, 32);
+            let order: Vec<usize> = (0..g.node_count()).collect();
+            let start = std::time::Instant::now();
+            let _ = ball_carving_decomposition(&g, &order);
+            let spent = start.elapsed().as_nanos() as f64;
+            (spent / g.node_count() as f64).max(1.0)
+        });
+        Self { ns_per_node }
+    }
+
+    /// Estimated deterministic build time for a graph of `nodes` nodes, in
+    /// whole milliseconds (rounded up, so any nonzero estimate reads ≥ 1).
+    pub fn estimate_ms(&self, nodes: usize) -> u64 {
+        let ns = self.ns_per_node * nodes as f64;
+        if ns <= 0.0 {
+            return 0;
+        }
+        let ms = (ns / 1_000_000.0).ceil();
+        if ms >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            ms as u64
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
-struct DecompSlot {
-    options: DecomposeOptions,
-    decomposition: Decomposition,
-    quality: DecompQuality,
-    meter: CostMeter,
-    plan: consume::ConsumerPlan,
+pub(crate) struct DecompSlot {
+    pub(crate) options: DecomposeOptions,
+    pub(crate) decomposition: Decomposition,
+    pub(crate) quality: DecompQuality,
+    pub(crate) meter: CostMeter,
+    pub(crate) plan: consume::ConsumerPlan,
 }
 
 #[derive(Debug, Clone)]
@@ -193,6 +267,7 @@ pub struct Session {
     responses: Vec<(Request, Result<Response, SolveError>)>,
     diam_scratch: DiameterScratch,
     slocal_scratch: SlocalScratch,
+    probe: Option<CostProbe>,
     stats: SessionStats,
 }
 
@@ -210,8 +285,16 @@ impl Session {
             responses: Vec::new(),
             diam_scratch: DiameterScratch::new(n),
             slocal_scratch: SlocalScratch::new(n),
+            probe: None,
             stats: SessionStats::default(),
         }
+    }
+
+    /// Pin the cost probe that deadline resolution consults, replacing the
+    /// process-calibrated default. Use [`CostProbe::fixed`] to make the
+    /// degradation decision fully deterministic in tests and benchmarks.
+    pub fn set_cost_probe(&mut self, probe: CostProbe) {
+        self.probe = Some(probe);
     }
 
     /// The pinned graph.
@@ -269,6 +352,51 @@ impl Session {
             out.push(self.solve(r).cloned());
         }
         out
+    }
+
+    /// The cached decomposition slots, for the store codec.
+    pub(crate) fn decomp_slots(&self) -> &[DecompSlot] {
+        &self.decomps
+    }
+
+    /// Install a restored decomposition slot (store decode path; the codec
+    /// has already checked the slot against the pinned graph).
+    pub(crate) fn install_decomp_slot(&mut self, slot: DecompSlot) {
+        self.decomps.push(slot);
+    }
+
+    /// Write this session's durable state — graph fingerprint plus every
+    /// cached decomposition and consumer plan — to `path`, atomically
+    /// (temp file + sync + rename; see [`store::write_atomic`](super::store)).
+    /// A session restored from the file answers decomposition-consuming
+    /// requests bit-identically to this one without re-running any
+    /// construction.
+    ///
+    /// # Errors
+    /// A typed [`StoreError`](super::store::StoreError); the previous file
+    /// at `path`, if any, is left intact on failure.
+    pub fn persist(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), super::store::StoreError> {
+        let bytes = super::store::encode_session(self)?;
+        super::store::write_atomic(path.as_ref(), &bytes)
+    }
+
+    /// Rebuild a session from a snapshot written by [`Session::persist`],
+    /// pinned to `graph`. The snapshot's fingerprint must match `graph`
+    /// ([`StoreError::GraphMismatch`](super::store::StoreError) otherwise),
+    /// and every corrupt input — truncation, bit rot, version skew — is a
+    /// typed error, never a panic or a silently wrong cache.
+    ///
+    /// # Errors
+    /// A typed [`StoreError`](super::store::StoreError).
+    pub fn restore(
+        graph: Graph,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, super::store::StoreError> {
+        let bytes = super::store::read_file(path.as_ref())?;
+        super::store::decode_session(graph, &bytes)
     }
 
     /// The cached decomposition for `options`, building it on first use
@@ -421,11 +549,12 @@ impl Session {
             Request::Mis(opts) => self.compute_mis(opts),
             Request::Coloring(opts) => self.compute_coloring(opts),
             Request::Decompose(opts) => {
-                let i = self.ensure_decomposition(opts)?;
+                let (i, provenance) = self.ensure_decomposition_traced(opts)?;
                 let slot = &self.decomps[i];
                 Ok(Response::Decompose {
                     quality: slot.quality,
                     meter: slot.meter,
+                    provenance,
                 })
             }
             Request::Slocal(opts) => self.compute_slocal(opts),
@@ -456,7 +585,11 @@ impl Session {
                 let i = self.ensure_decomposition(&opts.decomposition)?;
                 mis::reference_via_decomposition(&self.graph, &self.decomps[i].decomposition)
             }
-            Strategy::Auto => unreachable!("resolve never returns Auto"),
+            Strategy::Auto => {
+                return Err(SolveError::Internal {
+                    context: "registry::resolve returned Strategy::Auto for MIS",
+                })
+            }
         };
         Ok(Response::Mis {
             in_mis: out.in_mis,
@@ -489,7 +622,11 @@ impl Session {
                 let i = self.ensure_decomposition(&opts.decomposition)?;
                 coloring::reference_via_decomposition(&self.graph, &self.decomps[i].decomposition)
             }
-            Strategy::Auto => unreachable!("resolve never returns Auto"),
+            Strategy::Auto => {
+                return Err(SolveError::Internal {
+                    context: "registry::resolve returned Strategy::Auto for coloring",
+                })
+            }
         };
         Ok(Response::Coloring {
             colors: out.colors,
@@ -511,17 +648,17 @@ impl Session {
         let (output, rounds) = match opts.task {
             SlocalTask::GreedyMis => {
                 let (out, rounds) =
-                    self.run_reduction(pi, r, opts.threads, reference, greedy_mis_step);
+                    self.run_reduction(pi, r, opts.threads, reference, greedy_mis_step)?;
                 (SlocalOutput::Flags(out), rounds)
             }
             SlocalTask::GreedyColoring => {
                 let (out, rounds) =
-                    self.run_reduction(pi, r, opts.threads, reference, greedy_coloring_step);
+                    self.run_reduction(pi, r, opts.threads, reference, greedy_coloring_step)?;
                 (SlocalOutput::Colors(out), rounds)
             }
             SlocalTask::DistanceTwoColoring => {
                 let (out, rounds) =
-                    self.run_reduction(pi, r, opts.threads, reference, distance_two_coloring_step);
+                    self.run_reduction(pi, r, opts.threads, reference, distance_two_coloring_step)?;
                 (SlocalOutput::Colors(out), rounds)
             }
         };
@@ -560,7 +697,7 @@ impl Session {
         threads: usize,
         reference: bool,
         step: F,
-    ) -> (Vec<T>, u64)
+    ) -> Result<(Vec<T>, u64), SolveError>
     where
         T: Send + Sync,
         F: Fn(&BallView<'_, T>) -> T + Sync,
@@ -575,20 +712,21 @@ impl Session {
         if reference {
             let out =
                 slocal::reference_run_slocal_via_decomposition(graph, r, &slot.decomposition, step);
-            return (out.outputs, out.meter.rounds);
+            return Ok((out.outputs, out.meter.rounds));
         }
-        let plan = slot
-            .plan
-            .as_ref()
-            .expect("ensure_power builds the plan for non-reference runs");
+        let Some(plan) = slot.plan.as_ref() else {
+            return Err(SolveError::Internal {
+                context: "ensure_power left a non-reference run without a reduction plan",
+            });
+        };
         if consume::resolve_threads(threads) <= 1 {
             let runner = SlocalRunner::new(graph, r);
             let (outputs, _stats) = runner.run_with(slocal_scratch, &plan.order, step);
-            (outputs, plan.rounds)
+            Ok((outputs, plan.rounds))
         } else {
             let outputs =
                 slocal::reduction_with_plan(graph, r, &slot.decomposition, plan, threads, &step);
-            (outputs, plan.rounds)
+            Ok((outputs, plan.rounds))
         }
     }
 
@@ -611,10 +749,17 @@ impl Session {
                 DecompMethod::Mpx
             };
         }
-        // Once the method is concrete the knob carries no information.
+        // Once the method is concrete these knobs carry no information:
+        // determinism is implied by the method, and the deadline already
+        // had its effect during `resolve_deadline` (before this key is
+        // computed), so requests differing only in deadline knobs that
+        // resolved to the same construction share one cached build.
         c.require_deterministic = true;
+        c.deadline_ms = 0;
+        c.degrade = DegradePolicy::default();
         match c.method {
-            DecompMethod::Auto => unreachable!("Auto was lowered above"),
+            // Lowered to a concrete method above; nothing to normalize.
+            DecompMethod::Auto => {}
             DecompMethod::BallCarving => {
                 c.seed = 0;
                 c.cap = 0;
@@ -631,14 +776,64 @@ impl Session {
         c
     }
 
-    fn ensure_decomposition(&mut self, opts: &DecomposeOptions) -> Result<usize, SolveError> {
+    /// Soft-deadline resolution for the Auto method (the graceful
+    /// degradation rule, DESIGN.md §2.8): when Auto would pick the
+    /// deterministic tier, a deadline is set, the policy allows degrading,
+    /// and the cost probe estimates the deterministic build past the
+    /// deadline, the request is rewritten to the near-linear randomized MPX
+    /// tier. Returns `(effective options, degraded?, estimated_ms)`; the
+    /// estimate is `0` when no deadline was consulted.
+    fn resolve_deadline(&mut self, opts: &DecomposeOptions) -> (DecomposeOptions, bool, u64) {
+        let deterministic_auto = opts.method == DecompMethod::Auto && opts.require_deterministic;
+        if !deterministic_auto || opts.deadline_ms == 0 {
+            return (*opts, false, 0);
+        }
+        let probe = self.probe.unwrap_or_else(CostProbe::calibrated);
+        let estimated_ms = probe.estimate_ms(self.graph.node_count());
+        if estimated_ms <= opts.deadline_ms || opts.degrade == DegradePolicy::Strict {
+            return (*opts, false, estimated_ms);
+        }
+        let mut degraded = *opts;
+        degraded.method = DecompMethod::Mpx;
+        (degraded, true, estimated_ms)
+    }
+
+    /// [`Session::ensure_decomposition`] plus the provenance of the build
+    /// that answered: which concrete construction ran and whether the soft
+    /// deadline degraded the deterministic tier.
+    fn ensure_decomposition_traced(
+        &mut self,
+        opts: &DecomposeOptions,
+    ) -> Result<(usize, DecompProvenance), SolveError> {
+        let (effective, degraded, estimated_ms) = self.resolve_deadline(opts);
+        let i = self.ensure_decomposition_raw(&effective)?;
+        let provenance = DecompProvenance {
+            method: self.decomps[i].options.method,
+            degraded,
+            estimated_ms,
+        };
+        Ok((i, provenance))
+    }
+
+    pub(crate) fn ensure_decomposition(
+        &mut self,
+        opts: &DecomposeOptions,
+    ) -> Result<usize, SolveError> {
+        self.ensure_decomposition_traced(opts).map(|(i, _)| i)
+    }
+
+    fn ensure_decomposition_raw(&mut self, opts: &DecomposeOptions) -> Result<usize, SolveError> {
         let key = Self::canonical_decomp_options(opts);
         if let Some(i) = self.decomps.iter().position(|s| s.options == key) {
             self.stats.decomposition_hits += 1;
             return Ok(i);
         }
         let (decomposition, meter) = match key.method {
-            DecompMethod::Auto => unreachable!("canonical_decomp_options lowers Auto"),
+            DecompMethod::Auto => {
+                return Err(SolveError::Internal {
+                    context: "canonical_decomp_options failed to lower DecompMethod::Auto",
+                })
+            }
             DecompMethod::BallCarving => {
                 let order: Vec<usize> = (0..self.graph.node_count()).collect();
                 let r = ball_carving_decomposition(&self.graph, &order);
@@ -1136,5 +1331,131 @@ mod tests {
                 s.solve(&r).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn blown_deadline_degrades_auto_to_mpx_with_provenance() {
+        let g = small_graph();
+        let mut s = Session::new(g.clone());
+        // Every node "costs" a full second: any deadline is blown.
+        s.set_cost_probe(CostProbe::fixed(1e9));
+        let opts = DecomposeOptions::new().with_deadline_ms(50).with_seed(3);
+        let Response::Decompose { provenance, .. } =
+            s.solve(&Request::Decompose(opts)).unwrap().clone()
+        else {
+            panic!()
+        };
+        assert!(provenance.degraded);
+        assert_eq!(provenance.method, DecompMethod::Mpx);
+        assert!(provenance.estimated_ms > 50);
+        // The degraded answer is still a valid decomposition.
+        let d = s.decomposition(&opts).unwrap().clone();
+        d.validate(&g).unwrap();
+        // And it is the same build an explicit MPX request would get: the
+        // degraded request shares the MPX cache slot.
+        let mpx = DecomposeOptions::new()
+            .with_method(DecompMethod::Mpx)
+            .with_seed(3);
+        let before = s.stats().decompositions_built;
+        s.solve(&Request::Decompose(mpx)).unwrap();
+        assert_eq!(s.stats().decompositions_built, before, "cache shared");
+    }
+
+    #[test]
+    fn met_deadline_and_strict_policy_stay_deterministic() {
+        let g = small_graph();
+
+        // Estimate fits the deadline: no degradation, estimate reported.
+        let mut s = Session::new(g.clone());
+        s.set_cost_probe(CostProbe::fixed(1.0)); // ~80 ns total
+        let fits = DecomposeOptions::new().with_deadline_ms(1_000);
+        let Response::Decompose { provenance, .. } =
+            s.solve(&Request::Decompose(fits)).unwrap().clone()
+        else {
+            panic!()
+        };
+        assert!(!provenance.degraded);
+        assert_eq!(provenance.method, DecompMethod::BallCarving);
+
+        // Blown deadline under Strict: deterministic tier anyway, and the
+        // exceeded estimate is visible in the provenance.
+        let mut s = Session::new(g.clone());
+        s.set_cost_probe(CostProbe::fixed(1e9));
+        let strict = DecomposeOptions::new()
+            .with_deadline_ms(50)
+            .with_degrade(DegradePolicy::Strict);
+        let Response::Decompose { provenance, .. } =
+            s.solve(&Request::Decompose(strict)).unwrap().clone()
+        else {
+            panic!()
+        };
+        assert!(!provenance.degraded);
+        assert_eq!(provenance.method, DecompMethod::BallCarving);
+        assert!(provenance.estimated_ms > 50);
+
+        // No deadline: the probe is never consulted, estimate reads 0.
+        let mut s = Session::new(g);
+        s.set_cost_probe(CostProbe::fixed(1e9));
+        let Response::Decompose { provenance, .. } =
+            s.solve(&Request::decompose()).unwrap().clone()
+        else {
+            panic!()
+        };
+        assert!(!provenance.degraded);
+        assert_eq!(provenance.estimated_ms, 0);
+        assert_eq!(provenance.method, DecompMethod::BallCarving);
+    }
+
+    #[test]
+    fn deadline_with_concrete_method_is_ignored() {
+        let mut s = Session::new(small_graph());
+        s.set_cost_probe(CostProbe::fixed(1e9));
+        let opts = DecomposeOptions::new()
+            .with_method(DecompMethod::Derandomized)
+            .with_deadline_ms(1);
+        let Response::Decompose { provenance, .. } =
+            s.solve(&Request::Decompose(opts)).unwrap().clone()
+        else {
+            panic!()
+        };
+        assert!(!provenance.degraded);
+        assert_eq!(provenance.method, DecompMethod::Derandomized);
+    }
+
+    #[test]
+    fn persist_restore_answers_bit_identically() {
+        let g = small_graph();
+        let mut s = Session::new(g.clone());
+        let workload = [
+            Request::decompose(),
+            Request::mis(),
+            Request::coloring(),
+            Request::slocal(SlocalTask::GreedyColoring),
+        ];
+        let expected: Vec<_> = workload.iter().map(|r| s.solve(r).cloned()).collect();
+
+        let path = std::env::temp_dir().join(format!(
+            "locality-session-roundtrip-{}.bin",
+            std::process::id()
+        ));
+        s.persist(&path).unwrap();
+        let mut restored = Session::restore(g, &path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(
+            restored.stats().decompositions_built,
+            0,
+            "restore installs cached slots without rebuilding"
+        );
+        let got: Vec<_> = workload
+            .iter()
+            .map(|r| restored.solve(r).cloned())
+            .collect();
+        assert_eq!(got, expected, "restored session answers bit-identically");
+        assert_eq!(
+            restored.stats().decompositions_built,
+            0,
+            "the restored decomposition served every consumer"
+        );
     }
 }

@@ -1,0 +1,210 @@
+//! Property tests for the crash-safe decomposition store (ISSUE 8, S4):
+//!
+//! 1. **Round-trip**: encoding then decoding is the identity for
+//!    decompositions from every registry producer (ball carving, MPX,
+//!    Elkin–Neiman, derandomized), and a restored session answers a mixed
+//!    workload bit-identically to the session that persisted it.
+//! 2. **Corruption detection, exhaustively**: for an encoded blob, *every*
+//!    single-bit flip and *every* truncation point decodes to a typed
+//!    [`StoreError`] — never a panic, never a silently wrong decode.
+
+use locality_core::serve::store::{
+    decode_decomposition, decode_session, encode_decomposition, encode_session,
+};
+use locality_core::serve::{
+    DecompMethod, DecomposeOptions, Request, Session, SlocalTask, Strategy as SolveStrategy,
+};
+use locality_graph::Graph;
+use locality_rand::prng::{Prng, SplitMix64};
+use proptest::prelude::*;
+
+fn arb_gnp(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let p = 0.03 + (rng.next_u64() % 20) as f64 / 100.0;
+        Graph::gnp(n, p, &mut rng)
+    })
+}
+
+/// Build one decomposition per registry producer for `g` (skipping a
+/// producer whose randomized construction legitimately fails on this
+/// input).
+fn producer_decompositions(g: &Graph, seed: u64) -> Vec<(DecompMethod, Session)> {
+    let methods = [
+        DecompMethod::BallCarving,
+        DecompMethod::Mpx,
+        DecompMethod::ElkinNeiman,
+        DecompMethod::Derandomized,
+    ];
+    let mut out = Vec::new();
+    for method in methods {
+        let opts = DecomposeOptions::new().with_method(method).with_seed(seed);
+        let mut s = Session::new(g.clone());
+        if s.solve(&Request::Decompose(opts)).is_ok() {
+            out.push((method, s));
+        }
+    }
+    out
+}
+
+/// The mixed workload the restore test replays.
+fn workload() -> Vec<Request> {
+    vec![
+        Request::decompose(),
+        Request::mis(),
+        Request::coloring(),
+        Request::slocal(SlocalTask::GreedyMis),
+        Request::slocal(SlocalTask::GreedyColoring),
+        Request::mis(), // repeat: must hit the response cache both sides
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Encode ∘ decode = identity for every producer's decomposition.
+    #[test]
+    fn decomposition_round_trips_across_producers(
+        g in arb_gnp(60),
+        seed in any::<u64>(),
+    ) {
+        for (method, mut session) in producer_decompositions(&g, seed) {
+            let opts = DecomposeOptions::new().with_method(method).with_seed(seed);
+            let d = session.decomposition(&opts).expect("just built").clone();
+            let bytes = encode_decomposition(&d).expect("encodable");
+            let back = decode_decomposition(&bytes).expect("clean blob decodes");
+            prop_assert_eq!(
+                back.clustering().assignment(),
+                d.clustering().assignment(),
+                "method {:?}", method
+            );
+            let colors: Vec<usize> = (0..d.clustering().cluster_count())
+                .map(|c| d.color_of_cluster(c))
+                .collect();
+            let back_colors: Vec<usize> = (0..back.clustering().cluster_count())
+                .map(|c| back.color_of_cluster(c))
+                .collect();
+            prop_assert_eq!(back_colors, colors, "method {:?}", method);
+        }
+    }
+
+    /// Every single-bit flip of a decomposition blob is detected: a typed
+    /// error, never a panic, never a wrong decode.
+    #[test]
+    fn every_single_bit_flip_is_detected(
+        g in arb_gnp(24),
+        seed in any::<u64>(),
+    ) {
+        let mut session = Session::new(g);
+        let opts = DecomposeOptions::new();
+        session.solve(&Request::Decompose(opts)).expect("decomposes");
+        let d = session.decomposition(&opts).expect("cached").clone();
+        let bytes = encode_decomposition(&d).expect("encodable");
+        let _ = seed;
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1u8 << bit;
+                prop_assert!(
+                    decode_decomposition(&corrupt).is_err(),
+                    "flip of byte {} bit {} went undetected", byte, bit
+                );
+            }
+        }
+    }
+
+    /// Every truncation point of a decomposition blob is detected.
+    #[test]
+    fn every_truncation_point_is_detected(
+        g in arb_gnp(24),
+    ) {
+        let mut session = Session::new(g);
+        let opts = DecomposeOptions::new();
+        session.solve(&Request::Decompose(opts)).expect("decomposes");
+        let d = session.decomposition(&opts).expect("cached").clone();
+        let bytes = encode_decomposition(&d).expect("encodable");
+        for len in 0..bytes.len() {
+            prop_assert!(
+                decode_decomposition(&bytes[..len]).is_err(),
+                "truncation to {} of {} bytes went undetected", len, bytes.len()
+            );
+        }
+    }
+
+    /// A session restored from its own snapshot answers a mixed workload
+    /// bit-identically, without rebuilding any decomposition.
+    #[test]
+    fn restored_session_answers_bit_identically(
+        g in arb_gnp(50),
+    ) {
+        let mut original = Session::new(g.clone());
+        let expected: Vec<_> = workload().iter().map(|r| original.solve(r).cloned()).collect();
+        let bytes = encode_session(&original).expect("encodable");
+        let mut restored = decode_session(g, &bytes).expect("clean snapshot decodes");
+        let got: Vec<_> = workload().iter().map(|r| restored.solve(r).cloned()).collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(
+            restored.stats().decompositions_built, 0,
+            "restored slots served everything"
+        );
+    }
+}
+
+/// Session snapshots (fingerprint + slots + plans) get the same exhaustive
+/// corruption sweep as bare decomposition blobs. One deterministic case:
+/// the blob is bigger, so the sweep is quadratic-ish in its size.
+#[test]
+fn session_snapshot_survives_exhaustive_corruption_sweep() {
+    let mut rng = SplitMix64::new(99);
+    let g = Graph::gnp_connected(40, 0.08, &mut rng);
+    let mut s = Session::new(g.clone());
+    s.solve(&Request::decompose()).unwrap();
+    s.solve(&Request::Decompose(
+        DecomposeOptions::new()
+            .with_method(DecompMethod::Mpx)
+            .with_seed(5),
+    ))
+    .unwrap();
+    let bytes = encode_session(&s).unwrap();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1u8 << bit;
+            assert!(
+                decode_session(g.clone(), &corrupt).is_err(),
+                "session flip of byte {byte} bit {bit} went undetected"
+            );
+        }
+    }
+    for len in 0..bytes.len() {
+        assert!(
+            decode_session(g.clone(), &bytes[..len]).is_err(),
+            "session truncation to {len} bytes went undetected"
+        );
+    }
+}
+
+/// The MPX tier exists for giant graphs; its snapshots round-trip too.
+#[test]
+fn mpx_giant_round_trips() {
+    let n = 20_000;
+    let mut rng = SplitMix64::new(4242);
+    let g = Graph::gnp(n, 3.0 / n as f64, &mut rng);
+    let mut s = Session::new(g.clone());
+    let opts = DecomposeOptions::new()
+        .with_method(DecompMethod::Mpx)
+        .with_seed(17);
+    s.solve(&Request::Decompose(opts)).unwrap();
+    let mis = Request::Mis(
+        locality_core::serve::MisOptions::new()
+            .with_strategy(SolveStrategy::ViaDecomposition)
+            .with_decomposition(opts),
+    );
+    let expected = s.solve(&mis).unwrap().clone();
+
+    let bytes = encode_session(&s).unwrap();
+    let mut restored = decode_session(g, &bytes).unwrap();
+    let got = restored.solve(&mis).unwrap().clone();
+    assert_eq!(got, expected);
+    assert_eq!(restored.stats().decompositions_built, 0);
+}

@@ -34,6 +34,16 @@ pub struct CostMeter {
     pub congest_violations: u64,
     /// Random bits drawn across all nodes.
     pub random_bits: u64,
+    /// Messages an injected fault plan discarded before delivery (explicit
+    /// drops plus messages superseded by a reordered late arrival). Always 0
+    /// on the fault-free path.
+    pub dropped: u64,
+    /// Extra message copies an injected fault plan delivered beyond the
+    /// sender's single send. Always 0 on the fault-free path.
+    pub duplicated: u64,
+    /// Messages an injected fault plan postponed by at least one round
+    /// before delivering. Always 0 on the fault-free path.
+    pub delayed: u64,
 }
 
 impl CostMeter {
@@ -112,6 +122,9 @@ impl AddAssign for CostMeter {
         self.max_message_bits = self.max_message_bits.max(rhs.max_message_bits);
         self.congest_violations += rhs.congest_violations;
         self.random_bits += rhs.random_bits;
+        self.dropped += rhs.dropped;
+        self.duplicated += rhs.duplicated;
+        self.delayed += rhs.delayed;
     }
 }
 
@@ -126,7 +139,17 @@ impl fmt::Display for CostMeter {
             self.max_message_bits,
             self.congest_violations,
             self.random_bits
-        )
+        )?;
+        // Fault counters appear only when a fault plan actually fired, so
+        // fault-free tables and logs keep their historical shape.
+        if self.dropped != 0 || self.duplicated != 0 || self.delayed != 0 {
+            write!(
+                f,
+                " dropped={} duplicated={} delayed={}",
+                self.dropped, self.duplicated, self.delayed
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -190,5 +213,24 @@ mod tests {
     fn display_is_nonempty() {
         let s = CostMeter::default().to_string();
         assert!(s.contains("rounds=0"));
+    }
+
+    #[test]
+    fn fault_counters_compose_and_display_only_when_nonzero() {
+        assert!(!CostMeter::default().to_string().contains("dropped="));
+        let a = CostMeter {
+            dropped: 2,
+            duplicated: 1,
+            ..CostMeter::default()
+        };
+        let b = CostMeter {
+            dropped: 3,
+            delayed: 5,
+            ..CostMeter::default()
+        };
+        let c = a + b;
+        assert_eq!((c.dropped, c.duplicated, c.delayed), (5, 1, 5));
+        let s = c.to_string();
+        assert!(s.contains("dropped=5 duplicated=1 delayed=5"), "{s}");
     }
 }

@@ -30,6 +30,7 @@
 
 use crate::cost::CostMeter;
 use crate::engine::{EngineError, Mode, Run};
+use crate::faults::{Delivery, FaultPlan, FaultRun, NodeOutcome};
 use crate::node::NodeContext;
 use crate::wire::WireSize;
 use locality_graph::ids::IdAssignment;
@@ -284,7 +285,18 @@ impl<'g> Executor<'g> {
             max_rounds,
             &random_bits,
             |nodes, outputs, write, read, contexts, round| {
-                step_chunk(graph, contexts, 0, nodes, outputs, write, 0, read, round)
+                step_chunk(
+                    graph,
+                    contexts,
+                    0,
+                    nodes,
+                    outputs,
+                    write,
+                    0,
+                    read,
+                    &[],
+                    round,
+                )
             },
         )
     }
@@ -385,60 +397,24 @@ impl<'g> Executor<'g> {
         if chunks <= 1 {
             return self.run_metered(nodes, max_rounds, random_bits);
         }
-        // Contiguous node chunks; slot segments follow the CSR offsets.
-        let per = n.div_ceil(chunks);
-        let bounds: Vec<(usize, usize)> = (0..chunks)
-            .map(|c| ((c * per).min(n), ((c + 1) * per).min(n)))
-            .filter(|(lo, hi)| lo < hi)
-            .collect();
+        let bounds = chunk_bounds(n, chunks);
         let graph = self.graph;
         self.drive(
             nodes,
             max_rounds,
             random_bits,
             |nodes, outputs, write, read, contexts, round| {
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(bounds.len());
-                    let mut nodes_rest = nodes;
-                    let mut outputs_rest = outputs;
-                    let mut write_rest = write;
-                    let mut consumed_nodes = 0usize;
-                    let mut consumed_slots = 0usize;
-                    for &(lo, hi) in &bounds {
-                        let slot_hi = if hi == n {
-                            graph.directed_edge_count()
-                        } else {
-                            graph.edge_slots(hi).start
-                        };
-                        let (node_chunk, nr) = nodes_rest.split_at_mut(hi - lo);
-                        let (out_chunk, or) = outputs_rest.split_at_mut(hi - lo);
-                        let (write_chunk, wr) = write_rest.split_at_mut(slot_hi - consumed_slots);
-                        nodes_rest = nr;
-                        outputs_rest = or;
-                        write_rest = wr;
-                        let node_base = consumed_nodes;
-                        let slot_base = consumed_slots;
-                        consumed_nodes = hi;
-                        consumed_slots = slot_hi;
-                        handles.push(scope.spawn(move || {
-                            step_chunk(
-                                graph,
-                                contexts,
-                                node_base,
-                                node_chunk,
-                                out_chunk,
-                                write_chunk,
-                                slot_base,
-                                read,
-                                round,
-                            )
-                        }));
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("executor worker panicked"))
-                        .sum()
-                })
+                parallel_step(
+                    graph,
+                    &bounds,
+                    contexts,
+                    nodes,
+                    outputs,
+                    write,
+                    read,
+                    &[],
+                    round,
+                )
             },
         )
     }
@@ -544,14 +520,395 @@ impl<'g> Executor<'g> {
             budget_bits: budget,
         })
     }
+
+    /// Execute `protocols` sequentially under the fault schedule `plan`.
+    ///
+    /// Faults are injected at the delivery boundary between the write and
+    /// read arenas (see [`crate::faults`] for the exact semantics). A plan
+    /// with all rates zero takes exactly the fault-free delivery path: the
+    /// outcomes and meter equal [`Executor::run`]'s bit for bit.
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`], or [`EngineError::RoundLimit`] when
+    /// live (non-crashed, non-halted) nodes remain at the budget.
+    pub fn run_with_faults<P: BatchProtocol>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+        plan: &FaultPlan,
+    ) -> Result<FaultRun<P::Output>, EngineError> {
+        self.run_with_faults_metered(protocols, max_rounds, plan, |_| 0)
+    }
+
+    /// [`Executor::run_with_faults`] with random-bit accounting, as in
+    /// [`Executor::run_metered`].
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`] or [`EngineError::RoundLimit`].
+    pub fn run_with_faults_metered<P: BatchProtocol>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+        plan: &FaultPlan,
+        random_bits: impl Fn(&P) -> u64,
+    ) -> Result<FaultRun<P::Output>, EngineError> {
+        let nodes: Vec<P> = protocols.into_iter().collect();
+        let graph = self.graph;
+        self.drive_faulty(
+            nodes,
+            max_rounds,
+            plan,
+            &random_bits,
+            |nodes, outputs, write, read, contexts, crashed, round| {
+                step_chunk(
+                    graph, contexts, 0, nodes, outputs, write, 0, read, crashed, round,
+                )
+            },
+        )
+    }
+
+    /// [`Executor::run_with_faults`] with node steps chunked across
+    /// `threads` scoped threads (`0` = available parallelism). Every fault
+    /// decision is a pure function of the plan and the `(round, slot)` or
+    /// node coordinates, so outcomes and meter are bit-identical to the
+    /// sequential order for every thread count (asserted under the
+    /// `determinism-checks` cargo feature, with the same unconditional
+    /// bounds as [`Executor::run_parallel`]).
+    ///
+    /// # Errors
+    /// [`EngineError::WrongNodeCount`] or [`EngineError::RoundLimit`].
+    pub fn run_parallel_with_faults<P>(
+        &mut self,
+        protocols: impl IntoIterator<Item = P>,
+        max_rounds: u32,
+        threads: usize,
+        plan: &FaultPlan,
+    ) -> Result<FaultRun<P::Output>, EngineError>
+    where
+        P: BatchProtocol + Send + Clone,
+        P::Message: Send + Sync,
+        P::Output: Send + PartialEq + std::fmt::Debug,
+    {
+        let nodes: Vec<P> = protocols.into_iter().collect();
+        #[cfg(feature = "determinism-checks")]
+        {
+            let reference = self.run_with_faults(nodes.clone(), max_rounds, plan);
+            let parallel = self.run_parallel_with_faults_inner(nodes, max_rounds, threads, plan);
+            match (&reference, &parallel) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.meter, b.meter,
+                        "determinism check: faulty parallel meter diverged from sequential"
+                    );
+                    assert_eq!(
+                        a.outcomes, b.outcomes,
+                        "determinism check: faulty parallel outcomes diverged from sequential"
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "determinism check: faulty error outcomes diverged");
+                }
+                _ => panic!("determinism check: faulty parallel and sequential outcomes diverged"),
+            }
+            parallel
+        }
+        #[cfg(not(feature = "determinism-checks"))]
+        {
+            self.run_parallel_with_faults_inner(nodes, max_rounds, threads, plan)
+        }
+    }
+
+    fn run_parallel_with_faults_inner<P>(
+        &mut self,
+        nodes: Vec<P>,
+        max_rounds: u32,
+        threads: usize,
+        plan: &FaultPlan,
+    ) -> Result<FaultRun<P::Output>, EngineError>
+    where
+        P: BatchProtocol + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+    {
+        let n = self.graph.node_count();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        let chunks = threads.min(n.max(1));
+        if chunks <= 1 {
+            return self.run_with_faults_metered(nodes, max_rounds, plan, |_| 0);
+        }
+        let bounds = chunk_bounds(n, chunks);
+        let graph = self.graph;
+        self.drive_faulty(
+            nodes,
+            max_rounds,
+            plan,
+            &|_| 0,
+            |nodes, outputs, write, read, contexts, crashed, round| {
+                parallel_step(
+                    graph, &bounds, contexts, nodes, outputs, write, read, crashed, round,
+                )
+            },
+        )
+    }
+
+    /// The faulty round loop: like [`Executor::drive`], but the delivery
+    /// pass routes each written message through the plan's
+    /// [`FaultPlan::message_fate`] (drop / delay / duplicate), merges
+    /// matured late copies with seeded reordering, and masks crash-stopped
+    /// nodes out of the step.
+    ///
+    /// With a pass-through plan the delivery pass degenerates to exactly
+    /// the fault-free one — same `record_message` calls in the same slot
+    /// order — which is what makes rate-0 plans bit-identical to
+    /// [`Executor::drive`].
+    fn drive_faulty<P: BatchProtocol>(
+        &mut self,
+        mut nodes: Vec<P>,
+        max_rounds: u32,
+        plan: &FaultPlan,
+        random_bits: &impl Fn(&P) -> u64,
+        mut step: impl FnMut(
+            &mut [P],
+            &mut [Option<P::Output>],
+            &mut [Option<P::Message>],
+            &[Option<P::Message>],
+            &[NodeContext],
+            &[bool],
+            u32,
+        ) -> usize,
+    ) -> Result<FaultRun<P::Output>, EngineError> {
+        let n = self.graph.node_count();
+        if nodes.len() != n {
+            return Err(EngineError::WrongNodeCount {
+                got: nodes.len(),
+                expected: n,
+            });
+        }
+        let contexts: Vec<NodeContext> = (0..n)
+            .map(|v| NodeContext {
+                node: v,
+                id: self.ids.id_of(v),
+                degree: self.graph.degree(v),
+                n,
+            })
+            .collect();
+        let slots = self.graph.directed_edge_count();
+        let mut read: Vec<Option<P::Message>> = (0..slots).map(|_| None).collect();
+        let mut write: Vec<Option<P::Message>> = (0..slots).map(|_| None).collect();
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let budget = self.budget();
+        let mut meter = CostMeter::default();
+
+        let crash_at: Vec<Option<u32>> = (0..n).map(|v| plan.crash_round_of(v)).collect();
+        let mut crashed: Vec<bool> = crash_at.iter().map(|c| *c == Some(0)).collect();
+        // Ring of future deliveries: `pending[r % horizon]` holds the late
+        // copies maturing at round `r` (delays are `< horizon`, so a bucket
+        // is always drained before it is reused).
+        let horizon = plan.delay_horizon();
+        let mut pending: Vec<Vec<(usize, P::Message)>> = (0..horizon).map(|_| Vec::new()).collect();
+
+        for v in 0..n {
+            if crashed[v] {
+                continue; // a node crashing at round 0 never starts
+            }
+            let mut out = Outlet {
+                node: v,
+                slots: &mut write[self.graph.edge_slots(v)],
+            };
+            nodes[v].start(&contexts[v], &mut out);
+        }
+
+        let mut rounds_used = 0;
+        if n > 0 && max_rounds == 0 {
+            let still_running = crashed.iter().filter(|&&c| !c).count();
+            if still_running > 0 {
+                return Err(EngineError::RoundLimit {
+                    limit: 0,
+                    still_running,
+                });
+            }
+        }
+        for round in 1..=max_rounds {
+            // Delivery with fault injection: every fresh send is routed by
+            // its fate, then this round's matured late copies are merged.
+            for slot in read.iter_mut() {
+                *slot = None;
+            }
+            for slot in 0..slots {
+                let Some(msg) = write[slot].take() else {
+                    continue;
+                };
+                let fate = plan.message_fate(round, slot);
+                if let Some(extra) = fate.duplicate {
+                    meter.duplicated += 1;
+                    pending[(round as usize + extra as usize) % horizon].push((slot, msg.clone()));
+                }
+                match fate.primary {
+                    Delivery::Deliver => {
+                        meter.record_message(msg.wire_bits(), budget);
+                        read[slot] = Some(msg);
+                    }
+                    Delivery::Drop => meter.dropped += 1,
+                    Delivery::Delay(extra) => {
+                        meter.delayed += 1;
+                        pending[(round as usize + extra as usize) % horizon].push((slot, msg));
+                    }
+                }
+            }
+            let mut matured = std::mem::take(&mut pending[round as usize % horizon]);
+            for (slot, msg) in matured.drain(..) {
+                // A late copy still arrives (and is metered); when it races
+                // a message already delivered on the same edge this round,
+                // the seeded reorder coin picks the copy the receiver
+                // observes and the superseded one counts as dropped.
+                meter.record_message(msg.wire_bits(), budget);
+                if read[slot].is_none() {
+                    read[slot] = Some(msg);
+                } else {
+                    meter.dropped += 1;
+                    if plan.late_wins(round, slot) {
+                        read[slot] = Some(msg);
+                    }
+                }
+            }
+            pending[round as usize % horizon] = matured; // keep the allocation
+
+            for (v, c) in crash_at.iter().enumerate() {
+                if *c == Some(round) {
+                    crashed[v] = true; // stops executing from this round on
+                }
+            }
+
+            let still_running = step(
+                &mut nodes,
+                &mut outputs,
+                &mut write,
+                &read,
+                &contexts,
+                &crashed,
+                round,
+            );
+            rounds_used = round;
+            if still_running == 0 {
+                break;
+            }
+            if round == max_rounds {
+                return Err(EngineError::RoundLimit {
+                    limit: max_rounds,
+                    still_running,
+                });
+            }
+        }
+
+        meter.rounds = rounds_used as u64;
+        meter.random_bits = nodes.iter().map(random_bits).sum();
+        let outcomes = outputs
+            .into_iter()
+            .zip(&crash_at)
+            .map(|(out, crash)| match out {
+                Some(o) => NodeOutcome::Halted(o),
+                // The loop only exits success once every live node halted,
+                // so an output-less node necessarily crashed.
+                None => NodeOutcome::Crashed {
+                    round: crash.unwrap_or(0),
+                },
+            })
+            .collect();
+        Ok(FaultRun {
+            outcomes,
+            meter,
+            budget_bits: budget,
+        })
+    }
+}
+
+/// Contiguous node chunk bounds for `chunks`-way parallel stepping.
+fn chunk_bounds(n: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let per = n.div_ceil(chunks);
+    (0..chunks)
+        .map(|c| ((c * per).min(n), ((c + 1) * per).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// One parallel round: split nodes/outputs/write along `bounds` (slot
+/// segments follow the CSR offsets) and step every chunk on its own scoped
+/// thread. Shared by the fault-free and faulty drivers (`crashed` is empty
+/// on the fault-free path).
+#[allow(clippy::too_many_arguments)]
+fn parallel_step<P>(
+    graph: &Graph,
+    bounds: &[(usize, usize)],
+    contexts: &[NodeContext],
+    nodes: &mut [P],
+    outputs: &mut [Option<P::Output>],
+    write: &mut [Option<P::Message>],
+    read: &[Option<P::Message>],
+    crashed: &[bool],
+    round: u32,
+) -> usize
+where
+    P: BatchProtocol + Send,
+    P::Message: Send + Sync,
+    P::Output: Send,
+{
+    let n = graph.node_count();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(bounds.len());
+        let mut nodes_rest = nodes;
+        let mut outputs_rest = outputs;
+        let mut write_rest = write;
+        let mut consumed_nodes = 0usize;
+        let mut consumed_slots = 0usize;
+        for &(lo, hi) in bounds {
+            let slot_hi = if hi == n {
+                graph.directed_edge_count()
+            } else {
+                graph.edge_slots(hi).start
+            };
+            let (node_chunk, nr) = nodes_rest.split_at_mut(hi - lo);
+            let (out_chunk, or) = outputs_rest.split_at_mut(hi - lo);
+            let (write_chunk, wr) = write_rest.split_at_mut(slot_hi - consumed_slots);
+            nodes_rest = nr;
+            outputs_rest = or;
+            write_rest = wr;
+            let node_base = consumed_nodes;
+            let slot_base = consumed_slots;
+            consumed_nodes = hi;
+            consumed_slots = slot_hi;
+            handles.push(scope.spawn(move || {
+                step_chunk(
+                    graph,
+                    contexts,
+                    node_base,
+                    node_chunk,
+                    out_chunk,
+                    write_chunk,
+                    slot_base,
+                    read,
+                    crashed,
+                    round,
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor worker panicked"))
+            .sum()
+    })
 }
 
 /// Step one contiguous chunk of nodes; returns how many are still running.
 ///
 /// `nodes`, `outputs` and `write` are the chunk's slices (node range
 /// `node_base..node_base + nodes.len()`, slot range starting at `slot_base`);
-/// `read` and `contexts` are the full arrays. Writes land only in the
-/// chunk's own slices, which is what makes parallel execution deterministic.
+/// `read`, `contexts` and `crashed` are the full arrays (`crashed` may be
+/// empty, meaning no node ever crashes). Writes land only in the chunk's
+/// own slices, which is what makes parallel execution deterministic.
 #[allow(clippy::too_many_arguments)]
 fn step_chunk<P: BatchProtocol>(
     graph: &Graph,
@@ -562,6 +919,7 @@ fn step_chunk<P: BatchProtocol>(
     write: &mut [Option<P::Message>],
     slot_base: usize,
     read: &[Option<P::Message>],
+    crashed: &[bool],
     round: u32,
 ) -> usize {
     let mut still_running = 0;
@@ -570,6 +928,9 @@ fn step_chunk<P: BatchProtocol>(
             continue;
         }
         let v = node_base + i;
+        if !crashed.is_empty() && crashed[v] {
+            continue;
+        }
         let range = graph.edge_slots(v);
         let local = (range.start - slot_base)..(range.end - slot_base);
         let inbox = Inbox {
@@ -811,5 +1172,103 @@ mod tests {
                 expected: 3
             }
         ));
+    }
+
+    #[test]
+    fn pass_through_fault_plan_equals_fault_free_run() {
+        let g = Graph::grid(6, 9);
+        let ids = IdAssignment::sequential(g.node_count());
+        let plain = Executor::congest(&g, &ids)
+            .run(flood_protocols(&g, &[0, 17], 25), 26)
+            .unwrap();
+        let faulty = Executor::congest(&g, &ids)
+            .run_with_faults(flood_protocols(&g, &[0, 17], 25), 26, &FaultPlan::new(3))
+            .unwrap();
+        assert_eq!(faulty.meter, plain.meter);
+        assert_eq!(faulty.budget_bits, plain.budget_bits);
+        assert_eq!(faulty.into_outputs(), Some(plain.outputs));
+    }
+
+    #[test]
+    fn crashed_node_stops_flooding_and_is_reported() {
+        // A path with the only source at one end: crashing the middle node
+        // before it relays partitions the flood.
+        let g = Graph::path(5);
+        let ids = IdAssignment::sequential(5);
+        let plan = FaultPlan::new(0).with_crash_at(2, 1);
+        let run = Executor::local(&g, &ids)
+            .run_with_faults(flood_protocols(&g, &[0], 20), 21, &plan)
+            .unwrap();
+        assert_eq!(run.crashed_count(), 1);
+        assert!(run.outcomes[2].is_crashed());
+        assert_eq!(run.outcomes[1], NodeOutcome::Halted(Some(1)));
+        // Beyond the crash, the distance never arrives.
+        assert_eq!(run.outcomes[3], NodeOutcome::Halted(None));
+        assert_eq!(run.outcomes[4], NodeOutcome::Halted(None));
+    }
+
+    #[test]
+    fn crash_at_round_zero_means_never_started() {
+        let g = Graph::path(3);
+        let ids = IdAssignment::sequential(3);
+        let plan = FaultPlan::new(0).with_crash_at(0, 0);
+        let run = Executor::local(&g, &ids)
+            .run_with_faults(flood_protocols(&g, &[0], 10), 11, &plan)
+            .unwrap();
+        // The source crashed before its start-round broadcast: nothing floods.
+        assert_eq!(run.meter.messages, 0);
+        assert!(run.outcomes[0].is_crashed());
+        assert_eq!(run.outcomes[1], NodeOutcome::Halted(None));
+    }
+
+    #[test]
+    fn dropped_messages_are_counted_not_delivered() {
+        let g = Graph::path(2);
+        let ids = IdAssignment::sequential(2);
+        // Drop everything: the flood from node 0 never reaches node 1.
+        let plan = FaultPlan::new(9).with_drop(10_000);
+        let run = Executor::local(&g, &ids)
+            .run_with_faults(flood_protocols(&g, &[0], 6), 7, &plan)
+            .unwrap();
+        assert_eq!(run.meter.messages, 0);
+        assert!(run.meter.dropped > 0);
+        assert_eq!(run.outcomes[1], NodeOutcome::Halted(None));
+    }
+
+    #[test]
+    fn delayed_message_arrives_later() {
+        let g = Graph::path(2);
+        let ids = IdAssignment::sequential(2);
+        // Delay everything by exactly 1 extra round: distances still
+        // propagate, one round later.
+        let plan = FaultPlan::new(4).with_delay(10_000, 1);
+        let run = Executor::local(&g, &ids)
+            .run_with_faults(flood_protocols(&g, &[0], 8), 9, &plan)
+            .unwrap();
+        assert_eq!(run.outcomes[1], NodeOutcome::Halted(Some(1)));
+        assert!(run.meter.delayed > 0);
+    }
+
+    #[test]
+    fn faulty_parallel_matches_sequential_across_thread_counts() {
+        let g = Graph::grid(7, 9);
+        let ids = IdAssignment::sequential(g.node_count());
+        let plan = FaultPlan::new(42)
+            .with_drop(1_500)
+            .with_duplication(1_000)
+            .with_delay(2_000, 3)
+            .with_crashes(800, 3);
+        let seq = Executor::congest(&g, &ids)
+            .run_with_faults(flood_protocols(&g, &[0, 31], 30), 31, &plan)
+            .unwrap();
+        for threads in [2, 3, 8, 64] {
+            let par = Executor::congest(&g, &ids)
+                .run_parallel_with_faults(flood_protocols(&g, &[0, 31], 30), 31, threads, &plan)
+                .unwrap();
+            assert_eq!(par.meter, seq.meter, "threads={threads}");
+            assert_eq!(par.outcomes, seq.outcomes, "threads={threads}");
+        }
+        // The schedule actually exercised each fault class.
+        assert!(seq.meter.dropped > 0 && seq.meter.duplicated > 0 && seq.meter.delayed > 0);
     }
 }

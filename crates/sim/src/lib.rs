@@ -14,6 +14,10 @@
 //!   Algorithms are per-node state machines ([`node::Protocol`]); the engine
 //!   delivers inboxes round by round and meters rounds, messages, bits per
 //!   message (flagging CONGEST violations) and random bits drawn.
+//! - [`faults`]: seeded deterministic fault schedules ([`faults::FaultPlan`]:
+//!   message drop/duplication/reordering/bounded-delay and crash-stop node
+//!   failures) injected at the executor's delivery boundary by
+//!   [`executor::Executor::run_with_faults`].
 //! - [`node`]: the protocol trait and node-side context.
 //! - [`wire`]: message bit-size accounting ([`wire::WireSize`]).
 //! - [`cost`]: the [`cost::CostMeter`] accumulator and sequential
@@ -61,6 +65,7 @@
 pub mod cost;
 pub mod engine;
 pub mod executor;
+pub mod faults;
 pub mod node;
 pub mod protocols;
 pub mod slocal;
@@ -69,6 +74,7 @@ pub mod wire;
 pub use cost::CostMeter;
 pub use engine::{Engine, EngineError, Mode, Run};
 pub use executor::{BatchProtocol, Control, Executor, Inbox, Outlet};
+pub use faults::{FaultPlan, FaultRun, NodeOutcome};
 pub use node::{NodeContext, Outbox, Protocol, Step};
 pub use wire::WireSize;
 
@@ -77,6 +83,7 @@ pub mod prelude {
     pub use crate::cost::CostMeter;
     pub use crate::engine::{Engine, EngineError, Mode, Run};
     pub use crate::executor::{BatchProtocol, Control, Executor, Inbox, Outlet};
+    pub use crate::faults::{Delivery, FaultPlan, FaultRun, MessageFate, NodeOutcome};
     pub use crate::node::{NodeContext, Outbox, Protocol, Step};
     pub use crate::slocal::{BallView, SlocalRunner, SlocalScratch, SlocalStats};
     pub use crate::wire::WireSize;

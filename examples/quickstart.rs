@@ -21,7 +21,7 @@ fn main() {
 
     // Decompose once. The session validates the decomposition a single time
     // and every later request reuses it.
-    let Response::Decompose { quality, meter } = session
+    let Response::Decompose { quality, meter, .. } = session
         .solve(&Request::decompose())
         .expect("decomposes")
         .clone()

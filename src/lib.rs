@@ -58,9 +58,10 @@ pub mod prelude {
     pub use locality_core::mis;
     pub use locality_core::ruling::{ruling_set, RulingSetParams};
     pub use locality_core::serve::{
-        entries, ColoringOptions, DecompMethod, DecomposeOptions, Fleet, MisOptions, ProblemKind,
-        RepairStats, Request, Response, Session, SessionStats, SlocalOptions, SlocalOutput,
-        SlocalTask, SolveError, SolverEntry, Strategy, VerifyReport, VerifyRequest,
+        entries, ColoringOptions, CostProbe, DecompMethod, DecompProvenance, DecomposeOptions,
+        DegradePolicy, Fleet, MisOptions, ProblemKind, RepairStats, Request, Response,
+        RestoreOutcome, RetryPolicy, Session, SessionStats, SlocalOptions, SlocalOutput,
+        SlocalTask, SolveError, SolverEntry, StoreError, Strategy, VerifyReport, VerifyRequest,
     };
     pub use locality_core::shared::{shared_randomness_decomposition, SharedDecompConfig};
     pub use locality_core::sparse::{sparse_randomness_decomposition, SparsePipelineConfig};

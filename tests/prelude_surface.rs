@@ -11,13 +11,14 @@ use locality::prelude::{
     is_connected, mis, multi_source_bfs, power_graph, random_edit_script, repair_decomposition,
     ruling_set, shared_randomness_decomposition, sparse_randomness_decomposition, splitting,
     AlgorithmRun, BatchProtocol, BitSource, BitTape, BoostConfig, ClusterGraph, Clustering,
-    ColoringOptions, Control, CostMeter, DecompMethod, DecomposeOptions, Decomposition, Edit,
-    EditBatch, EditError, EditOptions, ElkinNeimanConfig, EpsBiasedBits, Executor, Exhausted,
-    Fleet, Graph, GraphBuilder, GraphError, IdAssignment, Inbox, InducedSubgraph, KWiseBits,
-    LocalAlgorithm, MisOptions, Outlet, Prng, PrngSource, ProblemKind, RepairOptions,
-    RepairOutcome, RepairPath, RepairStats, Request, Response, RoundStats, RulingSetParams,
-    Session, SessionStats, SharedDecompConfig, SharedSeed, SlocalOptions, SlocalOutput, SlocalTask,
-    SolveError, SolverEntry, SparseBits, SparsePipelineConfig, SplitMix64, SplittingInstance,
+    ColoringOptions, Control, CostMeter, CostProbe, DecompMethod, DecompProvenance,
+    DecomposeOptions, Decomposition, DegradePolicy, Edit, EditBatch, EditError, EditOptions,
+    ElkinNeimanConfig, EpsBiasedBits, Executor, Exhausted, Fleet, Graph, GraphBuilder, GraphError,
+    IdAssignment, Inbox, InducedSubgraph, KWiseBits, LocalAlgorithm, MisOptions, Outlet, Prng,
+    PrngSource, ProblemKind, RepairOptions, RepairOutcome, RepairPath, RepairStats, Request,
+    Response, RestoreOutcome, RetryPolicy, RoundStats, RulingSetParams, Session, SessionStats,
+    SharedDecompConfig, SharedSeed, SlocalOptions, SlocalOutput, SlocalTask, SolveError,
+    SolverEntry, SparseBits, SparsePipelineConfig, SplitMix64, SplittingInstance, StoreError,
     Strategy, VerifyReport, VerifyRequest, Xoshiro256StarStar,
 };
 
