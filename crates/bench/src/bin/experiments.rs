@@ -9,27 +9,30 @@
 
 use locality_bench::experiments;
 
-const USAGE: &str = "usage: experiments [options] <all | t1..t10 a1 d1 d2 p1 s1 e1 r1 f1..f4>...
+const USAGE: &str = "usage: experiments [options] <all | t1..t10 a1 d1 d2 p1 s1 e1 r1 h1 f1..f4>...
 
 Regenerates the theorem-derived tables (T1-T10), the unified
 LocalAlgorithm accounting table (A1), the derandomizer scaling
 benchmark (D1), the producer matrix (D2: deterministic vs MPX vs
 Elkin-Neiman), the end-to-end pipeline benchmark (P1), the serving
 facade workload benchmark (S1), the dynamic-edit repair benchmark
-(E1), the fault/corruption chaos matrix (R1), and figures (F1-F4)
-described in DESIGN.md section 3. Pass `all` to run every
-experiment, or any mix of individual ids.
+(E1), the fault/corruption chaos matrix (R1), the live HTTP
+front-end load test (H1), and figures (F1-F4) described in
+DESIGN.md section 3. Pass `all` to run every experiment, or any
+mix of individual ids.
 
 options:
-  --json <path>  write machine-readable results to <path> (the D1/D2/P1/E1/R1
-                 rows or the S1 summary — the BENCH_derand.json /
-                 BENCH_producers.json / BENCH_pipeline.json /
-                 BENCH_serve.json / BENCH_edits.json / BENCH_faults.json
-                 schemas; requires exactly one of d1/d2/p1/s1/e1/r1 among
-                 the ids)
+  --json <path>  write machine-readable results to <path> (the
+                 D1/D2/P1/E1/R1/H1 rows or the S1 summary — the
+                 BENCH_derand.json / BENCH_producers.json /
+                 BENCH_pipeline.json / BENCH_serve.json /
+                 BENCH_edits.json / BENCH_faults.json /
+                 BENCH_http.json schemas; requires exactly one of
+                 d1/d2/p1/s1/e1/r1/h1 among the ids)
   --huge         include the largest rows: n = 10^5 in D1, n = 10^5 and
                  10^6 in P1 and E1, n = 10^6 and 10^7 in D2, n = 2000 in
-                 R1 (tens of seconds to minutes of compute, GBs of memory)
+                 R1, 10^6 requests at the top H1 level (tens of seconds
+                 to minutes of compute, GBs of memory)
   -h, --help     print this message and exit";
 
 fn main() {
@@ -82,13 +85,14 @@ fn main() {
                     || *id == "s1"
                     || *id == "e1"
                     || *id == "r1"
+                    || *id == "h1"
             })
             .count();
         if recordable != 1 {
             eprintln!(
                 "--json captures exactly one machine-readable experiment per run; \
-                 pass exactly one of d1/d2/p1/s1/e1/r1 among the ids — note `all` expands \
-                 to all of them, so record them in separate runs"
+                 pass exactly one of d1/d2/p1/s1/e1/r1/h1 among the ids — note `all` \
+                 expands to all of them, so record them in separate runs"
             );
             std::process::exit(2);
         }
@@ -142,6 +146,13 @@ fn main() {
                 experiments::print_fault_rows(&rows);
                 if let Some(path) = &json_path {
                     write_json(path, experiments::fault_rows_json(&rows));
+                }
+            }
+            "h1" => {
+                let report = experiments::h1_http_report(huge);
+                experiments::print_http_report(&report);
+                if let Some(path) = &json_path {
+                    write_json(path, experiments::http_report_json(&report));
                 }
             }
             other => experiments::run(other),

@@ -29,9 +29,9 @@ use locality_rand::source::PrngSource;
 use locality_rand::sparse::SparseBits;
 
 /// All experiment identifiers, in report order.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "a1", "d1", "d2", "p1", "s1",
-    "e1", "r1", "f1", "f2", "f3", "f4",
+    "e1", "r1", "h1", "f1", "f2", "f3", "f4",
 ];
 
 /// Dispatch one experiment by id (lowercase). Unknown ids are reported.
@@ -45,6 +45,7 @@ pub fn run(id: &str) {
         "s1" => print_serve_summary(&s1_serve_summary()),
         "e1" => print_edit_rows(&e1_edit_rows(false)),
         "r1" => print_fault_rows(&r1_fault_rows(false)),
+        "h1" => print_http_report(&h1_http_report(false)),
         "t2" => t2_sparse_bits(),
         "t3" => t3_kwise_independence(),
         "t4" => t4_shared_congest(),
@@ -1593,6 +1594,10 @@ pub fn serve_summary_json(s: &ServeSummary) -> String {
                 ("power_plan_hits", Json::Int(st.power_plan_hits as i64)),
             ]),
         ),
+        (
+            "metrics",
+            locality_core::serve::MetricsSnapshot::from_stats([*st]).to_json_value(),
+        ),
     ])
     .to_pretty()
 }
@@ -1828,6 +1833,9 @@ pub struct FaultRow {
     pub degraded: usize,
     /// Responses that verified **wrong** — the one count that must be zero.
     pub silently_wrong: usize,
+    /// The restored fleet's folded metrics after serving (the artifact's
+    /// per-cell `metrics` object).
+    pub metrics: locality_core::serve::MetricsSnapshot,
 }
 
 /// R1 — chaos matrix: every `(drop rate × crash rate × snapshot
@@ -2016,6 +2024,7 @@ pub fn r1_fault_rows(huge: bool) -> Vec<FaultRow> {
                     typed_errors,
                     degraded,
                     silently_wrong,
+                    metrics: fleet.metrics_snapshot(),
                 });
             }
         }
@@ -2098,11 +2107,333 @@ pub fn fault_rows_json(rows: &[FaultRow]) -> String {
                             ("typed_errors", Json::Int(r.typed_errors as i64)),
                             ("degraded", Json::Int(r.degraded as i64)),
                             ("silently_wrong", Json::Int(r.silently_wrong as i64)),
+                            ("metrics", r.metrics.to_json_value()),
                         ])
                     })
                     .collect(),
             ),
         ),
+    ])
+    .to_pretty()
+}
+
+/// One concurrency level of the H1 live-socket load test.
+#[derive(Debug, Clone)]
+pub struct HttpRow {
+    /// Concurrent keep-alive client connections at this level.
+    pub clients: usize,
+    /// HTTP requests answered across all clients (excluding cache warm-up).
+    pub requests: u64,
+    /// Wall-clock for the level, in seconds.
+    pub elapsed_s: f64,
+    /// `requests / elapsed_s`.
+    pub requests_per_sec: f64,
+    /// Server-side `POST /solve` latency percentiles, microseconds
+    /// (log2-bucket representatives from the sharded histograms).
+    pub solve_p50_us: f64,
+    /// 99th percentile, same convention.
+    pub solve_p99_us: f64,
+    /// Protocol-level failures counted by the front-end (must stay 0).
+    pub http_errors: u64,
+    /// Session-layer cache hits (must be > 0 once warm).
+    pub response_hits: u64,
+    /// Whether the live `GET /metrics` scrape after the clients drained was
+    /// byte-identical to [`locality_core::serve::HttpServer::metrics_snapshot`].
+    pub scrape_consistent: bool,
+}
+
+/// The full H1 report: per-level rows plus the final level's folded
+/// snapshot (the `metrics` object of `BENCH_http.json`).
+#[derive(Debug, Clone)]
+pub struct HttpReport {
+    /// Nodes in the served `G(n, 4/n)` instance.
+    pub n: usize,
+    /// Accept/worker threads in the front-end.
+    pub workers: usize,
+    /// Pipelined requests in flight per client connection.
+    pub window: usize,
+    /// One row per concurrency level.
+    pub rows: Vec<HttpRow>,
+    /// Requests across all levels (excluding warm-up).
+    pub total_requests: u64,
+    /// The last level's scrape.
+    pub snapshot: locality_core::serve::MetricsSnapshot,
+}
+
+/// Locate the next complete HTTP response frame at the front of `buf`.
+/// Returns `(frame_len, is_200)` once head and body are both buffered.
+fn h1_next_frame(buf: &[u8]) -> Option<(usize, bool)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let mut content_length = 0usize;
+    for line in buf[..head_end].split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.len() >= 15 && line[..15].eq_ignore_ascii_case(b"content-length:") {
+            content_length = std::str::from_utf8(&line[15..]).ok()?.trim().parse().ok()?;
+        }
+    }
+    let total = head_end + content_length;
+    (buf.len() >= total).then(|| (total, buf.starts_with(b"HTTP/1.1 200")))
+}
+
+/// One H1 client: `target` keep-alive requests in pipelined windows, mixed
+/// ~6/8 single solve, ~1/8 healthz, ~1/8 batch. Returns
+/// `(requests_answered, non_200_responses)`.
+fn h1_client(addr: std::net::SocketAddr, seed: u64, target: u64, window: usize) -> (u64, u64) {
+    use locality_rand::prng::Prng;
+    use std::io::{Read, Write};
+
+    let solve_body = r#"{"graph": 0, "request": {"kind": "mis"}}"#;
+    let batch_body = r#"{"graph": 0, "requests": [{"kind": "mis"}, {"kind": "coloring"}]}"#;
+    let solve = format!(
+        "POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n{solve_body}",
+        solve_body.len()
+    )
+    .into_bytes();
+    let batch = format!(
+        "POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n{batch_body}",
+        batch_body.len()
+    )
+    .into_bytes();
+    let healthz = b"GET /healthz HTTP/1.1\r\n\r\n".to_vec();
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("h1 client connects");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .expect("read timeout");
+
+    let mut prng = SplitMix64::new(seed);
+    let mut burst: Vec<u8> = Vec::with_capacity(window * solve.len());
+    let mut pending: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 64 * 1024];
+    let (mut answered, mut bad) = (0u64, 0u64);
+    while answered < target {
+        let w = window.min((target - answered) as usize);
+        burst.clear();
+        for _ in 0..w {
+            burst.extend_from_slice(match prng.next_u64() % 8 {
+                0 => &healthz,
+                1 => &batch,
+                _ => &solve,
+            });
+        }
+        stream.write_all(&burst).expect("burst write");
+        let mut got = 0usize;
+        while got < w {
+            let n = stream.read(&mut tmp).expect("response read");
+            assert!(n > 0, "server closed a keep-alive connection mid-window");
+            pending.extend_from_slice(&tmp[..n]);
+            let mut consumed = 0usize;
+            while let Some((len, ok)) = h1_next_frame(&pending[consumed..]) {
+                consumed += len;
+                got += 1;
+                bad += u64::from(!ok);
+            }
+            pending.drain(..consumed);
+        }
+        assert!(pending.is_empty(), "unrequested pipelined bytes");
+        answered += w as u64;
+    }
+    (answered, bad)
+}
+
+/// One-shot `GET` over its own connection; returns the response body.
+fn h1_get(addr: std::net::SocketAddr, path: &str) -> Vec<u8> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("h1 GET connects");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+        .expect("GET write");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("GET read");
+    let (len, ok) = h1_next_frame(&buf).expect("complete response");
+    assert!(ok, "GET {path}: {}", String::from_utf8_lossy(&buf));
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    buf.truncate(len);
+    buf.drain(..head_end);
+    buf
+}
+
+/// H1 — million-request serving: concurrent pipelined clients against the
+/// live HTTP front-end over loopback. Each level gets a fresh server; the
+/// caches are warmed off the clock, so every row measures the steady
+/// (zero-allocation) state. `--huge` raises the largest level to 10^6
+/// requests. After each level drains, a live `/metrics` scrape must be
+/// byte-identical to the in-process snapshot.
+pub fn h1_http_report(huge: bool) -> HttpReport {
+    use locality_core::serve::{HttpConfig, HttpServer, Session};
+
+    let n = 2000usize;
+    let mut p = SplitMix64::new(61);
+    let g = Graph::gnp_connected(n, 4.0 / n as f64, &mut p);
+    let workers = 4usize;
+    let window = 128usize;
+    let levels: &[(usize, u64)] = if huge {
+        &[(1, 100_000), (2, 150_000), (4, 250_000), (8, 1_000_000)]
+    } else {
+        &[(1, 10_000), (2, 15_000), (4, 25_000)]
+    };
+
+    let mut rows = Vec::new();
+    let mut total_requests = 0u64;
+    let mut snapshot = None;
+    for (level, &(clients, requests)) in levels.iter().enumerate() {
+        let server = HttpServer::start(
+            vec![Session::new(g.clone())],
+            HttpConfig::new().with_workers(workers),
+        )
+        .expect("http server starts");
+        // Warm the session caches off the clock: one single solve and one
+        // batch cover every request kind the mix sends.
+        let _ = h1_client(server.addr(), 0, 2, 1);
+        let warm_snap = server.metrics_snapshot();
+
+        let started = std::time::Instant::now();
+        let (sent, bad) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = server.addr();
+                    let share =
+                        requests / clients as u64 + u64::from(c == 0) * (requests % clients as u64);
+                    let seed = 1 + ((level as u64) << 8) + c as u64;
+                    scope.spawn(move || h1_client(addr, seed, share, window))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .fold((0u64, 0u64), |(s, b), (rs, rb)| (s + rs, b + rb))
+        });
+        let elapsed_s = started.elapsed().as_secs_f64();
+        assert_eq!(sent, requests, "every client hit its share");
+        assert_eq!(bad, 0, "non-200 responses in the H1 steady state");
+
+        // The scrape handler records nothing about itself, so the live body
+        // and the in-process snapshot must agree byte-for-byte.
+        let scraped = h1_get(server.addr(), "/metrics");
+        let snap = server.metrics_snapshot();
+        let scrape_consistent = scraped == snap.to_json().into_bytes();
+        assert!(scrape_consistent, "scrape != in-process snapshot");
+
+        let http = snap.http.clone().expect("front-end attached");
+        assert_eq!(http.http_errors, 0, "typed protocol failures under load");
+        assert!(
+            snap.response_hits > warm_snap.response_hits,
+            "steady state must hit the response cache"
+        );
+        let solve = http
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "solve")
+            .expect("solve endpoint folded");
+        rows.push(HttpRow {
+            clients,
+            requests: sent,
+            elapsed_s,
+            requests_per_sec: sent as f64 / elapsed_s,
+            solve_p50_us: solve.p50_us,
+            solve_p99_us: solve.p99_us,
+            http_errors: http.http_errors,
+            response_hits: snap.response_hits,
+            scrape_consistent,
+        });
+        total_requests += sent;
+        if level == levels.len() - 1 {
+            snapshot = Some(snap);
+        }
+        server.shutdown();
+    }
+    HttpReport {
+        n,
+        workers,
+        window,
+        rows,
+        total_requests,
+        snapshot: snapshot.expect("at least one level"),
+    }
+}
+
+/// Render the H1 report as a table.
+pub fn print_http_report(report: &HttpReport) {
+    println!("\n== H1: HTTP front-end load (live loopback sockets) ==");
+    println!(
+        "G(n={}, 4/n), {} workers, {}-request pipelined windows; \
+         fresh server per level, caches warmed off the clock\n",
+        report.n, report.workers, report.window
+    );
+    let mut t = Table::new(&[
+        "clients",
+        "requests",
+        "elapsed s",
+        "req/s",
+        "solve p50 us",
+        "solve p99 us",
+        "http errors",
+        "cache hits",
+        "scrape==snapshot",
+    ]);
+    for r in &report.rows {
+        t.row_owned(vec![
+            r.clients.to_string(),
+            r.requests.to_string(),
+            format!("{:.3}", r.elapsed_s),
+            format!("{:.0}", r.requests_per_sec),
+            format!("{:.1}", r.solve_p50_us),
+            format!("{:.1}", r.solve_p99_us),
+            r.http_errors.to_string(),
+            r.response_hits.to_string(),
+            r.scrape_consistent.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n{} total requests; peak {:.0} req/s",
+        report.total_requests,
+        report
+            .rows
+            .iter()
+            .map(|r| r.requests_per_sec)
+            .fold(0.0, f64::max)
+    );
+}
+
+/// Machine-readable form of the H1 report (the `BENCH_http.json` schema).
+pub fn http_report_json(report: &HttpReport) -> String {
+    use crate::json::Json;
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    Json::object(vec![
+        ("experiment", Json::Str("h1-http-load".into())),
+        ("family", Json::Str("gnp(n, 4/n)".into())),
+        ("unix_seconds", Json::Int(unix_seconds as i64)),
+        ("n", Json::Int(report.n as i64)),
+        ("workers", Json::Int(report.workers as i64)),
+        ("window", Json::Int(report.window as i64)),
+        ("total_requests", Json::Int(report.total_requests as i64)),
+        (
+            "rows",
+            Json::Array(
+                report
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("clients", Json::Int(r.clients as i64)),
+                            ("requests", Json::Int(r.requests as i64)),
+                            ("elapsed_s", Json::Float(r.elapsed_s)),
+                            ("requests_per_sec", Json::Float(r.requests_per_sec)),
+                            ("solve_p50_us", Json::Float(r.solve_p50_us)),
+                            ("solve_p99_us", Json::Float(r.solve_p99_us)),
+                            ("http_errors", Json::Int(r.http_errors as i64)),
+                            ("response_hits", Json::Int(r.response_hits as i64)),
+                            ("scrape_consistent", Json::Bool(r.scrape_consistent)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("metrics", report.snapshot.to_json_value()),
     ])
     .to_pretty()
 }

@@ -1,185 +1,6 @@
-//! Minimal JSON emission for machine-readable experiment results.
-//!
-//! The workspace builds fully offline (no serde), and the perf-trajectory
-//! files (`BENCH_*.json`, CI artifacts) need only flat objects and arrays —
-//! so this is a small hand-rolled writer: strings are escaped per RFC 8259,
-//! floats are emitted with enough precision to round-trip milliseconds, and
-//! layout is stable (two-space indent) so committed records diff cleanly.
+//! Re-export of [`locality_json`]: the hand-rolled writer this module used
+//! to define moved to its own crate so the serve layer's HTTP front-end can
+//! decode request bodies with the same code that writes the committed
+//! `BENCH_*.json` artifacts. Harness callers keep using `crate::json::Json`.
 
-use std::fmt::Write as _;
-
-/// A JSON value assembled by the experiment harness.
-#[derive(Debug, Clone)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// Boolean.
-    Bool(bool),
-    /// Integer (emitted without a fraction).
-    Int(i64),
-    /// Float (emitted via `{:.3}` — millisecond-level precision).
-    Float(f64),
-    /// String (escaped on write).
-    Str(String),
-    /// Ordered key/value object.
-    Object(Vec<(String, Json)>),
-    /// Array.
-    Array(Vec<Json>),
-}
-
-impl Json {
-    /// Convenience: an object from owned pairs.
-    pub fn object(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// A self-describing marker for a measurement a row intentionally did
-    /// not take: `{"skipped": "<reason>"}`. Bare `null` told readers of the
-    /// committed BENCH artifacts nothing; this says *why* the field is
-    /// absent (e.g. `"reference run too slow at this n"`).
-    pub fn skipped(reason: &str) -> Json {
-        Json::object(vec![("skipped", Json::Str(reason.to_string()))])
-    }
-
-    /// `value` as a float, or a [`Json::skipped`] marker with `reason`.
-    pub fn float_or_skipped(value: Option<f64>, reason: &str) -> Json {
-        match value {
-            Some(v) => Json::Float(v),
-            None => Json::skipped(reason),
-        }
-    }
-
-    /// `value` as an int, or a [`Json::skipped`] marker with `reason`.
-    pub fn int_or_skipped(value: Option<i64>, reason: &str) -> Json {
-        match value {
-            Some(v) => Json::Int(v),
-            None => Json::skipped(reason),
-        }
-    }
-
-    /// Serialize with two-space indentation and a trailing newline.
-    pub fn to_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::Float(f) => {
-                if f.is_finite() {
-                    let _ = write!(out, "{f:.3}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Object(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                    if i + 1 < pairs.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                let _ = write!(out, "{pad}}}");
-            }
-            Json::Array(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, v) in items.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    v.write(out, indent + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                let _ = write!(out, "{pad}]");
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn objects_arrays_and_escapes() {
-        let j = Json::object(vec![
-            ("name", Json::Str("a \"b\"\n".into())),
-            ("n", Json::Int(42)),
-            ("ms", Json::Float(1.23456)),
-            ("ok", Json::Bool(true)),
-            ("none", Json::Null),
-            ("rows", Json::Array(vec![Json::Int(1), Json::Int(2)])),
-            ("empty", Json::Array(vec![])),
-        ]);
-        let s = j.to_pretty();
-        assert!(s.contains("\"a \\\"b\\\"\\n\""));
-        assert!(s.contains("\"ms\": 1.235"));
-        assert!(s.contains("\"none\": null"));
-        assert!(s.ends_with("}\n"));
-        // Balanced braces/brackets.
-        assert_eq!(s.matches('{').count(), s.matches('}').count());
-        assert_eq!(s.matches('[').count(), s.matches(']').count());
-    }
-
-    #[test]
-    fn skipped_markers_are_self_describing() {
-        let j = Json::object(vec![
-            ("speedup", Json::float_or_skipped(None, "no reference run")),
-            ("grid_side", Json::int_or_skipped(Some(32), "unused")),
-        ]);
-        let s = j.to_pretty();
-        assert!(s.contains("\"skipped\": \"no reference run\""));
-        assert!(s.contains("\"grid_side\": 32"));
-        assert!(!s.contains("null"));
-    }
-
-    #[test]
-    fn non_finite_floats_become_null() {
-        let j = Json::Array(vec![Json::Float(f64::NAN), Json::Float(f64::INFINITY)]);
-        let s = j.to_pretty();
-        assert_eq!(s.matches("null").count(), 2);
-    }
-}
+pub use locality_json::*;

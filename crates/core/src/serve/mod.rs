@@ -29,12 +29,17 @@
 //! corresponding direct call (differential proptests pin this).
 
 pub mod fleet;
+pub mod http;
+pub mod metrics;
 pub mod registry;
 pub mod request;
 pub mod session;
 pub mod store;
+pub mod wire;
 
-pub use fleet::{Fleet, RestoreOutcome, RetryPolicy};
+pub use fleet::{Fleet, RestoreOutcome, RetryPolicy, ShardTiming};
+pub use http::{HttpConfig, HttpError, HttpServer};
+pub use metrics::{EndpointSnapshot, HttpMetrics, MetricsSnapshot};
 pub use registry::{entries, registry, resolve, Model, SolverEntry};
 pub use request::{
     ColoringOptions, DecompMethod, DecompProvenance, DecomposeOptions, DegradePolicy, MisOptions,
@@ -43,3 +48,4 @@ pub use request::{
 };
 pub use session::{CostProbe, RepairStats, Session, SessionStats};
 pub use store::StoreError;
+pub use wire::{ReplyMode, WireError};

@@ -122,6 +122,12 @@ pub struct SessionStats {
     pub power_plans_built: u64,
     /// SLOCAL requests that reused a cached reduction plan.
     pub power_plan_hits: u64,
+    /// Decompose requests the soft deadline degraded to the randomized
+    /// tier (PR 8 provenance, folded into `/metrics`).
+    pub degraded: u64,
+    /// Response-cache entries dropped by [`Session::apply_edits`] because
+    /// they depended on the edited graph (cumulative across batches).
+    pub responses_dropped: u64,
 }
 
 /// What one [`Session::apply_edits`] call did: which repair paths ran and
@@ -310,6 +316,13 @@ impl Session {
     /// Cache-hit / build counters so far.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// This session's counters as a [`MetricsSnapshot`] (no HTTP layer
+    /// attached). Cheap — the counters are `Copy` — so callers can embed it
+    /// in every artifact they emit.
+    pub fn metrics_snapshot(&self) -> super::metrics::MetricsSnapshot {
+        super::metrics::MetricsSnapshot::from_stats([self.stats])
     }
 
     /// Answer one request, from the response cache when it repeats.
@@ -540,6 +553,7 @@ impl Session {
             .retain(|(_, r)| matches!(r, Err(SolveError::UnsupportedStrategy { .. })));
         stats.responses_retained = self.responses.len() as u64;
         stats.responses_invalidated = (before - self.responses.len()) as u64;
+        self.stats.responses_dropped += stats.responses_invalidated;
         Ok(stats)
     }
 
@@ -806,6 +820,9 @@ impl Session {
         opts: &DecomposeOptions,
     ) -> Result<(usize, DecompProvenance), SolveError> {
         let (effective, degraded, estimated_ms) = self.resolve_deadline(opts);
+        if degraded {
+            self.stats.degraded += 1;
+        }
         let i = self.ensure_decomposition_raw(&effective)?;
         let provenance = DecompProvenance {
             method: self.decomps[i].options.method,

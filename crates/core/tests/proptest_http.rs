@@ -1,0 +1,198 @@
+//! Property tests for the HTTP front-end: head parsing is invariant to
+//! how bytes arrive (any chunking of the stream yields the same parse),
+//! pipelined bursts answer identically however the kernel fragments them,
+//! and arbitrary malformed bytes never take the server down.
+
+use locality_core::serve::http::{parse_head, HttpConfig, HttpServer};
+use locality_core::serve::Session;
+use locality_graph::Graph;
+use locality_rand::prng::{Prng, SplitMix64};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+fn start_server() -> HttpServer {
+    let mut prng = SplitMix64::new(0x5e12);
+    let g = Graph::gnp_connected(30, 0.12, &mut prng);
+    HttpServer::start(vec![Session::new(g)], HttpConfig::new().with_workers(2))
+        .expect("server starts")
+}
+
+/// One deterministic request drawn from `pick` (no `/metrics` — its body
+/// depends on live counters, so it cannot be compared across connections).
+fn sample_request(pick: u64) -> String {
+    let bodies = [
+        "{\"graph\": 0, \"request\": {\"kind\": \"mis\"}}",
+        "{\"graph\": 0, \"request\": {\"kind\": \"coloring\"}}",
+        "{\"graph\": 0, \"request\": {\"kind\": \"decompose\"}}",
+        "{\"graph\": 0, \"requests\": [{\"kind\": \"mis\"}, {\"kind\": \"coloring\"}]}",
+    ];
+    match pick % 6 {
+        0 | 1 => "GET /healthz HTTP/1.1\r\n\r\n".to_string(),
+        n => {
+            let body = bodies[(n as usize - 2) % bodies.len()];
+            format!(
+                "POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        }
+    }
+}
+
+/// Read everything the server sends until it would block or closes.
+fn drain(stream: &mut TcpStream, expect_responses: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut tmp = [0u8; 4096];
+    loop {
+        // Stop once every expected response is complete (responses are
+        // Content-Length framed; counting blank lines is not enough, so
+        // count status lines instead).
+        let seen = out
+            .windows(9)
+            .filter(|w| w.starts_with(b"HTTP/1.1 "))
+            .count();
+        if expect_responses > 0 && seen >= expect_responses && ends_complete(&out) {
+            break;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&tmp[..n]),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Whether `buf` ends exactly at a response boundary (every frame's
+/// declared body fully present).
+fn ends_complete(buf: &[u8]) -> bool {
+    let mut pos = 0;
+    while pos < buf.len() {
+        let rest = &buf[pos..];
+        let Some(head_end) = rest.windows(4).position(|w| w == b"\r\n\r\n") else {
+            return false;
+        };
+        let head = String::from_utf8_lossy(&rest[..head_end]);
+        let Some(cl) = head.lines().find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        }) else {
+            return false;
+        };
+        let frame = head_end + 4 + cl;
+        if rest.len() < frame {
+            return false;
+        }
+        pos += frame;
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding any prefix of a request stream to the incremental parser
+    /// yields `Ok(None)` until the head is complete, and the complete
+    /// parse is identical whatever prefix it was reached through.
+    #[test]
+    fn head_parse_is_prefix_stable(seed in 0u64..1 << 40) {
+        let mut prng = SplitMix64::new(seed);
+        let raw = sample_request(prng.next_u64());
+        let bytes = raw.as_bytes();
+        let full = parse_head(bytes).expect("valid request parses");
+        let full = full.expect("complete head");
+        for cut in 0..bytes.len() {
+            match parse_head(&bytes[..cut]) {
+                Ok(None) => prop_assert!(cut < full.head_len, "cut {cut} has the whole head"),
+                Ok(Some(h)) => {
+                    prop_assert!(cut >= full.head_len);
+                    prop_assert_eq!(h, full.clone(), "prefix parse diverged at {}", cut);
+                }
+                Err(e) => prop_assert!(false, "prefix {} rejected: {}", cut, e),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A pipelined burst split across arbitrary write boundaries answers
+    /// byte-identically to the same burst sent in one write.
+    #[test]
+    fn chunked_delivery_matches_single_write(seed in 0u64..1 << 40) {
+        let server = start_server();
+        let mut prng = SplitMix64::new(seed ^ 0x9e37);
+        let count = 2 + (prng.next_u64() % 3) as usize;
+        let burst: String = (0..count).map(|_| sample_request(prng.next_u64())).collect();
+        let bytes = burst.as_bytes();
+
+        // Reference: the whole burst in one write.
+        let mut whole = TcpStream::connect(server.addr()).expect("connect");
+        whole.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        whole.write_all(bytes).expect("write");
+        let want = drain(&mut whole, count);
+        drop(whole);
+
+        // Same burst, fragmented at random boundaries.
+        let mut chunked = TcpStream::connect(server.addr()).expect("connect");
+        chunked.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let take = 1 + (prng.next_u64() as usize) % (bytes.len() - pos);
+            chunked.write_all(&bytes[pos..pos + take]).expect("chunk write");
+            pos += take;
+        }
+        let got = drain(&mut chunked, count);
+
+        prop_assert_eq!(
+            String::from_utf8_lossy(&got),
+            String::from_utf8_lossy(&want),
+            "fragmented delivery changed the responses"
+        );
+        server.shutdown();
+    }
+
+    /// Arbitrary corrupted streams get a typed error or a dropped
+    /// connection — never a dead server.
+    #[test]
+    fn corrupted_streams_never_kill_the_server(seed in 0u64..1 << 40) {
+        let server = start_server();
+        let mut prng = SplitMix64::new(seed ^ 0x51ed);
+        let mut raw = sample_request(prng.next_u64()).into_bytes();
+        // Corrupt 1-8 positions (or append garbage).
+        for _ in 0..=(prng.next_u64() % 8) {
+            match prng.next_u64() % 3 {
+                0 => {
+                    let i = (prng.next_u64() as usize) % raw.len();
+                    raw[i] = (prng.next_u64() % 256) as u8;
+                }
+                1 => raw.push((prng.next_u64() % 256) as u8),
+                _ => {
+                    let i = (prng.next_u64() as usize) % raw.len();
+                    raw.truncate(i.max(1));
+                }
+            }
+        }
+        let mut victim = TcpStream::connect(server.addr()).expect("connect");
+        victim.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        victim.write_all(&raw).expect("garbage write");
+        // Half-close so an incomplete head reads EOF instead of waiting.
+        let _ = victim.shutdown(Shutdown::Write);
+        let _ = drain(&mut victim, 0);
+        drop(victim);
+
+        // The server still serves a clean client.
+        let mut probe = TcpStream::connect(server.addr()).expect("reconnect");
+        probe.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        probe
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("probe write");
+        let reply = drain(&mut probe, 1);
+        let text = String::from_utf8_lossy(&reply);
+        prop_assert!(text.starts_with("HTTP/1.1 200 OK"), "probe failed: {}", text);
+        server.shutdown();
+    }
+}

@@ -3,7 +3,9 @@
 //! [`SolveError`]/[`StoreError`] values, never abort — so `.expect(` /
 //! `.unwrap(` / `panic!(` / `unreachable!(` / `todo!` / `unimplemented!`
 //! are banned from every non-test, non-comment line of
-//! `crates/core/src/serve/*.rs`. (`assert!`-style bound checks with a
+//! `crates/core/src/serve/*.rs` — including the HTTP front-end and wire
+//! codec — and of `crates/json/src/*.rs`, which sits under every request
+//! body and `/metrics` scrape. (`assert!`-style bound checks with a
 //! documented `# Panics` contract remain allowed; indexing is policed by
 //! review, not this grep.)
 //!
@@ -25,19 +27,22 @@ const BANNED: &[&str] = &[
 ];
 
 fn serve_sources() -> Vec<(PathBuf, String)> {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src/serve");
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let mut out = Vec::new();
-    let entries = fs::read_dir(&dir).expect("crates/core/src/serve exists");
-    for entry in entries {
-        let path = entry.expect("readable dir entry").path();
-        if path.extension().is_some_and(|e| e == "rs") {
-            let text = fs::read_to_string(&path).expect("readable source file");
-            out.push((path, text));
+    // The serve layer itself, plus the JSON crate under every wire body.
+    for dir in [manifest.join("src/serve"), manifest.join("../json/src")] {
+        let entries = fs::read_dir(&dir).expect("audited source dir exists");
+        for entry in entries {
+            let path = entry.expect("readable dir entry").path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                let text = fs::read_to_string(&path).expect("readable source file");
+                out.push((path, text));
+            }
         }
     }
     assert!(
-        out.len() >= 5,
-        "expected the serve module's source files, found {}",
+        out.len() >= 7,
+        "expected the serve module's and json crate's source files, found {}",
         out.len()
     );
     out

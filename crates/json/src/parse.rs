@@ -1,0 +1,721 @@
+//! The parser half: a bounds-checked [`Cursor`] pull parser over raw bytes,
+//! plus the [`Json::parse`] tree parser built on it.
+//!
+//! The cursor is what the HTTP front-end's warm path uses to decode
+//! `POST /solve` bodies with **zero heap allocations**: scalar accessors
+//! ([`Cursor::u64`], [`Cursor::bool_value`], [`Cursor::str_borrowed`], …)
+//! return values or borrowed slices straight out of the input buffer, and
+//! object/array traversal is explicit (`eat`/`try_eat`/`skip_value`) so a
+//! caller that knows its schema never materializes a tree. Every failure is
+//! a typed [`JsonError`] carrying the byte offset; no parse path panics and
+//! no input can recurse past [`MAX_DEPTH`].
+
+use super::Json;
+use std::error::Error;
+use std::fmt;
+
+/// Nesting cap for [`Cursor::skip_value`] and [`Json::parse`]: deeper input
+/// is rejected with [`JsonError::TooDeep`] instead of overflowing the stack.
+pub const MAX_DEPTH: usize = 96;
+
+/// A typed parse failure, carrying the byte offset where it was detected.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonError {
+    /// Input ended inside a value.
+    UnexpectedEof {
+        /// Offset of the end of input.
+        at: usize,
+    },
+    /// A byte that cannot start or continue the expected construct.
+    UnexpectedByte {
+        /// Offset of the offending byte.
+        at: usize,
+        /// The byte found.
+        found: u8,
+        /// What the parser was looking for.
+        expected: &'static str,
+    },
+    /// A malformed number literal (or one out of the requested range).
+    InvalidNumber {
+        /// Offset where the number starts.
+        at: usize,
+    },
+    /// A malformed `\` escape or `\u` sequence inside a string.
+    InvalidEscape {
+        /// Offset of the escape.
+        at: usize,
+    },
+    /// String bytes that are not valid UTF-8.
+    InvalidUtf8 {
+        /// Offset where the string starts.
+        at: usize,
+    },
+    /// [`Cursor::str_borrowed`] met an escape sequence (borrowed decoding
+    /// cannot un-escape in place; use [`Cursor::string_owned`]).
+    EscapedString {
+        /// Offset of the escape.
+        at: usize,
+    },
+    /// Nesting beyond [`MAX_DEPTH`].
+    TooDeep {
+        /// Offset where the depth cap was hit.
+        at: usize,
+    },
+    /// Bytes after the end of the top-level value ([`Json::parse`] only).
+    TrailingData {
+        /// Offset of the first trailing byte.
+        at: usize,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::UnexpectedEof { at } => write!(f, "unexpected end of input at byte {at}"),
+            JsonError::UnexpectedByte {
+                at,
+                found,
+                expected,
+            } => write!(
+                f,
+                "unexpected byte 0x{found:02x} at byte {at} (expected {expected})"
+            ),
+            JsonError::InvalidNumber { at } => write!(f, "invalid number at byte {at}"),
+            JsonError::InvalidEscape { at } => write!(f, "invalid string escape at byte {at}"),
+            JsonError::InvalidUtf8 { at } => write!(f, "invalid UTF-8 in string at byte {at}"),
+            JsonError::EscapedString { at } => write!(
+                f,
+                "escape sequence at byte {at} in a context requiring a literal string"
+            ),
+            JsonError::TooDeep { at } => {
+                write!(f, "nesting deeper than {MAX_DEPTH} at byte {at}")
+            }
+            JsonError::TrailingData { at } => {
+                write!(f, "trailing data after the top-level value at byte {at}")
+            }
+        }
+    }
+}
+
+impl Error for JsonError {}
+
+/// A pull parser over a byte slice. See the module docs for the traversal
+/// idiom; all methods skip leading whitespace.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current byte offset (for error reporting by schema-aware callers).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The next non-whitespace byte without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Whether only whitespace remains.
+    pub fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    /// Consume the expected byte or fail.
+    pub fn eat(&mut self, want: u8, expected: &'static str) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(found) => Err(JsonError::UnexpectedByte {
+                at: self.pos,
+                found,
+                expected,
+            }),
+            None => Err(JsonError::UnexpectedEof { at: self.pos }),
+        }
+    }
+
+    /// Consume the byte if it is next; report whether it was.
+    pub fn try_eat(&mut self, want: u8) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keyword(&mut self, kw: &'static str) -> Result<(), JsonError> {
+        self.skip_ws();
+        let end = self.pos + kw.len();
+        match self.bytes.get(self.pos..end) {
+            Some(s) if s == kw.as_bytes() => {
+                self.pos = end;
+                Ok(())
+            }
+            _ => match self.bytes.get(self.pos).copied() {
+                Some(found) => Err(JsonError::UnexpectedByte {
+                    at: self.pos,
+                    found,
+                    expected: kw,
+                }),
+                None => Err(JsonError::UnexpectedEof { at: self.pos }),
+            },
+        }
+    }
+
+    /// Parse `true` or `false`.
+    pub fn bool_value(&mut self) -> Result<bool, JsonError> {
+        match self.peek() {
+            Some(b't') => self.keyword("true").map(|_| true),
+            Some(b'f') => self.keyword("false").map(|_| false),
+            Some(found) => Err(JsonError::UnexpectedByte {
+                at: self.pos,
+                found,
+                expected: "true or false",
+            }),
+            None => Err(JsonError::UnexpectedEof { at: self.pos }),
+        }
+    }
+
+    /// Parse `null`.
+    pub fn null_value(&mut self) -> Result<(), JsonError> {
+        self.keyword("null")
+    }
+
+    /// The byte span of the number literal starting at the cursor, after
+    /// validating its shape (`-?digits(.digits)?([eE][+-]?digits)?`).
+    fn number_span(&mut self) -> Result<&'a str, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut i = self.pos;
+        if self.bytes.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        let int_start = i;
+        while self.bytes.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == int_start {
+            return Err(JsonError::InvalidNumber { at: start });
+        }
+        if self.bytes.get(i) == Some(&b'.') {
+            i += 1;
+            let frac_start = i;
+            while self.bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+            if i == frac_start {
+                return Err(JsonError::InvalidNumber { at: start });
+            }
+        }
+        if matches!(self.bytes.get(i), Some(b'e') | Some(b'E')) {
+            i += 1;
+            if matches!(self.bytes.get(i), Some(b'+') | Some(b'-')) {
+                i += 1;
+            }
+            let exp_start = i;
+            while self.bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+            if i == exp_start {
+                return Err(JsonError::InvalidNumber { at: start });
+            }
+        }
+        // The span is ASCII by construction.
+        let span = self.bytes.get(start..i).unwrap_or(&[]);
+        let text = std::str::from_utf8(span).map_err(|_| JsonError::InvalidNumber { at: start })?;
+        self.pos = i;
+        Ok(text)
+    }
+
+    /// Parse a number as `f64`.
+    pub fn f64_value(&mut self) -> Result<f64, JsonError> {
+        let start = self.pos;
+        let text = self.number_span()?;
+        text.parse::<f64>()
+            .map_err(|_| JsonError::InvalidNumber { at: start })
+    }
+
+    /// Parse an integer literal as `i64` (no fraction or exponent allowed).
+    pub fn i64_value(&mut self) -> Result<i64, JsonError> {
+        let start = self.pos;
+        let text = self.number_span()?;
+        text.parse::<i64>()
+            .map_err(|_| JsonError::InvalidNumber { at: start })
+    }
+
+    /// Parse a non-negative integer literal as `u64`.
+    pub fn u64_value(&mut self) -> Result<u64, JsonError> {
+        let start = self.pos;
+        let text = self.number_span()?;
+        text.parse::<u64>()
+            .map_err(|_| JsonError::InvalidNumber { at: start })
+    }
+
+    /// Parse a `u64` that was written as an `i64` bit-pattern (the wire
+    /// convention for 64-bit seeds: the writer has only `i64`, so values
+    /// above `i64::MAX` appear negative; the cast is a lossless round-trip).
+    pub fn u64_bits_value(&mut self) -> Result<u64, JsonError> {
+        let start = self.pos;
+        let text = self.number_span()?;
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(u);
+        }
+        text.parse::<i64>()
+            .map(|i| i as u64)
+            .map_err(|_| JsonError::InvalidNumber { at: start })
+    }
+
+    /// Parse a string that contains no escape sequences, borrowing it from
+    /// the input. Fails with [`JsonError::EscapedString`] when an escape is
+    /// present — schema keys and enum identifiers on the wire are literal,
+    /// so the warm path never needs owned decoding.
+    pub fn str_borrowed(&mut self) -> Result<&'a str, JsonError> {
+        self.eat(b'"', "string")?;
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    let span = self.bytes.get(start..self.pos).unwrap_or(&[]);
+                    self.pos += 1;
+                    return std::str::from_utf8(span)
+                        .map_err(|_| JsonError::InvalidUtf8 { at: start });
+                }
+                Some(b'\\') => return Err(JsonError::EscapedString { at: self.pos }),
+                Some(&b) if b < 0x20 => {
+                    return Err(JsonError::UnexpectedByte {
+                        at: self.pos,
+                        found: b,
+                        expected: "string content (control bytes must be escaped)",
+                    })
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(JsonError::UnexpectedEof { at: self.pos }),
+            }
+        }
+    }
+
+    /// Parse a string with full escape handling, appending to `out`
+    /// (cleared first). Allocation is bounded by the decoded length.
+    pub fn string_owned(&mut self, out: &mut String) -> Result<(), JsonError> {
+        out.clear();
+        self.eat(b'"', "string")?;
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    let esc_at = self.pos;
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4(esc_at)?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(JsonError::InvalidEscape { at: esc_at });
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4(esc_at)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(JsonError::InvalidEscape { at: esc_at });
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or(JsonError::InvalidEscape { at: esc_at })?
+                            } else {
+                                char::from_u32(hi).ok_or(JsonError::InvalidEscape { at: esc_at })?
+                            };
+                            out.push(c);
+                            // hex4 advanced past the digits; skip the +1 below.
+                            continue;
+                        }
+                        _ => return Err(JsonError::InvalidEscape { at: esc_at }),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(JsonError::UnexpectedByte {
+                        at: self.pos,
+                        found: b,
+                        expected: "string content (control bytes must be escaped)",
+                    })
+                }
+                Some(&b) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences verbatim).
+                    let len = utf8_len(b).ok_or(JsonError::InvalidUtf8 { at: self.pos })?;
+                    let span = self.bytes.get(self.pos..self.pos + len).ok_or(
+                        JsonError::UnexpectedEof {
+                            at: self.bytes.len(),
+                        },
+                    )?;
+                    let s = std::str::from_utf8(span)
+                        .map_err(|_| JsonError::InvalidUtf8 { at: self.pos })?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+                None => return Err(JsonError::UnexpectedEof { at: self.pos }),
+            }
+        }
+    }
+
+    fn hex4(&mut self, esc_at: usize) -> Result<u32, JsonError> {
+        let span = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(JsonError::InvalidEscape { at: esc_at })?;
+        let mut v = 0u32;
+        for &b in span {
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(JsonError::InvalidEscape { at: esc_at }),
+            };
+            v = (v << 4) | d;
+        }
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Skip one complete value of any kind (depth-capped).
+    pub fn skip_value(&mut self) -> Result<(), JsonError> {
+        self.skip_value_depth(0)
+    }
+
+    fn skip_value_depth(&mut self, depth: usize) -> Result<(), JsonError> {
+        if depth >= MAX_DEPTH {
+            return Err(JsonError::TooDeep { at: self.pos });
+        }
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                if self.try_eat(b'}') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_string()?;
+                    self.eat(b':', "':' after object key")?;
+                    self.skip_value_depth(depth + 1)?;
+                    if !self.try_eat(b',') {
+                        return self.eat(b'}', "',' or '}' in object");
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                if self.try_eat(b']') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value_depth(depth + 1)?;
+                    if !self.try_eat(b',') {
+                        return self.eat(b']', "',' or ']' in array");
+                    }
+                }
+            }
+            Some(b'"') => self.skip_string(),
+            Some(b't') | Some(b'f') => self.bool_value().map(|_| ()),
+            Some(b'n') => self.null_value(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number_span().map(|_| ()),
+            Some(found) => Err(JsonError::UnexpectedByte {
+                at: self.pos,
+                found,
+                expected: "a JSON value",
+            }),
+            None => Err(JsonError::UnexpectedEof { at: self.pos }),
+        }
+    }
+
+    /// Skip a string without decoding escapes (they are still validated for
+    /// framing: a `\` consumes the next byte, `\u` its four hex digits).
+    fn skip_string(&mut self) -> Result<(), JsonError> {
+        self.eat(b'"', "string")?;
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    let esc_at = self.pos;
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'u') => {
+                            self.pos += 1;
+                            self.hex4(esc_at)?;
+                        }
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1
+                        }
+                        _ => return Err(JsonError::InvalidEscape { at: esc_at }),
+                    }
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(JsonError::UnexpectedEof { at: self.pos }),
+            }
+        }
+    }
+
+    fn value_depth(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth >= MAX_DEPTH {
+            return Err(JsonError::TooDeep { at: self.pos });
+        }
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if self.try_eat(b'}') {
+                    return Ok(Json::Object(pairs));
+                }
+                let mut key = String::new();
+                loop {
+                    self.string_owned(&mut key)?;
+                    self.eat(b':', "':' after object key")?;
+                    let v = self.value_depth(depth + 1)?;
+                    pairs.push((key.clone(), v));
+                    if !self.try_eat(b',') {
+                        self.eat(b'}', "',' or '}' in object")?;
+                        return Ok(Json::Object(pairs));
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.try_eat(b']') {
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(self.value_depth(depth + 1)?);
+                    if !self.try_eat(b',') {
+                        self.eat(b']', "',' or ']' in array")?;
+                        return Ok(Json::Array(items));
+                    }
+                }
+            }
+            Some(b'"') => {
+                let mut s = String::new();
+                self.string_owned(&mut s)?;
+                Ok(Json::Str(s))
+            }
+            Some(b't') | Some(b'f') => self.bool_value().map(Json::Bool),
+            Some(b'n') => self.null_value().map(|_| Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => {
+                let start = self.pos;
+                let text = self.number_span()?;
+                if text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+                    text.parse::<f64>()
+                        .map(Json::Float)
+                        .map_err(|_| JsonError::InvalidNumber { at: start })
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(i) => Ok(Json::Int(i)),
+                        // Integer literal beyond i64: keep the value as a
+                        // float rather than failing.
+                        Err(_) => text
+                            .parse::<f64>()
+                            .map(Json::Float)
+                            .map_err(|_| JsonError::InvalidNumber { at: start }),
+                    }
+                }
+            }
+            Some(found) => Err(JsonError::UnexpectedByte {
+                at: self.pos,
+                found,
+                expected: "a JSON value",
+            }),
+            None => Err(JsonError::UnexpectedEof { at: self.pos }),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+impl Json {
+    /// Parse one complete JSON value; trailing non-whitespace is a typed
+    /// [`JsonError::TrailingData`].
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        Json::parse_bytes(text.as_bytes())
+    }
+
+    /// [`Json::parse`] over raw bytes (HTTP bodies arrive as `&[u8]`).
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Json, JsonError> {
+        let mut c = Cursor::new(bytes);
+        let v = c.value_depth(0)?;
+        if !c.at_end() {
+            return Err(JsonError::TrailingData { at: c.pos() });
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("3.500").unwrap(), Json::Float(3.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn structures_parse() {
+        let j = Json::parse(r#"{"a": [1, 2.5, "x"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(
+            j,
+            Json::object(vec![
+                (
+                    "a",
+                    Json::Array(vec![Json::Int(1), Json::Float(2.5), Json::Str("x".into())])
+                ),
+                ("b", Json::object(vec![("c", Json::Null)])),
+            ])
+        );
+    }
+
+    #[test]
+    fn escapes_decode() {
+        let j = Json::parse(r#""a \"b\" \n \t \\ A 😀""#).unwrap();
+        assert_eq!(j, Json::Str("a \"b\" \n \t \\ A \u{1F600}".into()));
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "nul",
+            "01x",
+            "-",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"bad \\u12 hex\"",
+            "[1] trailing",
+            "{\"a\":1,}",
+            "\u{1}",
+        ] {
+            let got = Json::parse(bad);
+            assert!(got.is_err(), "{bad:?} parsed as {got:?}");
+            // Displayable, sourced error.
+            let e = got.unwrap_err();
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn depth_cap_is_enforced() {
+        let mut deep = String::new();
+        for _ in 0..(MAX_DEPTH + 4) {
+            deep.push('[');
+        }
+        deep.push('1');
+        for _ in 0..(MAX_DEPTH + 4) {
+            deep.push(']');
+        }
+        assert!(matches!(Json::parse(&deep), Err(JsonError::TooDeep { .. })));
+    }
+
+    #[test]
+    fn cursor_pull_parsing_is_schema_aware() {
+        let body = br#"{"graph": 3, "seed": -1, "deep": {"x": [1, {"y": "z"}]}, "ok": true}"#;
+        let mut c = Cursor::new(body);
+        c.eat(b'{', "object").unwrap();
+        let mut graph = 0u64;
+        let mut seed = 0u64;
+        let mut ok = false;
+        loop {
+            let key = c.str_borrowed().unwrap();
+            c.eat(b':', "colon").unwrap();
+            match key {
+                "graph" => graph = c.u64_value().unwrap(),
+                "seed" => seed = c.u64_bits_value().unwrap(),
+                "ok" => ok = c.bool_value().unwrap(),
+                _ => c.skip_value().unwrap(),
+            }
+            if !c.try_eat(b',') {
+                c.eat(b'}', "close").unwrap();
+                break;
+            }
+        }
+        assert!(c.at_end());
+        assert_eq!(graph, 3);
+        assert_eq!(seed, u64::MAX);
+        assert!(ok);
+    }
+
+    #[test]
+    fn borrowed_strings_reject_escapes() {
+        let mut c = Cursor::new(br#""plain""#);
+        assert_eq!(c.str_borrowed().unwrap(), "plain");
+        let mut c = Cursor::new(br#""esc\n""#);
+        assert!(matches!(
+            c.str_borrowed(),
+            Err(JsonError::EscapedString { .. })
+        ));
+    }
+
+    #[test]
+    fn u64_bits_round_trip_the_writer_convention() {
+        for v in [0u64, 1, i64::MAX as u64, i64::MAX as u64 + 1, u64::MAX] {
+            let written = Json::Int(v as i64).to_pretty();
+            let mut c = Cursor::new(written.trim().as_bytes());
+            assert_eq!(c.u64_bits_value().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Differential property tests for the JSON writer/parser pair (ISSUE 9,
+//! S1): `parse(write(x)) == x` over random value trees, plus exhaustive
+//! rejection sweeps — every truncation of a valid encoding and a byte-fuzz
+//! corpus must produce a typed [`JsonError`], never a panic and never a
+//! silent success on the full input.
+
+use locality_json::{Cursor, Json, JsonError};
+use proptest::prelude::*;
+
+/// A deterministic value tree grown from a seed (the vendored proptest shim
+/// has no recursive strategies; the repo idiom is seed-driven construction).
+fn arb_json(seed: u64, depth: usize) -> Json {
+    // SplitMix64 step, inlined to keep this crate dependency-free.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    build(&mut next, depth)
+}
+
+fn build(next: &mut impl FnMut() -> u64, depth: usize) -> Json {
+    let pick = if depth == 0 { next() % 5 } else { next() % 7 };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(next() % 2 == 0),
+        2 => Json::Int(next() as i64),
+        // Writer emits {:.3}; canonicalize through that rendering so the
+        // round-trip is equality, not approximation.
+        3 => {
+            let raw = (next() % 2_000_001) as f64 / 1000.0 - 1000.0;
+            Json::Float(format!("{raw:.3}").parse().unwrap_or(0.0))
+        }
+        4 => {
+            let len = (next() % 12) as usize;
+            let s: String = (0..len)
+                .map(|_| {
+                    // Mix printable ASCII, escapes, and multi-byte chars.
+                    match next() % 8 {
+                        0 => '"',
+                        1 => '\\',
+                        2 => '\n',
+                        3 => '\t',
+                        4 => '\u{1F600}',
+                        5 => 'é',
+                        _ => char::from(b'a' + (next() % 26) as u8),
+                    }
+                })
+                .collect();
+            Json::Str(s)
+        }
+        5 => {
+            let len = (next() % 4) as usize;
+            Json::Array((0..len).map(|_| build(next, depth - 1)).collect())
+        }
+        _ => {
+            let len = (next() % 4) as usize;
+            Json::Object(
+                (0..len)
+                    .map(|i| (format!("k{i}"), build(next, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// A tree shaped like the HTTP wire's solve requests: the satellite asks
+/// for the differential over "random request values" specifically.
+fn arb_request_json(seed: u64) -> Json {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let kinds = ["mis", "coloring", "decompose", "slocal"];
+    let methods = ["ball_carving", "mpx", "elkin_neiman", "derandomized"];
+    Json::object(vec![
+        ("graph", Json::Int((next() % 64) as i64)),
+        ("kind", Json::Str(kinds[(next() % 4) as usize].to_string())),
+        // Seeds ride the wire as i64 bit-patterns (may be negative).
+        ("seed", Json::Int(next() as i64)),
+        ("threads", Json::Int((1 + next() % 8) as i64)),
+        (
+            "decomposition",
+            Json::object(vec![
+                (
+                    "method",
+                    Json::Str(methods[(next() % 4) as usize].to_string()),
+                ),
+                ("seed", Json::Int(next() as i64)),
+                ("deadline_ms", Json::Int((next() % 5000) as i64)),
+                ("require_deterministic", Json::Bool(next() % 2 == 0)),
+            ]),
+        ),
+    ])
+}
+
+proptest! {
+    /// The core differential: writing any tree and parsing it back is the
+    /// identity.
+    #[test]
+    fn parse_write_roundtrip(seed in any::<u64>(), depth in 0usize..4) {
+        let x = arb_json(seed, depth);
+        let text = x.to_pretty();
+        let back = Json::parse(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&x), "encoding was: {}", text);
+    }
+
+    /// The satellite's wording: the differential over random *request*
+    /// values — the object shape `POST /solve` bodies use.
+    #[test]
+    fn parse_write_roundtrip_requests(seed in any::<u64>()) {
+        let x = arb_request_json(seed);
+        let text = x.to_pretty();
+        prop_assert_eq!(Json::parse(&text), Ok(x));
+    }
+
+    /// Every prefix truncation of a valid encoding is a typed error (no
+    /// panic, no silent acceptance). The tree is wrapped in an array so the
+    /// top level is a structure — a bare number's prefixes can be valid
+    /// numbers, but no strict prefix of a balanced structure parses.
+    /// Whitespace-only tails parse the same tree, which is fine.
+    #[test]
+    fn truncations_are_rejected(seed in any::<u64>(), depth in 1usize..4) {
+        let x = Json::Array(vec![arb_json(seed, depth)]);
+        let text = x.to_pretty();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &text[..cut];
+            match Json::parse(prefix) {
+                Err(_) => {}
+                Ok(tree) => {
+                    // Only legal when the cut removed pure whitespace.
+                    prop_assert!(
+                        text[cut..].bytes().all(|b| b.is_ascii_whitespace()),
+                        "truncation at {cut} of {text:?} silently parsed {tree:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Byte-level fuzz: arbitrary mutations of a valid encoding either
+    /// parse (some mutations stay valid) or fail with a typed error —
+    /// the point is that no input panics.
+    #[test]
+    fn mutations_never_panic(seed in any::<u64>(), pos_seed in any::<u64>(), byte in any::<u8>()) {
+        let x = arb_json(seed, 3);
+        let mut bytes = x.to_pretty().into_bytes();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] = byte;
+        let _ = Json::parse_bytes(&bytes);
+        // Cursor-level entry points must be equally panic-free.
+        let mut c = Cursor::new(&bytes);
+        let _ = c.skip_value();
+        let mut c = Cursor::new(&bytes);
+        let _ = c.u64_value();
+        let mut c = Cursor::new(&bytes);
+        let _ = c.str_borrowed();
+    }
+}
+
+#[test]
+fn typed_errors_carry_offsets() {
+    match Json::parse("[1, 2, x]") {
+        Err(JsonError::UnexpectedByte { at, found, .. }) => {
+            assert_eq!(found, b'x');
+            assert_eq!(at, 7);
+        }
+        other => panic!("expected UnexpectedByte, got {other:?}"),
+    }
+    match Json::parse("[1, 2") {
+        Err(JsonError::UnexpectedEof { at }) => assert_eq!(at, 5),
+        other => panic!("expected UnexpectedEof, got {other:?}"),
+    }
+    match Json::parse("[1] []") {
+        Err(JsonError::TrailingData { at }) => assert_eq!(at, 4),
+        other => panic!("expected TrailingData, got {other:?}"),
+    }
+}

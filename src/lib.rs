@@ -59,9 +59,10 @@ pub mod prelude {
     pub use locality_core::ruling::{ruling_set, RulingSetParams};
     pub use locality_core::serve::{
         entries, ColoringOptions, CostProbe, DecompMethod, DecompProvenance, DecomposeOptions,
-        DegradePolicy, Fleet, MisOptions, ProblemKind, RepairStats, Request, Response,
-        RestoreOutcome, RetryPolicy, Session, SessionStats, SlocalOptions, SlocalOutput,
-        SlocalTask, SolveError, SolverEntry, StoreError, Strategy, VerifyReport, VerifyRequest,
+        DegradePolicy, Fleet, HttpConfig, HttpError, HttpServer, MetricsSnapshot, MisOptions,
+        ProblemKind, RepairStats, ReplyMode, Request, Response, RestoreOutcome, RetryPolicy,
+        Session, SessionStats, ShardTiming, SlocalOptions, SlocalOutput, SlocalTask, SolveError,
+        SolverEntry, StoreError, Strategy, VerifyReport, VerifyRequest, WireError,
     };
     pub use locality_core::shared::{shared_randomness_decomposition, SharedDecompConfig};
     pub use locality_core::sparse::{sparse_randomness_decomposition, SparsePipelineConfig};

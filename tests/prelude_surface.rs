@@ -14,12 +14,13 @@ use locality::prelude::{
     ColoringOptions, Control, CostMeter, CostProbe, DecompMethod, DecompProvenance,
     DecomposeOptions, Decomposition, DegradePolicy, Edit, EditBatch, EditError, EditOptions,
     ElkinNeimanConfig, EpsBiasedBits, Executor, Exhausted, Fleet, Graph, GraphBuilder, GraphError,
-    IdAssignment, Inbox, InducedSubgraph, KWiseBits, LocalAlgorithm, MisOptions, Outlet, Prng,
-    PrngSource, ProblemKind, RepairOptions, RepairOutcome, RepairPath, RepairStats, Request,
-    Response, RestoreOutcome, RetryPolicy, RoundStats, RulingSetParams, Session, SessionStats,
+    HttpConfig, HttpError, HttpServer, IdAssignment, Inbox, InducedSubgraph, KWiseBits,
+    LocalAlgorithm, MetricsSnapshot, MisOptions, Outlet, Prng, PrngSource, ProblemKind,
+    RepairOptions, RepairOutcome, RepairPath, RepairStats, ReplyMode, Request, Response,
+    RestoreOutcome, RetryPolicy, RoundStats, RulingSetParams, Session, SessionStats, ShardTiming,
     SharedDecompConfig, SharedSeed, SlocalOptions, SlocalOutput, SlocalTask, SolveError,
     SolverEntry, SparseBits, SparsePipelineConfig, SplitMix64, SplittingInstance, StoreError,
-    Strategy, VerifyReport, VerifyRequest, Xoshiro256StarStar,
+    Strategy, VerifyReport, VerifyRequest, WireError, Xoshiro256StarStar,
 };
 
 #[test]
@@ -104,13 +105,42 @@ fn serving_facade_is_reachable_from_the_prelude() {
     assert!(table.iter().any(|e| e.problem == ProblemKind::Mis));
     assert_eq!(entries().count(), table.len());
 
-    // A fleet shards sessions with bit-identical results.
+    // A fleet shards sessions with bit-identical results, and the timed
+    // variant additionally reports per-shard wall time.
     let graphs = [Graph::cycle(20), Graph::grid(5, 4)];
     let workloads = vec![vec![Request::mis()], vec![Request::coloring()]];
     let mut fleet = Fleet::new(graphs.clone());
     let sharded = fleet.solve_all(&workloads, 2);
     let mut sequential = Fleet::new(graphs);
-    assert_eq!(sharded, sequential.solve_all(&workloads, 1));
+    let (results, timings): (_, Vec<ShardTiming>) = sequential.solve_all_timed(&workloads, 1);
+    assert_eq!(sharded, results);
+    assert_eq!(timings.iter().map(|t| t.sessions).sum::<usize>(), 2);
+    let snap: MetricsSnapshot = fleet.metrics_snapshot();
+    assert_eq!(snap.sessions, 2);
+}
+
+#[test]
+fn http_front_end_is_reachable_from_the_prelude() {
+    use std::io::{Read, Write};
+
+    let g = Graph::gnp_connected(30, 0.1, &mut SplitMix64::new(41));
+    let fleet = Fleet::new([g]);
+    let server = HttpServer::start(fleet.into_sessions(), HttpConfig::new().with_workers(1))
+        .expect("server starts");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("loopback");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("response");
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.http.as_ref().map(|h| h.connections), Some(1));
+    server.shutdown();
+    // The typed error surface is part of the prelude contract.
+    let err: HttpError = HttpError::UnknownRoute;
+    assert_eq!(err.status().0, 404);
+    let _ = ReplyMode::default();
 }
 
 #[test]
