@@ -1,0 +1,324 @@
+//! The audit engine: walks the workspace, classifies each file, runs the
+//! passes the path policy prescribes, applies suppressions, and folds the
+//! result into a [`Report`].
+//!
+//! ## Path policy
+//!
+//! | class       | paths                                   | passes |
+//! |-------------|-----------------------------------------|--------|
+//! | `Test`      | any `tests/`, `benches/`, `examples/` component | annotation hygiene only |
+//! | `Serve`     | `crates/core/src/serve/`                | panic, no-alloc, error-hygiene |
+//! | `Bench`     | `crates/bench/`                         | panic, no-alloc, error-hygiene |
+//! | `Algorithm` | every other `.rs` under a `src/`        | all four |
+//!
+//! `Serve` and `Bench` are exempt from the determinism pass because wall
+//! clocks are their job (latency histograms, experiment timings); the
+//! algorithm and decomposition layers, whose outputs must be bit-identical
+//! across runs and thread counts, get the full set. `vendor/` and
+//! `target/` are never scanned.
+//!
+//! ## Suppressions
+//!
+//! A finding on line `L` is suppressed by `// audit: allow(<lint>) --
+//! <reason>` targeting `L` (trailing on `L`, or alone on the line above).
+//! Suppressed findings are counted and reported — the CI artifact tracks
+//! the total across PRs — and a suppression that matches nothing is itself
+//! an `annotation` finding, so stale allows cannot accumulate.
+
+use crate::lints::{self, Finding, LintId};
+use crate::scan::ScannedFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which lint passes run on a file, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Test, bench, and example trees: panics are the assertion mechanism.
+    Test,
+    /// The serving layer: typed errors mandatory, wall clocks allowed.
+    Serve,
+    /// The experiment harness: typed errors + panic policy, wall clocks
+    /// allowed (timing is its purpose).
+    Bench,
+    /// Algorithm/substrate code: everything, including determinism.
+    Algorithm,
+}
+
+impl FileClass {
+    /// Classify a workspace-relative, `/`-separated path.
+    pub fn of(path: &str) -> FileClass {
+        let is = |dir: &str| path.split('/').any(|c| c == dir);
+        if is("tests") || is("benches") || is("examples") {
+            FileClass::Test
+        } else if path.starts_with("crates/core/src/serve") {
+            FileClass::Serve
+        } else if path.starts_with("crates/bench") {
+            FileClass::Bench
+        } else {
+            FileClass::Algorithm
+        }
+    }
+
+    fn runs(self, lint: LintId) -> bool {
+        match (self, lint) {
+            (_, LintId::Annotation) => true,
+            (FileClass::Test, LintId::NoAlloc) => true,
+            (FileClass::Test, _) => false,
+            (FileClass::Serve | FileClass::Bench, LintId::Determinism) => false,
+            _ => true,
+        }
+    }
+}
+
+/// The audit of one workspace: unsuppressed findings, suppressed findings,
+/// and the bookkeeping the JSON artifact reports.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    /// Findings no suppression vouched for, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Findings an `audit: allow` covered, same order.
+    pub suppressed: Vec<Finding>,
+    /// Total suppression annotations parsed (used or not; unused ones also
+    /// produce an `annotation` finding).
+    pub suppressions: usize,
+}
+
+impl Report {
+    /// Unsuppressed findings for one lint.
+    pub fn count(&self, lint: LintId) -> usize {
+        self.findings.iter().filter(|f| f.lint == lint).count()
+    }
+
+    /// Suppressed findings for one lint.
+    pub fn suppressed_count(&self, lint: LintId) -> usize {
+        self.suppressed.iter().filter(|f| f.lint == lint).count()
+    }
+
+    /// Does the audit gate pass?
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Audit a set of in-memory sources (path, text). This is the whole engine
+/// — the binary and the workspace test feed it files from disk, the unit
+/// tests feed it fixtures.
+pub fn audit_sources<'a>(files: impl IntoIterator<Item = (&'a str, &'a str)>) -> Report {
+    let mut report = Report::default();
+    for (path, src) in files {
+        report.files_scanned += 1;
+        audit_one(path, src, &mut report);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    report
+}
+
+fn audit_one(path: &str, src: &str, report: &mut Report) {
+    let class = FileClass::of(path);
+    let file = ScannedFile::new(src);
+    let mut raw: Vec<Finding> = Vec::new();
+    if class.runs(LintId::Panic) {
+        lints::panic_pass(&file, path, &mut raw);
+    }
+    if class.runs(LintId::Determinism) {
+        lints::determinism_pass(&file, path, &mut raw);
+    }
+    if class.runs(LintId::NoAlloc) {
+        lints::no_alloc_pass(&file, path, &mut raw);
+    }
+    if class.runs(LintId::ErrorHygiene) {
+        lints::error_hygiene_pass(&file, path, &mut raw);
+    }
+    for e in &file.annotation_errors {
+        raw.push(Finding {
+            file: path.to_string(),
+            line: e.line,
+            lint: LintId::Annotation,
+            message: e.message.clone(),
+        });
+    }
+    // Apply suppressions: a finding is covered when an allow of its lint
+    // targets its line. Annotation findings are never suppressible.
+    report.suppressions += file.suppressions.len();
+    let mut used = vec![false; file.suppressions.len()];
+    for f in raw {
+        let hit = file.suppressions.iter().position(|s| {
+            s.lint == f.lint && s.target_line == f.line && f.lint != LintId::Annotation
+        });
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                report.suppressed.push(f);
+            }
+            None => report.findings.push(f),
+        }
+    }
+    for (i, s) in file.suppressions.iter().enumerate() {
+        if !used[i] {
+            report.findings.push(Finding {
+                file: path.to_string(),
+                line: s.line,
+                lint: LintId::Annotation,
+                message: format!(
+                    "unused suppression: allow({}) matches no finding on line {} \
+                     (stale after a refactor? remove it)",
+                    s.lint, s.target_line
+                ),
+            });
+        }
+    }
+}
+
+/// Walk `root` for the workspace's own `.rs` sources: `vendor/`,
+/// `target/`, and dot-directories are excluded. Paths come back
+/// workspace-relative, `/`-separated, sorted — byte-identical runs on
+/// byte-identical trees.
+pub fn collect_workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "vendor" || name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = relative_slash_path(root, &path);
+                let bytes = fs::read(&path)?;
+                files.push((rel, String::from_utf8_lossy(&bytes).into_owned()));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(files)
+}
+
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+/// Locate the workspace root from a crate's manifest dir: the audit crate
+/// lives at `<root>/crates/audit`, so the root is two levels up.
+pub fn workspace_root_from(manifest_dir: &str) -> PathBuf {
+    let mut p = PathBuf::from(manifest_dir);
+    p.pop();
+    p.pop();
+    p
+}
+
+/// Audit the workspace rooted at `root`.
+pub fn audit_workspace(root: &Path) -> io::Result<Report> {
+    let files = collect_workspace_sources(root)?;
+    Ok(audit_sources(
+        files.iter().map(|(p, s)| (p.as_str(), s.as_str())),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_follow_the_path_policy() {
+        assert_eq!(
+            FileClass::of("crates/core/src/mis.rs"),
+            FileClass::Algorithm
+        );
+        assert_eq!(
+            FileClass::of("crates/core/src/serve/http.rs"),
+            FileClass::Serve
+        );
+        assert_eq!(
+            FileClass::of("crates/core/tests/proptest_serve.rs"),
+            FileClass::Test
+        );
+        assert_eq!(
+            FileClass::of("crates/bench/src/experiments.rs"),
+            FileClass::Bench
+        );
+        assert_eq!(
+            FileClass::of("crates/bench/benches/http.rs"),
+            FileClass::Test
+        );
+        assert_eq!(FileClass::of("examples/quickstart.rs"), FileClass::Test);
+        assert_eq!(FileClass::of("src/lib.rs"), FileClass::Algorithm);
+        assert_eq!(FileClass::of("tests/prelude_surface.rs"), FileClass::Test);
+    }
+
+    #[test]
+    fn suppressed_findings_are_counted_not_raised() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // audit: allow(panic) -- fixture: caller checked is_some
+}
+";
+        let r = audit_sources([("crates/core/src/fixture.rs", src)]);
+        assert!(r.clean(), "unexpected findings: {:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressions, 1);
+    }
+
+    #[test]
+    fn unused_suppressions_are_findings() {
+        let src = "fn f() {} // audit: allow(panic) -- nothing here to allow\n";
+        let r = audit_sources([("crates/core/src/fixture.rs", src)]);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, LintId::Annotation);
+    }
+
+    #[test]
+    fn determinism_exemptions_follow_class() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert!(!audit_sources([("crates/core/src/decomposition/x.rs", src)]).clean());
+        assert!(audit_sources([("crates/core/src/serve/x.rs", src)]).clean());
+        assert!(audit_sources([("crates/bench/src/x.rs", src)]).clean());
+        assert!(audit_sources([("crates/bench/benches/x.rs", src)]).clean());
+    }
+
+    #[test]
+    fn seeded_violation_fails_the_gate() {
+        // The negative fixture the acceptance criteria call for: a panic
+        // token planted on a release path must produce a nonzero finding
+        // count (CI runs the binary, which exits 1 on any finding).
+        let clean = "fn ok() -> Option<u32> { None }\n";
+        let seeded = "fn bad(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let r = audit_sources([
+            ("crates/graph/src/ok.rs", clean),
+            ("crates/graph/src/bad.rs", seeded),
+        ]);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].file, "crates/graph/src/bad.rs");
+        assert_eq!(r.findings[0].lint, LintId::Panic);
+    }
+
+    #[test]
+    fn report_is_sorted_and_counts_per_lint() {
+        let src_b = "fn f() { panic!(\"x\") }\n";
+        let src_a = "fn g() { let m: std::collections::HashMap<u32, u32>; }\n";
+        let r = audit_sources([
+            ("crates/sim/src/b.rs", src_b),
+            ("crates/graph/src/a.rs", src_a),
+        ]);
+        assert_eq!(r.findings[0].file, "crates/graph/src/a.rs");
+        assert_eq!(r.count(LintId::Panic), 1);
+        assert_eq!(r.count(LintId::Determinism), 1);
+        assert_eq!(r.count(LintId::NoAlloc), 0);
+    }
+}

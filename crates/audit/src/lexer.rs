@@ -1,0 +1,539 @@
+//! A hand-rolled Rust lexer producing spanned tokens.
+//!
+//! The lints in this crate must see *code*, not text: a `panic!` inside a
+//! string literal, a doc-comment example, or a nested block comment is not
+//! a finding. The lexer therefore handles exactly the constructs that fool
+//! line-greps — line comments, nested block comments, string / raw-string /
+//! byte-string / char literals, and the `'a` lifetime vs `'a'` char
+//! ambiguity — and guarantees two structural invariants that the proptests
+//! in `tests/proptest_lexer.rs` pin:
+//!
+//! 1. **Never panics**, on any input (arbitrary bytes pushed through
+//!    `String::from_utf8_lossy` included). Malformed input degrades to
+//!    [`TokenKind::Unknown`] or an unterminated literal running to EOF.
+//! 2. **Token spans tile the file**: the first token starts at byte 0,
+//!    every token is non-empty, consecutive spans are contiguous, and the
+//!    last token ends at `src.len()`.
+//!
+//! It is deliberately *not* a full Rust lexer: numeric literals are
+//! approximate (good enough that `1..5` does not eat the range operator)
+//! and every punctuation byte is its own single-byte token (`::` is two
+//! `:` tokens). The lints only need identifier/punct adjacency, which
+//! spans make exact.
+
+/// What a token is. Trivia (whitespace and comments) is kept — the scanner
+/// reads suppression annotations out of comment tokens — but carries no
+/// code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A maximal run of whitespace.
+    Whitespace,
+    /// `// ...` through end of line (doc comments `///` and `//!` included).
+    LineComment,
+    /// `/* ... */`, nesting-aware; unterminated runs to EOF.
+    BlockComment,
+    /// An identifier or keyword (`foo`, `fn`, `r#match` is [`TokenKind::RawIdent`]).
+    Ident,
+    /// A raw identifier `r#ident`.
+    RawIdent,
+    /// A lifetime `'a` (no closing quote).
+    Lifetime,
+    /// A char literal `'x'`, escapes included.
+    Char,
+    /// A byte literal `b'x'`.
+    Byte,
+    /// A string literal `"..."`, escapes included; unterminated runs to EOF.
+    Str,
+    /// A raw string literal `r"..."` / `r#"..."#` with any number of `#`s.
+    RawStr,
+    /// A byte string literal `b"..."`.
+    ByteStr,
+    /// A raw byte string literal `br"..."` / `br#"..."#`.
+    RawByteStr,
+    /// A numeric literal (integers, floats, prefixed and suffixed forms).
+    Number,
+    /// A single punctuation byte (`.`, `:`, `!`, `<`, ...).
+    Punct,
+    /// Any byte or char the other rules do not claim.
+    Unknown,
+}
+
+impl TokenKind {
+    /// Whitespace and comments: skipped by every code-facing scan.
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+
+    /// String-ish literals: opaque to the lints.
+    pub fn is_string_like(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Str
+                | TokenKind::RawStr
+                | TokenKind::ByteStr
+                | TokenKind::RawByteStr
+                | TokenKind::Char
+                | TokenKind::Byte
+        )
+    }
+}
+
+/// One spanned token. `start..end` is a byte range into the lexed source
+/// (always on char boundaries); `line` is the 1-based line the token starts
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// The cursor: a byte position that only ever lands on char boundaries.
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.src
+            .get(self.pos + offset..)
+            .and_then(|s| s.chars().next())
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+
+    /// Consume a `//` comment (the `//` is already consumed).
+    fn line_comment(&mut self) -> TokenKind {
+        self.eat_while(|c| c != '\n');
+        TokenKind::LineComment
+    }
+
+    /// Consume a `/*` comment with nesting (the `/*` is already consumed).
+    fn block_comment(&mut self) -> TokenKind {
+        let mut depth = 1usize;
+        while depth > 0 {
+            let Some(c) = self.bump() else { break };
+            if c == '/' && self.peek() == Some('*') {
+                self.pos += 1;
+                depth += 1;
+            } else if c == '*' && self.peek() == Some('/') {
+                self.pos += 1;
+                depth -= 1;
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Consume a `"..."` body (the opening quote is already consumed).
+    fn string_body(&mut self) {
+        loop {
+            match self.bump() {
+                None | Some('"') => break,
+                Some('\\') => {
+                    // Skip the escaped char, whatever it is (including `\"`).
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Try to consume a raw-string body `#*"..."#*` starting at the current
+    /// position (just past the `r` / `br` prefix). Returns false — without
+    /// moving the cursor — if what follows is not a raw string opener.
+    fn raw_string_body(&mut self) -> bool {
+        let save = self.pos;
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek() != Some('"') {
+            self.pos = save;
+            return false;
+        }
+        self.pos += 1;
+        // Scan for `"` followed by `hashes` `#`s.
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        self.pos += 1;
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        true
+    }
+
+    /// Consume a char-literal body (the opening `'` is already consumed;
+    /// the next char is known not to start a lifetime). Stops at the
+    /// closing `'`, end of line, or EOF — whichever comes first — so a
+    /// stray quote cannot swallow the rest of the file.
+    fn char_body(&mut self) {
+        loop {
+            match self.peek() {
+                None | Some('\n') => break,
+                Some('\'') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    self.bump();
+                }
+                Some(c) => self.pos += c.len_utf8(),
+            }
+        }
+    }
+
+    /// After a `'`: lifetime, char literal, or a lone quote.
+    fn quote(&mut self) -> TokenKind {
+        match self.peek() {
+            Some(c) if is_ident_start(c) => {
+                // `'abc` is a lifetime unless the ident run is followed by a
+                // closing quote (`'a'` is a char).
+                self.eat_while(is_ident_continue);
+                if self.peek() == Some('\'') {
+                    self.pos += 1;
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            Some('\\') => {
+                self.char_body();
+                TokenKind::Char
+            }
+            Some(c) if c != '\'' && c != '\n' => {
+                // `'('`, `'1'`, `' '` ... one char then hopefully a quote.
+                self.pos += c.len_utf8();
+                if self.peek() == Some('\'') {
+                    self.pos += 1;
+                    TokenKind::Char
+                } else {
+                    TokenKind::Unknown
+                }
+            }
+            // `''` or a quote at EOF / end of line: not a literal.
+            _ => TokenKind::Unknown,
+        }
+    }
+
+    /// Consume a numeric literal (the first digit is already consumed).
+    /// Approximate by design: prefixed forms (`0x...`), underscores,
+    /// suffixes (`1u64`), one fraction part if a digit follows the dot
+    /// (so `1..5` leaves the range operator alone), one exponent.
+    fn number(&mut self) {
+        self.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            self.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        }
+        // The alphanumeric run swallows a trailing `e` / `E`; stitch a
+        // signed exponent (`2e-3`) back onto the literal.
+        if matches!(self.src[..self.pos].chars().last(), Some('e') | Some('E'))
+            && matches!(self.peek(), Some('+') | Some('-'))
+            && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+            self.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        }
+    }
+
+    /// Lex one token starting at the current position (which is < len).
+    fn next_kind(&mut self) -> TokenKind {
+        let Some(c) = self.bump() else {
+            return TokenKind::Unknown;
+        };
+        match c {
+            c if c.is_whitespace() => {
+                self.eat_while(char::is_whitespace);
+                TokenKind::Whitespace
+            }
+            '/' => match self.peek() {
+                Some('/') => {
+                    self.pos += 1;
+                    self.line_comment()
+                }
+                Some('*') => {
+                    self.pos += 1;
+                    self.block_comment()
+                }
+                _ => TokenKind::Punct,
+            },
+            '"' => {
+                self.string_body();
+                TokenKind::Str
+            }
+            '\'' => self.quote(),
+            'r' => {
+                if self.raw_string_body() {
+                    TokenKind::RawStr
+                } else if self.peek() == Some('#') && self.peek_at(1).is_some_and(is_ident_start) {
+                    self.pos += 1;
+                    self.eat_while(is_ident_continue);
+                    TokenKind::RawIdent
+                } else {
+                    self.eat_while(is_ident_continue);
+                    TokenKind::Ident
+                }
+            }
+            'b' => match self.peek() {
+                Some('\'') => {
+                    self.pos += 1;
+                    self.quote();
+                    TokenKind::Byte
+                }
+                Some('"') => {
+                    self.pos += 1;
+                    self.string_body();
+                    TokenKind::ByteStr
+                }
+                Some('r') => {
+                    self.pos += 1;
+                    if self.raw_string_body() {
+                        TokenKind::RawByteStr
+                    } else {
+                        // `br` not opening a raw string: plain ident.
+                        self.eat_while(is_ident_continue);
+                        TokenKind::Ident
+                    }
+                }
+                _ => {
+                    self.eat_while(is_ident_continue);
+                    TokenKind::Ident
+                }
+            },
+            c if is_ident_start(c) => {
+                self.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                self.number();
+                TokenKind::Number
+            }
+            c if c.is_ascii() => TokenKind::Punct,
+            _ => TokenKind::Unknown,
+        }
+    }
+}
+
+/// Lex `src` into a complete token list whose spans tile `0..src.len()`.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lexer = Lexer { src, pos: 0 };
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    while lexer.pos < src.len() {
+        let start = lexer.pos;
+        let kind = lexer.next_kind();
+        // Defensive: every branch consumes at least one char; if a bug ever
+        // violated that, degrade to a one-char Unknown rather than loop.
+        if lexer.pos <= start {
+            let step = src[start..].chars().next().map_or(1, char::len_utf8);
+            lexer.pos = start + step;
+        }
+        tokens.push(Token {
+            kind,
+            start,
+            end: lexer.pos,
+            line,
+        });
+        line += src.as_bytes()[start..lexer.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn spans_tile_simple_source() {
+        let src = "fn main() { let x = 1; }\n";
+        let toks = lex(src);
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks.last().unwrap().end, src.len());
+        for w in toks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let k = kinds(src);
+        assert_eq!(k.len(), 2);
+        assert_eq!(k[0], (TokenKind::Ident, "a"));
+        assert_eq!(k[1], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn panic_in_string_and_comment_is_not_an_ident() {
+        let src = "let s = \"panic!(\\\"no\\\")\"; // .unwrap() here\n/* .expect( */";
+        assert!(kinds(src)
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (*t != "panic" && *t != "unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"contains "quotes" and // slashes"# ;"####;
+        let k = kinds(src);
+        assert!(k.iter().any(|(kind, text)| *kind == TokenKind::RawStr
+            && text.starts_with("r#\"")
+            && text.ends_with("\"#")));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let k = kinds("b\"bytes\" br##\"raw\"## b'x'");
+        assert_eq!(k[0].0, TokenKind::ByteStr);
+        assert_eq!(k[1].0, TokenKind::RawByteStr);
+        assert_eq!(k[2].0, TokenKind::Byte);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let k = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokenKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let k = kinds(r"let c = '\''; let d = '\n'; let q = '\u{1F600}';");
+        assert_eq!(
+            k.iter()
+                .filter(|(kind, _)| *kind == TokenKind::Char)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let k = kinds("let r#match = 1;");
+        assert!(k.contains(&(TokenKind::RawIdent, "r#match")));
+    }
+
+    #[test]
+    fn range_operator_survives_numbers() {
+        let k = kinds("for i in 1..5 {}");
+        assert!(k.contains(&(TokenKind::Number, "1")));
+        assert!(k.contains(&(TokenKind::Number, "5")));
+        assert_eq!(
+            k.iter()
+                .filter(|(kind, t)| *kind == TokenKind::Punct && *t == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn float_and_suffixed_numbers() {
+        let k = kinds("let x = 1.5f64 + 0xFF_u32 + 2e-3;");
+        assert!(k.contains(&(TokenKind::Number, "1.5f64")));
+        assert!(k.contains(&(TokenKind::Number, "0xFF_u32")));
+        assert!(k.contains(&(TokenKind::Number, "2e-3")));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed",
+            "'\\",
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.last().unwrap().end, src.len(), "input: {src:?}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let src = "a\nb\n  c";
+        let idents: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(idents, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multiline_tokens_count_their_newlines() {
+        let src = "/* a\nb */ x\n\"s\ntr\" y";
+        let by_text: Vec<(String, usize)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(by_text, vec![("x".to_string(), 2), ("y".to_string(), 4)]);
+    }
+}

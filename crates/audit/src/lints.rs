@@ -1,0 +1,539 @@
+//! The lint passes. Each pass walks a [`ScannedFile`]'s non-trivia tokens
+//! and emits [`Finding`]s; the engine then applies suppressions and the
+//! per-path policy (which passes run where — see [`crate::engine`]).
+//!
+//! The inventory:
+//!
+//! * **`panic`** — `.unwrap(` / `.expect(` / `panic!` / `unreachable!` /
+//!   `todo!` / `unimplemented!` outside test code. Release paths degrade
+//!   through typed errors; a panic in a long-lived serving stack is an
+//!   outage. (`assert!` / `debug_assert!` stay allowed: a violated
+//!   assertion is a bug by definition, and the bound is documented where
+//!   it matters.)
+//! * **`determinism`** — `HashMap` / `HashSet` (iteration order is
+//!   randomized per-process, so any iteration-order dependence breaks
+//!   bit-reproducibility) and `Instant` / `SystemTime` (wall clocks) in
+//!   algorithm code. Timing belongs to the bench harness and the serve
+//!   layer, which the engine's path policy exempts.
+//! * **`no-alloc`** — allocation tokens inside a function marked
+//!   `// audit: no-alloc`: `Vec::new` / `Vec::with_capacity` / `vec!` /
+//!   `Box::new` / `String::new` / `String::from` / `format!` and the
+//!   methods `.clone()` / `.to_vec()` / `.to_string()` / `.to_owned()` /
+//!   `.collect()`. The counting-allocator benches prove the marked hot
+//!   paths allocation-free at runtime; this pass is the static tripwire
+//!   that keeps an innocent-looking edit from re-introducing one.
+//! * **`error-hygiene`** — `Box<dyn Error>` or a `String` error type in a
+//!   `pub fn` signature. Public fallible APIs carry typed errors
+//!   (`SolveError`, `StoreError`, `EditError`, ...), never stringly ones.
+//! * **`annotation`** — a malformed audit annotation, or a suppression
+//!   that matched nothing (reported by the engine). Misspelled
+//!   suppressions must fail loudly, not silently allow.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scan::ScannedFile;
+use std::fmt;
+
+/// Identifies one lint pass (and names it in findings, suppressions, and
+/// JSON output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintId {
+    Panic,
+    Determinism,
+    NoAlloc,
+    ErrorHygiene,
+    Annotation,
+}
+
+impl LintId {
+    /// Every lint, in reporting order.
+    pub const ALL: [LintId; 5] = [
+        LintId::Panic,
+        LintId::Determinism,
+        LintId::NoAlloc,
+        LintId::ErrorHygiene,
+        LintId::Annotation,
+    ];
+
+    /// The stable name used in `audit: allow(<name>)` and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintId::Panic => "panic",
+            LintId::Determinism => "determinism",
+            LintId::NoAlloc => "no-alloc",
+            LintId::ErrorHygiene => "error-hygiene",
+            LintId::Annotation => "annotation",
+        }
+    }
+
+    /// Parse a lint name as written in an `allow(...)`. `annotation` is
+    /// deliberately not suppressible: a broken annotation cannot vouch for
+    /// itself.
+    pub fn from_name(name: &str) -> Option<LintId> {
+        match name {
+            "panic" => Some(LintId::Panic),
+            "determinism" => Some(LintId::Determinism),
+            "no-alloc" => Some(LintId::NoAlloc),
+            "error-hygiene" => Some(LintId::ErrorHygiene),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a banned construct at a specific place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    pub lint: LintId,
+    /// What was found, human-readable.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Method names whose call (`.name(`) is a panic path.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+/// Macro names whose invocation (`name!`) is a panic path.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+/// Type names banned by the determinism pass.
+const NONDETERMINISTIC_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+/// Wall-clock type names banned by the determinism pass.
+const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+/// `Type::method` pairs banned inside no-alloc regions.
+const ALLOC_PATHS: [(&str, &str); 5] = [
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+];
+/// Methods (`.name(`) banned inside no-alloc regions.
+const ALLOC_METHODS: [&str; 5] = ["clone", "to_vec", "to_string", "to_owned", "collect"];
+/// Macros (`name!`) banned inside no-alloc regions.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Shared token-stream view: the non-trivia tokens of a file.
+struct Code<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    /// Indices into `tokens`, non-trivia only.
+    idx: Vec<usize>,
+}
+
+impl<'a> Code<'a> {
+    fn new(file: &'a ScannedFile<'a>) -> Self {
+        Code {
+            src: file.src,
+            tokens: &file.tokens,
+            idx: file.code_indices(),
+        }
+    }
+
+    fn tok(&self, i: usize) -> &Token {
+        &self.tokens[self.idx[i]]
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.tok(i).text(self.src)
+    }
+
+    fn is_punct(&self, i: usize, p: &str) -> bool {
+        i < self.idx.len() && self.tok(i).kind == TokenKind::Punct && self.text(i) == p
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        i < self.idx.len() && self.tok(i).kind == TokenKind::Ident && self.text(i) == name
+    }
+
+    /// Is token `i` preceded by `.` or `::` (a method call / path segment)?
+    fn after_dot_or_path(&self, i: usize) -> bool {
+        if i == 0 {
+            return false;
+        }
+        if self.is_punct(i - 1, ".") {
+            return true;
+        }
+        i >= 2 && self.is_punct(i - 1, ":") && self.is_punct(i - 2, ":")
+    }
+}
+
+/// The panic-freedom pass: banned panic tokens outside test code.
+pub fn panic_pass(file: &ScannedFile<'_>, path: &str, out: &mut Vec<Finding>) {
+    let code = Code::new(file);
+    for i in 0..code.idx.len() {
+        let t = code.tok(i);
+        if t.kind != TokenKind::Ident || file.in_test_code(t.start) {
+            continue;
+        }
+        let text = code.text(i);
+        if PANIC_METHODS.contains(&text) && code.after_dot_or_path(i) {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                lint: LintId::Panic,
+                message: format!(".{text}( on a release path (return a typed error instead)"),
+            });
+        } else if PANIC_MACROS.contains(&text) && code.is_punct(i + 1, "!") {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                lint: LintId::Panic,
+                message: format!("{text}! on a release path (return a typed error instead)"),
+            });
+        }
+    }
+}
+
+/// The determinism pass: unordered containers and wall clocks in algorithm
+/// code.
+pub fn determinism_pass(file: &ScannedFile<'_>, path: &str, out: &mut Vec<Finding>) {
+    let code = Code::new(file);
+    for i in 0..code.idx.len() {
+        let t = code.tok(i);
+        if t.kind != TokenKind::Ident || file.in_test_code(t.start) {
+            continue;
+        }
+        let text = code.text(i);
+        if NONDETERMINISTIC_TYPES.contains(&text) {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                lint: LintId::Determinism,
+                message: format!(
+                    "{text} in algorithm code (iteration order is nondeterministic; \
+                     use a Vec, a sort, or BTreeMap)"
+                ),
+            });
+        } else if WALL_CLOCK_TYPES.contains(&text) {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                lint: LintId::Determinism,
+                message: format!(
+                    "{text} in algorithm code (wall clocks belong to bench/serve \
+                     timing sites)"
+                ),
+            });
+        }
+    }
+}
+
+/// The no-alloc pass: allocation tokens inside `// audit: no-alloc`
+/// regions.
+pub fn no_alloc_pass(file: &ScannedFile<'_>, path: &str, out: &mut Vec<Finding>) {
+    if file.no_alloc_regions.is_empty() {
+        return;
+    }
+    let code = Code::new(file);
+    for i in 0..code.idx.len() {
+        let t = code.tok(i);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if !file
+            .no_alloc_regions
+            .iter()
+            .any(|r| r.extent.contains(&t.start))
+        {
+            continue;
+        }
+        let text = code.text(i);
+        let hit = if ALLOC_METHODS.contains(&text) && code.after_dot_or_path(i) {
+            Some(format!(".{text}( allocates"))
+        } else if ALLOC_MACROS.contains(&text) && code.is_punct(i + 1, "!") {
+            Some(format!("{text}! allocates"))
+        } else if i + 3 < code.idx.len()
+            && code.is_punct(i + 1, ":")
+            && code.is_punct(i + 2, ":")
+            && ALLOC_PATHS
+                .iter()
+                .any(|(ty, m)| *ty == text && code.is_ident(i + 3, m))
+        {
+            Some(format!("{text}::{} allocates", code.text(i + 3)))
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                lint: LintId::NoAlloc,
+                message: format!("{what} inside an `audit: no-alloc` function"),
+            });
+        }
+    }
+}
+
+/// The error-hygiene pass: `Box<dyn Error>` / `String` errors in public
+/// signatures.
+pub fn error_hygiene_pass(file: &ScannedFile<'_>, path: &str, out: &mut Vec<Finding>) {
+    let code = Code::new(file);
+    for i in 0..code.idx.len() {
+        if !code.is_ident(i, "fn") || file.in_test_code(code.tok(i).start) {
+            continue;
+        }
+        if !fn_is_public(&code, i) {
+            continue;
+        }
+        let sig_end = signature_end(&code, i);
+        scan_signature(&code, path, i, sig_end, out);
+    }
+}
+
+/// Walk back from `fn` over qualifiers to decide if the item is `pub`
+/// without a restriction (`pub(crate)` etc. are not public API).
+fn fn_is_public(code: &Code<'_>, fn_idx: usize) -> bool {
+    let mut i = fn_idx;
+    while i > 0 {
+        i -= 1;
+        let t = code.tok(i);
+        match t.kind {
+            TokenKind::Ident => match code.text(i) {
+                "const" | "unsafe" | "async" | "extern" => continue,
+                "pub" => return !code.is_punct(i + 1, "("),
+                _ => return false,
+            },
+            // An ABI string (`extern "C"`) sits between `extern` and `fn`.
+            TokenKind::Str => continue,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Index (exclusive) of the end of the signature: the body `{` or the
+/// terminating `;`, at paren/bracket depth 0.
+fn signature_end(code: &Code<'_>, fn_idx: usize) -> usize {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut i = fn_idx;
+    while i < code.idx.len() {
+        if code.tok(i).kind == TokenKind::Punct {
+            match code.text(i) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" | ";" if paren == 0 && bracket == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scan one signature for stringly error shapes.
+fn scan_signature(code: &Code<'_>, path: &str, start: usize, end: usize, out: &mut Vec<Finding>) {
+    for i in start..end {
+        if code.is_ident(i, "Box") && code.is_punct(i + 1, "<") {
+            // Box< ... dyn ... Error ... > — the unbox-me-later error type.
+            let mut depth = 1i64;
+            let mut saw_dyn_error = (false, false);
+            let mut j = i + 2;
+            while j < end && depth > 0 {
+                if angle_open(code, j) {
+                    depth += 1;
+                } else if angle_close(code, j) {
+                    depth -= 1;
+                } else if code.is_ident(j, "dyn") {
+                    saw_dyn_error.0 = true;
+                } else if code.is_ident(j, "Error") {
+                    saw_dyn_error.1 = true;
+                }
+                j += 1;
+            }
+            if saw_dyn_error == (true, true) {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: code.tok(i).line,
+                    lint: LintId::ErrorHygiene,
+                    message: "Box<dyn Error> in a public signature (define a typed error)"
+                        .to_string(),
+                });
+            }
+        }
+        if code.is_ident(i, "Result") && code.is_punct(i + 1, "<") {
+            // Result<T, E>: is the top-level E exactly `String`?
+            let mut depth = 1i64;
+            let mut j = i + 2;
+            let mut comma_at = None;
+            while j < end && depth > 0 {
+                if angle_open(code, j) {
+                    depth += 1;
+                } else if angle_close(code, j) {
+                    depth -= 1;
+                } else if depth == 1 && code.is_punct(j, ",") {
+                    comma_at = Some(j);
+                }
+                j += 1;
+            }
+            // `j - 1` closed the Result. The error type is the tokens
+            // between the last top-level comma and that close.
+            if let Some(c) = comma_at {
+                // Tokens c+1 .. j-2 are the error type; j-1 is the `>`.
+                if c + 3 == j && code.is_ident(c + 1, "String") {
+                    out.push(Finding {
+                        file: path.to_string(),
+                        line: code.tok(i).line,
+                        lint: LintId::ErrorHygiene,
+                        message: "Result<_, String> in a public signature (define a typed error)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Angle-bracket accounting that ignores `->` arrows and shifts: a `>`
+/// immediately preceded (byte-adjacent) by `-` is an arrow, not a close.
+fn angle_close(code: &Code<'_>, i: usize) -> bool {
+    if !code.is_punct(i, ">") {
+        return false;
+    }
+    if i == 0 {
+        return true;
+    }
+    let prev = code.tok(i - 1);
+    !(prev.kind == TokenKind::Punct && code.text(i - 1) == "-" && prev.end == code.tok(i).start)
+}
+
+fn angle_open(code: &Code<'_>, i: usize) -> bool {
+    code.is_punct(i, "<")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScannedFile;
+
+    fn run(pass: fn(&ScannedFile<'_>, &str, &mut Vec<Finding>), src: &str) -> Vec<Finding> {
+        let file = ScannedFile::new(src);
+        let mut out = Vec::new();
+        pass(&file, "fixture.rs", &mut out);
+        out
+    }
+
+    #[test]
+    fn panic_pass_sees_code_not_text() {
+        let src = "\
+fn release(x: Option<u32>) -> u32 {
+    // x.unwrap() would be fine to mention here
+    /* and panic!(\"here\") too */
+    let s = \".expect(\";
+    x.unwrap()
+}
+";
+        let f = run(panic_pass, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+        assert_eq!(f[0].lint, LintId::Panic);
+    }
+
+    #[test]
+    fn panic_macros_need_the_bang() {
+        // `std::panic::resume_unwind` and `#[should_panic]` are not
+        // invocations of `panic!`.
+        let src =
+            "fn f() { std::panic::resume_unwind(Box::new(())); }\n#[should_panic]\nfn t() {}\n";
+        assert!(run(panic_pass, src).is_empty());
+        let src2 = "fn f() { unreachable!() }\n";
+        assert_eq!(run(panic_pass, src2).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_else(|| 1)) }\n";
+        assert!(run(panic_pass, src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); panic!(); }\n}\n";
+        assert!(run(panic_pass, src).is_empty());
+    }
+
+    #[test]
+    fn determinism_pass_flags_types_and_clocks() {
+        let src = "\
+use std::collections::HashMap;
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::default();
+    let t = std::time::Instant::now();
+}
+";
+        let lines: Vec<usize> = run(determinism_pass, src).iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 3, 3, 4]);
+    }
+
+    #[test]
+    fn no_alloc_region_is_scoped_to_the_marked_fn() {
+        let src = "\
+// audit: no-alloc
+fn hot(buf: &mut Vec<u8>) {
+    buf.clear();
+    let v = buf.to_vec();
+}
+fn cold() -> Vec<u8> {
+    vec![1, 2, 3]
+}
+";
+        let f = run(no_alloc_pass, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+        assert_eq!(f[0].lint, LintId::NoAlloc);
+    }
+
+    #[test]
+    fn no_alloc_catches_paths_and_macros() {
+        let src = "\
+// audit: no-alloc
+fn hot() {
+    let a = Vec::new();
+    let b = format!(\"x\");
+    let c = Box::new(1);
+}
+";
+        let lines: Vec<usize> = run(no_alloc_pass, src).iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn error_hygiene_flags_public_stringly_errors() {
+        let src = "\
+pub fn bad1() -> Result<u32, String> { Ok(1) }
+pub fn bad2() -> Result<(), Box<dyn std::error::Error>> { Ok(()) }
+pub(crate) fn internal() -> Result<u32, String> { Ok(1) }
+fn private() -> Result<u32, String> { Ok(1) }
+pub fn good() -> Result<Vec<String>, std::io::Error> { Ok(Vec::new()) }
+";
+        let f = run(error_hygiene_pass, src);
+        let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![1, 2]);
+    }
+
+    #[test]
+    fn arrow_is_not_an_angle_close() {
+        let src = "pub fn f(g: impl Fn(u32) -> Result<u32, String>) -> u32 { 0 }\n";
+        // The closure's Result<_, String> is still inside the public
+        // signature: flagged.
+        assert_eq!(run(error_hygiene_pass, src).len(), 1);
+    }
+}

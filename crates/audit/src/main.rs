@@ -1,0 +1,87 @@
+//! The `audit` binary: run the workspace lint gate.
+//!
+//! ```sh
+//! cargo run -p locality-audit --release            # human output, exit 1 on findings
+//! cargo run -p locality-audit --release -- --json  # JSON summary to stdout
+//! cargo run -p locality-audit --release -- --json audit.json
+//! cargo run -p locality-audit --release -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: 0 when the gate passes (zero unsuppressed findings), 1 when
+//! it fails, 2 on usage or I/O errors. With `--json <path>` the summary is
+//! written even when the gate fails, so CI can upload the artifact from a
+//! red run.
+
+use locality_audit::{engine, report};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: audit [--json [path]] [--root <dir>]
+
+Token-level lint gate over the workspace's own sources (vendor/ and
+target/ excluded): panic-freedom, determinism, no-alloc discipline, and
+error hygiene. Suppressions are inline `// audit: allow(<lint>) --
+<reason>` annotations; see crates/audit/src/lints.rs for the inventory.
+
+options:
+  --json [path]  write the machine-readable summary to <path>, or to
+                 stdout when no path follows
+  --root <dir>   audit this workspace root (default: the root this
+                 binary was built from)
+  -h, --help     print this message and exit";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let mut json: Option<Option<String>> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = it
+                    .peek()
+                    .filter(|a| !a.starts_with('-'))
+                    .map(|a| a.to_string());
+                if path.is_some() {
+                    it.next();
+                }
+                json = Some(path);
+            }
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| engine::workspace_root_from(env!("CARGO_MANIFEST_DIR")));
+    let audit = match engine::audit_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("audit: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    match &json {
+        Some(Some(path)) => {
+            if let Err(e) = std::fs::write(path, report::render_json(&audit)) {
+                eprintln!("audit: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            print!("{}", report::render_text(&audit));
+            println!("wrote {path}");
+        }
+        Some(None) => print!("{}", report::render_json(&audit)),
+        None => print!("{}", report::render_text(&audit)),
+    }
+    std::process::exit(if audit.clean() { 0 } else { 1 });
+}

@@ -1,0 +1,517 @@
+//! The item scanner: turns a token stream into the *structure* the lints
+//! need — which byte ranges are test code, where the audit annotations
+//! sit, and what they mean.
+//!
+//! Three things are recognized:
+//!
+//! * `#[cfg(test)]` / `#[test]` attributes (and `#![cfg(test)]` inner
+//!   attributes) gate the item that follows them; the scanner computes the
+//!   item's byte extent so lints can skip it. Any `cfg(...)` attribute
+//!   mentioning the `test` predicate counts (`cfg(all(test, ...))` too).
+//! * `// audit: allow(<lint>) -- <reason>` suppression annotations. A
+//!   trailing comment suppresses findings on its own line; a comment alone
+//!   on a line suppresses findings on the next line that carries code. The
+//!   reason is mandatory.
+//! * `// audit: no-alloc` markers: the function that follows must stay
+//!   free of allocation tokens (see [`crate::lints`]).
+//!
+//! Anything starting with `audit:` that does not parse as one of those two
+//! forms is itself reported (as a `annotation` finding) — a typo in a
+//! suppression must never silently widen the allowed surface. Doc comments
+//! are exempt so the syntax can be *described* in rustdoc.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::lints::LintId;
+use std::ops::Range;
+
+/// A parsed suppression annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment itself sits on (1-based).
+    pub line: usize,
+    /// Line whose findings it suppresses.
+    pub target_line: usize,
+    /// The lint being allowed.
+    pub lint: LintId,
+    /// The mandatory `-- <reason>` text.
+    pub reason: String,
+}
+
+/// A `// audit: no-alloc` marked region: the extent of the function the
+/// marker precedes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoAllocRegion {
+    /// Line the marker comment sits on.
+    pub marker_line: usize,
+    /// Byte extent of the marked item.
+    pub extent: Range<usize>,
+}
+
+/// A malformed or misplaced audit annotation, reported as a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotationError {
+    pub line: usize,
+    pub message: String,
+}
+
+/// One source file, lexed and structurally scanned.
+#[derive(Debug)]
+pub struct ScannedFile<'a> {
+    pub src: &'a str,
+    pub tokens: Vec<Token>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_extents: Vec<Range<usize>>,
+    pub suppressions: Vec<Suppression>,
+    pub no_alloc_regions: Vec<NoAllocRegion>,
+    pub annotation_errors: Vec<AnnotationError>,
+}
+
+impl<'a> ScannedFile<'a> {
+    /// Lex and scan one file.
+    pub fn new(src: &'a str) -> Self {
+        let tokens = lex(src);
+        let test_extents = test_extents(src, &tokens);
+        let (suppressions, no_alloc_regions, annotation_errors) = scan_annotations(src, &tokens);
+        ScannedFile {
+            src,
+            tokens,
+            test_extents,
+            suppressions,
+            no_alloc_regions,
+            annotation_errors,
+        }
+    }
+
+    /// Is this byte offset inside test code?
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_extents.iter().any(|r| r.contains(&offset))
+    }
+
+    /// Indices of the non-trivia tokens, in order.
+    pub fn code_indices(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_trivia())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Does this significant-token slice (an attribute body) gate on `test`?
+/// True for `[test]` exactly and for `[cfg(...)]` bodies that mention the
+/// `test` predicate anywhere (`cfg(test)`, `cfg(all(test, foo))`, ...).
+fn attr_gates_test(src: &str, body: &[&Token]) -> bool {
+    // body starts just after `[` and ends just before the matching `]`.
+    let mut idents = body
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src));
+    match idents.next() {
+        Some("test") => body.len() == 1,
+        Some("cfg") => idents.any(|i| i == "test"),
+        _ => false,
+    }
+}
+
+/// From `sig[i]` (exclusive), find the extent end of the item that starts
+/// there: the matching `}` of the first body `{` found at bracket/paren
+/// depth 0, or a `;` at depth 0, whichever comes first. Returns the byte
+/// offset just past the end, or `None` if the stream ends first (the
+/// caller then extends to EOF) or an enclosing `}` closes over us.
+fn item_end(src: &str, tokens: &[Token], sig: &[usize], mut i: usize) -> Option<usize> {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    while i < sig.len() {
+        let t = &tokens[sig[i]];
+        if t.kind == TokenKind::Punct {
+            match t.text(src) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if paren == 0 && bracket == 0 => return Some(t.end),
+                "{" if paren == 0 && bracket == 0 => {
+                    // Body found: walk to its matching close brace.
+                    let mut depth = 1i64;
+                    let mut j = i + 1;
+                    while j < sig.len() {
+                        let u = &tokens[sig[j]];
+                        if u.kind == TokenKind::Punct {
+                            match u.text(src) {
+                                "{" => depth += 1,
+                                "}" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        return Some(u.end);
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    return None;
+                }
+                "}" if paren == 0 && bracket == 0 => return None,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Compute the byte ranges covered by test-gated items.
+fn test_extents(src: &str, tokens: &[Token]) -> Vec<Range<usize>> {
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.kind.is_trivia())
+        .map(|(i, _)| i)
+        .collect();
+    let mut extents: Vec<Range<usize>> = Vec::new();
+    let mut i = 0usize;
+    while i < sig.len() {
+        let t = &tokens[sig[i]];
+        if !(t.kind == TokenKind::Punct && t.text(src) == "#") {
+            i += 1;
+            continue;
+        }
+        // `#` then optionally `!` then `[` opens an attribute.
+        let mut j = i + 1;
+        let mut inner = false;
+        if j < sig.len()
+            && tokens[sig[j]].kind == TokenKind::Punct
+            && tokens[sig[j]].text(src) == "!"
+        {
+            inner = true;
+            j += 1;
+        }
+        if !(j < sig.len()
+            && tokens[sig[j]].kind == TokenKind::Punct
+            && tokens[sig[j]].text(src) == "[")
+        {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute body up to the matching `]`.
+        let mut depth = 1i64;
+        let mut k = j + 1;
+        let body_start = k;
+        while k < sig.len() && depth > 0 {
+            let u = &tokens[sig[k]];
+            if u.kind == TokenKind::Punct {
+                match u.text(src) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth > 0 {
+                k += 1;
+            }
+        }
+        if depth > 0 {
+            break; // unterminated attribute: nothing more to find
+        }
+        let body: Vec<&Token> = sig[body_start..k].iter().map(|&x| &tokens[x]).collect();
+        let gates = attr_gates_test(src, &body);
+        let after_attr = k + 1;
+        if gates && inner {
+            // `#![cfg(test)]`: the whole file is test code.
+            extents.push(0..src.len());
+            return extents;
+        }
+        if !gates {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut m = after_attr;
+        while m < sig.len()
+            && tokens[sig[m]].kind == TokenKind::Punct
+            && tokens[sig[m]].text(src) == "#"
+        {
+            let mut p = m + 1;
+            if p < sig.len()
+                && tokens[sig[p]].kind == TokenKind::Punct
+                && tokens[sig[p]].text(src) == "["
+            {
+                let mut d = 1i64;
+                p += 1;
+                while p < sig.len() && d > 0 {
+                    let u = &tokens[sig[p]];
+                    if u.kind == TokenKind::Punct {
+                        match u.text(src) {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                    }
+                    p += 1;
+                }
+            }
+            m = p;
+        }
+        let start_byte = t.start;
+        let end_byte = item_end(src, tokens, &sig, m).unwrap_or(src.len());
+        extents.push(start_byte..end_byte);
+        // Resume scanning *after* the extent: items inside it are covered.
+        while i < sig.len() && tokens[sig[i]].start < end_byte {
+            i += 1;
+        }
+    }
+    extents
+}
+
+/// Is there a non-trivia token on `line` that starts before `before`?
+fn code_before_on_line(tokens: &[Token], line: usize, before: usize) -> bool {
+    tokens
+        .iter()
+        .any(|t| !t.kind.is_trivia() && t.line == line && t.start < before)
+}
+
+/// Parse every audit annotation out of the comment tokens.
+fn scan_annotations(
+    src: &str,
+    tokens: &[Token],
+) -> (Vec<Suppression>, Vec<NoAllocRegion>, Vec<AnnotationError>) {
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.kind.is_trivia())
+        .map(|(i, _)| i)
+        .collect();
+    let mut suppressions = Vec::new();
+    let mut regions = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        let text = tok.text(src);
+        let body = match tok.kind {
+            TokenKind::LineComment => {
+                let rest = text.strip_prefix("//").unwrap_or(text);
+                // Doc comments may *describe* the syntax; skip them.
+                if rest.starts_with('/') || rest.starts_with('!') {
+                    continue;
+                }
+                rest.trim()
+            }
+            TokenKind::BlockComment => {
+                let rest = text.strip_prefix("/*").unwrap_or(text);
+                let rest = rest.strip_suffix("*/").unwrap_or(rest);
+                let trimmed = rest.trim();
+                if trimmed.starts_with("audit:") {
+                    errors.push(AnnotationError {
+                        line: tok.line,
+                        message: "audit annotations must be line comments, not block comments"
+                            .to_string(),
+                    });
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        let Some(rest) = body.strip_prefix("audit:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "no-alloc" {
+            // The marker applies to the item that follows it.
+            let next = sig.iter().position(|&s| tokens[s].start > tok.end);
+            let extent = next.and_then(|p| {
+                let start = tokens[sig[p]].start;
+                item_end(src, tokens, &sig, p).map(|end| start..end)
+            });
+            match extent {
+                Some(extent) => regions.push(NoAllocRegion {
+                    marker_line: tok.line,
+                    extent,
+                }),
+                None => errors.push(AnnotationError {
+                    line: tok.line,
+                    message: "audit: no-alloc marker is not followed by an item".to_string(),
+                }),
+            }
+            continue;
+        }
+        if let Some(inner) = rest.strip_prefix("allow(") {
+            let Some(close) = inner.find(')') else {
+                errors.push(AnnotationError {
+                    line: tok.line,
+                    message: "unclosed audit: allow(...)".to_string(),
+                });
+                continue;
+            };
+            let lint_name = inner[..close].trim();
+            let Some(lint) = LintId::from_name(lint_name) else {
+                errors.push(AnnotationError {
+                    line: tok.line,
+                    message: format!("audit: allow of unknown lint `{lint_name}`"),
+                });
+                continue;
+            };
+            let tail = inner[close + 1..].trim();
+            let Some(reason) = tail.strip_prefix("--").map(str::trim) else {
+                errors.push(AnnotationError {
+                    line: tok.line,
+                    message: format!(
+                        "audit: allow({lint_name}) carries no `-- <reason>`; \
+                         every suppression must say why"
+                    ),
+                });
+                continue;
+            };
+            if reason.is_empty() {
+                errors.push(AnnotationError {
+                    line: tok.line,
+                    message: format!("audit: allow({lint_name}) has an empty reason"),
+                });
+                continue;
+            }
+            let target_line = if code_before_on_line(tokens, tok.line, tok.start) {
+                tok.line
+            } else {
+                // Comment alone on its line: target the next line with code.
+                tokens[idx + 1..]
+                    .iter()
+                    .find(|t| !t.kind.is_trivia())
+                    .map(|t| t.line)
+                    .unwrap_or(tok.line)
+            };
+            suppressions.push(Suppression {
+                line: tok.line,
+                target_line,
+                lint,
+                reason: reason.to_string(),
+            });
+            continue;
+        }
+        errors.push(AnnotationError {
+            line: tok.line,
+            message: format!(
+                "unrecognized audit annotation `{rest}` \
+                 (expected `allow(<lint>) -- <reason>` or `no-alloc`)"
+            ),
+        });
+    }
+    (suppressions, regions, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_test_module_extent() {
+        let src = "fn release() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.test_extents.len(), 1);
+        assert!(f.in_test_code(src.find(".unwrap").unwrap_or(0)));
+        assert!(!f.in_test_code(src.find("release").unwrap_or(0)));
+    }
+
+    #[test]
+    fn leading_cfg_test_does_not_swallow_the_file() {
+        // The old line-grep truncated at the first #[cfg(test)]; a file
+        // *leading* with one silently scanned nothing. The extent-based
+        // scan covers exactly the gated item.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn release() { x.unwrap(); }\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.test_extents.len(), 1);
+        assert!(!f.in_test_code(src.find(".unwrap").unwrap_or(0)));
+    }
+
+    #[test]
+    fn inner_cfg_test_covers_the_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() { x.unwrap(); }\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.test_extents, vec![0..src.len()]);
+    }
+
+    #[test]
+    fn test_attribute_and_cfg_any_gate() {
+        let src = "#[test]\nfn t() {}\n#[cfg(all(test, feature = \"x\"))]\nfn helper() {}\nfn released() {}\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.test_extents.len(), 2);
+        assert!(!f.in_test_code(src.find("released").unwrap_or(0)));
+    }
+
+    #[test]
+    fn semicolon_items_end_extents() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn release() {}\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.test_extents.len(), 1);
+        assert!(!f.in_test_code(src.find("release").unwrap_or(0)));
+    }
+
+    #[test]
+    fn attributes_between_gate_and_item_are_covered() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct Probe { x: u32 }\nfn release() {}\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.test_extents.len(), 1);
+        assert!(f.in_test_code(src.find("Probe").unwrap_or(0)));
+        assert!(!f.in_test_code(src.find("release").unwrap_or(0)));
+    }
+
+    #[test]
+    fn trailing_suppression_targets_its_own_line() {
+        let src = "fn f() {\n    x.unwrap(); // audit: allow(panic) -- proven nonempty\n}\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert_eq!(s.line, 2);
+        assert_eq!(s.target_line, 2);
+        assert_eq!(s.lint, LintId::Panic);
+        assert_eq!(s.reason, "proven nonempty");
+    }
+
+    #[test]
+    fn standalone_suppression_targets_the_next_code_line() {
+        let src = "fn f() {\n    // audit: allow(panic) -- bounded above\n    x.unwrap();\n}\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.suppressions[0].target_line, 3);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let src = "x.unwrap(); // audit: allow(panic)\n";
+        let f = ScannedFile::new(src);
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.annotation_errors.len(), 1);
+    }
+
+    #[test]
+    fn unknown_lint_and_typos_are_errors() {
+        let src = "// audit: allow(panics) -- oops\n// audit: alow(panic) -- typo\n";
+        let f = ScannedFile::new(src);
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.annotation_errors.len(), 2);
+    }
+
+    #[test]
+    fn doc_comments_may_describe_the_syntax() {
+        let src = "/// Suppress with `audit: allow(panic) -- why`.\nfn f() {}\n";
+        let f = ScannedFile::new(src);
+        assert!(f.suppressions.is_empty());
+        assert!(f.annotation_errors.is_empty());
+    }
+
+    #[test]
+    fn no_alloc_marker_spans_the_next_function() {
+        let src = "// audit: no-alloc\nfn hot(x: &mut [u8]) {\n    x[0] = 1;\n}\nfn cold() {}\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.no_alloc_regions.len(), 1);
+        let r = &f.no_alloc_regions[0];
+        assert!(r.extent.contains(&src.find("x[0]").unwrap_or(0)));
+        assert!(!r.extent.contains(&src.find("cold").unwrap_or(0)));
+    }
+
+    #[test]
+    fn suppression_inside_a_string_is_inert() {
+        let src = "let s = \"// audit: allow(panic) -- not real\";\n";
+        let f = ScannedFile::new(src);
+        assert!(f.suppressions.is_empty());
+        assert!(f.annotation_errors.is_empty());
+    }
+}

@@ -9,7 +9,8 @@
 
 use locality_bench::experiments;
 
-const USAGE: &str = "usage: experiments [options] <all | t1..t10 a1 d1 d2 p1 s1 e1 r1 h1 f1..f4>...
+const USAGE: &str =
+    "usage: experiments [options] <all | t1..t10 a1 a2 d1 d2 p1 s1 e1 r1 h1 f1..f4>...
 
 Regenerates the theorem-derived tables (T1-T10), the unified
 LocalAlgorithm accounting table (A1), the derandomizer scaling
@@ -17,18 +18,20 @@ benchmark (D1), the producer matrix (D2: deterministic vs MPX vs
 Elkin-Neiman), the end-to-end pipeline benchmark (P1), the serving
 facade workload benchmark (S1), the dynamic-edit repair benchmark
 (E1), the fault/corruption chaos matrix (R1), the live HTTP
-front-end load test (H1), and figures (F1-F4) described in
-DESIGN.md section 3. Pass `all` to run every experiment, or any
+front-end load test (H1), the static audit summary (A2: the
+locality-audit lint gate's counts), and figures (F1-F4) described
+in DESIGN.md section 3. Pass `all` to run every experiment, or any
 mix of individual ids.
 
 options:
   --json <path>  write machine-readable results to <path> (the
-                 D1/D2/P1/E1/R1/H1 rows or the S1 summary — the
-                 BENCH_derand.json / BENCH_producers.json /
-                 BENCH_pipeline.json / BENCH_serve.json /
-                 BENCH_edits.json / BENCH_faults.json /
-                 BENCH_http.json schemas; requires exactly one of
-                 d1/d2/p1/s1/e1/r1/h1 among the ids)
+                 D1/D2/P1/E1/R1/H1 rows, the S1 summary, or the A2
+                 audit summary — the BENCH_derand.json /
+                 BENCH_producers.json / BENCH_pipeline.json /
+                 BENCH_serve.json / BENCH_edits.json /
+                 BENCH_faults.json / BENCH_http.json /
+                 BENCH_audit.json schemas; requires exactly one of
+                 d1/d2/p1/s1/e1/r1/h1/a2 among the ids)
   --huge         include the largest rows: n = 10^5 in D1, n = 10^5 and
                  10^6 in P1 and E1, n = 10^6 and 10^7 in D2, n = 2000 in
                  R1, 10^6 requests at the top H1 level (tens of seconds
@@ -86,12 +89,13 @@ fn main() {
                     || *id == "e1"
                     || *id == "r1"
                     || *id == "h1"
+                    || *id == "a2"
             })
             .count();
         if recordable != 1 {
             eprintln!(
                 "--json captures exactly one machine-readable experiment per run; \
-                 pass exactly one of d1/d2/p1/s1/e1/r1/h1 among the ids — note `all` \
+                 pass exactly one of d1/d2/p1/s1/e1/r1/h1/a2 among the ids — note `all` \
                  expands to all of them, so record them in separate runs"
             );
             std::process::exit(2);
@@ -153,6 +157,13 @@ fn main() {
                 experiments::print_http_report(&report);
                 if let Some(path) = &json_path {
                     write_json(path, experiments::http_report_json(&report));
+                }
+            }
+            "a2" => {
+                let report = experiments::a2_audit_summary();
+                experiments::print_audit_summary(&report);
+                if let Some(path) = &json_path {
+                    write_json(path, experiments::audit_summary_json(&report));
                 }
             }
             other => experiments::run(other),

@@ -128,7 +128,7 @@ where
     let mut exec = Executor::congest(g, ids);
     let run = exec
         .run_parallel_metered(protocols, max_rounds, threads, random_bits)
-        .unwrap_or_else(|e| panic!("{name} must halt w.h.p. within its round budget: {e}"));
+        .unwrap_or_else(|e| panic!("{name} must halt w.h.p. within its round budget: {e}")); // audit: allow(panic) -- w.h.p. halting budget: exceeding it disproves the bound under test
     AlgorithmRun {
         labels: run.outputs,
         stats: RoundStats {

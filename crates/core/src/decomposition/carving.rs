@@ -43,7 +43,7 @@ fn grow_ball(g: &Graph, v: usize, avail: &[bool]) -> (Vec<usize>, Vec<usize>, u3
     let mut layers: Vec<Vec<usize>> = vec![vec![v]];
     let mut queue = VecDeque::from([v]);
     while let Some(u) = queue.pop_front() {
-        let du = dist[u].expect("queued");
+        let du = dist[u].expect("queued"); // audit: allow(panic) -- BFS invariant: every dequeued node was assigned a distance when enqueued
         for &w in g.neighbors(u) {
             if avail[w] && dist[w].is_none() {
                 dist[w] = Some(du + 1);
@@ -139,9 +139,9 @@ pub fn ball_carving_decomposition(g: &Graph, order: &[usize]) -> CarvingResult {
     }
 
     let clustering =
-        Clustering::from_assignment(labels).expect("carving assigns contiguous cluster ids");
+        Clustering::from_assignment(labels).expect("carving assigns contiguous cluster ids"); // audit: allow(panic) -- arity/contiguity established by construction on the preceding lines
     let decomposition =
-        Decomposition::new(clustering, cluster_colors).expect("one color per cluster");
+        Decomposition::new(clustering, cluster_colors).expect("one color per cluster"); // audit: allow(panic) -- arity/contiguity established by construction on the preceding lines
     CarvingResult {
         decomposition,
         colors: color,

@@ -268,7 +268,7 @@ pub fn reference_decomposition(g: &Graph, cap: u32) -> DerandResult {
         for &u in &alive_nodes {
             let mut measures: Vec<(i64, usize)> = reach_of[u]
                 .iter()
-                .map(|&(z, d)| (fixed[z].expect("all fixed") as i64 - d as i64, z))
+                .map(|&(z, d)| (fixed[z].expect("all fixed") as i64 - d as i64, z)) // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
                 .filter(|&(m, _)| m >= 0)
                 .collect();
             measures.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -296,11 +296,11 @@ pub fn reference_decomposition(g: &Graph, cap: u32) -> DerandResult {
     let cluster_colors: Vec<usize> = (0..clustering.cluster_count())
         .map(|c| {
             let v = clustering.members(c)[0];
-            phase_of[v].expect("clustered member has a phase") as usize
+            phase_of[v].expect("clustered member has a phase") as usize // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         })
         .collect();
     let decomposition =
-        Decomposition::new(clustering, cluster_colors).expect("one color per cluster");
+        Decomposition::new(clustering, cluster_colors).expect("one color per cluster"); // audit: allow(panic) -- arity/contiguity established by construction on the preceding lines
     DerandResult {
         decomposition,
         phases: phase,

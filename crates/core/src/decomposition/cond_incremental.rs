@@ -1101,11 +1101,11 @@ pub(crate) fn run(g: &Graph, cap: u32, threads: usize) -> DerandResult {
     let cluster_colors: Vec<usize> = (0..clustering.cluster_count())
         .map(|c| {
             let v = clustering.members(c)[0];
-            phase_of[v].expect("clustered member has a phase") as usize
+            phase_of[v].expect("clustered member has a phase") as usize // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         })
         .collect();
     let decomposition =
-        Decomposition::new(clustering, cluster_colors).expect("one color per cluster");
+        Decomposition::new(clustering, cluster_colors).expect("one color per cluster"); // audit: allow(panic) -- arity/contiguity established by construction on the preceding lines
     DerandResult {
         decomposition,
         phases: phase,

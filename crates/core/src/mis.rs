@@ -96,7 +96,7 @@ pub fn luby(g: &Graph, src: &mut impl BitSource) -> MisOutcome {
         meter.rounds += 2;
         let before = src.bits_drawn();
         for &v in &worklist {
-            prio[v] = src.next_bits(prio_bits).expect("unbounded source");
+            prio[v] = src.next_bits(prio_bits).expect("unbounded source"); // audit: allow(panic) -- the seed source is constructed unbounded a few lines up
         }
         meter.random_bits += src.bits_drawn() - before;
 
@@ -165,7 +165,7 @@ pub fn via_decomposition_threads(g: &Graph, d: &Decomposition, threads: usize) -
 }
 
 fn mis_consume(g: &Graph, d: &Decomposition, threads: usize) -> MisOutcome {
-    let plan = crate::consume::plan_consumer(g, d).expect("decomposition must be valid");
+    let plan = crate::consume::plan_consumer(g, d).expect("decomposition must be valid"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
     consume_with_plan(g, d, &plan, threads)
 }
 
@@ -245,7 +245,7 @@ pub(crate) fn consume_with_plan(
 /// # Panics
 /// Panics if `d` is not a valid decomposition of `g` (checked).
 pub fn reference_via_decomposition(g: &Graph, d: &Decomposition) -> MisOutcome {
-    crate::consume::reference_validate(g, d).expect("decomposition must be valid");
+    crate::consume::reference_validate(g, d).expect("decomposition must be valid"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
     let clustering = d.clustering();
     let mut colors: Vec<usize> = (0..clustering.cluster_count())
         .map(|c| d.color_of_cluster(c))
@@ -267,7 +267,7 @@ pub fn reference_via_decomposition(g: &Graph, d: &Decomposition) -> MisOutcome {
             let members = clustering.members(c);
             color_diam = color_diam.max(
                 locality_graph::metrics::reference_induced_diameter(g, members)
-                    .expect("clusters are connected") as u64,
+                    .expect("clusters are connected") as u64, // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
             );
             for &v in members {
                 let blocked = g.neighbors(v).iter().any(|&u| decided[u] && in_mis[u]);
@@ -343,7 +343,7 @@ impl LubyProtocol {
     }
 
     fn draw_and_announce(&mut self, out: &mut Outlet<'_, MisMsg>) {
-        self.prio = self.src.next_bits(self.prio_bits).expect("unbounded");
+        self.prio = self.src.next_bits(self.prio_bits).expect("unbounded"); // audit: allow(panic) -- the seed source is constructed unbounded a few lines up
         out.broadcast(MisMsg::Priority(
             Compact::new(self.prio, self.prio_bits as u16),
             Compact::new(self.id, self.id_width),

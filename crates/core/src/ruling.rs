@@ -108,7 +108,7 @@ fn rule_recursive(
         let v = *subset
             .iter()
             .min_by_key(|&&v| ids.id_of(v))
-            .expect("nonempty");
+            .expect("nonempty"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         return vec![v];
     }
     let b = bit - 1;

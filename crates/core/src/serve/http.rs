@@ -262,11 +262,13 @@ pub struct Head<'a> {
 }
 
 /// ASCII-case-insensitive equality (header names; no allocation).
+// audit: no-alloc
 fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
 /// Strip leading/trailing ASCII whitespace (header values; no allocation).
+// audit: no-alloc
 fn trim_ascii_ws(mut bytes: &[u8]) -> &[u8] {
     while let [b, rest @ ..] = bytes {
         if !b.is_ascii_whitespace() {
@@ -289,6 +291,7 @@ fn trim_ascii_ws(mut bytes: &[u8]) -> &[u8] {
 /// feed more bytes and call again; the result is identical however the
 /// bytes were chunked (`tests/proptest_http.rs` pins this over random
 /// partitions). Returns a typed [`HttpError`] for malformed heads.
+// audit: no-alloc
 pub fn parse_head(bytes: &[u8]) -> Result<Option<Head<'_>>, HttpError> {
     // Find the end of the head: the first \r\n\r\n.
     let Some(head_end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") else {
@@ -783,6 +786,7 @@ fn route(
 /// Frame and send whatever `conn.body` holds. `count` gates the
 /// `bytes_written` accounting (off for `/metrics` responses, which must
 /// not mutate anything they report).
+// audit: no-alloc
 fn write_frame(
     stream: &mut TcpStream,
     conn: &mut Conn,

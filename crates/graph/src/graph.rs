@@ -226,7 +226,7 @@ impl Graph {
     pub(crate) fn from_sorted_csr(offsets: Vec<usize>, adjacency: Vec<usize>) -> Self {
         let n = offsets.len() - 1;
         debug_assert_eq!(offsets[0], 0);
-        debug_assert_eq!(*offsets.last().expect("nonempty offsets"), adjacency.len());
+        debug_assert_eq!(offsets.last().copied(), Some(adjacency.len()));
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         debug_assert!((0..n).all(|v| {
             adjacency[offsets[v]..offsets[v + 1]]

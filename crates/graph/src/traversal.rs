@@ -31,7 +31,7 @@ pub fn bounded_bfs_distances(g: &Graph, src: usize, radius: u32) -> Vec<Option<u
     dist[src] = Some(0);
     let mut queue = VecDeque::from([src]);
     while let Some(u) = queue.pop_front() {
-        let du = dist[u].expect("queued nodes have distances");
+        let du = dist[u].expect("queued nodes have distances"); // audit: allow(panic) -- BFS invariant: every dequeued node was assigned a distance when enqueued
         if du >= radius {
             continue;
         }
@@ -65,8 +65,8 @@ pub fn multi_source_bfs(g: &Graph, sources: &[usize]) -> (Vec<Option<u32>>, Vec<
         queue.push_back(s);
     }
     while let Some(u) = queue.pop_front() {
-        let du = dist[u].expect("queued nodes have distances");
-        let su = nearest[u].expect("queued nodes have sources");
+        let du = dist[u].expect("queued nodes have distances"); // audit: allow(panic) -- BFS invariant: every dequeued node was assigned a distance when enqueued
+        let su = nearest[u].expect("queued nodes have sources"); // audit: allow(panic) -- BFS invariant: every dequeued node was assigned a distance when enqueued
         for &v in g.neighbors(u) {
             if dist[v].is_none() {
                 dist[v] = Some(du + 1);
@@ -131,7 +131,7 @@ pub fn bfs_distances_within(
     dist[src] = Some(0);
     let mut queue = VecDeque::from([src]);
     while let Some(u) = queue.pop_front() {
-        let du = dist[u].expect("queued nodes have distances");
+        let du = dist[u].expect("queued nodes have distances"); // audit: allow(panic) -- BFS invariant: every dequeued node was assigned a distance when enqueued
         if du >= radius {
             continue;
         }

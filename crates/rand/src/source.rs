@@ -61,7 +61,7 @@ pub trait BitSource {
     /// Panics if the source is exhausted. Use [`BitSource::try_next_bit`] when
     /// exhaustion is an expected outcome.
     fn next_bit(&mut self) -> bool {
-        self.try_next_bit().expect("bit source exhausted")
+        self.try_next_bit().expect("bit source exhausted") // audit: allow(panic) -- infallible-by-contract wrapper; exhaustion-aware callers use the try_ variant
     }
 
     /// Draw `k ≤ 64` bits and pack them into the low bits of a `u64`
@@ -146,7 +146,7 @@ pub trait BitSource {
         }
         let k = 64 - (n - 1).leading_zeros();
         loop {
-            let v = self.next_bits(k).expect("bit source exhausted");
+            let v = self.next_bits(k).expect("bit source exhausted"); // audit: allow(panic) -- infallible-by-contract wrapper; exhaustion-aware callers use the try_ variant
             if v < n {
                 return v;
             }

@@ -365,7 +365,7 @@ impl<'g> Executor<'g> {
                 (Err(a), Err(b)) => {
                     assert_eq!(a, b, "determinism check: error outcomes diverged");
                 }
-                _ => panic!("determinism check: parallel and sequential outcomes diverged"),
+                _ => panic!("determinism check: parallel and sequential outcomes diverged"), // audit: allow(panic) -- determinism diagnostic: divergence must abort loudly, not be smoothed over
             }
             parallel
         }
@@ -512,7 +512,7 @@ impl<'g> Executor<'g> {
         meter.random_bits = nodes.iter().map(random_bits).sum();
         let outputs = outputs
             .into_iter()
-            .map(|h| h.expect("all nodes halted"))
+            .map(|h| h.expect("all nodes halted")) // audit: allow(panic) -- executor ran to quiescence on the line above; a non-halted node is a logic bug
             .collect();
         Ok(Run {
             outputs,
@@ -608,7 +608,7 @@ impl<'g> Executor<'g> {
                 (Err(a), Err(b)) => {
                     assert_eq!(a, b, "determinism check: faulty error outcomes diverged");
                 }
-                _ => panic!("determinism check: faulty parallel and sequential outcomes diverged"),
+                _ => panic!("determinism check: faulty parallel and sequential outcomes diverged"), // audit: allow(panic) -- determinism diagnostic: divergence must abort loudly, not be smoothed over
             }
             parallel
         }
@@ -897,7 +897,7 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("executor worker panicked"))
+            .map(|h| h.join().expect("executor worker panicked")) // audit: allow(panic) -- a panicked worker already lost the run; propagating the abort is sound
             .sum()
     })
 }
@@ -909,6 +909,7 @@ where
 /// `read`, `contexts` and `crashed` are the full arrays (`crashed` may be
 /// empty, meaning no node ever crashes). Writes land only in the chunk's
 /// own slices, which is what makes parallel execution deterministic.
+// audit: no-alloc
 #[allow(clippy::too_many_arguments)]
 fn step_chunk<P: BatchProtocol>(
     graph: &Graph,
@@ -932,21 +933,21 @@ fn step_chunk<P: BatchProtocol>(
             continue;
         }
         let range = graph.edge_slots(v);
-        let local = (range.start - slot_base)..(range.end - slot_base);
+        let (lo, hi) = (range.start - slot_base, range.end - slot_base);
         let inbox = Inbox {
             arena: read,
             mirrors: graph.mirror_slots(v),
         };
         let mut out = Outlet {
             node: v,
-            slots: &mut write[local.clone()],
+            slots: &mut write[lo..hi],
         };
         match node.round(&contexts[v], round, &inbox, &mut out) {
             Control::Continue => still_running += 1,
             Control::Halt(output) => {
                 outputs[i] = Some(output);
                 // A halting node is silent: discard anything it wrote.
-                for slot in &mut write[local] {
+                for slot in &mut write[lo..hi] {
                     *slot = None;
                 }
             }

@@ -4,6 +4,13 @@
 
 // Import-level pin: every name the prelude promises, spelled out. A removed
 // or renamed re-export is a compile error here before any test runs.
+//
+// Deliberately absent: `locality-audit` (ISSUE 10). The audit crate is a
+// development tool over the workspace's *sources*, not part of the library
+// surface — it stays out of the prelude and out of the umbrella crate's
+// dependency graph entirely (it must remain buildable when the code it
+// audits is not). It still builds and tests under bare `cargo build` /
+// `cargo test` via the workspace default-members list.
 #[allow(unused_imports)]
 use locality::prelude::{
     ball, bfs_distances, boosted_decomposition, bounded_bfs_distances, checkers, coloring,
